@@ -1,0 +1,62 @@
+"""Figure 4(a) — node budget sweep r ∈ {1, 1/2, ..., 1/2^k}.
+
+Paper claim: accuracy holds near the full-node level as the budget shrinks
+(redundant nodes exist), then drops once the coreset is too small to
+represent the graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_artifact
+from repro.bench import (
+    bench_epochs,
+    bench_trials,
+    expect,
+    fit_and_score,
+    load_bench_dataset,
+    render_series,
+)
+
+DATASETS = ("cora", "citeseer", "photo", "computers", "cs")
+RATIOS = [1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125]
+
+
+def run_figure4a() -> str:
+    epochs = bench_epochs()
+    trials = bench_trials(default=2)
+    series = {}
+    checks = []
+    for dataset in DATASETS:
+        graph = load_bench_dataset(dataset, seed=0)
+        points = []
+        for ratio in RATIOS:
+            result = fit_and_score(
+                "e2gcl", graph, epochs, trials=trials, fit_seeds=1,
+                method_overrides=dict(node_ratio=ratio),
+            )
+            points.append((ratio, result.accuracy.mean))
+        series[dataset] = points
+
+        full_acc = points[0][1]
+        mid_acc = points[2][1]   # r = 1/4
+        tiny_acc = points[-1][1]
+        checks.append(expect(
+            mid_acc >= full_acc - 0.05,
+            f"{dataset}: r=1/4 within 5pts of full ({100 * mid_acc:.2f} vs {100 * full_acc:.2f})",
+        ))
+        checks.append(expect(
+            tiny_acc <= max(full_acc, mid_acc) + 0.01,
+            f"{dataset}: tiny budget r=1/32 does not beat larger budgets",
+        ))
+
+    return render_series(
+        "Figure 4(a): node budget sweep", series, "node ratio r", "accuracy",
+    ) + "\n" + "\n".join(checks)
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4a_node_budget(benchmark):
+    text = benchmark.pedantic(run_figure4a, rounds=1, iterations=1)
+    save_artifact("figure4a", text)

@@ -1,0 +1,68 @@
+"""Figure 4(b) — cluster-number (n_c) sweep on Computers and Arxiv.
+
+Paper claim: selection time grows with n_c (more center comparisons) while
+accuracy and total training time barely move.  Values are normalized by the
+first sweep point, as in the paper's plot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_artifact
+from repro.bench import (
+    bench_epochs,
+    bench_trials,
+    expect,
+    fit_and_score,
+    load_bench_dataset,
+    render_series,
+)
+
+DATASETS = ("computers", "arxiv")
+CLUSTER_NUMBERS = [10, 20, 40, 60, 90]
+
+
+def run_figure4b() -> str:
+    epochs = bench_epochs(default=15)
+    trials = bench_trials(default=2)
+    sections = []
+    checks = []
+    for dataset in DATASETS:
+        graph = load_bench_dataset(dataset, seed=0, scale=0.25 if dataset == "arxiv" else None)
+        accs, sel_times, total_times = [], [], []
+        for n_c in CLUSTER_NUMBERS:
+            result = fit_and_score(
+                "e2gcl", graph, epochs, trials=trials, fit_seeds=1,
+                method_overrides=dict(num_clusters=n_c),
+            )
+            accs.append(result.accuracy.mean)
+            sel_times.append(result.selection_seconds)
+            total_times.append(result.fit_seconds)
+
+        norm = lambda xs: [x / max(xs[0], 1e-9) for x in xs]
+        series = {
+            "accuracy (normalized)": list(zip(CLUSTER_NUMBERS, norm(accs))),
+            "selection time (normalized)": list(zip(CLUSTER_NUMBERS, norm(sel_times))),
+            "total time (normalized)": list(zip(CLUSTER_NUMBERS, norm(total_times))),
+        }
+        sections.append(render_series(
+            f"Figure 4(b) ({dataset}): cluster number sweep", series, "n_c", "normalized value",
+        ))
+        checks.append(expect(
+            max(accs) - min(accs) < 0.06,
+            f"{dataset}: accuracy varies little across n_c "
+            f"(range {100 * (max(accs) - min(accs)):.2f} pts)",
+        ))
+        checks.append(expect(
+            sel_times[-1] >= sel_times[0] * 0.8,
+            f"{dataset}: selection time does not shrink as n_c grows",
+        ))
+
+    return "\n".join(sections + checks)
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4b_cluster_number(benchmark):
+    text = benchmark.pedantic(run_figure4b, rounds=1, iterations=1)
+    save_artifact("figure4b", text)

@@ -1,0 +1,66 @@
+"""Figure 4(c) — sample-number (n_s) sweep on Computers and Arxiv.
+
+Paper claim: selection time grows with n_s; accuracy first rises then
+stabilizes — sampling candidates (rather than scanning all nodes per greedy
+round) loses nothing once n_s is moderate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_artifact
+from repro.bench import (
+    bench_epochs,
+    bench_trials,
+    expect,
+    fit_and_score,
+    load_bench_dataset,
+    render_series,
+)
+
+DATASETS = ("computers", "arxiv")
+SAMPLE_NUMBERS = [10, 30, 60, 120, 240]
+
+
+def run_figure4c() -> str:
+    epochs = bench_epochs(default=15)
+    trials = bench_trials(default=2)
+    sections = []
+    checks = []
+    for dataset in DATASETS:
+        graph = load_bench_dataset(dataset, seed=0, scale=0.25 if dataset == "arxiv" else None)
+        accs, sel_times = [], []
+        for n_s in SAMPLE_NUMBERS:
+            result = fit_and_score(
+                "e2gcl", graph, epochs, trials=trials, fit_seeds=1,
+                method_overrides=dict(sample_size=n_s),
+            )
+            accs.append(result.accuracy.mean)
+            sel_times.append(result.selection_seconds)
+
+        norm = lambda xs: [x / max(xs[0], 1e-9) for x in xs]
+        series = {
+            "accuracy (normalized)": list(zip(SAMPLE_NUMBERS, norm(accs))),
+            "selection time (normalized)": list(zip(SAMPLE_NUMBERS, norm(sel_times))),
+        }
+        sections.append(render_series(
+            f"Figure 4(c) ({dataset}): sample number sweep", series, "n_s", "normalized value",
+        ))
+        checks.append(expect(
+            sel_times[-1] > sel_times[0],
+            f"{dataset}: selection time grows with n_s "
+            f"({sel_times[0]:.2f}s -> {sel_times[-1]:.2f}s)",
+        ))
+        checks.append(expect(
+            max(accs[2:]) >= accs[0] - 0.01,
+            f"{dataset}: moderate n_s at least matches tiny n_s accuracy",
+        ))
+
+    return "\n".join(sections + checks)
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4c_sample_number(benchmark):
+    text = benchmark.pedantic(run_figure4c, rounds=1, iterations=1)
+    save_artifact("figure4c", text)

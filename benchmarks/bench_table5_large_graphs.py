@@ -1,0 +1,79 @@
+"""Table V — the two large datasets: accuracy, selection time (ST), total
+training time (TT).
+
+Paper claims: (1) E2GCL's node selection is a small fraction of its total
+training time; (2) E2GCL's total training time is lower than the full-node
+baselines'; (3) accuracy is at least on par.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_artifact
+from repro.bench import (
+    bench_epochs,
+    bench_trials,
+    expect,
+    fit_and_score,
+    load_bench_dataset,
+    render_table,
+)
+
+DATASETS = ("arxiv", "products")
+# The paper's Tab. V compares the strongest GCL baselines only.
+BASELINES = ("afgrl", "mvgrl", "grace", "gca")
+
+
+def run_table5() -> str:
+    # Large graphs use a smaller relative scale (they are already the
+    # biggest analogues); epochs must be enough for every method to converge
+    # or the ST/TT ratios are meaningless.
+    epochs = bench_epochs(default=40)
+    trials = bench_trials(default=2)
+    graphs = {name: load_bench_dataset(name, seed=0, scale=0.25) for name in DATASETS}
+
+    rows = {}
+    stats = {}
+    for method in BASELINES + ("e2gcl",):
+        cells = []
+        for dataset in DATASETS:
+            result = fit_and_score(method, graphs[dataset], epochs, trials=trials, fit_seeds=1)
+            stats[(method, dataset)] = result
+            st = f"{result.selection_seconds:.1f}" if method == "e2gcl" else "-"
+            cells.append(f"{result.accuracy.as_percent()} | ST={st} | TT={result.fit_seconds:.1f}")
+        rows[method.upper()] = cells
+
+    checks = []
+    for dataset in DATASETS:
+        ours = stats[("e2gcl", dataset)]
+        checks.append(expect(
+            ours.selection_seconds < 0.5 * ours.fit_seconds,
+            f"{dataset}: selection time ({ours.selection_seconds:.1f}s) is a minor "
+            f"fraction of total training ({ours.fit_seconds:.1f}s)",
+        ))
+        slowest = max(stats[(m, dataset)].fit_seconds for m in BASELINES)
+        checks.append(expect(
+            ours.fit_seconds < slowest,
+            f"{dataset}: E2GCL TT ({ours.fit_seconds:.1f}s) under the slowest "
+            f"full-node baseline ({slowest:.1f}s)",
+        ))
+        best_acc = max(stats[(m, dataset)].accuracy.mean for m in BASELINES)
+        checks.append(expect(
+            ours.accuracy.mean >= best_acc - 0.02,
+            f"{dataset}: E2GCL accuracy ({100 * ours.accuracy.mean:.2f}) within reach of "
+            f"best baseline ({100 * best_acc:.2f})",
+        ))
+
+    return render_table(
+        "Table V: large graphs - accuracy, selection time (ST, s), training time (TT, s)",
+        [d.capitalize() for d in DATASETS],
+        rows,
+        note="\n".join(checks),
+    )
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_large_graphs(benchmark):
+    text = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    save_artifact("table5", text)

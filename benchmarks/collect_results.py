@@ -1,0 +1,49 @@
+"""Inject recorded benchmark artifacts into EXPERIMENTS.md.
+
+Replaces each ``<!-- MEASURED:<key> -->`` marker with the corresponding
+``benchmarks/results/<key>.txt`` content (fenced as code).  Idempotent:
+previously injected blocks are replaced, not duplicated.
+
+    python benchmarks/collect_results.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+EXPERIMENTS = ROOT / "EXPERIMENTS.md"
+
+BLOCK_TEMPLATE = "<!-- MEASURED:{key} -->\n```text\n{body}\n```\n<!-- /MEASURED:{key} -->"
+PATTERN = re.compile(
+    r"<!-- MEASURED:(?P<key>[\w]+) -->(?:\n```text\n.*?\n```\n<!-- /MEASURED:(?P=key) -->)?",
+    re.DOTALL,
+)
+
+
+def main() -> int:
+    text = EXPERIMENTS.read_text()
+    missing = []
+
+    def replace(match: re.Match) -> str:
+        key = match.group("key")
+        path = RESULTS / f"{key}.txt"
+        if not path.exists():
+            missing.append(key)
+            return match.group(0)
+        body = path.read_text().strip()
+        return BLOCK_TEMPLATE.format(key=key, body=body)
+
+    updated = PATTERN.sub(replace, text)
+    EXPERIMENTS.write_text(updated)
+    injected = len(PATTERN.findall(text)) - len(missing)
+    print(f"injected {injected} artifacts into {EXPERIMENTS.name}"
+          + (f"; missing: {missing}" if missing else ""))
+    return 0 if not missing else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one paper artifact.  Results are printed (visible
+with ``-s``) and also written to ``benchmarks/results/<experiment>.txt`` so
+the artifacts survive capture.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Environment knobs: ``REPRO_BENCH_SCALE`` (dataset size multiplier),
+``REPRO_BENCH_EPOCHS`` (pre-training epochs), ``REPRO_BENCH_TRIALS``
+(evaluation splits per cell).
+"""
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_artifact(key: str, text: str) -> None:
+    """Persist a rendered table/series and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{key}.txt").write_text(text + "\n")
+    print(text)

@@ -1,0 +1,59 @@
+"""Coreset selection deep-dive: Alg. 2 against the baseline selectors.
+
+Shows how to use the node selector standalone (it is useful beyond
+contrastive learning — any budgeted GNN training can consume the coreset),
+how the representativity objective behaves, and why the greedy selection
+beats simpler strategies.
+
+    python examples/coreset_selection.py
+"""
+
+import numpy as np
+
+from repro import load_dataset, select_coreset
+from repro.baselines import SELECTORS
+from repro.core import build_cluster_model, representativity_cost
+from repro.graphs import propagated_features
+
+
+def main() -> None:
+    graph = load_dataset("computers", seed=0)
+    budget = int(0.1 * graph.num_nodes)
+    print(f"{graph} — selecting {budget} representative nodes (r = 0.1)\n")
+
+    # The coreset lives in the propagated-feature space R = A_n^L X
+    # (Theorem 1 reduces the contrastive gradient-matching objective to
+    # distances in this space).
+    r = propagated_features(graph, hops=2)
+    model = build_cluster_model(r, num_clusters=40, rng=np.random.default_rng(0))
+
+    # Alg. 2: sampling-based greedy with the cluster-relaxed objective.
+    ours = select_coreset(
+        graph, budget=budget, num_clusters=40, sample_size=150,
+        rng=np.random.default_rng(0), r=r, cluster_model=model,
+    )
+    print(f"Alg. 2 greedy:   RS = {ours.representativity:12.2f}   "
+          f"(selected in {ours.selection_seconds:.2f}s)")
+
+    # Baseline selectors under the same budget, scored on the same objective.
+    for name, selector in sorted(SELECTORS.items()):
+        selected, _weights = selector(graph, budget, np.random.default_rng(0))
+        cost = representativity_cost(model, selected)
+        print(f"{name:>8s} selector: RS = {cost:12.2f}")
+
+    # The λ weights say how many graph nodes each coreset node represents;
+    # heavy nodes sit at cluster cores, weight-1 nodes cover outliers.
+    weights = ours.weights
+    print(f"\nWeight distribution: min={weights.min():.0f} "
+          f"median={np.median(weights):.0f} max={weights.max():.0f} "
+          f"(sum = {weights.sum():.0f} = |V|)")
+
+    # Class coverage: the cluster-based objective (Def. 1) keeps the coreset
+    # class-balanced even though it never sees labels.
+    picked = graph.labels[ours.selected]
+    coverage = {c: int((picked == c).sum()) for c in range(graph.num_classes)}
+    print(f"Class histogram of selected nodes (labels unseen!): {coverage}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Graph classification with E2GCL (the Tab. IX protocol).
+
+Pre-trains one encoder on the disjoint union of a molecule-style graph
+collection, pools node embeddings with the SUM readout (z_i = Σ_v H_i[v]),
+and fits a linear decoder on 70% of the graphs.
+
+    python examples/graph_classification.py
+"""
+
+from repro import E2GCL, load_tu_dataset
+from repro.eval import evaluate_graph_classification
+from repro.graphs import disjoint_union, split_union_embeddings
+
+
+def main() -> None:
+    graphs, labels = load_tu_dataset("nci1", seed=0)
+    print(f"NCI1 analogue: {len(graphs)} graphs, "
+          f"{sum(g.num_nodes for g in graphs)} total nodes, 2 classes")
+
+    # One pre-training pass over the whole collection: the block-diagonal
+    # union makes a single GCN forward equal per-graph forwards.
+    union, offsets = disjoint_union(graphs)
+    model = E2GCL(epochs=30, node_ratio=0.4, seed=0).fit(union)
+    per_graph = split_union_embeddings(model.embed(union), offsets)
+
+    blocks = iter(per_graph)
+    result = evaluate_graph_classification(
+        graphs, labels,
+        embed_fn=lambda g: next(blocks),
+        trials=3,
+        readout="sum",
+    )
+    print(f"Graph classification accuracy: {result.test_accuracy}")
+
+
+if __name__ == "__main__":
+    main()

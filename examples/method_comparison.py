@@ -1,0 +1,40 @@
+"""Mini Tab. IV: compare E2GCL against the GCL baselines on one dataset.
+
+    python examples/method_comparison.py [dataset]
+
+Each method pre-trains without labels, then a frozen-encoder linear
+decoder is fit on 10% labeled nodes (the paper's evaluation protocol).
+"""
+
+import sys
+import time
+
+from repro import load_dataset
+from repro.baselines import get_method
+from repro.eval import evaluate_embeddings
+
+METHODS = ("deepwalk", "dgi", "bgrl", "afgrl", "mvgrl", "grace", "gca", "e2gcl")
+
+
+def main(dataset: str = "cora") -> None:
+    graph = load_dataset(dataset, seed=0)
+    print(f"Dataset: {graph}\n")
+    print(f"{'method':>10s} | {'accuracy':>12s} | {'fit (s)':>8s}")
+    print("-" * 38)
+
+    for name in METHODS:
+        start = time.perf_counter()
+        method = get_method(name, epochs=30, seed=0)
+        method.fit(graph)
+        accuracy = evaluate_embeddings(
+            graph, method.embed(graph), trials=3,
+        ).test_accuracy
+        elapsed = time.perf_counter() - start
+        print(f"{name:>10s} | {str(accuracy):>12s} | {elapsed:8.1f}")
+
+    print("\nE2GCL trains on a 40% coreset with importance-aware views; the"
+          "\nbaselines train on all nodes with their original augmentations.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "cora")

@@ -1,0 +1,41 @@
+"""Quickstart: pre-train E2GCL on a Cora-style graph and evaluate it.
+
+Runs in under a minute on a laptop CPU::
+
+    python examples/quickstart.py
+"""
+
+from repro import E2GCL, load_dataset
+
+
+def main() -> None:
+    # 1. Load a dataset.  The library ships synthetic analogues of the
+    #    paper's benchmarks (Tab. III) — same class structure, homophily,
+    #    and degree distribution, generated locally and deterministically.
+    graph = load_dataset("cora", seed=0)
+    print(f"Loaded {graph}: {graph.num_classes} classes, "
+          f"avg degree {graph.average_degree:.1f}")
+
+    # 2. Pre-train without labels.  E2GCL selects a coreset of
+    #    representative nodes (Alg. 2), generates locality-preserving
+    #    positive views with edge/feature-importance-aware sampling
+    #    (Alg. 3), and optimizes the contrastive loss of Eq. 5.
+    model = E2GCL(epochs=40, node_ratio=0.4).fit(graph)
+    coreset = model.coreset
+    print(f"Selected {coreset.budget} representative nodes "
+          f"({coreset.budget / graph.num_nodes:.0%} of the graph) "
+          f"in {model.selection_seconds:.2f}s; "
+          f"total pre-training {model.training_seconds:.2f}s")
+
+    # 3. Frozen-encoder node representations for any downstream use.
+    embeddings = model.embed()
+    print(f"Embeddings: {embeddings.shape}")
+
+    # 4. The paper's evaluation protocol: l2-regularized linear decoder on
+    #    10% labeled nodes, accuracy on the 80% test nodes, over 5 splits.
+    result = model.evaluate(trials=5)
+    print(f"Node classification accuracy: {result.test_accuracy}")
+
+
+if __name__ == "__main__":
+    main()

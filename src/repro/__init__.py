@@ -1,0 +1,32 @@
+"""repro — full reproduction of E2GCL (ICDE 2024).
+
+E2GCL: Efficient and Expressive Contrastive Learning on Graph Neural
+Networks (Li, Di, Chen, Zhou).  The package contains the paper's
+contribution (`repro.core`), every substrate it depends on (autodiff engine,
+graph stack, GCN models), the baselines it compares against, and the
+evaluation protocols used by its tables and figures.
+
+Top-level convenience re-exports cover the quickstart path::
+
+    from repro import E2GCL, E2GCLConfig, load_dataset
+
+    graph = load_dataset("cora", seed=0)
+    model = E2GCL(epochs=50).fit(graph)
+    print(model.evaluate(trials=3).test_accuracy)
+"""
+
+from .core import E2GCL, E2GCLConfig, select_coreset
+from .graphs import Graph, dataset_names, load_dataset, load_tu_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "E2GCL",
+    "E2GCLConfig",
+    "select_coreset",
+    "Graph",
+    "load_dataset",
+    "load_tu_dataset",
+    "dataset_names",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Reverse-mode autodiff engine (the reproduction's PyTorch substitute).
+
+Public surface::
+
+    from repro.autograd import Tensor, Parameter, Module, ops, functional
+    from repro.autograd.optim import Adam, SGD
+"""
+
+from . import functional, init, ops
+from .module import Module, Parameter, Sequential
+from .optim import SGD, Adam, AdamW, CosineAnnealingLR, ExponentialLR
+from .tensor import Tensor, ensure_tensor
+
+__all__ = [
+    "Tensor",
+    "ensure_tensor",
+    "Parameter",
+    "Module",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "ops",
+    "functional",
+    "init",
+]

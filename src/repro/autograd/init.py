@@ -1,0 +1,42 @@
+"""Weight initializers.
+
+The paper's encoders are Glorot-initialized GCNs (the Kipf & Welling
+default); uniform/normal variants are provided for the other baselines.
+Every initializer takes an explicit ``np.random.Generator`` so experiments
+are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def glorot_uniform(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Xavier/Glorot normal: N(0, 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = shape[0], shape[-1]
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Kaiming/He uniform, appropriate for ReLU layers."""
+    fan_in = shape[0]
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def uniform(shape, rng: np.random.Generator, low: float = -0.05, high: float = 0.05) -> np.ndarray:
+    return rng.uniform(low, high, size=shape)

@@ -1,0 +1,432 @@
+"""Differentiable operations for the :class:`~repro.autograd.tensor.Tensor` type.
+
+Every function here takes tensors (or array-likes, which are promoted to
+constant tensors), computes the forward value eagerly with numpy, and — when
+any input requires gradients — records a backward closure that scatters the
+output gradient back into the inputs.
+
+The operation set is exactly what the reproduced models need: elementwise
+arithmetic, dense and sparse matmul, activations, softmax/log-softmax,
+reductions, row indexing/gathering, concatenation, row normalization, and
+dropout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor, ensure_tensor
+
+ArrayOrTensor = Union[Tensor, np.ndarray, float, int]
+
+
+def _make(
+    data: np.ndarray,
+    parents: Sequence[Tensor],
+    backward_fn,
+) -> Tensor:
+    requires = any(p.requires_grad for p in parents)
+    if not requires:
+        return Tensor(data)
+    return Tensor(data, requires_grad=True, parents=parents, backward_fn=backward_fn)
+
+
+# ----------------------------------------------------------------------
+# Elementwise arithmetic
+# ----------------------------------------------------------------------
+def add(a: ArrayOrTensor, b: ArrayOrTensor) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad)
+        if b.requires_grad:
+            b._accumulate_grad(grad)
+
+    return _make(out_data, (a, b), backward)
+
+
+def sub(a: ArrayOrTensor, b: ArrayOrTensor) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad)
+        if b.requires_grad:
+            b._accumulate_grad(-grad)
+
+    return _make(out_data, (a, b), backward)
+
+
+def mul(a: ArrayOrTensor, b: ArrayOrTensor) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad * b.data)
+        if b.requires_grad:
+            b._accumulate_grad(grad * a.data)
+
+    return _make(out_data, (a, b), backward)
+
+
+def div(a: ArrayOrTensor, b: ArrayOrTensor) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data / b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad / b.data)
+        if b.requires_grad:
+            b._accumulate_grad(-grad * a.data / (b.data ** 2))
+
+    return _make(out_data, (a, b), backward)
+
+
+def neg(a: ArrayOrTensor) -> Tensor:
+    a = ensure_tensor(a)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(-grad)
+
+    return _make(-a.data, (a,), backward)
+
+
+def power(a: ArrayOrTensor, exponent: float) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = a.data ** exponent
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad * exponent * a.data ** (exponent - 1))
+
+    return _make(out_data, (a,), backward)
+
+
+def exp(a: ArrayOrTensor) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad * out_data)
+
+    return _make(out_data, (a,), backward)
+
+
+def log(a: ArrayOrTensor, eps: float = 0.0) -> Tensor:
+    """Natural log; pass ``eps`` > 0 to clamp away from zero for stability."""
+    a = ensure_tensor(a)
+    safe = a.data + eps if eps else a.data
+    out_data = np.log(safe)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad / safe)
+
+    return _make(out_data, (a,), backward)
+
+
+def sqrt(a: ArrayOrTensor) -> Tensor:
+    return power(a, 0.5)
+
+
+def abs(a: ArrayOrTensor) -> Tensor:  # noqa: A001 - mirrors numpy naming
+    a = ensure_tensor(a)
+    out_data = np.abs(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad * np.sign(a.data))
+
+    return _make(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Activations
+# ----------------------------------------------------------------------
+def relu(a: ArrayOrTensor) -> Tensor:
+    a = ensure_tensor(a)
+    mask = a.data > 0
+    out_data = a.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad * mask)
+
+    return _make(out_data, (a,), backward)
+
+
+def leaky_relu(a: ArrayOrTensor, negative_slope: float = 0.01) -> Tensor:
+    a = ensure_tensor(a)
+    mask = a.data > 0
+    out_data = np.where(mask, a.data, negative_slope * a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad * np.where(mask, 1.0, negative_slope))
+
+    return _make(out_data, (a,), backward)
+
+
+def sigmoid(a: ArrayOrTensor) -> Tensor:
+    a = ensure_tensor(a)
+    # Numerically stable logistic.
+    out_data = np.where(
+        a.data >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(a.data, -500, 500))),
+        np.exp(np.clip(a.data, -500, 500)) / (1.0 + np.exp(np.clip(a.data, -500, 500))),
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad * out_data * (1.0 - out_data))
+
+    return _make(out_data, (a,), backward)
+
+
+def tanh(a: ArrayOrTensor) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad * (1.0 - out_data ** 2))
+
+    return _make(out_data, (a,), backward)
+
+
+def elu(a: ArrayOrTensor, alpha: float = 1.0) -> Tensor:
+    a = ensure_tensor(a)
+    mask = a.data > 0
+    expm1 = alpha * np.expm1(np.minimum(a.data, 0.0))
+    out_data = np.where(mask, a.data, expm1)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad * np.where(mask, 1.0, expm1 + alpha))
+
+    return _make(out_data, (a,), backward)
+
+
+def softmax(a: ArrayOrTensor, axis: int = -1) -> Tensor:
+    a = ensure_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            a._accumulate_grad(out_data * (grad - dot))
+
+    return _make(out_data, (a,), backward)
+
+
+def log_softmax(a: ArrayOrTensor, axis: int = -1) -> Tensor:
+    a = ensure_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return _make(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Linear algebra
+# ----------------------------------------------------------------------
+def matmul(a: ArrayOrTensor, b: ArrayOrTensor) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad @ b.data.T)
+        if b.requires_grad:
+            b._accumulate_grad(a.data.T @ grad)
+
+    return _make(out_data, (a, b), backward)
+
+
+def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Sparse-matrix x dense-tensor product; the sparse side is a constant.
+
+    Used for GCN propagation ``A_n @ H`` where ``A_n`` is the normalized
+    adjacency.  The gradient w.r.t. ``dense`` is ``A_n.T @ grad``.
+    """
+    dense = ensure_tensor(dense)
+    csr = matrix.tocsr()
+    out_data = csr @ dense.data
+    csr_t = csr.T.tocsr()
+
+    def backward(grad: np.ndarray) -> None:
+        if dense.requires_grad:
+            dense._accumulate_grad(csr_t @ grad)
+
+    return _make(np.asarray(out_data), (dense,), backward)
+
+
+def transpose(a: ArrayOrTensor) -> Tensor:
+    a = ensure_tensor(a)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad.T)
+
+    return _make(a.data.T, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def sum(a: ArrayOrTensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    a = ensure_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        if not a.requires_grad:
+            return
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        a._accumulate_grad(np.broadcast_to(g, a.data.shape))
+
+    return _make(out_data, (a,), backward)
+
+
+def mean(a: ArrayOrTensor, axis=None, keepdims: bool = False) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    denom = a.data.size if axis is None else a.data.shape[axis]
+
+    def backward(grad: np.ndarray) -> None:
+        if not a.requires_grad:
+            return
+        g = grad / denom
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        a._accumulate_grad(np.broadcast_to(g, a.data.shape))
+
+    return _make(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Shape / gather operations
+# ----------------------------------------------------------------------
+def reshape(a: ArrayOrTensor, shape: Tuple[int, ...]) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = a.data.reshape(shape)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad.reshape(a.data.shape))
+
+    return _make(out_data, (a,), backward)
+
+
+def index(a: ArrayOrTensor, idx) -> Tensor:
+    """Basic / fancy indexing with gradient scatter-add back into ``a``."""
+    a = ensure_tensor(a)
+    out_data = a.data[idx]
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            full = np.zeros_like(a.data)
+            np.add.at(full, idx, grad)
+            a._accumulate_grad(full)
+
+    return _make(out_data, (a,), backward)
+
+
+def gather_rows(a: ArrayOrTensor, row_indices: np.ndarray) -> Tensor:
+    """Select rows of a 2-D tensor; duplicate indices accumulate gradients."""
+    return index(a, np.asarray(row_indices))
+
+
+def concat(tensors: Sequence[ArrayOrTensor], axis: int = 0) -> Tensor:
+    tensors = [ensure_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate_grad(grad[tuple(slicer)])
+
+    return _make(out_data, tuple(tensors), backward)
+
+
+def stack_rows(tensors: Sequence[ArrayOrTensor]) -> Tensor:
+    """Stack 1-D tensors into a 2-D tensor along a new leading axis."""
+    tensors = [ensure_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=0)
+
+    def backward(grad: np.ndarray) -> None:
+        for i, tensor in enumerate(tensors):
+            if tensor.requires_grad:
+                tensor._accumulate_grad(grad[i])
+
+    return _make(out_data, tuple(tensors), backward)
+
+
+# ----------------------------------------------------------------------
+# Normalization / regularization
+# ----------------------------------------------------------------------
+def l2_normalize_rows(a: ArrayOrTensor, eps: float = 1e-12) -> Tensor:
+    """Normalize each row of a 2-D tensor to unit euclidean norm."""
+    a = ensure_tensor(a)
+    norms = np.linalg.norm(a.data, axis=1, keepdims=True)
+    norms = np.maximum(norms, eps)
+    out_data = a.data / norms
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            dot = (grad * out_data).sum(axis=1, keepdims=True)
+            a._accumulate_grad((grad - out_data * dot) / norms)
+
+    return _make(out_data, (a,), backward)
+
+
+def dropout(a: ArrayOrTensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or rate == 0."""
+    a = ensure_tensor(a)
+    if not training or rate <= 0.0:
+        return a
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1); got {rate}")
+    keep = 1.0 - rate
+    mask = (rng.random(a.data.shape) < keep) / keep
+    out_data = a.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(grad * mask)
+
+    return _make(out_data, (a,), backward)
+
+
+def row_norms(a: ArrayOrTensor, eps: float = 1e-12) -> Tensor:
+    """Euclidean norm of each row, returned as a 1-D tensor."""
+    a = ensure_tensor(a)
+    norms = np.sqrt((a.data ** 2).sum(axis=1) + eps)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(a.data * (grad / norms)[:, None])
+
+    return _make(norms, (a,), backward)

@@ -1,0 +1,69 @@
+"""Baseline methods: every row of Tab. IV plus the Tab. VII selectors."""
+
+from .afgrl import AFGRL
+from .base import (
+    EA,
+    ED,
+    FD,
+    FM,
+    FP,
+    ContrastiveMethod,
+    TwoViewContrastiveMethod,
+    available_methods,
+    get_method,
+    register,
+)
+from .bgrl import BGRL
+from .deepwalk import DeepWalk, Node2Vec
+from .dgi import DGI
+from .e2gcl_method import E2GCLMethod
+from .gae import GAE, VGAE
+from .gca import GCA
+from .grace import GRACE
+from .graphcl import ADGCL, GraphCL
+from .mvgrl import MVGRL
+from .selectors import (
+    SELECTORS,
+    degree_selector,
+    get_selector,
+    grain_selector,
+    kcenter_greedy_selector,
+    kmeans_selector,
+    random_selector,
+)
+from .supervised import SupervisedGCN, SupervisedMLP
+
+__all__ = [
+    "ContrastiveMethod",
+    "TwoViewContrastiveMethod",
+    "register",
+    "get_method",
+    "available_methods",
+    "ED",
+    "EA",
+    "FM",
+    "FP",
+    "FD",
+    "GRACE",
+    "GCA",
+    "MVGRL",
+    "BGRL",
+    "DGI",
+    "GAE",
+    "VGAE",
+    "AFGRL",
+    "GraphCL",
+    "ADGCL",
+    "DeepWalk",
+    "Node2Vec",
+    "E2GCLMethod",
+    "SupervisedGCN",
+    "SupervisedMLP",
+    "SELECTORS",
+    "get_selector",
+    "random_selector",
+    "degree_selector",
+    "kmeans_selector",
+    "kcenter_greedy_selector",
+    "grain_selector",
+]

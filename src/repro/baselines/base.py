@@ -1,0 +1,217 @@
+"""Shared infrastructure for the baseline GCL methods.
+
+Every baseline implements the same two-phase protocol as E2GCL (Alg. 1):
+``fit(graph)`` pre-trains an encoder without labels, ``embed(graph)``
+returns frozen representations for the linear-eval decoders.  A registry
+maps paper names ("GRACE", "GCA", ...) to constructors so benchmarks can
+enumerate Tab. IV's model column directly.
+
+The perturbation-based baselines share :class:`TwoViewContrastiveMethod`:
+two augmented views per epoch → shared GCN encoder → InfoNCE.  Their
+*operation sets* are explicit constructor arguments, which is what the
+Fig. 2 "operation upgrade" experiment varies (e.g. GRACE's original
+{FM, ED} vs. upgraded {FM, ED, EA, FP}).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from ..autograd import Adam, Tensor, ops
+from ..core.augmentations import (
+    add_edges,
+    drop_edges,
+    drop_features,
+    mask_features,
+    perturb_features,
+)
+from ..core.losses import infonce_loss
+from ..graphs import Graph
+from ..nn import GCN, ProjectionHead
+
+# Operation codes used across the paper (Tab. I).
+ED = "ED"  # edge deletion
+EA = "EA"  # edge addition
+FM = "FM"  # feature masking
+FP = "FP"  # feature perturbation
+FD = "FD"  # feature dropping
+
+_OPERATION_NAMES = (ED, EA, FM, FP, FD)
+
+
+@dataclass
+class FitInfo:
+    """Bookkeeping every baseline records during ``fit``."""
+
+    losses: List[float] = field(default_factory=list)
+    seconds: float = 0.0
+    epoch_seconds: List[float] = field(default_factory=list)
+
+
+class ContrastiveMethod:
+    """Interface all pre-training methods share."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        embedding_dim: int = 32,
+        hidden_dim: int = 64,
+        num_layers: int = 2,
+        epochs: int = 60,
+        lr: float = 0.01,
+        weight_decay: float = 1e-5,
+        seed: int = 0,
+    ) -> None:
+        self.embedding_dim = embedding_dim
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.epochs = epochs
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.seed = seed
+        self.encoder: Optional[GCN] = None
+        self.info = FitInfo()
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _build_encoder(self, graph: Graph) -> GCN:
+        return GCN(
+            in_features=graph.num_features,
+            hidden_features=self.hidden_dim,
+            out_features=self.embedding_dim,
+            num_layers=self.num_layers,
+            seed=self.seed,
+        )
+
+    def fit(self, graph: Graph, callback: Optional[Callable[[int, "ContrastiveMethod"], None]] = None) -> "ContrastiveMethod":
+        """Pre-train on ``graph``; labels are never read."""
+        start = time.perf_counter()
+        self.encoder = self._build_encoder(graph)
+        self._fit_impl(graph, callback)
+        self.info.seconds = time.perf_counter() - start
+        return self
+
+    def _fit_impl(self, graph: Graph, callback) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def embed(self, graph: Graph) -> np.ndarray:
+        """Frozen-encoder representations."""
+        if self.encoder is None:
+            raise RuntimeError("call fit() before embed()")
+        return self.encoder.embed(graph)
+
+
+class TwoViewContrastiveMethod(ContrastiveMethod):
+    """Two uniformly augmented views + InfoNCE — the GRACE-family template.
+
+    Parameters
+    ----------
+    operations:
+        Which augmentation operations each view applies; subclasses fix the
+        paper defaults, and Fig. 2 passes upgraded sets.
+    view1_rates / view2_rates:
+        Per-operation rates for each view (defaults shared).
+    """
+
+    name = "two-view"
+    default_operations: Tuple[str, ...] = (ED, FM)
+
+    def __init__(
+        self,
+        operations: Optional[Sequence[str]] = None,
+        view1_rates: Optional[Dict[str, float]] = None,
+        view2_rates: Optional[Dict[str, float]] = None,
+        temperature: float = 0.5,
+        projection_dim: int = 32,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.operations = tuple(operations) if operations is not None else self.default_operations
+        unknown = set(self.operations) - set(_OPERATION_NAMES)
+        if unknown:
+            raise ValueError(f"unknown operations: {sorted(unknown)}")
+        # EA/FP default to *gentle* rates: they are the Fig. 2 "upgrade"
+        # operations, meant to enrich the view space, not to dominate it.
+        base1 = {ED: 0.3, EA: 0.05, FM: 0.2, FP: 0.08, FD: 0.2}
+        base2 = {ED: 0.4, EA: 0.08, FM: 0.3, FP: 0.12, FD: 0.3}
+        self.view1_rates = {**base1, **(view1_rates or {})}
+        self.view2_rates = {**base2, **(view2_rates or {})}
+        self.temperature = temperature
+        self.projection_dim = projection_dim
+        self.projector: Optional[ProjectionHead] = None
+
+    # ------------------------------------------------------------------
+    def _augment(self, graph: Graph, rates: Dict[str, float]) -> Graph:
+        """Apply this method's operation set uniformly at random."""
+        view = graph
+        for op in self.operations:
+            rate = rates[op]
+            if rate <= 0:
+                continue
+            if op == ED:
+                view = drop_edges(view, rate, self._rng)
+            elif op == EA:
+                view = add_edges(view, rate, self._rng)
+            elif op == FM:
+                view = mask_features(view, rate, self._rng)
+            elif op == FP:
+                view = perturb_features(view, rate, self._rng)
+            elif op == FD:
+                view = drop_features(view, rate, self._rng)
+        return view
+
+    def _views(self, graph: Graph) -> Tuple[Graph, Graph]:
+        return self._augment(graph, self.view1_rates), self._augment(graph, self.view2_rates)
+
+    def _project(self, h: Tensor) -> Tensor:
+        return self.projector(h) if self.projector is not None else h
+
+    def _fit_impl(self, graph: Graph, callback) -> None:
+        self.projector = ProjectionHead(
+            self.embedding_dim, self.hidden_dim, self.projection_dim, seed=self.seed + 5
+        )
+        params = self.encoder.parameters() + self.projector.parameters()
+        optimizer = Adam(params, lr=self.lr, weight_decay=self.weight_decay)
+        start = time.perf_counter()
+        for epoch in range(self.epochs):
+            view1, view2 = self._views(graph)
+            optimizer.zero_grad()
+            z1 = self._project(self.encoder(view1))
+            z2 = self._project(self.encoder(view2))
+            loss = infonce_loss(z1, z2, temperature=self.temperature)
+            loss.backward()
+            optimizer.step()
+            self.info.losses.append(float(loss.item()))
+            self.info.epoch_seconds.append(time.perf_counter() - start)
+            if callback is not None:
+                callback(epoch, self)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[ContrastiveMethod]] = {}
+
+
+def register(cls: Type[ContrastiveMethod]) -> Type[ContrastiveMethod]:
+    """Class decorator adding a method to the benchmark registry."""
+    _REGISTRY[cls.name.lower()] = cls
+    return cls
+
+
+def get_method(name: str, **kwargs) -> ContrastiveMethod:
+    """Instantiate a registered baseline by its paper name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown method {name!r}; available: {available_methods()}")
+    return _REGISTRY[key](**kwargs)
+
+
+def available_methods() -> List[str]:
+    """Registered method names, sorted (Tab. IV's model column)."""
+    return sorted(_REGISTRY)

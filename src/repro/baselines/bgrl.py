@@ -1,0 +1,90 @@
+"""BGRL — Bootstrapped Graph Latents (Thakoor et al. 2021).
+
+Negative-free bootstrapping: an online encoder + predictor chases an EMA
+*target* encoder across two uniformly augmented views ({FM, ED}), with the
+symmetric cosine loss.  The target network is updated by exponential moving
+average and never receives gradients.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..autograd import Adam, Tensor, functional, ops
+from ..core.augmentations import drop_edges, mask_features
+from ..graphs import Graph
+from ..nn import GCN, MLP
+from .base import ContrastiveMethod, register
+
+
+@register
+class BGRL(ContrastiveMethod):
+    """Bootstrapped representation learning on graphs."""
+
+    name = "bgrl"
+
+    def __init__(
+        self,
+        ema_decay: float = 0.99,
+        edge_drop_rates=(0.25, 0.4),
+        feature_mask_rates=(0.25, 0.4),
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if not 0.0 <= ema_decay < 1.0:
+            raise ValueError("ema_decay must be in [0, 1)")
+        self.ema_decay = ema_decay
+        self.edge_drop_rates = edge_drop_rates
+        self.feature_mask_rates = feature_mask_rates
+        self.target_encoder: Optional[GCN] = None
+        self.predictor: Optional[MLP] = None
+
+    # ------------------------------------------------------------------
+    def _augment(self, graph: Graph, edge_rate: float, mask_rate: float) -> Graph:
+        view = drop_edges(graph, edge_rate, self._rng)
+        return mask_features(view, mask_rate, self._rng)
+
+    def _ema_update(self) -> None:
+        """target ← decay·target + (1−decay)·online, parameter-wise."""
+        online = dict(self.encoder.named_parameters())
+        target = dict(self.target_encoder.named_parameters())
+        for name, param in target.items():
+            param.data *= self.ema_decay
+            param.data += (1.0 - self.ema_decay) * online[name].data
+
+    def _fit_impl(self, graph: Graph, callback) -> None:
+        self.target_encoder = self._build_encoder(graph)
+        self.target_encoder.load_state_dict(self.encoder.state_dict())
+        self.predictor = MLP(
+            self.embedding_dim, self.hidden_dim, self.embedding_dim,
+            num_layers=2, seed=self.seed + 3,
+        )
+        params = self.encoder.parameters() + self.predictor.parameters()
+        optimizer = Adam(params, lr=self.lr, weight_decay=self.weight_decay)
+        start = time.perf_counter()
+        for epoch in range(self.epochs):
+            view1 = self._augment(graph, self.edge_drop_rates[0], self.feature_mask_rates[0])
+            view2 = self._augment(graph, self.edge_drop_rates[1], self.feature_mask_rates[1])
+            optimizer.zero_grad()
+            online1 = self.predictor(self.encoder(view1))
+            online2 = self.predictor(self.encoder(view2))
+            # Target representations are constants (stop-gradient).
+            target1 = Tensor(self.target_encoder.embed(view1))
+            target2 = Tensor(self.target_encoder.embed(view2))
+            loss = ops.mul(
+                ops.add(
+                    functional.bootstrap_cosine_loss(online1, target2),
+                    functional.bootstrap_cosine_loss(online2, target1),
+                ),
+                0.5,
+            )
+            loss.backward()
+            optimizer.step()
+            self._ema_update()
+            self.info.losses.append(float(loss.item()))
+            self.info.epoch_seconds.append(time.perf_counter() - start)
+            if callback is not None:
+                callback(epoch, self)

@@ -1,0 +1,151 @@
+"""DeepWalk and Node2Vec — traditional unsupervised embedding baselines.
+
+Both learn node embeddings from random-walk corpora with skip-gram +
+negative sampling (SGNS), trained by plain SGD on numpy arrays (no autodiff
+needed — the SGNS gradient is closed-form).  Structure-only, which is why
+Tab. IV shows them trailing the feature-aware GCL methods.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..graphs import Graph, node2vec_walks, skip_gram_pairs, uniform_random_walks
+from .base import ContrastiveMethod, register
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+class _SkipGramTrainer:
+    """SGNS over (center, context) pairs with degree^{3/4} negative sampling."""
+
+    def __init__(self, num_nodes: int, dim: int, rng: np.random.Generator) -> None:
+        scale = 0.5 / dim
+        self.in_vectors = rng.uniform(-scale, scale, size=(num_nodes, dim))
+        self.out_vectors = np.zeros((num_nodes, dim))
+        self.rng = rng
+
+    def train(
+        self,
+        pairs: np.ndarray,
+        noise_probs: np.ndarray,
+        epochs: int,
+        lr: float,
+        num_negatives: int,
+        batch_size: int = 2048,
+    ) -> None:
+        """Mini-batched SGNS (Hogwild-style within a batch: scatter-add)."""
+        num_nodes = self.in_vectors.shape[0]
+        dim = self.in_vectors.shape[1]
+        for epoch in range(epochs):
+            order = self.rng.permutation(pairs.shape[0])
+            step = lr * (1.0 - epoch / max(epochs, 1)) + 1e-4
+            for start in range(0, order.size, batch_size):
+                batch = order[start:start + batch_size]
+                centers = pairs[batch, 0]
+                contexts = pairs[batch, 1]
+                v = self.in_vectors[centers]                      # (b, d)
+                u_pos = self.out_vectors[contexts]                # (b, d)
+                grad_pos = _sigmoid((v * u_pos).sum(axis=1)) - 1.0
+                negatives = self.rng.choice(
+                    num_nodes, size=(batch.size, num_negatives), p=noise_probs
+                )
+                u_neg = self.out_vectors[negatives]               # (b, K, d)
+                grad_neg = _sigmoid(np.einsum("bd,bkd->bk", v, u_neg))
+                # Accidental hits: don't push the true context away.
+                grad_neg[negatives == contexts[:, None]] = 0.0
+
+                v_grad = grad_pos[:, None] * u_pos + np.einsum("bk,bkd->bd", grad_neg, u_neg)
+                np.add.at(self.in_vectors, centers, -step * v_grad)
+                np.add.at(self.out_vectors, contexts, -step * grad_pos[:, None] * v)
+                neg_updates = (grad_neg[..., None] * v[:, None, :]).reshape(-1, dim)
+                np.add.at(self.out_vectors, negatives.ravel(), -step * neg_updates)
+
+
+class _WalkEmbeddingMethod(ContrastiveMethod):
+    """Common scaffolding for the two walk-based baselines."""
+
+    walks_per_node = 5
+    walk_length = 12
+    window = 4
+    num_negatives = 4
+    sgns_epochs = 3
+    sgns_lr = 0.05
+    max_pairs = 200_000  # subsample huge corpora (keeps large graphs tractable)
+
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("epochs", 1)  # the SGNS loop has its own schedule
+        super().__init__(**kwargs)
+        self._embeddings: Optional[np.ndarray] = None
+        self._fitted_nodes: Optional[int] = None
+
+    def _build_encoder(self, graph: Graph):  # walks replace the GCN
+        return None
+
+    def _walks(self, graph: Graph) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _fit_impl(self, graph: Graph, callback) -> None:
+        start = time.perf_counter()
+        walks = self._walks(graph)
+        pairs = np.asarray(list(skip_gram_pairs(walks, self.window)), dtype=np.int64)
+        if pairs.shape[0] > self.max_pairs:
+            keep = self._rng.choice(pairs.shape[0], size=self.max_pairs, replace=False)
+            pairs = pairs[keep]
+        if pairs.size == 0:
+            # Edgeless graph: fall back to random embeddings.
+            self._embeddings = self._rng.normal(size=(graph.num_nodes, self.embedding_dim))
+            self._fitted_nodes = graph.num_nodes
+            return
+        noise = (graph.degrees + 1.0) ** 0.75
+        noise /= noise.sum()
+        trainer = _SkipGramTrainer(graph.num_nodes, self.embedding_dim, self._rng)
+        trainer.train(pairs, noise, self.sgns_epochs, self.sgns_lr, self.num_negatives)
+        self._embeddings = trainer.in_vectors
+        self._fitted_nodes = graph.num_nodes
+        self.info.losses.append(0.0)
+        self.info.epoch_seconds.append(time.perf_counter() - start)
+        if callback is not None:
+            callback(0, self)
+
+    def embed(self, graph: Graph) -> np.ndarray:
+        if self._embeddings is None:
+            raise RuntimeError("call fit() before embed()")
+        if graph.num_nodes != self._fitted_nodes:
+            raise ValueError(
+                "walk-based embeddings are transductive; embed() must receive "
+                "the graph used in fit()"
+            )
+        return self._embeddings
+
+
+@register
+class DeepWalk(_WalkEmbeddingMethod):
+    """Uniform random walks + SGNS (Perozzi et al. 2014)."""
+
+    name = "deepwalk"
+
+    def _walks(self, graph: Graph) -> np.ndarray:
+        return uniform_random_walks(graph, self.walks_per_node, self.walk_length, self._rng)
+
+
+@register
+class Node2Vec(_WalkEmbeddingMethod):
+    """Biased second-order walks + SGNS (Grover & Leskovec 2016)."""
+
+    name = "node2vec"
+
+    def __init__(self, p: float = 1.0, q: float = 0.5, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.p = p
+        self.q = q
+
+    def _walks(self, graph: Graph) -> np.ndarray:
+        return node2vec_walks(
+            graph, self.walks_per_node, self.walk_length, self._rng, p=self.p, q=self.q
+        )

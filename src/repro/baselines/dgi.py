@@ -1,0 +1,69 @@
+"""DGI — Deep Graph Infomax (Veličković et al. 2019).
+
+Maximizes mutual information between node representations and a graph-level
+summary: positives are the real graph's nodes, negatives come from a
+corrupted graph (row-shuffled features), and a bilinear discriminator
+scores (node, summary) pairs with a BCE objective.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Adam, Parameter, Tensor, functional, init, ops
+from ..graphs import Graph
+from .base import ContrastiveMethod, register
+
+
+@register
+class DGI(ContrastiveMethod):
+    """Deep Graph Infomax with feature-shuffling corruption."""
+
+    name = "dgi"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.discriminator_weight: Optional[Parameter] = None
+
+    def _corrupt(self, graph: Graph) -> Graph:
+        """The canonical DGI corruption: permute feature rows, keep edges."""
+        perm = self._rng.permutation(graph.num_nodes)
+        return graph.with_features(graph.features[perm])
+
+    def _summary(self, h: Tensor) -> Tensor:
+        """Sigmoid of the mean node representation."""
+        return ops.sigmoid(ops.mean(h, axis=0, keepdims=True))
+
+    def _scores(self, h: Tensor, summary: Tensor) -> Tensor:
+        """Bilinear discriminator ``h W s^T`` per node."""
+        projected = ops.matmul(h, self.discriminator_weight)       # (n, d)
+        return ops.reshape(ops.matmul(projected, ops.transpose(summary)), (h.shape[0],))
+
+    def _fit_impl(self, graph: Graph, callback) -> None:
+        rng = np.random.default_rng(self.seed + 11)
+        self.discriminator_weight = Parameter(
+            init.glorot_uniform((self.embedding_dim, self.embedding_dim), rng), name="disc"
+        )
+        params = self.encoder.parameters() + [self.discriminator_weight]
+        optimizer = Adam(params, lr=self.lr, weight_decay=self.weight_decay)
+        n = graph.num_nodes
+        targets = np.concatenate([np.ones(n), np.zeros(n)])
+        start = time.perf_counter()
+        for epoch in range(self.epochs):
+            corrupted = self._corrupt(graph)
+            optimizer.zero_grad()
+            h_real = self.encoder(graph)
+            h_fake = self.encoder(corrupted)
+            summary = self._summary(h_real)
+            logits = ops.concat([self._scores(h_real, summary),
+                                 self._scores(h_fake, summary)], axis=0)
+            loss = functional.binary_cross_entropy_with_logits(logits, targets)
+            loss.backward()
+            optimizer.step()
+            self.info.losses.append(float(loss.item()))
+            self.info.epoch_seconds.append(time.perf_counter() - start)
+            if callback is not None:
+                callback(epoch, self)

@@ -1,0 +1,82 @@
+"""E2GCL wrapped in the baseline :class:`ContrastiveMethod` interface.
+
+Lets the benchmark harness iterate E2GCL and the baselines uniformly (same
+``fit``/``embed``/timing surface), and exposes the selector hook for the
+Tab. VII comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core import E2GCLConfig, E2GCLTrainer
+from ..graphs import Graph
+from .base import ContrastiveMethod, register
+
+
+@register
+class E2GCLMethod(ContrastiveMethod):
+    """E2GCL behind the shared baseline interface."""
+
+    name = "e2gcl"
+
+    def __init__(self, config: Optional[E2GCLConfig] = None, selector=None, **kwargs) -> None:
+        cfg = config or E2GCLConfig()
+        mapped = {}
+        # Route the shared ContrastiveMethod kwargs into the config.
+        for shared, conf in (
+            ("embedding_dim", "embedding_dim"),
+            ("hidden_dim", "hidden_dim"),
+            ("num_layers", "num_layers"),
+            ("epochs", "epochs"),
+            ("lr", "lr"),
+            ("weight_decay", "weight_decay"),
+            ("seed", "seed"),
+        ):
+            if shared in kwargs:
+                mapped[conf] = kwargs.pop(shared)
+        # Any remaining kwargs are E2GCLConfig fields (node_ratio, tau_hat, ...).
+        mapped.update(kwargs)
+        cfg = cfg.with_overrides(**mapped) if mapped else cfg
+        super().__init__(
+            embedding_dim=cfg.embedding_dim,
+            hidden_dim=cfg.hidden_dim,
+            num_layers=cfg.num_layers,
+            epochs=cfg.epochs,
+            lr=cfg.lr,
+            weight_decay=cfg.weight_decay,
+            seed=cfg.seed,
+        )
+        self.config = cfg
+        self.selector = selector
+        self.trainer: Optional[E2GCLTrainer] = None
+        self.train_result = None
+
+    def _build_encoder(self, graph: Graph):
+        return None  # the trainer owns encoder construction
+
+    def _fit_impl(self, graph: Graph, callback) -> None:
+        self.trainer = E2GCLTrainer(graph, self.config, selector=self.selector)
+        # Expose the encoder before training so per-epoch callbacks (e.g.
+        # the Fig. 3 timed evaluator) can embed mid-run.
+        self.encoder = self.trainer.encoder
+        self.train_result = self.trainer.train(
+            callback=(lambda epoch, _t: callback(epoch, self)) if callback else None
+        )
+        self.encoder = self.train_result.encoder
+        self.info.losses = [rec.loss for rec in self.train_result.history]
+        self.info.epoch_seconds = [rec.elapsed_seconds for rec in self.train_result.history]
+
+    @property
+    def selection_seconds(self) -> float:
+        if self.train_result is None:
+            raise RuntimeError("call fit() first")
+        return self.train_result.selection_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        if self.train_result is None:
+            raise RuntimeError("call fit() first")
+        return self.train_result.total_seconds

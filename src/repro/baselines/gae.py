@@ -1,0 +1,119 @@
+"""GAE and VGAE — (Variational) Graph Auto-Encoders (Kipf & Welling 2016).
+
+Reconstruction-based unsupervised baselines: encode with a GCN, decode
+edges with the inner product ``σ(h_u · h_v)``, and minimize BCE over
+positive edges plus an equal number of sampled non-edges (the standard
+negative-sampled approximation of the dense reconstruction loss).  VGAE
+adds a reparameterized gaussian latent with a KL prior term.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Adam, Tensor, functional, ops
+from ..graphs import Graph, sample_negative_edges
+from ..nn import GCN
+from .base import ContrastiveMethod, register
+
+
+def _edge_logits(h: Tensor, pairs: np.ndarray) -> Tensor:
+    """Inner-product decoder logits for each (u, v) pair."""
+    h_u = ops.index(h, pairs[:, 0])
+    h_v = ops.index(h, pairs[:, 1])
+    return ops.sum(ops.mul(h_u, h_v), axis=1)
+
+
+@register
+class GAE(ContrastiveMethod):
+    """Plain graph auto-encoder."""
+
+    name = "gae"
+
+    def _reconstruction_loss(self, h: Tensor, graph: Graph) -> Tensor:
+        pos = graph.edge_array()
+        neg = sample_negative_edges(graph, pos.shape[0], self._rng)
+        logits = ops.concat([_edge_logits(h, pos), _edge_logits(h, neg)], axis=0)
+        targets = np.concatenate([np.ones(pos.shape[0]), np.zeros(neg.shape[0])])
+        return functional.binary_cross_entropy_with_logits(logits, targets)
+
+    def _fit_impl(self, graph: Graph, callback) -> None:
+        optimizer = Adam(self.encoder.parameters(), lr=self.lr, weight_decay=self.weight_decay)
+        start = time.perf_counter()
+        for epoch in range(self.epochs):
+            optimizer.zero_grad()
+            h = self.encoder(graph)
+            loss = self._reconstruction_loss(h, graph)
+            loss.backward()
+            optimizer.step()
+            self.info.losses.append(float(loss.item()))
+            self.info.epoch_seconds.append(time.perf_counter() - start)
+            if callback is not None:
+                callback(epoch, self)
+
+
+@register
+class VGAE(ContrastiveMethod):
+    """Variational graph auto-encoder: shared GCN trunk, μ and log σ² heads."""
+
+    name = "vgae"
+
+    def __init__(self, kl_weight: Optional[float] = None, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.kl_weight = kl_weight
+        self.logvar_encoder: Optional[GCN] = None
+
+    def _fit_impl(self, graph: Graph, callback) -> None:
+        self.logvar_encoder = GCN(
+            in_features=graph.num_features,
+            hidden_features=self.hidden_dim,
+            out_features=self.embedding_dim,
+            num_layers=self.num_layers,
+            seed=self.seed + 13,
+        )
+        # The reconstruction term is a *mean* over sampled edges, so the KL
+        # must be a per-node mean too (a raw sum overwhelms reconstruction
+        # and collapses the posterior to the prior).
+        kl_weight = self.kl_weight if self.kl_weight is not None else 0.05 / graph.num_nodes
+        params = self.encoder.parameters() + self.logvar_encoder.parameters()
+        optimizer = Adam(params, lr=self.lr, weight_decay=self.weight_decay)
+        start = time.perf_counter()
+        pos = graph.edge_array()
+        for epoch in range(self.epochs):
+            optimizer.zero_grad()
+            mu = self.encoder(graph)
+            logvar = self.logvar_encoder(graph)
+            noise = self._rng.normal(size=mu.shape)
+            z = ops.add(mu, ops.mul(ops.exp(ops.mul(logvar, 0.5)), noise))
+
+            neg = sample_negative_edges(graph, pos.shape[0], self._rng)
+            logits = ops.concat([_edge_logits(z, pos), _edge_logits(z, neg)], axis=0)
+            targets = np.concatenate([np.ones(pos.shape[0]), np.zeros(neg.shape[0])])
+            recon = functional.binary_cross_entropy_with_logits(logits, targets)
+
+            # KL(q || N(0, I)) = -0.5 Σ (1 + logσ² − μ² − σ²)
+            kl = ops.mul(
+                ops.sum(
+                    ops.sub(
+                        ops.add(ops.mul(mu, mu), ops.exp(logvar)),
+                        ops.add(logvar, 1.0),
+                    )
+                ),
+                0.5 * kl_weight,
+            )
+            loss = ops.add(recon, kl)
+            loss.backward()
+            optimizer.step()
+            self.info.losses.append(float(loss.item()))
+            self.info.epoch_seconds.append(time.perf_counter() - start)
+            if callback is not None:
+                callback(epoch, self)
+
+    def embed(self, graph: Graph) -> np.ndarray:
+        """The posterior mean μ (standard VGAE inference)."""
+        if self.encoder is None:
+            raise RuntimeError("call fit() before embed()")
+        return self.encoder.embed(graph)

@@ -1,0 +1,96 @@
+"""GCA — Graph Contrastive Learning with Adaptive Augmentation (Zhu et al. 2021).
+
+GRACE's training objective but with *adaptive* rates: edges incident to
+low-centrality endpoints are dropped more often, and feature dimensions
+that are rare among influential nodes are masked more often.  This is the
+paper's closest prior work (Tab. I row "GCA": {FM, ED}, locality-preserving
+but trained on all nodes).
+
+Drop probability for edge (u, v) follows the GCA recipe::
+
+    s_{uv}   = log centrality of the less-central endpoint
+    p_{uv}   = min( (s_max − s_{uv}) / (s_max − s_mean) · p_e , p_max )
+
+and analogously for feature dimensions with weights
+``w_i = Σ_v φ_c(v)·|x_v[i]|``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.augmentations import add_edges, perturb_features
+from ..graphs import Graph, adjacency_from_edge_mask, centrality
+from .base import EA, ED, FM, FP, TwoViewContrastiveMethod, register
+
+
+def _gca_probabilities(scores: np.ndarray, base_rate: float, cap: float = 0.9) -> np.ndarray:
+    """The GCA normalization: rarer/less-central items get higher rates."""
+    s_max = scores.max()
+    s_mean = scores.mean()
+    span = max(s_max - s_mean, 1e-12)
+    return np.minimum((s_max - scores) / span * base_rate, cap)
+
+
+@register
+class GCA(TwoViewContrastiveMethod):
+    """GCA with degree centrality (the paper's default variant GCA-DE)."""
+
+    name = "gca"
+    default_operations = (FM, ED)
+    upgraded_operations = (FM, ED, EA, FP)
+
+    def __init__(
+        self,
+        centrality_method: str = "degree",
+        edge_drop_rates: Tuple[float, float] = (0.3, 0.4),
+        feature_mask_rates: Tuple[float, float] = (0.2, 0.3),
+        operations: Optional[Sequence[str]] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(operations=operations, **kwargs)
+        self.centrality_method = centrality_method
+        self.edge_drop_rates = edge_drop_rates
+        self.feature_mask_rates = feature_mask_rates
+        self._edge_probs: Optional[Dict[float, np.ndarray]] = None
+        self._feature_probs: Optional[Dict[float, np.ndarray]] = None
+        self._prepared_for: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _prepare(self, graph: Graph) -> None:
+        """Precompute adaptive scores once per graph."""
+        if self._prepared_for == id(graph):
+            return
+        node_centrality = np.log(centrality(graph, self.centrality_method) + 1e-8 + 1.0)
+        edges = graph.edge_array()
+        edge_scores = np.minimum(node_centrality[edges[:, 0]], node_centrality[edges[:, 1]])
+        feature_weights = np.log(node_centrality @ np.abs(graph.features) + 1.0)
+        self._edge_probs = {
+            rate: _gca_probabilities(edge_scores, rate) for rate in self.edge_drop_rates
+        }
+        self._feature_probs = {
+            rate: _gca_probabilities(feature_weights, rate) for rate in self.feature_mask_rates
+        }
+        self._prepared_for = id(graph)
+
+    def _adaptive_view(self, graph: Graph, edge_rate: float, feature_rate: float) -> Graph:
+        drop_prob = self._edge_probs[edge_rate]
+        keep = self._rng.random(drop_prob.shape[0]) >= drop_prob
+        view = graph.with_adjacency(adjacency_from_edge_mask(graph, keep))
+        mask_prob = self._feature_probs[feature_rate]
+        masked_dims = self._rng.random(mask_prob.shape[0]) < mask_prob
+        view = view.with_features(view.features * (~masked_dims)[None, :])
+        # Operation upgrades (Fig. 2): EA / FP applied uniformly on top.
+        if EA in self.operations:
+            view = add_edges(view, self.view1_rates[EA], self._rng)
+        if FP in self.operations:
+            view = perturb_features(view, self.view1_rates[FP], self._rng)
+        return view
+
+    def _views(self, graph: Graph) -> Tuple[Graph, Graph]:
+        self._prepare(graph)
+        view1 = self._adaptive_view(graph, self.edge_drop_rates[0], self.feature_mask_rates[0])
+        view2 = self._adaptive_view(graph, self.edge_drop_rates[1], self.feature_mask_rates[1])
+        return view1, view2

@@ -1,0 +1,25 @@
+"""GRACE — Deep Graph Contrastive Representation Learning (Zhu et al. 2020).
+
+Two views via uniform edge removal + feature masking ({FM, ED} in Tab. I),
+a shared GCN encoder, a two-layer projection head, and the symmetric
+NT-Xent objective.  Fig. 2's upgraded variant adds {EA, FP} to the
+operation set — pass ``operations=GRACE.upgraded_operations``.
+"""
+
+from __future__ import annotations
+
+from .base import EA, ED, FM, FP, TwoViewContrastiveMethod, register
+
+
+@register
+class GRACE(TwoViewContrastiveMethod):
+    """GRACE with a configurable operation set."""
+
+    name = "grace"
+    default_operations = (FM, ED)
+    upgraded_operations = (FM, ED, EA, FP)
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("view1_rates", {ED: 0.2, FM: 0.3})
+        kwargs.setdefault("view2_rates", {ED: 0.4, FM: 0.4})
+        super().__init__(**kwargs)

@@ -1,0 +1,127 @@
+"""MVGRL — Contrastive Multi-View Representation Learning on Graphs
+(Hassani & Khasahmadi 2020).
+
+The diffusion-based baseline of Tab. I ({EA, ED}): one view is the raw
+adjacency, the other the top-k sparsified PPR diffusion graph (PPR both
+adds and removes edges relative to A — hence the EA+ED classification).
+Two encoders (one per view) are trained with a DGI-style cross-view
+discriminator: node representations from one view are scored against the
+*other* view's graph summary.
+
+Fig. 2's upgrade adds uniform feature perturbation (FP) on both views.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import Adam, Parameter, Tensor, functional, init, ops
+from ..core.augmentations import perturb_features
+from ..graphs import Graph, ppr_diffusion_graph
+from ..nn import GCN
+from .base import ContrastiveMethod, FP, register
+
+
+@register
+class MVGRL(ContrastiveMethod):
+    """MVGRL with PPR diffusion as the second view."""
+
+    name = "mvgrl"
+    default_operations: Tuple[str, ...] = ()
+    upgraded_operations: Tuple[str, ...] = (FP,)
+
+    def __init__(
+        self,
+        ppr_alpha: float = 0.15,
+        ppr_top_k: int = 16,
+        operations: Optional[Sequence[str]] = None,
+        feature_perturb_rate: float = 0.08,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.ppr_alpha = ppr_alpha
+        self.ppr_top_k = ppr_top_k
+        self.operations = tuple(operations) if operations is not None else self.default_operations
+        self.feature_perturb_rate = feature_perturb_rate
+        self.diffusion_encoder: Optional[GCN] = None
+        self.discriminator_weight: Optional[Parameter] = None
+        self._diffusion_graph: Optional[Graph] = None
+
+    # ------------------------------------------------------------------
+    def _summary(self, h: Tensor) -> Tensor:
+        return ops.sigmoid(ops.mean(h, axis=0, keepdims=True))
+
+    def _scores(self, h: Tensor, summary: Tensor) -> Tensor:
+        projected = ops.matmul(h, self.discriminator_weight)
+        return ops.reshape(ops.matmul(projected, ops.transpose(summary)), (h.shape[0],))
+
+    def _maybe_perturb(self, graph: Graph) -> Graph:
+        if FP in self.operations and self.feature_perturb_rate > 0:
+            return perturb_features(graph, self.feature_perturb_rate, self._rng)
+        return graph
+
+    def _fit_impl(self, graph: Graph, callback) -> None:
+        rng = np.random.default_rng(self.seed + 23)
+        self.diffusion_encoder = GCN(
+            in_features=graph.num_features,
+            hidden_features=self.hidden_dim,
+            out_features=self.embedding_dim,
+            num_layers=self.num_layers,
+            seed=self.seed + 1,
+        )
+        self.discriminator_weight = Parameter(
+            init.glorot_uniform((self.embedding_dim, self.embedding_dim), rng), name="disc"
+        )
+        self._diffusion_graph = ppr_diffusion_graph(graph, alpha=self.ppr_alpha, top_k=self.ppr_top_k)
+        params = (
+            self.encoder.parameters()
+            + self.diffusion_encoder.parameters()
+            + [self.discriminator_weight]
+        )
+        optimizer = Adam(params, lr=self.lr, weight_decay=self.weight_decay)
+        n = graph.num_nodes
+        targets = np.concatenate([np.ones(2 * n), np.zeros(2 * n)])
+        start = time.perf_counter()
+        for epoch in range(self.epochs):
+            adj_view = self._maybe_perturb(graph)
+            diff_view = self._maybe_perturb(self._diffusion_graph)
+            perm = self._rng.permutation(n)
+            adj_corrupt = adj_view.with_features(adj_view.features[perm])
+            diff_corrupt = diff_view.with_features(diff_view.features[perm])
+
+            optimizer.zero_grad()
+            h_adj = self.encoder(adj_view)
+            h_diff = self.diffusion_encoder(diff_view)
+            h_adj_neg = self.encoder(adj_corrupt)
+            h_diff_neg = self.diffusion_encoder(diff_corrupt)
+            s_adj = self._summary(h_adj)
+            s_diff = self._summary(h_diff)
+            # Cross-view scoring: adjacency nodes vs diffusion summary and
+            # vice versa (the MVGRL objective).
+            logits = ops.concat([
+                self._scores(h_adj, s_diff),
+                self._scores(h_diff, s_adj),
+                self._scores(h_adj_neg, s_diff),
+                self._scores(h_diff_neg, s_adj),
+            ], axis=0)
+            loss = functional.binary_cross_entropy_with_logits(logits, targets)
+            loss.backward()
+            optimizer.step()
+            self.info.losses.append(float(loss.item()))
+            self.info.epoch_seconds.append(time.perf_counter() - start)
+            if callback is not None:
+                callback(epoch, self)
+
+    def embed(self, graph: Graph) -> np.ndarray:
+        """MVGRL's final representation: sum of both views' encoders."""
+        if self.encoder is None or self.diffusion_encoder is None:
+            raise RuntimeError("call fit() before embed()")
+        h_adj = self.encoder.embed(graph)
+        diffusion = self._diffusion_graph
+        if diffusion is None or diffusion.num_nodes != graph.num_nodes:
+            diffusion = ppr_diffusion_graph(graph, alpha=self.ppr_alpha, top_k=self.ppr_top_k)
+        h_diff = self.diffusion_encoder.embed(diffusion)
+        return h_adj + h_diff

@@ -1,0 +1,159 @@
+"""Node-selection baselines for the Tab. VII ablation.
+
+Each selector returns ``(selected_indices, weights)`` with the same
+semantics as Alg. 2's output (weights = number of nodes each selected node
+represents, assigned by nearest neighbor in the propagated-feature space),
+so they plug directly into the E2GCL trainer via its ``selector`` hook.
+
+* Random — uniform sample of k nodes.
+* Degree — sample k nodes with probability ∝ log(D_v + 1).
+* KMeans — cluster into 10 groups, take k nodes spread over clusters.
+* KCG (Sener & Savarese 2018) — k-center greedy in ``R``-space (the paper's
+  label-free adaptation: similarity from aggregated raw features).
+* Grain (Zhang et al. 2021) — diversified influence maximization: greedy
+  max coverage of 1-hop neighborhoods, diversified by an ``R``-space radius
+  (again the label-free adaptation the paper describes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..core.kmeans import kmeans
+from ..graphs import Graph, degree_centrality, propagated_features
+
+SelectorFn = Callable[[Graph, int, np.random.Generator], Tuple[np.ndarray, np.ndarray]]
+
+
+def _weights_by_nearest(r: np.ndarray, selected: np.ndarray) -> np.ndarray:
+    """λ_u = #nodes whose nearest selected node (in R-space) is u."""
+    sel_r = r[selected]
+    d = ((r[:, None, :] - sel_r[None, :, :]) ** 2).sum(axis=2) if r.shape[0] * selected.size <= 4_000_000 else None
+    if d is None:
+        sel_sq = (sel_r ** 2).sum(axis=1)
+        assign = np.empty(r.shape[0], dtype=np.int64)
+        chunk = max(1, 8_000_000 // max(selected.size, 1))
+        for start in range(0, r.shape[0], chunk):
+            stop = min(start + chunk, r.shape[0])
+            scores = r[start:stop] @ sel_r.T
+            scores *= -2.0
+            scores += sel_sq
+            assign[start:stop] = scores.argmin(axis=1)
+    else:
+        assign = d.argmin(axis=1)
+    return np.bincount(assign, minlength=selected.size).astype(np.float64)
+
+
+def _finalize(graph: Graph, selected: np.ndarray, hops: int = 2) -> Tuple[np.ndarray, np.ndarray]:
+    selected = np.asarray(sorted(set(int(v) for v in selected)), dtype=np.int64)
+    r = propagated_features(graph, hops)
+    return selected, _weights_by_nearest(r, selected)
+
+
+def random_selector(graph: Graph, budget: int, rng: np.random.Generator):
+    """Uniform random k nodes."""
+    budget = min(budget, graph.num_nodes)
+    selected = rng.choice(graph.num_nodes, size=budget, replace=False)
+    return _finalize(graph, selected)
+
+
+def degree_selector(graph: Graph, budget: int, rng: np.random.Generator):
+    """Sample ∝ log(D_v + 1) without replacement."""
+    budget = min(budget, graph.num_nodes)
+    probs = degree_centrality(graph)
+    total = probs.sum()
+    if total <= 0:
+        return random_selector(graph, budget, rng)
+    selected = rng.choice(graph.num_nodes, size=budget, replace=False, p=probs / total)
+    return _finalize(graph, selected)
+
+
+def kmeans_selector(graph: Graph, budget: int, rng: np.random.Generator, num_clusters: int = 10):
+    """Cluster R into ``num_clusters`` groups, sample k nodes across them."""
+    budget = min(budget, graph.num_nodes)
+    r = propagated_features(graph, 2)
+    clustering = kmeans(r, num_clusters, rng=rng)
+    selected = []
+    # Round-robin over clusters so every cluster is represented.
+    pools = [list(rng.permutation(np.flatnonzero(clustering.assignments == i)))
+             for i in range(clustering.num_clusters)]
+    while len(selected) < budget and any(pools):
+        for pool in pools:
+            if pool and len(selected) < budget:
+                selected.append(int(pool.pop()))
+    return _finalize(graph, np.asarray(selected))
+
+
+def kcenter_greedy_selector(graph: Graph, budget: int, rng: np.random.Generator):
+    """KCG: repeatedly add the node farthest from the current selected set."""
+    budget = min(budget, graph.num_nodes)
+    r = propagated_features(graph, 2)
+    n = r.shape[0]
+    first = int(rng.integers(n))
+    selected = [first]
+    min_dist = ((r - r[first]) ** 2).sum(axis=1)
+    while len(selected) < budget:
+        nxt = int(min_dist.argmax())
+        selected.append(nxt)
+        np.minimum(min_dist, ((r - r[nxt]) ** 2).sum(axis=1), out=min_dist)
+    return _finalize(graph, np.asarray(selected))
+
+
+def grain_selector(graph: Graph, budget: int, rng: np.random.Generator, radius_quantile: float = 0.1):
+    """Grain-style diversified influence maximization (label-free variant).
+
+    Greedy max coverage where node v covers its closed 1-hop neighborhood,
+    but only counting nodes not yet inside any selected node's R-space ball
+    of radius δ (the diversification term).
+    """
+    budget = min(budget, graph.num_nodes)
+    r = propagated_features(graph, 2)
+    n = graph.num_nodes
+    sample = rng.choice(n, size=min(n, 500), replace=False)
+    pairwise = np.sqrt(((r[sample][:, None, :] - r[sample][None, :, :]) ** 2).sum(axis=2))
+    delta = float(np.quantile(pairwise[pairwise > 0], radius_quantile)) if (pairwise > 0).any() else 0.0
+
+    covered_structure = np.zeros(n, dtype=bool)
+    covered_feature = np.zeros(n, dtype=bool)
+    selected = []
+    neighborhoods = [np.append(graph.neighbors(v), v) for v in range(n)]
+    for _ in range(budget):
+        best_v, best_gain = -1, -1
+        candidates = rng.choice(n, size=min(n, 300), replace=False)
+        for v in candidates:
+            if v in selected:
+                continue
+            gain = int((~covered_structure[neighborhoods[v]]).sum())
+            if gain > best_gain:
+                best_gain, best_v = gain, int(v)
+        if best_v < 0:
+            break
+        selected.append(best_v)
+        covered_structure[neighborhoods[best_v]] = True
+        within = ((r - r[best_v]) ** 2).sum(axis=1) <= delta ** 2
+        covered_structure[within] = True
+        covered_feature[within] = True
+    if len(selected) < budget:
+        remaining = np.setdiff1d(np.arange(n), np.asarray(selected))
+        extra = rng.choice(remaining, size=budget - len(selected), replace=False)
+        selected.extend(int(v) for v in extra)
+    return _finalize(graph, np.asarray(selected))
+
+
+SELECTORS: Dict[str, SelectorFn] = {
+    "random": random_selector,
+    "degree": degree_selector,
+    "kmeans": kmeans_selector,
+    "kcg": kcenter_greedy_selector,
+    "grain": grain_selector,
+}
+
+
+def get_selector(name: str) -> SelectorFn:
+    """Look up a Tab. VII selector baseline by name."""
+    try:
+        return SELECTORS[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown selector {name!r}; available: {sorted(SELECTORS)}") from None

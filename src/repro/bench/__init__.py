@@ -1,0 +1,33 @@
+"""Benchmark harness shared by the per-table/figure bench files."""
+
+from .harness import (
+    METHOD_ORDER,
+    MethodResult,
+    bench_epochs,
+    bench_scale,
+    bench_trials,
+    expect,
+    fit_and_score,
+    load_bench_dataset,
+    method_kwargs,
+    render_series,
+    render_table,
+)
+from .registry import EXPERIMENTS, Experiment, get_experiment
+
+__all__ = [
+    "METHOD_ORDER",
+    "MethodResult",
+    "bench_scale",
+    "bench_epochs",
+    "bench_trials",
+    "fit_and_score",
+    "load_bench_dataset",
+    "method_kwargs",
+    "render_table",
+    "render_series",
+    "expect",
+    "EXPERIMENTS",
+    "Experiment",
+    "get_experiment",
+]

@@ -1,0 +1,146 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list-datasets
+    python -m repro list-methods
+    python -m repro list-experiments
+    python -m repro train --dataset cora --method e2gcl --epochs 40
+    python -m repro select --dataset computers --ratio 0.1
+
+``train`` pre-trains a method and reports linear-eval accuracy; ``select``
+runs Alg. 2 standalone and prints coreset statistics.  Benchmarks are run
+through pytest (``pytest benchmarks/ --benchmark-only``), not the CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_list_datasets(_args) -> int:
+    from .graphs import dataset_names, get_spec, tu_dataset_names
+
+    print("node-classification datasets (synthetic analogues):")
+    for name in dataset_names():
+        spec = get_spec(name)
+        print(f"  {name:10s} {spec.num_nodes:>6d} nodes, {spec.num_classes:>3d} classes "
+              f"(paper: {spec.paper_nodes} nodes)")
+    print("graph-classification datasets:")
+    for name in tu_dataset_names():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_list_methods(_args) -> int:
+    from .baselines import available_methods
+
+    for name in available_methods():
+        print(name)
+    return 0
+
+
+def _cmd_list_experiments(_args) -> int:
+    from .bench import EXPERIMENTS
+
+    for key, exp in EXPERIMENTS.items():
+        print(f"{key:10s} {exp.artifact:12s} {exp.title}")
+        print(f"{'':10s} -> benchmarks/{exp.bench_file}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .baselines import get_method
+    from .eval import evaluate_embeddings
+    from .graphs import load_dataset
+
+    graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    print(f"dataset: {graph}")
+    method = get_method(args.method, epochs=args.epochs, seed=args.seed)
+    method.fit(graph)
+    result = evaluate_embeddings(graph, method.embed(graph), seed=args.seed,
+                                 trials=args.trials)
+    print(f"{args.method}: accuracy {result.test_accuracy} "
+          f"(fit {method.info.seconds:.1f}s)")
+    if args.save:
+        if args.method != "e2gcl":
+            print("--save only supports the e2gcl method", file=sys.stderr)
+            return 2
+        from .core.serialization import save_model
+
+        save_model_path = save_model_wrapper(method, args.save)
+        print(f"checkpoint written to {save_model_path}")
+    return 0
+
+
+def save_model_wrapper(method, path):
+    """Adapt an :class:`E2GCLMethod` to the facade-based checkpoint format."""
+    from .core import E2GCL
+    from .core.serialization import save_model
+
+    facade = E2GCL(method.config)
+    facade.trainer = method.trainer
+    facade.result = method.train_result
+    return save_model(facade, path)
+
+
+def _cmd_select(args) -> int:
+    from .core import select_coreset
+    from .graphs import load_dataset
+
+    graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    budget = max(2, int(round(args.ratio * graph.num_nodes)))
+    result = select_coreset(graph, budget=budget, num_clusters=args.clusters,
+                            sample_size=args.samples,
+                            rng=np.random.default_rng(args.seed))
+    print(f"dataset: {graph}")
+    print(f"selected {result.budget} nodes in {result.selection_seconds:.2f}s "
+          f"(RS = {result.representativity:.2f})")
+    print(f"weights: min={result.weights.min():.0f} "
+          f"max={result.weights.max():.0f} sum={result.weights.sum():.0f}")
+    if graph.labels is not None:
+        hist = np.bincount(graph.labels[result.selected], minlength=graph.num_classes)
+        print(f"class histogram of coreset: {hist.tolist()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-datasets").set_defaults(func=_cmd_list_datasets)
+    sub.add_parser("list-methods").set_defaults(func=_cmd_list_methods)
+    sub.add_parser("list-experiments").set_defaults(func=_cmd_list_experiments)
+
+    train = sub.add_parser("train", help="pre-train a method and linear-evaluate it")
+    train.add_argument("--dataset", default="cora")
+    train.add_argument("--method", default="e2gcl")
+    train.add_argument("--epochs", type=int, default=40)
+    train.add_argument("--trials", type=int, default=3)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--scale", type=float, default=1.0)
+    train.add_argument("--save", default=None, help="write an .npz checkpoint (e2gcl only)")
+    train.set_defaults(func=_cmd_train)
+
+    select = sub.add_parser("select", help="run Alg. 2 coreset selection standalone")
+    select.add_argument("--dataset", default="cora")
+    select.add_argument("--ratio", type=float, default=0.4)
+    select.add_argument("--clusters", type=int, default=60)
+    select.add_argument("--samples", type=int, default=300)
+    select.add_argument("--seed", type=int, default=0)
+    select.add_argument("--scale", type=float, default=1.0)
+    select.set_defaults(func=_cmd_select)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,212 @@
+"""The eight primitive graph augmentation operations (Prop. 1).
+
+The paper's expressivity argument (Prop. 1) says three operations — edge
+deletion, edge addition, feature perturbation — span the same positive-view
+space as the full operation set {edge deletion/addition, feature
+masking/perturbation/dropping, node dropping/addition, subgraph sampling}.
+This module implements *all eight* as uniform-random operators (these are
+what the perturbation-based baselines and the E2GCL ablations use), plus a
+constructive :func:`express_with_minimal_ops` that rewrites any target view
+as a (deletion, addition, perturbation) triple — the computational content
+of Prop. 1's proof, verified in the test suite.
+
+All operators are pure: they return new :class:`Graph` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs import Graph, adjacency_from_edge_mask, adjacency_from_edges
+
+
+# ----------------------------------------------------------------------
+# Structural operations
+# ----------------------------------------------------------------------
+def drop_edges(graph: Graph, rate: float, rng: np.random.Generator) -> Graph:
+    """Delete each undirected edge independently with probability ``rate``."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    m = graph.num_edges
+    keep = rng.random(m) >= rate
+    return graph.with_adjacency(adjacency_from_edge_mask(graph, keep))
+
+
+def add_edges(graph: Graph, rate: float, rng: np.random.Generator) -> Graph:
+    """Add ``rate * |E|`` random non-edges (uniform over node pairs)."""
+    if rate < 0:
+        raise ValueError("rate must be non-negative")
+    n = graph.num_nodes
+    count = int(round(rate * graph.num_edges))
+    if count == 0 or n < 2:
+        return graph.copy()
+    existing = {tuple(e) for e in graph.edge_array()}
+    new_edges = []
+    attempts = 0
+    while len(new_edges) < count and attempts < 50 * count + 100:
+        attempts += 1
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u == v:
+            continue
+        pair = (min(u, v), max(u, v))
+        if pair in existing:
+            continue
+        existing.add(pair)
+        new_edges.append(pair)
+    all_edges = np.concatenate([graph.edge_array().reshape(-1, 2),
+                                np.asarray(new_edges, dtype=np.int64).reshape(-1, 2)])
+    return graph.with_adjacency(adjacency_from_edges(n, all_edges))
+
+
+def drop_nodes(graph: Graph, rate: float, rng: np.random.Generator) -> Tuple[Graph, np.ndarray]:
+    """Remove a random ``rate`` fraction of nodes; returns (view, kept ids)."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("rate must be in [0, 1)")
+    n = graph.num_nodes
+    keep_count = max(1, int(round((1.0 - rate) * n)))
+    kept = np.sort(rng.choice(n, size=keep_count, replace=False))
+    sub, mapping = graph.induced_subgraph(kept)
+    return sub, mapping
+
+
+def add_nodes(graph: Graph, count: int, rng: np.random.Generator, degree: int = 2) -> Graph:
+    """Append ``count`` new nodes, each wired to ``degree`` random nodes and
+    given the feature vector of a random existing node (the convention used
+    in the augmentation literature)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return graph.copy()
+    n = graph.num_nodes
+    new_n = n + count
+    old_edges = graph.edge_array()
+    extra = []
+    for i in range(count):
+        node = n + i
+        targets = rng.choice(n, size=min(degree, n), replace=False)
+        extra.extend((int(t), node) for t in targets)
+    edges = np.concatenate([old_edges.reshape(-1, 2), np.asarray(extra).reshape(-1, 2)])
+    donor = rng.integers(0, n, size=count)
+    features = np.concatenate([graph.features, graph.features[donor]], axis=0)
+    labels = None
+    if graph.labels is not None:
+        labels = np.concatenate([graph.labels, graph.labels[donor]])
+    return Graph(adjacency_from_edges(new_n, edges), features, labels, graph.name)
+
+
+def subgraph_sample(graph: Graph, rate: float, rng: np.random.Generator) -> Tuple[Graph, np.ndarray]:
+    """Random-walk induced subgraph covering about ``rate`` of the nodes."""
+    if not 0.0 < rate <= 1.0:
+        raise ValueError("rate must be in (0, 1]")
+    n = graph.num_nodes
+    target = max(1, int(round(rate * n)))
+    current = int(rng.integers(n))
+    visited = {current}
+    stall = 0
+    while len(visited) < target and stall < 10 * target:
+        neigh = graph.neighbors(current)
+        if neigh.size == 0:
+            current = int(rng.integers(n))
+        else:
+            current = int(neigh[rng.integers(neigh.size)])
+        before = len(visited)
+        visited.add(current)
+        stall = stall + 1 if len(visited) == before else 0
+    sub, mapping = graph.induced_subgraph(sorted(visited))
+    return sub, mapping
+
+
+# ----------------------------------------------------------------------
+# Feature operations
+# ----------------------------------------------------------------------
+def mask_features(graph: Graph, rate: float, rng: np.random.Generator) -> Graph:
+    """Zero out whole feature *dimensions* with probability ``rate``
+    (GRACE-style column masking)."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    mask = rng.random(graph.num_features) >= rate
+    return graph.with_features(graph.features * mask[None, :])
+
+
+def drop_features(graph: Graph, rate: float, rng: np.random.Generator) -> Graph:
+    """Zero out individual feature *entries* with probability ``rate``."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    mask = rng.random(graph.features.shape) >= rate
+    return graph.with_features(graph.features * mask)
+
+
+def perturb_features(
+    graph: Graph,
+    probability,
+    rng: np.random.Generator,
+    magnitude: float = 1.0,
+) -> Graph:
+    """Eq. 16 multiplicative perturbation.
+
+    ``x̂[u,i] = x[u,i] + m[u,i] · (2·U(0,1) − 1) · magnitude · x[u,i]`` where
+    ``m ~ Bernoulli(probability)``.  ``probability`` may be a scalar or an
+    ``(n, d)`` matrix (the score-aware case).
+    """
+    prob = np.broadcast_to(np.asarray(probability, dtype=np.float64), graph.features.shape)
+    if prob.min() < 0 or prob.max() > 1:
+        raise ValueError("perturbation probabilities must be in [0, 1]")
+    mask = rng.random(graph.features.shape) < prob
+    noise = (2.0 * rng.random(graph.features.shape) - 1.0) * magnitude
+    perturbed = graph.features * (1.0 + mask * noise)
+    return graph.with_features(perturbed)
+
+
+# ----------------------------------------------------------------------
+# Prop. 1: constructive minimality
+# ----------------------------------------------------------------------
+def express_with_minimal_ops(original: Graph, target: Graph):
+    """Express ``target`` (any view over the same node set) with the minimal
+    operation set: returns ``(edges_to_delete, edges_to_add, feature_delta)``.
+
+    This is the constructive core of Prop. 1: node dropping is edge deletion
+    of the node's incident edges plus feature perturbation to zero; masking
+    and dropping features are feature perturbations with delta ``−x``;
+    subgraph sampling is a composition of those.  Applying the returned plan
+    via :func:`apply_view_plan` reproduces ``target`` exactly, which the
+    property tests assert for random compositions of all eight operations.
+    """
+    if original.num_nodes != target.num_nodes:
+        raise ValueError(
+            "express_with_minimal_ops requires aligned node sets; embed node "
+            "drop/add into the common superset first"
+        )
+    orig_edges = {tuple(e) for e in original.edge_array()}
+    targ_edges = {tuple(e) for e in target.edge_array()}
+    to_delete = np.asarray(sorted(orig_edges - targ_edges), dtype=np.int64).reshape(-1, 2)
+    to_add = np.asarray(sorted(targ_edges - orig_edges), dtype=np.int64).reshape(-1, 2)
+    feature_delta = target.features - original.features
+    return to_delete, to_add, feature_delta
+
+
+def apply_view_plan(
+    graph: Graph,
+    edges_to_delete: np.ndarray,
+    edges_to_add: np.ndarray,
+    feature_delta: np.ndarray,
+) -> Graph:
+    """Apply a (delete, add, perturb) plan produced by
+    :func:`express_with_minimal_ops`."""
+    edges = {tuple(e) for e in graph.edge_array()}
+    edges -= {tuple(e) for e in np.asarray(edges_to_delete).reshape(-1, 2)}
+    edges |= {tuple(e) for e in np.asarray(edges_to_add).reshape(-1, 2)}
+    adjacency = adjacency_from_edges(graph.num_nodes, np.asarray(sorted(edges)).reshape(-1, 2))
+    return Graph(adjacency, graph.features + feature_delta, graph.labels, graph.name)
+
+
+MINIMAL_OPERATIONS = ("edge_deletion", "edge_addition", "feature_perturbation")
+ALL_OPERATIONS = MINIMAL_OPERATIONS + (
+    "feature_masking",
+    "feature_dropping",
+    "node_dropping",
+    "node_addition",
+    "subgraph_sampling",
+)

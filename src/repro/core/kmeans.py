@@ -1,0 +1,141 @@
+"""KMeans with k-means++ seeding, from scratch.
+
+Alg. 2 (line 2) partitions nodes by KMeans over the propagated features
+``R = A_n^L X``.  sklearn is not available in this environment, so this is
+a clean numpy implementation with:
+
+* k-means++ initialization (D² sampling);
+* empty-cluster repair (re-seed an empty cluster at the point farthest from
+  its assigned center — keeps ``n_c`` effective clusters, which Def. 1's
+  per-cluster bound relies on);
+* deterministic behaviour under an explicit ``Generator``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Clustering output.
+
+    Attributes
+    ----------
+    assignments:
+        ``(n,)`` cluster index per point.
+    centers:
+        ``(n_c, d)`` cluster centroid matrix.
+    inertia:
+        Sum of squared distances to assigned centers.
+    n_iter:
+        Lloyd iterations run before convergence / cap.
+    """
+
+    assignments: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    n_iter: int
+
+    @property
+    def num_clusters(self) -> int:
+        return self.centers.shape[0]
+
+
+def _plus_plus_init(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: iteratively sample proportional to squared distance."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = points[first]
+    closest_sq = ((points - centers[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centers; duplicate.
+            centers[i:] = centers[0]
+            break
+        probs = closest_sq / total
+        idx = int(rng.choice(n, p=probs))
+        centers[i] = points[idx]
+        dist_sq = ((points - centers[i]) ** 2).sum(axis=1)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centers
+
+
+def _assign(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Nearest-center assignment (chunked to bound memory on large graphs)."""
+    n = points.shape[0]
+    assignments = np.empty(n, dtype=np.int64)
+    chunk = max(1, 4_000_000 // max(centers.shape[0], 1))
+    center_sq = (centers ** 2).sum(axis=1)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        block = points[start:stop]
+        # Expanded squared distance; the -2xc term dominates the cost.
+        d = block @ centers.T
+        d *= -2.0
+        d += center_sq
+        assignments[start:stop] = d.argmin(axis=1)
+    return assignments
+
+
+def kmeans(
+    points: np.ndarray,
+    num_clusters: int,
+    rng: Optional[np.random.Generator] = None,
+    max_iter: int = 50,
+    tol: float = 1e-6,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` data matrix (``R`` in the paper).
+    num_clusters:
+        ``n_c``; capped to ``n`` when the dataset is smaller.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be 2-D")
+    n = points.shape[0]
+    if n == 0:
+        raise ValueError("cannot cluster an empty dataset")
+    if num_clusters < 1:
+        raise ValueError("num_clusters must be >= 1")
+    rng = rng or np.random.default_rng()
+    k = min(num_clusters, n)
+
+    centers = _plus_plus_init(points, k, rng)
+    assignments = _assign(points, centers)
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        new_centers = np.zeros_like(centers)
+        counts = np.bincount(assignments, minlength=k).astype(np.float64)
+        np.add.at(new_centers, assignments, points)
+        nonempty = counts > 0
+        new_centers[nonempty] /= counts[nonempty, None]
+
+        # Empty-cluster repair: move the center to the point currently
+        # farthest from its own center.
+        if not nonempty.all():
+            dist_sq = ((points - new_centers[assignments]) ** 2).sum(axis=1)
+            for cluster in np.flatnonzero(~nonempty):
+                far = int(dist_sq.argmax())
+                new_centers[cluster] = points[far]
+                dist_sq[far] = 0.0
+
+        shift = np.linalg.norm(new_centers - centers)
+        centers = new_centers
+        new_assignments = _assign(points, centers)
+        if shift < tol and np.array_equal(new_assignments, assignments):
+            assignments = new_assignments
+            break
+        assignments = new_assignments
+
+    inertia = float(((points - centers[assignments]) ** 2).sum())
+    return KMeansResult(assignments=assignments, centers=centers, inertia=inertia, n_iter=n_iter)

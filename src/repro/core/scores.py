@@ -1,0 +1,221 @@
+"""Edge and feature importance scores (Sec. IV-C1 / IV-C2).
+
+Edge score between a target node ``v`` and a candidate ``u``::
+
+    w^e_{v,u} = β · exp(φ_c(u) + Sim(v, u))          if u ∈ N_v
+              = (1−β) · exp(−φ_c(u) + Sim(v, u))     otherwise
+
+with ``φ_c(u) = log(D_u + 1)`` and ``Sim(v,u) = c − ||x_v − x_u||`` where
+``c`` is the max feature distance over existing edges.  Keeping an existing
+edge to an influential, similar neighbor scores high; adding a new edge to
+an influential node scores low (it would distort the locality pattern).
+
+Feature score: global dimension importance ``w_i^f = Σ_v φ_c(v)·|x_v[i]|``
+combined with the owner's centrality, ``w^f_{x_v[i]} = w_i^f · φ_c(v)``.
+Eq. 16 then perturbs low-score entries with probability
+``p = η · (w_max − w) / (w_max − w_mean)``.
+
+Note on normalization: the paper normalizes per feature dimension, but with
+the factorized score ``w_i^f · φ_c(v)`` a per-dimension max/mean cancels
+``w_i^f`` entirely, leaving a probability that ignores dimension importance
+(contradicting the E2GCL\\F ablation).  Following the GCA lineage the paper
+builds on, the default normalizes over the full score matrix so both the
+node's centrality *and* the dimension's importance modulate the probability;
+``normalization="per_dimension"`` gives the literal reading.
+
+All scores depend only on degrees and raw features (the paper's *Remarks*),
+so everything here is computed once per graph and reused across epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs import Graph, centrality as graph_centrality, degree_centrality
+
+
+@dataclass
+class EdgeScoreTable:
+    """Per-node candidate neighbor lists with sampling probabilities.
+
+    For each node ``u``, ``candidates[u]`` is its ``N_u^1 ∪ N_u^2`` candidate
+    set (Alg. 3 line 6) and ``probabilities[u]`` the normalized edge scores
+    ``P(u1 | u, V_u^N)`` used for neighbor sampling.  ``base_degree[u]`` is
+    ``|N_u|``, the quantity τ multiplies.
+    """
+
+    candidates: List[np.ndarray]
+    probabilities: List[np.ndarray]
+    base_degree: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return self.base_degree.shape[0]
+
+
+def similarity_offset(graph: Graph) -> float:
+    """``c = max_{(v,u) ∈ E} ||x_v − x_u||`` (0 for edgeless graphs)."""
+    edges = graph.edge_array()
+    if edges.shape[0] == 0:
+        return 0.0
+    diffs = graph.features[edges[:, 0]] - graph.features[edges[:, 1]]
+    return float(np.sqrt((diffs ** 2).sum(axis=1)).max())
+
+
+def _candidate_sets(graph: Graph, max_candidates: Optional[int], rng: np.random.Generator):
+    """``N_u^1 ∪ N_u^2`` for every node via one sparse square ``A + A²``."""
+    adj = graph.adjacency
+    reach = (adj + adj @ adj).tolil()
+    reach.setdiag(0)
+    reach = reach.tocsr()
+    candidate_lists = []
+    for u in range(graph.num_nodes):
+        cands = reach.indices[reach.indptr[u]:reach.indptr[u + 1]]
+        if max_candidates is not None and cands.size > max_candidates:
+            cands = rng.choice(cands, size=max_candidates, replace=False)
+            cands.sort()
+        candidate_lists.append(cands.astype(np.int64))
+    return candidate_lists
+
+
+def _node_influence(graph: Graph, method: str) -> np.ndarray:
+    """φ_c under the chosen centrality (Sec. IV-C defaults to log-degree;
+    PageRank/eigenvector variants follow the GCA lineage).  Non-degree
+    centralities are log-scaled onto a comparable range."""
+    if method == "degree":
+        return degree_centrality(graph)
+    values = graph_centrality(graph, method)
+    return np.log1p(values / max(values.mean(), 1e-12))
+
+
+def compute_edge_scores(
+    graph: Graph,
+    beta: float = 0.7,
+    uniform: bool = False,
+    max_candidates: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    centrality_method: str = "degree",
+) -> EdgeScoreTable:
+    """Precompute the edge-score sampling table for Alg. 3.
+
+    Parameters
+    ----------
+    beta:
+        Mass on existing edges vs. new (2-hop) edges.  β > 0.5 means views
+        mostly keep real neighbors and occasionally add 2-hop shortcuts.
+    uniform:
+        Ablation switch (E2GCL\\S): all candidates equally likely, but the
+        existing/new split still honors β so edge *counts* stay comparable.
+    max_candidates:
+        Cap per-node candidate sets (memory guard on dense graphs).
+    centrality_method:
+        ``"degree"`` (the paper's φ_c), ``"pagerank"``, or ``"eigenvector"``.
+    """
+    if not 0.0 < beta < 1.0:
+        raise ValueError("beta must be in (0, 1)")
+    rng = rng or np.random.default_rng(0)
+    centrality = _node_influence(graph, centrality_method)
+    c_offset = similarity_offset(graph)
+    feat = graph.features
+    feat_sq = (feat ** 2).sum(axis=1)
+    candidate_lists = _candidate_sets(graph, max_candidates, rng)
+
+    neighbor_sets = [set(graph.neighbors(u).tolist()) for u in range(graph.num_nodes)]
+    candidates: List[np.ndarray] = []
+    probabilities: List[np.ndarray] = []
+    for u in range(graph.num_nodes):
+        cands = candidate_lists[u]
+        if cands.size == 0:
+            candidates.append(cands)
+            probabilities.append(np.zeros(0))
+            continue
+        if uniform:
+            is_neighbor = np.fromiter(
+                (int(c) in neighbor_sets[u] for c in cands), dtype=bool, count=cands.size
+            )
+            scores = np.where(is_neighbor, beta, 1.0 - beta)
+        else:
+            dist_sq = feat_sq[cands] + feat_sq[u] - 2.0 * (feat[cands] @ feat[u])
+            np.maximum(dist_sq, 0.0, out=dist_sq)
+            sim = c_offset - np.sqrt(dist_sq)
+            is_neighbor = np.fromiter(
+                (int(c) in neighbor_sets[u] for c in cands), dtype=bool, count=cands.size
+            )
+            phi = centrality[cands]
+            # exp() is shift-invariant under the final normalization, so
+            # subtract the max exponent for numerical safety.
+            exponent = np.where(is_neighbor, phi + sim, -phi + sim)
+            exponent -= exponent.max()
+            scores = np.where(is_neighbor, beta, 1.0 - beta) * np.exp(exponent)
+        total = scores.sum()
+        probs = scores / total if total > 0 else np.full(cands.size, 1.0 / cands.size)
+        candidates.append(cands)
+        probabilities.append(probs)
+
+    return EdgeScoreTable(
+        candidates=candidates,
+        probabilities=probabilities,
+        base_degree=graph.degrees.copy(),
+    )
+
+
+@dataclass
+class FeatureScoreTable:
+    """Feature-perturbation probabilities for Eq. 16.
+
+    ``perturb_probability(eta)`` returns the ``(n, d)`` matrix of Bernoulli
+    parameters ``p_{x_u[i]}``; the score matrix itself is kept for tests and
+    diagnostics.
+    """
+
+    scores: np.ndarray            # (n, d) — w^f_{x_v[i]}
+    dimension_scores: np.ndarray  # (d,)  — w_i^f
+    normalized: np.ndarray        # (n, d) in [0, 1]; higher = perturb more
+
+    def perturb_probability(self, eta: float) -> np.ndarray:
+        """``p = η · normalized`` clipped to [0, 1]."""
+        if eta < 0:
+            raise ValueError("eta must be non-negative")
+        return np.clip(eta * self.normalized, 0.0, 1.0)
+
+
+def compute_feature_scores(
+    graph: Graph,
+    normalization: str = "global",
+    uniform: bool = False,
+    centrality_method: str = "degree",
+) -> FeatureScoreTable:
+    """Compute ``w^f`` and the Eq. 16 normalization.
+
+    ``uniform=True`` is the E2GCL\\F ablation: every entry is perturbed with
+    the same probability η.
+    """
+    n, d = graph.features.shape
+    if uniform:
+        flat = np.ones((n, d))
+        return FeatureScoreTable(
+            scores=flat, dimension_scores=np.ones(d), normalized=flat
+        )
+    centrality = _node_influence(graph, centrality_method)
+    dimension_scores = centrality @ np.abs(graph.features)  # w_i^f, shape (d,)
+    scores = np.outer(centrality, dimension_scores)          # w^f_{x_v[i]}
+
+    if normalization == "global":
+        w_max = scores.max()
+        w_mean = scores.mean()
+        span = max(w_max - w_mean, 1e-12)
+        normalized = np.clip((w_max - scores) / span, 0.0, 1.0)
+    elif normalization == "per_dimension":
+        w_max = scores.max(axis=0, keepdims=True)
+        w_mean = scores.mean(axis=0, keepdims=True)
+        span = np.maximum(w_max - w_mean, 1e-12)
+        normalized = np.clip((w_max - scores) / span, 0.0, 1.0)
+    else:
+        raise ValueError(f"unknown normalization {normalization!r}")
+    return FeatureScoreTable(
+        scores=scores, dimension_scores=dimension_scores, normalized=normalized
+    )

@@ -1,0 +1,97 @@
+"""Save/load pre-trained E2GCL models.
+
+A checkpoint is a single ``.npz`` holding the encoder's parameter arrays,
+the config (as JSON), and — when present — the coreset.  Loading rebuilds
+the model without re-running selection or training, so downstream tasks can
+reuse one expensive pre-training.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..nn import GCN
+from .config import E2GCLConfig
+from .model import E2GCL
+from .node_selector import CoresetResult
+from .trainer import TrainResult
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: E2GCL, path: Union[str, Path]) -> Path:
+    """Serialize a fitted :class:`E2GCL` to ``path`` (``.npz``)."""
+    if model.result is None:
+        raise RuntimeError("cannot save an unfitted model; call fit() first")
+    path = Path(path)
+    payload = {
+        f"param/{name}": array
+        for name, array in model.result.encoder.state_dict().items()
+    }
+    payload["meta/config"] = np.frombuffer(
+        json.dumps(dataclasses.asdict(model.config)).encode(), dtype=np.uint8
+    )
+    payload["meta/version"] = np.array([_FORMAT_VERSION])
+    payload["meta/in_features"] = np.array([model.result.encoder.layers[0].weight.shape[0]])
+    coreset = model.result.coreset
+    if coreset is not None:
+        payload["coreset/selected"] = coreset.selected
+        payload["coreset/weights"] = coreset.weights
+        payload["coreset/assignment"] = coreset.assignment
+    np.savez(path, **payload)
+    return path
+
+
+def load_model(path: Union[str, Path]) -> E2GCL:
+    """Rebuild a fitted :class:`E2GCL` from a checkpoint.
+
+    The returned model supports :meth:`E2GCL.embed` on any graph with the
+    same feature dimension; ``fit`` history and timings are not preserved.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["meta/version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        config = E2GCLConfig(**json.loads(bytes(data["meta/config"]).decode()))
+        in_features = int(data["meta/in_features"][0])
+        state = {
+            key[len("param/"):]: data[key]
+            for key in data.files if key.startswith("param/")
+        }
+        coreset = None
+        if "coreset/selected" in data.files:
+            coreset = CoresetResult(
+                selected=data["coreset/selected"],
+                weights=data["coreset/weights"],
+                representativity=float("nan"),
+                gains=[],
+                selection_seconds=0.0,
+                assignment=data["coreset/assignment"],
+            )
+
+    encoder = GCN(
+        in_features=in_features,
+        hidden_features=config.hidden_dim,
+        out_features=config.embedding_dim,
+        num_layers=config.num_layers,
+        seed=config.seed,
+    )
+    encoder.load_state_dict(state)
+
+    model = E2GCL(config)
+    # Reassemble the minimal fitted state: the facade only needs the result
+    # record (encoder + coreset); embed() must then receive an explicit graph.
+    model.result = TrainResult(
+        encoder=encoder,
+        coreset=coreset,
+        history=[],
+        selection_seconds=0.0,
+        total_seconds=0.0,
+    )
+    return model

@@ -1,0 +1,223 @@
+"""The E2GCL pre-training loop (Alg. 1 lines 1-5, with Alg. 2 + Alg. 3 inside).
+
+Per epoch: draw two global positive views with the score-aware generator,
+run the shared GCN encoder on both, gather the coreset anchors, and descend
+the contrastive loss weighted by the coreset λ.  Wall-clock milestones are
+recorded so Fig. 3's accuracy-vs-time curves can be regenerated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..autograd import Adam, Tensor, ops
+from ..graphs import Graph
+from ..nn import GCN, ProjectionHead
+from .config import E2GCLConfig
+from .losses import euclidean_contrastive_loss, infonce_loss, sample_negative_indices
+from .node_selector import CoresetResult, select_coreset
+from .scores import compute_edge_scores, compute_feature_scores
+from .view_generator import generate_global_view_pair
+
+
+@dataclass
+class EpochRecord:
+    """One row of the training history (feeds Fig. 3)."""
+
+    epoch: int
+    loss: float
+    elapsed_seconds: float
+
+
+@dataclass
+class TrainResult:
+    """Everything produced by a pre-training run.
+
+    ``selection_seconds`` is Tab. V's ST column, ``total_seconds`` its TT
+    column (selection + score pre-computation + optimization).
+    """
+
+    encoder: GCN
+    coreset: Optional[CoresetResult]
+    history: List[EpochRecord]
+    selection_seconds: float
+    total_seconds: float
+
+    @property
+    def final_loss(self) -> float:
+        return self.history[-1].loss if self.history else float("nan")
+
+
+class E2GCLTrainer:
+    """Orchestrates node selection, view generation, and encoder training.
+
+    Parameters
+    ----------
+    graph:
+        The pre-training graph (labels, if any, are never read).
+    config:
+        Full hyperparameter set.
+    encoder:
+        Optional externally constructed GCN (must map
+        ``graph.num_features → config.embedding_dim``); by default one is
+        built from the config.
+    selector:
+        Optional replacement for Alg. 2: a callable
+        ``(graph, budget, rng) -> (selected_indices, weights)``.  The
+        Tab. VII ablation plugs the baseline selectors in here.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: E2GCLConfig,
+        encoder: Optional[GCN] = None,
+        selector=None,
+    ) -> None:
+        self.graph = graph
+        self.config = config
+        self.encoder = encoder or GCN(
+            in_features=graph.num_features,
+            hidden_features=config.hidden_dim,
+            out_features=config.embedding_dim,
+            num_layers=config.num_layers,
+            seed=config.seed,
+        )
+        self._rng = np.random.default_rng(config.seed)
+        self.selector = selector
+        self.projector: Optional[ProjectionHead] = None
+        if config.loss == "infonce":
+            self.projector = ProjectionHead(
+                config.embedding_dim, config.hidden_dim, config.projection_dim,
+                seed=config.seed + 101,
+            )
+        self.coreset: Optional[CoresetResult] = None
+        self._anchors: Optional[np.ndarray] = None
+        self._weights: Optional[np.ndarray] = None
+        self._edge_table = None
+        self._feature_table = None
+        self._selection_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def setup(self) -> "E2GCLTrainer":
+        """Run Alg. 2 (if enabled) and precompute the Alg. 3 score tables."""
+        cfg = self.config
+        if cfg.use_coreset and self.selector is not None:
+            start = time.perf_counter()
+            selected, weights = self.selector(
+                self.graph, cfg.budget_for(self.graph.num_nodes), self._rng
+            )
+            self._anchors = np.asarray(selected, dtype=np.int64)
+            self._weights = np.asarray(weights, dtype=np.float64)
+            self._selection_seconds = time.perf_counter() - start
+        elif cfg.use_coreset:
+            self.coreset = select_coreset(
+                self.graph,
+                budget=cfg.budget_for(self.graph.num_nodes),
+                num_clusters=cfg.num_clusters,
+                sample_size=cfg.sample_size,
+                hops=cfg.num_layers,
+                rng=self._rng,
+            )
+            self._anchors = self.coreset.selected
+            self._weights = self.coreset.weights
+            self._selection_seconds = self.coreset.selection_seconds
+        else:
+            self._anchors = np.arange(self.graph.num_nodes)
+            self._weights = np.ones(self.graph.num_nodes)
+            self._selection_seconds = 0.0
+
+        self._edge_table = compute_edge_scores(
+            self.graph,
+            beta=cfg.beta,
+            uniform=not cfg.edge_aware,
+            max_candidates=cfg.max_candidates,
+            rng=self._rng,
+            centrality_method=cfg.centrality_method,
+        )
+        self._feature_table = compute_feature_scores(
+            self.graph,
+            normalization=cfg.feature_normalization,
+            uniform=not cfg.feature_aware,
+            centrality_method=cfg.centrality_method,
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def _views(self):
+        cfg = self.config
+        return generate_global_view_pair(
+            self.graph,
+            self._edge_table,
+            self._feature_table,
+            self._rng,
+            tau_hat=cfg.tau_hat,
+            tau_tilde=cfg.tau_tilde,
+            eta_hat=cfg.eta_hat,
+            eta_tilde=cfg.eta_tilde,
+        )
+
+    def _loss(self, h_hat: Tensor, h_tilde: Tensor) -> Tensor:
+        cfg = self.config
+        if cfg.loss == "euclidean":
+            negatives = sample_negative_indices(
+                self._anchors.size, min(cfg.num_negatives, self._anchors.size - 1), self._rng
+            )
+            return euclidean_contrastive_loss(h_hat, h_tilde, negatives, weights=self._weights)
+        z_hat = self.projector(h_hat)
+        z_tilde = self.projector(h_tilde)
+        return infonce_loss(z_hat, z_tilde, temperature=cfg.temperature, weights=self._weights)
+
+    def train(
+        self,
+        callback: Optional[Callable[[int, "E2GCLTrainer"], None]] = None,
+    ) -> TrainResult:
+        """Run the optimization loop; ``callback(epoch, trainer)`` fires after
+        each epoch (used by Fig. 3's timed evaluation)."""
+        if self._anchors is None:
+            self.setup()
+        cfg = self.config
+        start = time.perf_counter()
+        params = self.encoder.parameters()
+        if self.projector is not None:
+            params = params + self.projector.parameters()
+        optimizer = Adam(params, lr=cfg.lr, weight_decay=cfg.weight_decay)
+        history: List[EpochRecord] = []
+        views = None
+        anchors = self._anchors
+        for epoch in range(cfg.epochs):
+            if views is None or epoch % max(cfg.view_refresh_interval, 1) == 0:
+                views = self._views()
+            view_hat, view_tilde = views
+            optimizer.zero_grad()
+            h_hat = ops.gather_rows(self.encoder(view_hat), anchors)
+            h_tilde = ops.gather_rows(self.encoder(view_tilde), anchors)
+            loss = self._loss(h_hat, h_tilde)
+            loss.backward()
+            optimizer.step()
+            history.append(
+                EpochRecord(
+                    epoch=epoch,
+                    loss=float(loss.item()),
+                    elapsed_seconds=time.perf_counter() - start + self._selection_seconds,
+                )
+            )
+            if callback is not None:
+                callback(epoch, self)
+
+        total = time.perf_counter() - start + self._selection_seconds
+        return TrainResult(
+            encoder=self.encoder,
+            coreset=self.coreset,
+            history=history,
+            selection_seconds=self._selection_seconds,
+            total_seconds=total,
+        )
+
+    def embed(self, graph: Optional[Graph] = None) -> np.ndarray:
+        """Frozen-encoder node representations (evaluation protocol input)."""
+        return self.encoder.embed(graph or self.graph)

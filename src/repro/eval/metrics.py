@@ -1,0 +1,83 @@
+"""Evaluation metrics: accuracy, macro-F1, ROC-AUC, and mean ± std helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of exact matches."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {predictions.shape} vs {labels.shape}")
+    if predictions.size == 0:
+        raise ValueError("cannot score empty predictions")
+    return float((predictions == labels).mean())
+
+
+def macro_f1(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 scores (classes absent from both
+    predictions and labels are skipped)."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    classes = np.union1d(np.unique(labels), np.unique(predictions))
+    scores = []
+    for c in classes:
+        tp = float(((predictions == c) & (labels == c)).sum())
+        fp = float(((predictions == c) & (labels != c)).sum())
+        fn = float(((predictions != c) & (labels == c)).sum())
+        if tp + fp + fn == 0:
+            continue
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+        scores.append(f1)
+    return float(np.mean(scores)) if scores else 0.0
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Binary ROC-AUC via the rank statistic (ties get average ranks)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("ROC-AUC requires both classes present")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(scores.size, dtype=np.float64)
+    sorted_scores = scores[order]
+    i = 0
+    while i < scores.size:
+        j = i
+        while j + 1 < scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i:j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    pos_rank_sum = ranks[labels].sum()
+    return float((pos_rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+@dataclass
+class MeanStd:
+    """Aggregated repeated-trial metric, formatted paper-style (``84.06±0.21``)."""
+
+    mean: float
+    std: float
+    values: tuple
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "MeanStd":
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("no values to aggregate")
+        return cls(mean=float(arr.mean()), std=float(arr.std()), values=tuple(arr.tolist()))
+
+    def as_percent(self) -> str:
+        return f"{100 * self.mean:.2f}±{100 * self.std:.2f}"
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return self.as_percent()

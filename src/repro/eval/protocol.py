@@ -1,0 +1,99 @@
+"""Timed-training evaluation protocol for Fig. 3's accuracy-vs-time curves.
+
+During pre-training, the encoder is checkpoint-evaluated at fixed epoch
+intervals; each checkpoint records (cumulative wall-clock seconds, linear-
+eval accuracy), producing the series plotted in Fig. 3.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..graphs import Graph
+from .node_classification import evaluate_embeddings
+
+
+@dataclass
+class CurvePoint:
+    """One point of an accuracy-vs-time curve."""
+
+    epoch: int
+    seconds: float
+    accuracy: float
+
+
+@dataclass
+class TimedCurve:
+    """A labeled accuracy-vs-time series (one line of Fig. 3)."""
+
+    label: str
+    points: List[CurvePoint]
+
+    def best_accuracy(self) -> float:
+        return max(p.accuracy for p in self.points) if self.points else float("nan")
+
+    def final_accuracy(self) -> float:
+        return self.points[-1].accuracy if self.points else float("nan")
+
+    def time_to_reach(self, accuracy: float) -> Optional[float]:
+        """Seconds until the curve first reaches ``accuracy`` (None = never)."""
+        for point in self.points:
+            if point.accuracy >= accuracy:
+                return point.seconds
+        return None
+
+
+class TimedEvaluator:
+    """Callback object plugged into a trainer's per-epoch hook.
+
+    Evaluation time is *excluded* from the recorded wall clock (the paper
+    measures training time, not the probe's cost).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        embed_fn: Callable[[], np.ndarray],
+        label: str,
+        every: int = 5,
+        eval_trials: int = 2,
+        eval_seed: int = 0,
+        decoder_epochs: int = 120,
+    ) -> None:
+        self.graph = graph
+        self.embed_fn = embed_fn
+        self.curve = TimedCurve(label=label, points=[])
+        self.every = max(1, every)
+        self.eval_trials = eval_trials
+        self.eval_seed = eval_seed
+        self.decoder_epochs = decoder_epochs
+        self._start = time.perf_counter()
+        self._eval_overhead = 0.0
+        self.extra_seconds = 0.0  # e.g. selection time incurred before epoch 0
+
+    def start(self) -> "TimedEvaluator":
+        """Reset the wall clock (call immediately before training)."""
+        self._start = time.perf_counter()
+        self._eval_overhead = 0.0
+        return self
+
+    def __call__(self, epoch: int, _trainer=None) -> None:
+        if epoch % self.every != 0:
+            return
+        elapsed = time.perf_counter() - self._start - self._eval_overhead + self.extra_seconds
+        probe_start = time.perf_counter()
+        result = evaluate_embeddings(
+            self.graph,
+            self.embed_fn(),
+            seed=self.eval_seed,
+            trials=self.eval_trials,
+            decoder_epochs=self.decoder_epochs,
+        )
+        self._eval_overhead += time.perf_counter() - probe_start
+        self.curve.points.append(
+            CurvePoint(epoch=epoch, seconds=elapsed, accuracy=result.test_accuracy.mean)
+        )

@@ -1,0 +1,52 @@
+"""Wall-clock instrumentation for the efficiency experiments (Tab. V, Fig. 4b/c)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock segments.
+
+    Usage::
+
+        watch = Stopwatch()
+        with watch.measure("selection"):
+            ...
+        watch.seconds("selection")
+    """
+
+    segments: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.segments[name] = self.segments.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def seconds(self, name: str) -> float:
+        return self.segments.get(name, 0.0)
+
+    def mean_seconds(self, name: str) -> float:
+        count = self.counts.get(name, 0)
+        return self.segments.get(name, 0.0) / count if count else 0.0
+
+    def total(self) -> float:
+        return sum(self.segments.values())
+
+    def report(self) -> str:
+        """Human-readable summary, longest segment first."""
+        lines = [
+            f"  {name}: {secs:.3f}s ({self.counts[name]}x)"
+            for name, secs in sorted(self.segments.items(), key=lambda kv: -kv[1])
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""2-D projections of node embeddings (the technique report's Appx. B4 shows
+t-SNE maps of the selected coreset).
+
+Two projectors are provided, both from scratch:
+
+* :func:`pca_2d` — exact principal components (fast, deterministic);
+* :func:`tsne_2d` — a compact Barnes-Hut-free t-SNE (exact pairwise
+  gradients, fine for the few-thousand-node analogues used here).
+
+:func:`coreset_scatter` packages the common use: project all nodes, tag
+each with its label and coreset membership, and return plain arrays the
+caller can plot or dump (no plotting dependency is assumed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def pca_2d(embeddings: np.ndarray) -> np.ndarray:
+    """Project rows onto the top two principal components."""
+    x = np.asarray(embeddings, dtype=np.float64)
+    if x.ndim != 2 or x.shape[0] < 2:
+        raise ValueError("need a (n>=2, d) matrix")
+    centered = x - x.mean(axis=0, keepdims=True)
+    # SVD of the centered matrix: right singular vectors = principal axes.
+    _u, _s, vt = np.linalg.svd(centered, full_matrices=False)
+    return centered @ vt[:2].T
+
+
+def _pairwise_affinities(x: np.ndarray, perplexity: float) -> np.ndarray:
+    """Symmetrized conditional gaussian affinities with per-point bandwidth
+    found by binary search on the target perplexity."""
+    n = x.shape[0]
+    sq = ((x[:, None, :] - x[None, :, :]) ** 2).sum(axis=2)
+    target_entropy = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        lo, hi = 1e-10, 1e10
+        beta = 1.0
+        row = sq[i].copy()
+        row[i] = np.inf
+        for _ in range(50):
+            probs = np.exp(-row * beta)
+            total = probs.sum()
+            if total <= 0:
+                beta = lo = max(lo / 2, 1e-12)
+                continue
+            probs /= total
+            entropy = -(probs[probs > 0] * np.log(probs[probs > 0])).sum()
+            if abs(entropy - target_entropy) < 1e-4:
+                break
+            if entropy > target_entropy:
+                lo = beta
+                beta = beta * 2 if hi >= 1e10 else (beta + hi) / 2
+            else:
+                hi = beta
+                beta = (beta + lo) / 2
+        p[i] = probs
+    p = (p + p.T) / (2.0 * n)
+    return np.maximum(p, 1e-12)
+
+
+def tsne_2d(
+    embeddings: np.ndarray,
+    perplexity: float = 20.0,
+    iterations: int = 300,
+    learning_rate: float = 100.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Exact t-SNE to 2-D with momentum and early exaggeration.
+
+    O(n²) per iteration — intended for the benchmark-scale graphs
+    (hundreds to a few thousand nodes).
+    """
+    x = np.asarray(embeddings, dtype=np.float64)
+    n = x.shape[0]
+    if n < 5:
+        raise ValueError("t-SNE needs at least 5 points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    p = _pairwise_affinities(x, perplexity)
+
+    rng = np.random.default_rng(seed)
+    y = rng.normal(scale=1e-3, size=(n, 2))
+    velocity = np.zeros_like(y)
+    exaggeration = 4.0
+    for iteration in range(iterations):
+        p_eff = p * exaggeration if iteration < 50 else p
+        sq = ((y[:, None, :] - y[None, :, :]) ** 2).sum(axis=2)
+        q_num = 1.0 / (1.0 + sq)
+        np.fill_diagonal(q_num, 0.0)
+        q = np.maximum(q_num / q_num.sum(), 1e-12)
+        coeff = (p_eff - q) * q_num
+        grad = 4.0 * ((np.diag(coeff.sum(axis=1)) - coeff) @ y)
+        momentum = 0.5 if iteration < 100 else 0.8
+        velocity = momentum * velocity - learning_rate * grad
+        y = y + velocity
+        y -= y.mean(axis=0, keepdims=True)
+    return y
+
+
+@dataclass
+class ScatterData:
+    """Plain arrays behind a coreset scatter plot."""
+
+    coordinates: np.ndarray   # (n, 2)
+    labels: Optional[np.ndarray]
+    selected_mask: np.ndarray
+
+    def to_rows(self) -> list:
+        """(x, y, label, selected) tuples — trivially dumpable to CSV."""
+        rows = []
+        for i, (x, y) in enumerate(self.coordinates):
+            label = int(self.labels[i]) if self.labels is not None else -1
+            rows.append((float(x), float(y), label, bool(self.selected_mask[i])))
+        return rows
+
+
+def coreset_scatter(
+    embeddings: np.ndarray,
+    selected: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    method: str = "pca",
+    seed: int = 0,
+) -> ScatterData:
+    """Project embeddings to 2-D and mark the coreset nodes.
+
+    ``method`` is ``"pca"`` or ``"tsne"``.
+    """
+    if method == "pca":
+        coords = pca_2d(embeddings)
+    elif method == "tsne":
+        coords = tsne_2d(embeddings, seed=seed)
+    else:
+        raise ValueError(f"unknown projection {method!r}")
+    mask = np.zeros(embeddings.shape[0], dtype=bool)
+    mask[np.asarray(selected, dtype=np.int64)] = True
+    return ScatterData(coordinates=coords, labels=labels, selected_mask=mask)

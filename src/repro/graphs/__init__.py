@@ -1,0 +1,85 @@
+"""Graph substrate: data structures, generators, datasets, and graph ops."""
+
+from .adjacency import (
+    add_self_loops,
+    adjacency_from_edge_mask,
+    adjacency_from_edges,
+    normalized_adjacency,
+    propagated_features,
+)
+from .batch import disjoint_union, split_union_embeddings
+from .centrality import (
+    centrality,
+    degree_centrality,
+    eigenvector_centrality,
+    pagerank_centrality,
+)
+from .datasets import DatasetSpec, dataset_names, get_spec, load_dataset
+from .generators import FeatureModel, attributed_graph, degree_corrected_sbm, random_graph
+from .graph import Graph
+from .ppr import ppr_diffusion_graph, ppr_matrix, topk_sparsify
+from .random_walk import node2vec_walks, skip_gram_pairs, uniform_random_walks
+from .statistics import (
+    GraphSummary,
+    class_balance,
+    connected_component_sizes,
+    degree_gini,
+    edge_homophily,
+    feature_sparsity,
+    summarize_graph,
+)
+from .splits import (
+    EdgeSplit,
+    GraphSplit,
+    NodeSplit,
+    sample_negative_edges,
+    split_edges,
+    split_graphs,
+    split_nodes,
+)
+from .tu_datasets import load_tu_dataset, tu_dataset_names
+
+__all__ = [
+    "Graph",
+    "disjoint_union",
+    "split_union_embeddings",
+    "normalized_adjacency",
+    "add_self_loops",
+    "propagated_features",
+    "adjacency_from_edge_mask",
+    "adjacency_from_edges",
+    "degree_centrality",
+    "pagerank_centrality",
+    "eigenvector_centrality",
+    "centrality",
+    "DatasetSpec",
+    "dataset_names",
+    "get_spec",
+    "load_dataset",
+    "FeatureModel",
+    "attributed_graph",
+    "degree_corrected_sbm",
+    "random_graph",
+    "ppr_matrix",
+    "ppr_diffusion_graph",
+    "topk_sparsify",
+    "uniform_random_walks",
+    "node2vec_walks",
+    "skip_gram_pairs",
+    "NodeSplit",
+    "EdgeSplit",
+    "GraphSplit",
+    "split_nodes",
+    "split_edges",
+    "split_graphs",
+    "sample_negative_edges",
+    "load_tu_dataset",
+    "edge_homophily",
+    "feature_sparsity",
+    "degree_gini",
+    "class_balance",
+    "connected_component_sizes",
+    "GraphSummary",
+    "summarize_graph",
+    "tu_dataset_names",
+]

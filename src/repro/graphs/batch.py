@@ -1,0 +1,47 @@
+"""Disjoint unions of graphs.
+
+Graph-classification pre-training treats a collection of graphs as one
+block-diagonal graph (the standard mini-batching trick): node indices are
+offset per graph and no cross-graph edges exist, so a GCN forward over the
+union equals per-graph forwards.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import Graph
+
+
+def disjoint_union(graphs: Sequence[Graph], name: str = "union") -> Tuple[Graph, np.ndarray]:
+    """Block-diagonal union.
+
+    Returns ``(union_graph, offsets)`` where ``offsets[i]`` is the index of
+    graph ``i``'s first node in the union (``offsets`` has length
+    ``len(graphs) + 1`` so ``offsets[i]:offsets[i+1]`` slices graph ``i``).
+    """
+    if not graphs:
+        raise ValueError("cannot union zero graphs")
+    dims = {g.num_features for g in graphs}
+    if len(dims) != 1:
+        raise ValueError(f"feature dimensions disagree: {sorted(dims)}")
+
+    adjacency = sp.block_diag([g.adjacency for g in graphs], format="csr")
+    features = np.concatenate([g.features for g in graphs], axis=0)
+    labels = None
+    if all(g.labels is not None for g in graphs):
+        labels = np.concatenate([g.labels for g in graphs])
+    offsets = np.concatenate([[0], np.cumsum([g.num_nodes for g in graphs])])
+    return Graph(adjacency, features, labels, name=name), offsets
+
+
+def split_union_embeddings(embeddings: np.ndarray, offsets: np.ndarray) -> List[np.ndarray]:
+    """Slice union-level node embeddings back into per-graph blocks."""
+    if embeddings.shape[0] != offsets[-1]:
+        raise ValueError(
+            f"embeddings have {embeddings.shape[0]} rows but offsets expect {offsets[-1]}"
+        )
+    return [embeddings[offsets[i]:offsets[i + 1]] for i in range(len(offsets) - 1)]

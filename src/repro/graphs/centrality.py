@@ -1,0 +1,83 @@
+"""Node centrality measures.
+
+The E2GCL scores (Sec. IV-C) use log-degree centrality
+``φ_c(u) = log(D_u + 1)``; PageRank and eigenvector centrality are provided
+because GCA — one of the reproduced baselines — defines its adaptive
+augmentation with them as alternatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import Graph
+
+
+def degree_centrality(graph: Graph) -> np.ndarray:
+    """``φ_c(u) = log(D_u + 1)`` — the paper's influence score."""
+    return np.log(graph.degrees + 1.0)
+
+
+def pagerank_centrality(
+    graph: Graph,
+    damping: float = 0.85,
+    tol: float = 1e-8,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Power-iteration PageRank on the undirected graph."""
+    n = graph.num_nodes
+    if n == 0:
+        return np.zeros(0)
+    degrees = graph.degrees
+    with np.errstate(divide="ignore"):
+        inv_deg = np.where(degrees > 0, 1.0 / degrees, 0.0)
+    transition = (sp.diags(inv_deg) @ graph.adjacency).T.tocsr()
+    rank = np.full(n, 1.0 / n)
+    dangling = degrees == 0
+    for _ in range(max_iter):
+        dangling_mass = rank[dangling].sum() / n
+        new_rank = damping * (transition @ rank + dangling_mass) + (1.0 - damping) / n
+        if np.abs(new_rank - rank).sum() < tol:
+            rank = new_rank
+            break
+        rank = new_rank
+    return rank
+
+
+def eigenvector_centrality(graph: Graph, tol: float = 1e-8, max_iter: int = 500) -> np.ndarray:
+    """Power-iteration eigenvector centrality (falls back to degrees on
+    graphs where the iteration cannot converge, e.g. bipartite components)."""
+    n = graph.num_nodes
+    if n == 0:
+        return np.zeros(0)
+    vec = np.full(n, 1.0 / np.sqrt(n))
+    adj = graph.adjacency
+    for _ in range(max_iter):
+        new_vec = adj @ vec
+        norm = np.linalg.norm(new_vec)
+        if norm == 0:
+            return graph.degrees / max(graph.degrees.max(), 1.0)
+        new_vec /= norm
+        if np.abs(new_vec - vec).max() < tol:
+            return np.abs(new_vec)
+        vec = new_vec
+    return np.abs(vec)
+
+
+CENTRALITY_FUNCTIONS = {
+    "degree": degree_centrality,
+    "pagerank": pagerank_centrality,
+    "eigenvector": eigenvector_centrality,
+}
+
+
+def centrality(graph: Graph, method: str = "degree") -> np.ndarray:
+    """Dispatch by name; used by the GCA baseline's configuration."""
+    try:
+        fn = CENTRALITY_FUNCTIONS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown centrality {method!r}; available: {sorted(CENTRALITY_FUNCTIONS)}"
+        ) from None
+    return fn(graph)

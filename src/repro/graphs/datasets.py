@@ -1,0 +1,131 @@
+"""Registry of synthetic analogues for the paper's benchmark datasets.
+
+Tab. III of the paper lists seven node-classification datasets.  Each entry
+below matches the original on class count and homophily and scales node
+count / feature dimension down to CPU-friendly sizes (the two OGB graphs are
+scaled hardest; see DESIGN.md §4 for the substitution argument).
+
+``load_dataset(name, seed=..., scale=...)`` is the single entry point used
+by every example and benchmark.  Generation is deterministic in
+``(name, seed, scale)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from .generators import FeatureModel, attributed_graph
+from .graph import Graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Generation recipe for one benchmark analogue.
+
+    ``paper_nodes``/``paper_features`` record the original statistics from
+    Tab. III so the scaling is auditable.
+    """
+
+    name: str
+    num_nodes: int
+    num_classes: int
+    num_features: int
+    avg_degree: float
+    homophily: float
+    paper_nodes: int
+    paper_features: int
+    degree_power: float = 1.6
+    topic_dims: int = 8
+    p_on: float = 0.2
+    p_noise: float = 0.05
+    classes_per_block: int = 1
+    block_homophily: float = 0.0
+
+
+# Node counts are chosen so the *relative* sizes match the paper
+# (Cora < Citeseer < Photo < Computers < CS << Arxiv << Products) while the
+# whole Tab. IV benchmark suite still runs in minutes on CPU.
+# Difficulty knobs (topic_dims, p_on, p_noise, homophily) are set so the
+# *relative* linear-eval accuracies track Tab. IV/V: CS easiest, then
+# Photo/Cora/Computers/Citeseer, with the two OGB analogues much harder
+# (paper: Arxiv ~45%, Products ~27%).
+_SPECS: Dict[str, DatasetSpec] = {
+    "cora": DatasetSpec("cora", 700, 7, 180, 3.9, 0.81, 2708, 1433),
+    "citeseer": DatasetSpec("citeseer", 660, 6, 220, 2.7, 0.74, 3327, 3703,
+                            topic_dims=8, p_on=0.24, p_noise=0.04),
+    # Photo/Computers: co-purchase graphs — product categories share coarse
+    # communities (classes_per_block=2) and features disambiguate within a
+    # community, so structure-only methods trail feature-aware GCL as in
+    # Tab. IV.
+    "photo": DatasetSpec("photo", 900, 8, 128, 15.0, 0.50, 7650, 745,
+                         degree_power=1.4, topic_dims=6, p_on=0.30, p_noise=0.02,
+                         classes_per_block=2, block_homophily=0.30),
+    "computers": DatasetSpec("computers", 1100, 10, 128, 17.0, 0.45, 13752, 767,
+                             degree_power=1.4, topic_dims=5, p_on=0.30, p_noise=0.02,
+                             classes_per_block=2, block_homophily=0.35),
+    "cs": DatasetSpec("cs", 1200, 15, 256, 8.9, 0.81, 18333, 6805,
+                      topic_dims=9, p_on=0.24),
+    "arxiv": DatasetSpec("arxiv", 4000, 20, 96, 13.8, 0.62, 169343, 128,
+                         topic_dims=3, p_on=0.12, p_noise=0.08),
+    "products": DatasetSpec("products", 8000, 24, 100, 30.0, 0.66, 1569960, 200,
+                            degree_power=1.3, topic_dims=2, p_on=0.1, p_noise=0.1),
+}
+
+
+def dataset_names() -> list:
+    """Names accepted by :func:`load_dataset`."""
+    return sorted(_SPECS)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Return the generation recipe for a dataset (case-insensitive)."""
+    key = name.lower()
+    if key not in _SPECS:
+        raise KeyError(f"unknown dataset {name!r}; available: {dataset_names()}")
+    return _SPECS[key]
+
+
+def load_dataset(name: str, seed: int = 0, scale: float = 1.0) -> Graph:
+    """Generate the synthetic analogue of a paper dataset.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`dataset_names` (case-insensitive).
+    seed:
+        Seed for the structure and feature draw.
+    scale:
+        Multiplier on node count (``0 < scale``).  Tests use ``scale < 1``
+        for speed; ``scale > 1`` stresses the large-graph benchmarks.
+    """
+    spec = get_spec(name)
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    num_nodes = max(spec.num_classes * 4, int(round(spec.num_nodes * scale)))
+    return attributed_graph(
+        num_nodes=num_nodes,
+        num_classes=spec.num_classes,
+        num_features=spec.num_features,
+        avg_degree=spec.avg_degree,
+        homophily=spec.homophily,
+        seed=seed + _stable_hash(spec.name),
+        name=spec.name,
+        feature_model=FeatureModel(
+            num_features=spec.num_features,
+            topic_dims=spec.topic_dims,
+            p_on=spec.p_on,
+            p_noise=spec.p_noise,
+        ),
+        power=spec.degree_power,
+        classes_per_block=spec.classes_per_block,
+        block_homophily=spec.block_homophily,
+    )
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic small hash (python's ``hash`` is salted per process)."""
+    value = 0
+    for ch in text:
+        value = (value * 31 + ord(ch)) % 100003
+    return value

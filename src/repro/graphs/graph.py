@@ -1,0 +1,247 @@
+"""The :class:`Graph` container used throughout the reproduction.
+
+A graph is ``G(V, A, X)`` exactly as in the paper's Sec. II: a node set
+(implicit, ``0..n-1``), a symmetric binary adjacency matrix ``A`` stored as
+scipy CSR, and a dense feature matrix ``X``.  Node labels ``y`` are carried
+along for the *downstream* evaluation only — none of the contrastive
+pre-training code reads them.
+
+The class is deliberately immutable-ish: augmentation operators return new
+``Graph`` objects rather than mutating in place, which keeps the view
+generator honest (the original graph survives every experiment).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class Graph:
+    """An undirected attributed graph.
+
+    Parameters
+    ----------
+    adjacency:
+        ``(n, n)`` scipy sparse matrix.  It is symmetrized, binarized, and
+        stripped of self-loops on construction so every algorithm can rely
+        on those invariants.
+    features:
+        ``(n, d)`` dense feature matrix.
+    labels:
+        Optional ``(n,)`` integer class labels (downstream tasks only).
+    name:
+        Human-readable dataset name for logs and benchmark tables.
+    """
+
+    def __init__(
+        self,
+        adjacency: sp.spmatrix,
+        features: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        name: str = "graph",
+    ) -> None:
+        adjacency = sp.csr_matrix(adjacency)
+        if adjacency.shape[0] != adjacency.shape[1]:
+            raise ValueError(f"adjacency must be square; got {adjacency.shape}")
+        n = adjacency.shape[0]
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[0] != n:
+            raise ValueError(
+                f"features must be (n={n}, d); got {features.shape}"
+            )
+        if labels is not None:
+            labels = np.asarray(labels)
+            if labels.shape != (n,):
+                raise ValueError(f"labels must be ({n},); got {labels.shape}")
+
+        # Enforce invariants: symmetric, binary, no self-loops.
+        adjacency = adjacency.maximum(adjacency.T)
+        adjacency.setdiag(0)
+        adjacency.eliminate_zeros()
+        adjacency.data = np.ones_like(adjacency.data)
+
+        self.adjacency: sp.csr_matrix = adjacency.tocsr()
+        self.features = features
+        self.labels = labels
+        self.name = name
+        self._degrees: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_list(
+        cls,
+        num_nodes: int,
+        edges: Iterable[Tuple[int, int]],
+        features: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+        name: str = "graph",
+    ) -> "Graph":
+        """Build a graph from (u, v) pairs; features default to identity rows."""
+        edges = np.asarray(list(edges), dtype=np.int64)
+        if edges.size == 0:
+            adjacency = sp.csr_matrix((num_nodes, num_nodes))
+        else:
+            if edges.min() < 0 or edges.max() >= num_nodes:
+                raise ValueError("edge endpoint out of range")
+            rows = np.concatenate([edges[:, 0], edges[:, 1]])
+            cols = np.concatenate([edges[:, 1], edges[:, 0]])
+            data = np.ones(rows.shape[0])
+            adjacency = sp.csr_matrix((data, (rows, cols)), shape=(num_nodes, num_nodes))
+        if features is None:
+            features = np.eye(num_nodes)
+        return cls(adjacency, features, labels=labels, name=name)
+
+    def copy(self) -> "Graph":
+        """Deep copy (fresh adjacency, features, labels)."""
+        return Graph(self.adjacency.copy(), self.features.copy(),
+                     None if self.labels is None else self.labels.copy(), self.name)
+
+    def with_adjacency(self, adjacency: sp.spmatrix) -> "Graph":
+        """New graph sharing features/labels but with a different structure."""
+        return Graph(adjacency, self.features, self.labels, self.name)
+
+    def with_features(self, features: np.ndarray) -> "Graph":
+        """New graph sharing structure/labels but with different features."""
+        return Graph(self.adjacency, features, self.labels, self.name)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self.adjacency.nnz // 2)
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        if self.labels is None:
+            raise ValueError(f"graph {self.name!r} has no labels")
+        return int(self.labels.max()) + 1
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Node degrees as a float array (cached)."""
+        if self._degrees is None:
+            self._degrees = np.asarray(self.adjacency.sum(axis=1)).ravel()
+        return self._degrees
+
+    @property
+    def average_degree(self) -> float:
+        return float(self.degrees.mean()) if self.num_nodes else 0.0
+
+    # ------------------------------------------------------------------
+    # Neighborhood queries
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int) -> np.ndarray:
+        """1-hop neighbors of ``node`` (sorted, CSR order)."""
+        start, stop = self.adjacency.indptr[node], self.adjacency.indptr[node + 1]
+        return self.adjacency.indices[start:stop]
+
+    def two_hop_neighbors(self, node: int) -> np.ndarray:
+        """Nodes at distance exactly 1 or 2 from ``node`` (excluding itself).
+
+        This is the candidate set ``N_u^1 ∪ N_u^2`` of Alg. 3.
+        """
+        one_hop = self.neighbors(node)
+        if one_hop.size == 0:
+            return one_hop
+        seen = set(one_hop.tolist())
+        seen.add(node)
+        result = list(one_hop)
+        for u in one_hop:
+            for w in self.neighbors(u):
+                if w not in seen:
+                    seen.add(w)
+                    result.append(w)
+        return np.asarray(sorted(result), dtype=np.int64)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge (u, v) exists."""
+        return bool(self.adjacency[u, v])
+
+    def edge_array(self) -> np.ndarray:
+        """Undirected edges as an ``(m, 2)`` array with ``u < v`` per row."""
+        coo = sp.triu(self.adjacency, k=1).tocoo()
+        return np.stack([coo.row, coo.col], axis=1)
+
+    # ------------------------------------------------------------------
+    # Subgraphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, nodes: Sequence[int], name: Optional[str] = None) -> Tuple["Graph", np.ndarray]:
+        """Subgraph induced on ``nodes``; returns (graph, original-id map).
+
+        The returned mapping array gives, for each new node index, its id in
+        the parent graph.
+        """
+        nodes = np.asarray(sorted(set(int(v) for v in nodes)), dtype=np.int64)
+        sub_adj = self.adjacency[nodes][:, nodes]
+        sub_x = self.features[nodes]
+        sub_y = None if self.labels is None else self.labels[nodes]
+        sub = Graph(sub_adj, sub_x, sub_y, name or f"{self.name}[sub]")
+        return sub, nodes
+
+    def ego_nodes(self, center: int, hops: int) -> np.ndarray:
+        """All nodes within ``hops`` of ``center`` (including ``center``)."""
+        frontier = {int(center)}
+        seen = {int(center)}
+        for _ in range(hops):
+            next_frontier = set()
+            for v in frontier:
+                for u in self.neighbors(v):
+                    if int(u) not in seen:
+                        seen.add(int(u))
+                        next_frontier.add(int(u))
+            frontier = next_frontier
+            if not frontier:
+                break
+        return np.asarray(sorted(seen), dtype=np.int64)
+
+    def ego_subgraph(self, center: int, hops: int) -> Tuple["Graph", int]:
+        """``L``-hop local subgraph ``G_v`` and the center's index inside it."""
+        nodes = self.ego_nodes(center, hops)
+        sub, mapping = self.induced_subgraph(nodes, name=f"{self.name}[ego:{center}]")
+        local_center = int(np.searchsorted(mapping, center))
+        return sub, local_center
+
+    # ------------------------------------------------------------------
+    # Interop / debugging
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Convert to a networkx graph (features/labels as node attributes)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_nodes))
+        g.add_edges_from(map(tuple, self.edge_array()))
+        return g
+
+    def validate(self) -> None:
+        """Raise if any structural invariant is violated (used in tests)."""
+        adj = self.adjacency
+        if (adj != adj.T).nnz != 0:
+            raise AssertionError("adjacency is not symmetric")
+        if adj.diagonal().sum() != 0:
+            raise AssertionError("adjacency has self loops")
+        if adj.nnz and not np.all(adj.data == 1.0):
+            raise AssertionError("adjacency is not binary")
+        if self.features.shape[0] != self.num_nodes:
+            raise AssertionError("feature row count mismatch")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Graph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, features={self.num_features})"
+        )

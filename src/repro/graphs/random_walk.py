@@ -1,0 +1,108 @@
+"""Random walks over graphs: uniform (DeepWalk) and biased (Node2Vec).
+
+The traditional unsupervised baselines in Tab. IV learn embeddings from
+walk corpora via skip-gram; the walk machinery lives here so both baselines
+share it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from .graph import Graph
+
+
+def uniform_random_walks(
+    graph: Graph,
+    walks_per_node: int,
+    walk_length: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """DeepWalk corpus: ``walks_per_node`` uniform walks from every node.
+
+    Returns an ``(num_walks, walk_length)`` int array.  Walks stopped early
+    at dead ends are padded by repeating the last node (harmless for
+    skip-gram since self-pairs are skipped downstream).
+    """
+    if walk_length < 1:
+        raise ValueError("walk_length must be >= 1")
+    walks = np.empty((graph.num_nodes * walks_per_node, walk_length), dtype=np.int64)
+    row = 0
+    for _ in range(walks_per_node):
+        for start in range(graph.num_nodes):
+            current = start
+            walks[row, 0] = current
+            for step in range(1, walk_length):
+                neigh = graph.neighbors(current)
+                if neigh.size == 0:
+                    walks[row, step:] = current
+                    break
+                current = int(neigh[rng.integers(neigh.size)])
+                walks[row, step] = current
+            row += 1
+    return walks
+
+
+def node2vec_walks(
+    graph: Graph,
+    walks_per_node: int,
+    walk_length: int,
+    rng: np.random.Generator,
+    p: float = 1.0,
+    q: float = 1.0,
+) -> np.ndarray:
+    """Node2Vec second-order walks with return parameter ``p`` and in-out ``q``.
+
+    Transition weight from ``t -> v -> x``: ``1/p`` to return to ``t``,
+    ``1`` when ``x`` is adjacent to ``t``, and ``1/q`` otherwise.
+    """
+    if p <= 0 or q <= 0:
+        raise ValueError("p and q must be positive")
+    neighbor_sets = [set(graph.neighbors(v).tolist()) for v in range(graph.num_nodes)]
+    walks = np.empty((graph.num_nodes * walks_per_node, walk_length), dtype=np.int64)
+    row = 0
+    for _ in range(walks_per_node):
+        for start in range(graph.num_nodes):
+            walk = [start]
+            while len(walk) < walk_length:
+                current = walk[-1]
+                neigh = graph.neighbors(current)
+                if neigh.size == 0:
+                    break
+                if len(walk) == 1:
+                    nxt = int(neigh[rng.integers(neigh.size)])
+                else:
+                    prev = walk[-2]
+                    weights = np.empty(neigh.size)
+                    prev_neighbors = neighbor_sets[prev]
+                    for i, x in enumerate(neigh):
+                        if x == prev:
+                            weights[i] = 1.0 / p
+                        elif int(x) in prev_neighbors:
+                            weights[i] = 1.0
+                        else:
+                            weights[i] = 1.0 / q
+                    weights /= weights.sum()
+                    nxt = int(neigh[rng.choice(neigh.size, p=weights)])
+                walk.append(nxt)
+            while len(walk) < walk_length:
+                walk.append(walk[-1])
+            walks[row] = walk
+            row += 1
+    return walks
+
+
+def skip_gram_pairs(walks: np.ndarray, window: int) -> Iterator[Tuple[int, int]]:
+    """(center, context) pairs within ``window`` of each other, self-pairs skipped."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    for walk in walks:
+        length = walk.shape[0]
+        for i in range(length):
+            lo = max(0, i - window)
+            hi = min(length, i + window + 1)
+            for j in range(lo, hi):
+                if i != j and walk[i] != walk[j]:
+                    yield int(walk[i]), int(walk[j])

@@ -1,0 +1,180 @@
+"""Train/validation/test splits for nodes, edges, and whole graphs.
+
+Implements the paper's evaluation splits:
+
+* node classification — random 10%/10%/80% node splits, re-drawn per trial
+  (Sec. V-A2); a stratified option keeps every class represented in training;
+* link prediction — random 70%/10%/20% edge splits with matched negative
+  (non-edge) samples, and a *training graph* that contains only training
+  edges so no test information leaks into pre-training (Sec. V-E1);
+* graph classification — random 70%/10%/20% splits over a list of graphs
+  (Sec. V-E2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .adjacency import adjacency_from_edges
+from .graph import Graph
+
+
+@dataclass
+class NodeSplit:
+    """Index arrays into ``0..n-1``; disjoint and covering."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+
+def split_nodes(
+    num_nodes: int,
+    rng: np.random.Generator,
+    train_frac: float = 0.1,
+    val_frac: float = 0.1,
+    labels: Optional[np.ndarray] = None,
+    stratified: bool = True,
+) -> NodeSplit:
+    """Random node split; stratified by label when labels are given.
+
+    Stratification guarantees at least one training node per class whenever
+    a class has ≥ 1 member, which the linear decoder needs to fit at all on
+    the smallest test graphs.
+    """
+    if not 0 < train_frac + val_frac < 1:
+        raise ValueError("train_frac + val_frac must be in (0, 1)")
+    if labels is None or not stratified:
+        order = rng.permutation(num_nodes)
+        n_train = max(1, int(round(train_frac * num_nodes)))
+        n_val = max(1, int(round(val_frac * num_nodes)))
+        return NodeSplit(
+            train=np.sort(order[:n_train]),
+            val=np.sort(order[n_train:n_train + n_val]),
+            test=np.sort(order[n_train + n_val:]),
+        )
+
+    labels = np.asarray(labels)
+    train_parts: List[np.ndarray] = []
+    val_parts: List[np.ndarray] = []
+    test_parts: List[np.ndarray] = []
+    for c in np.unique(labels):
+        members = rng.permutation(np.flatnonzero(labels == c))
+        n_train = max(1, int(round(train_frac * members.size)))
+        n_val = max(1, int(round(val_frac * members.size))) if members.size > 2 else 0
+        train_parts.append(members[:n_train])
+        val_parts.append(members[n_train:n_train + n_val])
+        test_parts.append(members[n_train + n_val:])
+    return NodeSplit(
+        train=np.sort(np.concatenate(train_parts)),
+        val=np.sort(np.concatenate(val_parts)) if val_parts else np.array([], dtype=np.int64),
+        test=np.sort(np.concatenate(test_parts)),
+    )
+
+
+@dataclass
+class EdgeSplit:
+    """Link-prediction split.
+
+    ``train_graph`` contains only training edges (leakage-free pre-training);
+    ``*_pos``/``*_neg`` are ``(m, 2)`` arrays of positive and sampled
+    negative node pairs.
+    """
+
+    train_graph: Graph
+    train_pos: np.ndarray
+    val_pos: np.ndarray
+    test_pos: np.ndarray
+    train_neg: np.ndarray
+    val_neg: np.ndarray
+    test_neg: np.ndarray
+
+
+def sample_negative_edges(graph: Graph, count: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample ``count`` node pairs that are not edges (and not self-pairs)."""
+    n = graph.num_nodes
+    existing = {tuple(e) for e in graph.edge_array()}
+    negatives = set()
+    max_attempts = count * 50 + 100
+    attempts = 0
+    while len(negatives) < count and attempts < max_attempts:
+        attempts += 1
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        if u == v:
+            continue
+        pair = (min(u, v), max(u, v))
+        if pair in existing or pair in negatives:
+            continue
+        negatives.add(pair)
+    return np.asarray(sorted(negatives), dtype=np.int64).reshape(-1, 2)
+
+
+def split_edges(
+    graph: Graph,
+    rng: np.random.Generator,
+    train_frac: float = 0.7,
+    val_frac: float = 0.1,
+) -> EdgeSplit:
+    """70/10/20 edge split with equal-size negative samples per bucket."""
+    edges = graph.edge_array()
+    m = edges.shape[0]
+    if m < 5:
+        raise ValueError("graph too small for an edge split")
+    order = rng.permutation(m)
+    n_train = int(round(train_frac * m))
+    n_val = int(round(val_frac * m))
+    train_pos = edges[order[:n_train]]
+    val_pos = edges[order[n_train:n_train + n_val]]
+    test_pos = edges[order[n_train + n_val:]]
+
+    train_adj = adjacency_from_edges(graph.num_nodes, train_pos)
+    train_graph = Graph(train_adj, graph.features, graph.labels, name=f"{graph.name}[train-edges]")
+
+    negatives = sample_negative_edges(graph, m, rng)
+    neg_order = rng.permutation(negatives.shape[0])
+    negatives = negatives[neg_order]
+    n_vneg = min(n_val, negatives.shape[0])
+    n_tneg = min(test_pos.shape[0], max(negatives.shape[0] - n_train - n_vneg, 0))
+    train_neg = negatives[:n_train]
+    val_neg = negatives[n_train:n_train + n_vneg]
+    test_neg = negatives[n_train + n_vneg:n_train + n_vneg + n_tneg]
+
+    return EdgeSplit(
+        train_graph=train_graph,
+        train_pos=train_pos,
+        val_pos=val_pos,
+        test_pos=test_pos,
+        train_neg=train_neg,
+        val_neg=val_neg,
+        test_neg=test_neg,
+    )
+
+
+@dataclass
+class GraphSplit:
+    """Index arrays into a list of graphs (graph-classification tasks)."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+
+def split_graphs(
+    num_graphs: int,
+    rng: np.random.Generator,
+    train_frac: float = 0.7,
+    val_frac: float = 0.1,
+) -> GraphSplit:
+    """Random 70/10/20 split over graph indices."""
+    order = rng.permutation(num_graphs)
+    n_train = max(1, int(round(train_frac * num_graphs)))
+    n_val = max(1, int(round(val_frac * num_graphs)))
+    return GraphSplit(
+        train=np.sort(order[:n_train]),
+        val=np.sort(order[n_train:n_train + n_val]),
+        test=np.sort(order[n_train + n_val:]),
+    )

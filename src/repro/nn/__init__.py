@@ -1,0 +1,24 @@
+"""Neural models: GCN encoders, MLPs, readouts, and task decoders."""
+
+from .decoders import LinkDecoder, LogisticRegressionDecoder
+from .gat import GAT, GATLayer
+from .gcn import GCN, GCNLayer, LinearGCN
+from .mlp import MLP, Linear, ProjectionHead
+from .readout import max_readout, mean_readout, readout, sum_readout
+
+__all__ = [
+    "GCN",
+    "GCNLayer",
+    "GAT",
+    "GATLayer",
+    "LinearGCN",
+    "MLP",
+    "Linear",
+    "ProjectionHead",
+    "LogisticRegressionDecoder",
+    "LinkDecoder",
+    "readout",
+    "sum_readout",
+    "mean_readout",
+    "max_readout",
+]

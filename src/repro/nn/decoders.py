@@ -1,0 +1,123 @@
+"""Task decoders ``q_φ`` (Sec. II-A) over frozen node representations.
+
+The evaluation protocol (Alg. 1 line 6) freezes the pre-trained encoder and
+fits a *simple* decoder with labels:
+
+* node classification — l2-regularized multinomial logistic regression;
+* link prediction — logistic regression on ``[h_v, h_u]`` concatenations
+  (``p_{v,u} = q_φ([h_v, h_u])``);
+* graph classification — logistic regression on READOUT summaries.
+
+All three reduce to :class:`LogisticRegressionDecoder`, trained full-batch
+with Adam on numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Adam, Tensor, functional, ops
+from .mlp import Linear
+
+
+class LogisticRegressionDecoder:
+    """l2-regularized softmax regression: the paper's linear decoder.
+
+    Parameters
+    ----------
+    num_features, num_classes:
+        Input/output dimensions.
+    l2:
+        Ridge coefficient on the weight matrix (the "l2-regularized linear
+        decoder" of Sec. V-A2).
+    lr, epochs:
+        Full-batch Adam schedule.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        l2: float = 1e-3,
+        lr: float = 0.05,
+        epochs: int = 300,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.linear = Linear(num_features, num_classes, rng)
+        self.l2 = l2
+        self.lr = lr
+        self.epochs = epochs
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> "LogisticRegressionDecoder":
+        """Fit on ``(n, d)`` features and integer labels; returns self."""
+        x = Tensor(np.asarray(features, dtype=np.float64))
+        labels = np.asarray(labels)
+        optimizer = Adam(self.linear.parameters(), lr=self.lr)
+        for _ in range(self.epochs):
+            optimizer.zero_grad()
+            logits = self.linear(x)
+            loss = functional.cross_entropy(logits, labels, weights=sample_weights)
+            if self.l2:
+                loss = ops.add(loss, functional.l2_regularization([self.linear.weight], self.l2))
+            loss.backward()
+            optimizer.step()
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        logits = self.linear(Tensor(np.asarray(features, dtype=np.float64)))
+        return ops.softmax(logits, axis=-1).data
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features).argmax(axis=1)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Plain accuracy."""
+        return float((self.predict(features) == np.asarray(labels)).mean())
+
+
+class LinkDecoder:
+    """Binary edge decoder on pair embeddings ``[h_v, h_u]``.
+
+    Uses symmetric pair features (concatenating both orders would double the
+    data; instead we use the element-wise Hadamard product plus absolute
+    difference, a standard symmetric encoding that keeps the decoder linear).
+    """
+
+    def __init__(self, embedding_dim: int, l2: float = 1e-4, lr: float = 0.05, epochs: int = 300, seed: int = 0) -> None:
+        self.decoder = LogisticRegressionDecoder(
+            num_features=2 * embedding_dim, num_classes=2, l2=l2, lr=lr, epochs=epochs, seed=seed
+        )
+
+    @staticmethod
+    def pair_features(embeddings: np.ndarray, pairs: np.ndarray) -> np.ndarray:
+        """Symmetric features for each (u, v) pair: [h_u ⊙ h_v, |h_u − h_v|]."""
+        pairs = np.asarray(pairs)
+        if pairs.size == 0:
+            return np.zeros((0, 2 * embeddings.shape[1]))
+        h_u = embeddings[pairs[:, 0]]
+        h_v = embeddings[pairs[:, 1]]
+        return np.concatenate([h_u * h_v, np.abs(h_u - h_v)], axis=1)
+
+    def fit(self, embeddings: np.ndarray, pos_pairs: np.ndarray, neg_pairs: np.ndarray) -> "LinkDecoder":
+        features = np.concatenate([
+            self.pair_features(embeddings, pos_pairs),
+            self.pair_features(embeddings, neg_pairs),
+        ])
+        labels = np.concatenate([
+            np.ones(len(pos_pairs), dtype=np.int64),
+            np.zeros(len(neg_pairs), dtype=np.int64),
+        ])
+        self.decoder.fit(features, labels)
+        return self
+
+    def predict_proba(self, embeddings: np.ndarray, pairs: np.ndarray) -> np.ndarray:
+        """Probability of an edge for each pair."""
+        return self.decoder.predict_proba(self.pair_features(embeddings, pairs))[:, 1]

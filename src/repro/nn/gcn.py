@@ -1,0 +1,143 @@
+"""Graph Convolutional Network encoder (Kipf & Welling), Eq. (1) of the paper.
+
+``H^{l+1} = σ(A_n H^l W^l)`` with the symmetric renormalized adjacency.
+This is the encoder ``f_θ`` every method in the reproduction shares (the
+paper fixes a 2-layer GCN in Sec. V-A4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..autograd import Module, Parameter, Tensor, init, ops
+from ..graphs import Graph, normalized_adjacency
+
+
+class GCNLayer(Module):
+    """One graph convolution: ``σ(A_n X W + b)``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Weight shape.
+    activation:
+        ``"relu"``, ``"prelu"``-style leaky relu, ``"tanh"`` or ``None``
+        (linear — used for final layers and the relaxed GCN of Theorem 1).
+    bias:
+        Include an additive bias term.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        activation: Optional[str] = "relu",
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.weight = Parameter(init.glorot_uniform((in_features, out_features), rng), name="W")
+        self.bias = Parameter(np.zeros(out_features), name="b") if bias else None
+        if activation not in (None, "relu", "leaky_relu", "tanh", "elu"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        self.activation = activation
+
+    def forward(self, a_n: sp.spmatrix, h: Tensor) -> Tensor:
+        out = ops.spmm(a_n, ops.matmul(h, self.weight))
+        if self.bias is not None:
+            out = ops.add(out, self.bias)
+        if self.activation == "relu":
+            out = ops.relu(out)
+        elif self.activation == "leaky_relu":
+            out = ops.leaky_relu(out, 0.2)
+        elif self.activation == "tanh":
+            out = ops.tanh(out)
+        elif self.activation == "elu":
+            out = ops.elu(out)
+        return out
+
+
+class GCN(Module):
+    """Multi-layer GCN encoder ``f_θ``; hidden layers activated, output linear.
+
+    ``forward`` takes a :class:`~repro.graphs.graph.Graph` and returns node
+    representations ``H ∈ R^{|V| x d_h}`` — the ``H = f_θ(G)`` notation of
+    Sec. II-A.  The normalized adjacency is cached per graph object.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        out_features: int,
+        num_layers: int = 2,
+        seed: int = 0,
+        activation: str = "relu",
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden_features] * (num_layers - 1) + [out_features]
+        self.layers: List[GCNLayer] = []
+        for i in range(num_layers):
+            act = activation if i < num_layers - 1 else None
+            layer = GCNLayer(dims[i], dims[i + 1], rng, activation=act)
+            self.layers.append(layer)
+            setattr(self, f"conv_{i}", layer)
+        self.num_layers = num_layers
+        self.dropout = dropout
+        self._dropout_rng = np.random.default_rng(seed + 1)
+        self._cache_key: Optional[int] = None
+        self._cached_a_n: Optional[sp.csr_matrix] = None
+
+    def _normalized(self, graph: Graph) -> sp.csr_matrix:
+        key = id(graph.adjacency)
+        if self._cache_key != key:
+            self._cached_a_n = normalized_adjacency(graph.adjacency)
+            self._cache_key = key
+        return self._cached_a_n
+
+    def forward(self, graph: Graph, features: Optional[Tensor] = None) -> Tensor:
+        """Node representations H = f_θ(G); optional features override X."""
+        a_n = self._normalized(graph)
+        h: Tensor = features if features is not None else Tensor(graph.features)
+        for i, layer in enumerate(self.layers):
+            if self.dropout and self.training:
+                h = ops.dropout(h, self.dropout, self._dropout_rng, training=True)
+            h = layer(a_n, h)
+        return h
+
+    def embed(self, graph: Graph) -> np.ndarray:
+        """Inference-mode node representations as a plain array."""
+        was_training = self.training
+        self.eval()
+        try:
+            return self.forward(graph).data
+        finally:
+            self.train(was_training)
+
+
+class LinearGCN(Module):
+    """The relaxed (linear) GCN ``H = A_n^L X θ`` used in Theorem 1's analysis.
+
+    Kept as a real model (SGC, Wu et al. 2019) so tests can check that the
+    theory's simplification matches an actual trainable encoder.
+    """
+
+    def __init__(self, in_features: int, out_features: int, hops: int = 2, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.weight = Parameter(init.glorot_uniform((in_features, out_features), rng), name="theta")
+        self.hops = hops
+
+    def forward(self, graph: Graph) -> Tensor:
+        a_n = normalized_adjacency(graph.adjacency)
+        h = Tensor(graph.features)
+        for _ in range(self.hops):
+            h = ops.spmm(a_n, h)
+        return ops.matmul(h, self.weight)

@@ -1,0 +1,94 @@
+"""Dense layers and MLPs.
+
+Used three ways in the reproduction: (1) the supervised MLP baseline of
+Tab. IV, (2) projection heads for GRACE/GCA-style InfoNCE, and (3) the BGRL
+predictor network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..autograd import Module, Parameter, Tensor, init, ops
+
+
+class Linear(Module):
+    """Affine map ``x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True) -> None:
+        super().__init__()
+        self.weight = Parameter(init.glorot_uniform((in_features, out_features), rng), name="W")
+        self.bias = Parameter(np.zeros(out_features), name="b") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.matmul(x, self.weight)
+        if self.bias is not None:
+            out = ops.add(out, self.bias)
+        return out
+
+
+class MLP(Module):
+    """Feed-forward network with configurable depth and activation.
+
+    ``num_layers == 1`` degenerates to a single :class:`Linear`, which is
+    exactly the decoder ``q_φ`` shape of the evaluation protocol.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        out_features: int,
+        num_layers: int = 2,
+        seed: int = 0,
+        activation: str = "relu",
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden_features] * (num_layers - 1) + [out_features]
+        self.linears: List[Linear] = []
+        for i in range(num_layers):
+            layer = Linear(dims[i], dims[i + 1], rng)
+            self.linears.append(layer)
+            setattr(self, f"linear_{i}", layer)
+        if activation not in ("relu", "tanh", "elu"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        self.activation = activation
+        self.dropout = dropout
+        self._dropout_rng = np.random.default_rng(seed + 17)
+
+    def _activate(self, x: Tensor) -> Tensor:
+        if self.activation == "relu":
+            return ops.relu(x)
+        if self.activation == "tanh":
+            return ops.tanh(x)
+        return ops.elu(x)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        for i, layer in enumerate(self.linears):
+            x = layer(x)
+            if i < len(self.linears) - 1:
+                x = self._activate(x)
+                if self.dropout and self.training:
+                    x = ops.dropout(x, self.dropout, self._dropout_rng, training=True)
+        return x
+
+
+class ProjectionHead(Module):
+    """Two-layer projection ``g(·)`` used by InfoNCE methods (GRACE Eq. 1)."""
+
+    def __init__(self, in_features: int, hidden_features: int, out_features: int, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Linear(in_features, hidden_features, rng)
+        self.fc2 = Linear(hidden_features, out_features, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(ops.elu(self.fc1(x)))

@@ -1,0 +1,42 @@
+"""READOUT functions for graph-level representations (Sec. II-A).
+
+``z_i = READOUT(H_i)`` summarizes node representations into one vector per
+graph; the paper's graph-classification experiments use SUM (Sec. V-E2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, ops
+
+
+def sum_readout(h: Tensor) -> Tensor:
+    """``z = Σ_v H[v]`` — the paper's choice."""
+    return ops.sum(h, axis=0)
+
+
+def mean_readout(h: Tensor) -> Tensor:
+    """Average pooling; scale-invariant alternative."""
+    return ops.mean(h, axis=0)
+
+
+def max_readout(h: Tensor) -> Tensor:
+    """Per-dimension max pooling (non-differentiable ties broken by argmax)."""
+    idx = np.argmax(h.data, axis=0)
+    return ops.index(h, (idx, np.arange(h.shape[1])))
+
+
+READOUTS = {
+    "sum": sum_readout,
+    "mean": mean_readout,
+    "max": max_readout,
+}
+
+
+def readout(h: Tensor, method: str = "sum") -> Tensor:
+    """Dispatch a READOUT by name ("sum", "mean", or "max")."""
+    try:
+        return READOUTS[method](h)
+    except KeyError:
+        raise ValueError(f"unknown readout {method!r}; available: {sorted(READOUTS)}") from None

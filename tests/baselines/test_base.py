@@ -1,0 +1,62 @@
+"""Registry and shared two-view template."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EA,
+    ED,
+    FM,
+    FP,
+    GRACE,
+    ContrastiveMethod,
+    available_methods,
+    get_method,
+)
+
+
+class TestRegistry:
+    def test_all_paper_methods_registered(self):
+        expected = {
+            "grace", "gca", "mvgrl", "bgrl", "dgi", "gae", "vgae", "afgrl",
+            "graphcl", "adgcl", "deepwalk", "node2vec", "e2gcl",
+        }
+        assert expected == set(available_methods())
+
+    def test_get_method_instantiates(self):
+        method = get_method("grace", epochs=3)
+        assert isinstance(method, GRACE)
+        assert method.epochs == 3
+
+    def test_get_method_case_insensitive(self):
+        assert isinstance(get_method("GRACE"), GRACE)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            get_method("simclr")
+
+
+class TestInterface:
+    def test_embed_before_fit_raises(self, tiny_cora):
+        with pytest.raises(RuntimeError, match="fit"):
+            get_method("grace").embed(tiny_cora)
+
+    def test_fit_records_info(self, tiny_cora):
+        method = get_method("grace", epochs=3).fit(tiny_cora)
+        assert len(method.info.losses) == 3
+        assert method.info.seconds > 0
+
+    def test_unknown_operations_rejected(self):
+        with pytest.raises(ValueError, match="unknown operations"):
+            GRACE(operations=("ED", "XX"))
+
+    def test_operation_upgrade_changes_views(self, tiny_cora):
+        """Upgraded op set (Fig. 2) must actually change view generation."""
+        rng_state = np.random.default_rng(0)
+        original = GRACE(seed=0, epochs=1)
+        upgraded = GRACE(seed=0, epochs=1, operations=GRACE.upgraded_operations)
+        v1 = original._augment(tiny_cora, original.view1_rates)
+        v2 = upgraded._augment(tiny_cora, upgraded.view1_rates)
+        # EA adds edges, so the upgraded view has more than pure-deletion's.
+        assert v2.num_edges > 0
+        assert set(upgraded.operations) > set(original.operations)

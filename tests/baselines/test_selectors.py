@@ -1,0 +1,79 @@
+"""Tab. VII selector baselines: all produce valid (selection, weights)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SELECTORS, get_selector
+from repro.baselines.e2gcl_method import E2GCLMethod
+from repro.core import select_coreset
+
+
+@pytest.mark.parametrize("name", sorted(SELECTORS))
+class TestSelectorContract:
+    def test_budget_respected(self, name, tiny_cora):
+        selector = get_selector(name)
+        selected, weights = selector(tiny_cora, 20, np.random.default_rng(0))
+        assert selected.shape[0] == 20
+        assert len(set(selected.tolist())) == 20
+
+    def test_indices_valid(self, name, tiny_cora):
+        selected, _ = get_selector(name)(tiny_cora, 15, np.random.default_rng(1))
+        assert selected.min() >= 0
+        assert selected.max() < tiny_cora.num_nodes
+
+    def test_weights_sum_to_num_nodes(self, name, tiny_cora):
+        _, weights = get_selector(name)(tiny_cora, 15, np.random.default_rng(2))
+        assert weights.sum() == tiny_cora.num_nodes
+        assert (weights >= 0).all()
+
+    def test_budget_exceeding_nodes_clamps(self, name, tiny_cora):
+        selected, _ = get_selector(name)(tiny_cora, 10 ** 6, np.random.default_rng(3))
+        assert selected.shape[0] <= tiny_cora.num_nodes
+
+
+class TestSpecificBehaviour:
+    def test_degree_prefers_hubs(self, tiny_cora):
+        rng_runs = [get_selector("degree")(tiny_cora, 20, np.random.default_rng(s))[0]
+                    for s in range(5)]
+        selected_deg = np.mean([tiny_cora.degrees[s].mean() for s in rng_runs])
+        assert selected_deg > tiny_cora.degrees.mean()
+
+    def test_kcg_spreads_out(self, tiny_cora):
+        """k-center greedy picks points far apart in R-space."""
+        from repro.graphs import propagated_features
+
+        r = propagated_features(tiny_cora, 2)
+        kcg, _ = get_selector("kcg")(tiny_cora, 10, np.random.default_rng(0))
+        rand, _ = get_selector("random")(tiny_cora, 10, np.random.default_rng(0))
+
+        def min_pairwise(sel):
+            pts = r[sel]
+            d = np.sqrt(((pts[:, None] - pts[None, :]) ** 2).sum(axis=2))
+            return d[np.triu_indices(len(sel), 1)].min()
+
+        assert min_pairwise(kcg) >= min_pairwise(rand)
+
+    def test_unknown_selector_rejected(self):
+        with pytest.raises(ValueError):
+            get_selector("entropy")
+
+    def test_e2gcl_method_accepts_selector(self, tiny_cora):
+        method = E2GCLMethod(
+            epochs=3, num_clusters=8, sample_size=20, node_ratio=0.3,
+            embedding_dim=8, hidden_dim=16, selector=get_selector("random"),
+        ).fit(tiny_cora)
+        assert method.trainer.coreset is None  # custom selector bypasses Alg. 2
+        assert method.embed(tiny_cora).shape == (tiny_cora.num_nodes, 8)
+
+    def test_ours_beats_random_on_objective(self, tiny_cora):
+        """Alg. 2's selection should have lower RS than random's (Tab. VII's
+        mechanism)."""
+        from repro.core import build_cluster_model, representativity_cost
+        from repro.graphs import propagated_features
+
+        r = propagated_features(tiny_cora, 2)
+        model = build_cluster_model(r, 10, rng=np.random.default_rng(0))
+        ours = select_coreset(tiny_cora, budget=15, num_clusters=10, sample_size=40,
+                              rng=np.random.default_rng(1), r=r, cluster_model=model)
+        rand_sel, _ = get_selector("random")(tiny_cora, 15, np.random.default_rng(2))
+        assert ours.representativity < representativity_cost(model, rand_sel)

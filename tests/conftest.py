@@ -1,0 +1,78 @@
+"""Shared fixtures: small deterministic graphs and RNGs."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import Graph, load_dataset, random_graph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def triangle_graph():
+    """3-node triangle with simple features and labels."""
+    return Graph.from_edge_list(
+        3,
+        [(0, 1), (1, 2), (0, 2)],
+        features=np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]),
+        labels=np.array([0, 1, 1]),
+        name="triangle",
+    )
+
+
+@pytest.fixture
+def path_graph():
+    """5-node path 0-1-2-3-4."""
+    return Graph.from_edge_list(
+        5,
+        [(0, 1), (1, 2), (2, 3), (3, 4)],
+        features=np.eye(5),
+        labels=np.array([0, 0, 1, 1, 1]),
+        name="path",
+    )
+
+
+@pytest.fixture
+def star_graph():
+    """Hub node 0 connected to 1..5."""
+    return Graph.from_edge_list(
+        6,
+        [(0, i) for i in range(1, 6)],
+        features=np.arange(12, dtype=float).reshape(6, 2),
+        labels=np.array([0, 1, 1, 1, 1, 1]),
+        name="star",
+    )
+
+
+@pytest.fixture
+def isolated_node_graph():
+    """4 nodes, node 3 isolated."""
+    return Graph.from_edge_list(
+        4,
+        [(0, 1), (1, 2)],
+        features=np.ones((4, 3)),
+        labels=np.array([0, 0, 1, 1]),
+        name="isolated",
+    )
+
+
+@pytest.fixture
+def small_er_graph():
+    """Random 30-node graph, deterministic."""
+    return random_graph(30, edge_prob=0.15, seed=7, num_features=6)
+
+
+@pytest.fixture(scope="session")
+def tiny_cora():
+    """Scaled-down Cora analogue shared across integration tests."""
+    return load_dataset("cora", seed=3, scale=0.25)
+
+
+@pytest.fixture(scope="session")
+def small_cora():
+    """Mid-size Cora analogue for slower integration tests."""
+    return load_dataset("cora", seed=5, scale=0.5)

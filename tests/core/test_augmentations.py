@@ -1,0 +1,208 @@
+"""The eight primitive operations and the Prop. 1 constructive proof."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ALL_OPERATIONS,
+    MINIMAL_OPERATIONS,
+    add_edges,
+    add_nodes,
+    apply_view_plan,
+    drop_edges,
+    drop_features,
+    drop_nodes,
+    express_with_minimal_ops,
+    mask_features,
+    perturb_features,
+    subgraph_sample,
+)
+from repro.graphs import load_dataset, random_graph
+
+
+@pytest.fixture
+def graph():
+    return random_graph(25, 0.2, seed=3, num_features=5)
+
+
+class TestEdgeOps:
+    def test_drop_edges_rate_zero_identity(self, graph, rng):
+        view = drop_edges(graph, 0.0, rng)
+        assert view.num_edges == graph.num_edges
+
+    def test_drop_edges_rate_one_removes_all(self, graph, rng):
+        assert drop_edges(graph, 1.0, rng).num_edges == 0
+
+    def test_drop_edges_only_removes(self, graph, rng):
+        view = drop_edges(graph, 0.4, rng)
+        original = {tuple(e) for e in graph.edge_array()}
+        assert {tuple(e) for e in view.edge_array()} <= original
+
+    def test_drop_edges_invalid_rate(self, graph, rng):
+        with pytest.raises(ValueError):
+            drop_edges(graph, 1.5, rng)
+
+    def test_add_edges_only_adds(self, graph, rng):
+        view = add_edges(graph, 0.3, rng)
+        original = {tuple(e) for e in graph.edge_array()}
+        assert original <= {tuple(e) for e in view.edge_array()}
+        assert view.num_edges > graph.num_edges
+
+    def test_add_edges_rate_zero_identity(self, graph, rng):
+        assert add_edges(graph, 0.0, rng).num_edges == graph.num_edges
+
+    def test_add_edges_view_valid(self, graph, rng):
+        add_edges(graph, 0.5, rng).validate()
+
+
+class TestNodeOps:
+    def test_drop_nodes_count(self, graph, rng):
+        view, kept = drop_nodes(graph, 0.2, rng)
+        assert view.num_nodes == 20
+        assert kept.shape == (20,)
+
+    def test_drop_nodes_features_follow(self, graph, rng):
+        view, kept = drop_nodes(graph, 0.2, rng)
+        np.testing.assert_allclose(view.features, graph.features[kept])
+
+    def test_add_nodes_appends(self, graph, rng):
+        view = add_nodes(graph, 3, rng)
+        assert view.num_nodes == 28
+        view.validate()
+
+    def test_add_nodes_zero_is_copy(self, graph, rng):
+        view = add_nodes(graph, 0, rng)
+        assert view.num_nodes == graph.num_nodes
+
+    def test_subgraph_sample_size(self, graph, rng):
+        view, mapping = subgraph_sample(graph, 0.5, rng)
+        assert view.num_nodes <= graph.num_nodes
+        assert view.num_nodes == mapping.shape[0]
+
+    def test_subgraph_sample_is_induced(self, graph, rng):
+        view, mapping = subgraph_sample(graph, 0.6, rng)
+        for a, b in view.edge_array():
+            assert graph.has_edge(int(mapping[a]), int(mapping[b]))
+
+
+class TestFeatureOps:
+    def test_mask_features_zeroes_columns(self, graph, rng):
+        view = mask_features(graph, 0.5, rng)
+        zero_cols = np.flatnonzero((view.features == 0).all(axis=0))
+        # Either masked columns exist or the draw kept them all (rate 0.5, 5 dims).
+        assert view.features.shape == graph.features.shape
+        for col in zero_cols:
+            assert (view.features[:, col] == 0).all()
+
+    def test_mask_rate_one_zeroes_everything(self, graph, rng):
+        view = mask_features(graph, 1.0, rng)
+        assert (view.features == 0).all()
+
+    def test_drop_features_entrywise(self, graph, rng):
+        view = drop_features(graph, 0.5, rng)
+        changed = view.features != graph.features
+        assert (view.features[changed] == 0).all()
+
+    def test_perturb_features_zero_prob_identity(self, graph, rng):
+        view = perturb_features(graph, 0.0, rng)
+        np.testing.assert_allclose(view.features, graph.features)
+
+    def test_perturb_magnitude_bound(self, graph, rng):
+        """Eq. 16: |x̂ − x| ≤ magnitude·|x| entrywise."""
+        view = perturb_features(graph, 1.0, rng, magnitude=1.0)
+        delta = np.abs(view.features - graph.features)
+        bound = np.abs(graph.features) + 1e-12
+        assert (delta <= bound).all()
+
+    def test_perturb_keeps_zeros_zero(self, rng):
+        g = random_graph(10, 0.3, seed=1, num_features=4)
+        g = g.with_features(np.zeros((10, 4)))
+        view = perturb_features(g, 1.0, rng)
+        assert (view.features == 0).all()
+
+    def test_perturb_matrix_probability(self, graph, rng):
+        prob = np.zeros_like(graph.features)
+        prob[0, :] = 1.0
+        view = perturb_features(graph, prob, rng)
+        np.testing.assert_allclose(view.features[1:], graph.features[1:])
+
+    def test_perturb_invalid_probability(self, graph, rng):
+        with pytest.raises(ValueError):
+            perturb_features(graph, 1.5, rng)
+
+
+class TestPurity:
+    def test_operations_do_not_mutate_input(self, graph, rng):
+        before_edges = graph.num_edges
+        before_features = graph.features.copy()
+        drop_edges(graph, 0.5, rng)
+        add_edges(graph, 0.5, rng)
+        mask_features(graph, 0.5, rng)
+        perturb_features(graph, 0.5, rng)
+        assert graph.num_edges == before_edges
+        np.testing.assert_allclose(graph.features, before_features)
+
+
+class TestProposition1:
+    """Constructive content of Prop. 1: any composite view over the same node
+    set is reproduced exactly by {edge deletion, edge addition, feature
+    perturbation}."""
+
+    def test_minimal_set_is_three_ops(self):
+        assert len(MINIMAL_OPERATIONS) == 3
+        assert set(MINIMAL_OPERATIONS) < set(ALL_OPERATIONS)
+        assert len(ALL_OPERATIONS) == 8
+
+    def _roundtrip(self, original, target):
+        plan = express_with_minimal_ops(original, target)
+        rebuilt = apply_view_plan(original, *plan)
+        assert (rebuilt.adjacency != target.adjacency).nnz == 0
+        np.testing.assert_allclose(rebuilt.features, target.features, atol=1e-12)
+
+    def test_expresses_edge_composite(self, graph, rng):
+        target = add_edges(drop_edges(graph, 0.4, rng), 0.3, rng)
+        self._roundtrip(graph, target)
+
+    def test_expresses_feature_composite(self, graph, rng):
+        target = perturb_features(mask_features(graph, 0.4, rng), 0.5, rng)
+        self._roundtrip(graph, target)
+
+    def test_expresses_node_drop_as_aligned_view(self, graph, rng):
+        """Node dropping = delete its incident edges + perturb its features to
+        zero, embedded over the common node superset."""
+        view, kept = drop_nodes(graph, 0.3, rng)
+        dropped = np.setdiff1d(np.arange(graph.num_nodes), kept)
+        aligned_features = graph.features.copy()
+        aligned_features[dropped] = 0.0
+        keep_mask = np.isin(graph.edge_array(), kept).all(axis=1)
+        from repro.graphs import adjacency_from_edge_mask, Graph
+
+        aligned = Graph(adjacency_from_edge_mask(graph, keep_mask), aligned_features)
+        self._roundtrip(graph, aligned)
+
+    def test_rejects_mismatched_node_sets(self, graph, rng):
+        view, _ = drop_nodes(graph, 0.3, rng)
+        with pytest.raises(ValueError, match="aligned node sets"):
+            express_with_minimal_ops(graph, view)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_random_composites_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_graph(12, 0.25, seed=seed % 100, num_features=3)
+        target = g
+        for _ in range(int(rng.integers(1, 4))):
+            op = rng.integers(5)
+            if op == 0:
+                target = drop_edges(target, float(rng.random() * 0.6), rng)
+            elif op == 1:
+                target = add_edges(target, float(rng.random() * 0.4), rng)
+            elif op == 2:
+                target = mask_features(target, float(rng.random() * 0.6), rng)
+            elif op == 3:
+                target = drop_features(target, float(rng.random() * 0.6), rng)
+            else:
+                target = perturb_features(target, float(rng.random()), rng)
+        self._roundtrip(g, target)

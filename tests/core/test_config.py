@@ -1,0 +1,79 @@
+"""E2GCLConfig validation and ablation derivation."""
+
+import pytest
+
+from repro.core import E2GCLConfig, ablation_config
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        E2GCLConfig()
+
+    def test_node_ratio_bounds(self):
+        with pytest.raises(ValueError):
+            E2GCLConfig(node_ratio=0.0)
+        with pytest.raises(ValueError):
+            E2GCLConfig(node_ratio=1.5)
+        E2GCLConfig(node_ratio=1.0)  # all nodes is legal
+
+    def test_unknown_loss_rejected(self):
+        with pytest.raises(ValueError):
+            E2GCLConfig(loss="triplet")
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ValueError):
+            E2GCLConfig(tau_hat=-0.1)
+
+    def test_epochs_positive(self):
+        with pytest.raises(ValueError):
+            E2GCLConfig(epochs=0)
+
+    def test_layers_positive(self):
+        with pytest.raises(ValueError):
+            E2GCLConfig(num_layers=0)
+
+
+class TestBudget:
+    def test_budget_formula(self):
+        assert E2GCLConfig(node_ratio=0.4).budget_for(1000) == 400
+
+    def test_budget_minimum_two(self):
+        assert E2GCLConfig(node_ratio=0.01).budget_for(10) == 2
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_config(self):
+        base = E2GCLConfig()
+        derived = base.with_overrides(epochs=99)
+        assert derived.epochs == 99
+        assert base.epochs != 99
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            E2GCLConfig().with_overrides(loss="bogus")
+
+
+class TestAblationVariants:
+    def test_table6_variants(self):
+        base = E2GCLConfig()
+        au = ablation_config(base, "A,U")
+        assert not au.use_coreset and not au.edge_aware and not au.feature_aware
+        si = ablation_config(base, "S,I")
+        assert si.use_coreset and si.edge_aware and si.feature_aware
+        su = ablation_config(base, "S,U")
+        assert su.use_coreset and not su.edge_aware
+        ai = ablation_config(base, "A,I")
+        assert not ai.use_coreset and ai.edge_aware
+
+    def test_table8_variants(self):
+        base = E2GCLConfig()
+        no_both = ablation_config(base, "\\F\\S")
+        assert not no_both.edge_aware and not no_both.feature_aware
+        no_s = ablation_config(base, "\\S")
+        assert not no_s.edge_aware and no_s.feature_aware
+        no_f = ablation_config(base, "\\F")
+        assert no_f.edge_aware and not no_f.feature_aware
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            ablation_config(E2GCLConfig(), "X,Y")

@@ -1,0 +1,98 @@
+"""From-scratch KMeans: correctness, repair, determinism, properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import kmeans
+
+
+def blobs(rng, centers, n_per=30, spread=0.3):
+    points = [rng.normal(size=(n_per, len(centers[0]))) * spread + np.asarray(c) for c in centers]
+    return np.concatenate(points)
+
+
+class TestBasics:
+    def test_recovers_well_separated_blobs(self, rng):
+        x = blobs(rng, [(0, 0), (10, 10), (-10, 10)])
+        result = kmeans(x, 3, rng=rng)
+        # Each blob should land in a single cluster.
+        for start in (0, 30, 60):
+            block = result.assignments[start:start + 30]
+            assert len(np.unique(block)) == 1
+        assert result.num_clusters == 3
+
+    def test_assignment_is_nearest_center(self, rng):
+        x = rng.normal(size=(50, 4))
+        result = kmeans(x, 5, rng=rng)
+        d = ((x[:, None, :] - result.centers[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_array_equal(result.assignments, d.argmin(axis=1))
+
+    def test_inertia_matches_assignments(self, rng):
+        x = rng.normal(size=(40, 3))
+        result = kmeans(x, 4, rng=rng)
+        manual = ((x - result.centers[result.assignments]) ** 2).sum()
+        assert result.inertia == pytest.approx(manual)
+
+    def test_more_clusters_reduce_inertia(self, rng):
+        x = rng.normal(size=(60, 3))
+        few = kmeans(x, 2, rng=np.random.default_rng(1))
+        many = kmeans(x, 10, rng=np.random.default_rng(1))
+        assert many.inertia < few.inertia
+
+    def test_deterministic_given_rng(self):
+        x = np.random.default_rng(0).normal(size=(50, 3))
+        r1 = kmeans(x, 4, rng=np.random.default_rng(5))
+        r2 = kmeans(x, 4, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(r1.assignments, r2.assignments)
+
+
+class TestEdgeCases:
+    def test_k_capped_at_n(self, rng):
+        x = rng.normal(size=(3, 2))
+        result = kmeans(x, 10, rng=rng)
+        assert result.num_clusters == 3
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_k_one(self, rng):
+        x = rng.normal(size=(20, 2))
+        result = kmeans(x, 1, rng=rng)
+        np.testing.assert_allclose(result.centers[0], x.mean(axis=0), atol=1e-9)
+
+    def test_identical_points(self, rng):
+        x = np.ones((10, 3))
+        result = kmeans(x, 3, rng=rng)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_dataset_rejected(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 2)), 2, rng=rng)
+
+    def test_invalid_k_rejected(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((5, 2)), 0, rng=rng)
+
+    def test_1d_input_rejected(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5), 2, rng=rng)
+
+    def test_empty_cluster_repair_keeps_k_effective(self):
+        """Pathological init: one far outlier forces a potential empty cluster."""
+        x = np.concatenate([np.zeros((20, 2)), np.full((1, 2), 100.0)])
+        result = kmeans(x, 3, rng=np.random.default_rng(0))
+        # All 3 clusters should end non-degenerate (outlier isolated).
+        assert len(np.unique(result.assignments)) >= 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 6), st.integers(5, 40), st.integers(0, 1000))
+def test_property_valid_output(k, n, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    result = kmeans(x, k, rng=rng)
+    assert result.assignments.shape == (n,)
+    assert result.assignments.min() >= 0
+    assert result.assignments.max() < result.num_clusters
+    assert np.isfinite(result.centers).all()
+    assert result.inertia >= 0

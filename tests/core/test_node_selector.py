@@ -1,0 +1,120 @@
+"""Alg. 2 — greedy coreset selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RepresentativityObjective,
+    build_cluster_model,
+    recommended_sample_size,
+    representativity_cost,
+    select_coreset,
+)
+from repro.graphs import load_dataset, propagated_features
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", seed=11, scale=0.3)
+
+
+class TestSelection:
+    def test_budget_respected(self, graph):
+        result = select_coreset(graph, budget=25, num_clusters=10, sample_size=40,
+                                rng=np.random.default_rng(0))
+        assert result.budget == 25
+        assert len(set(result.selected.tolist())) == 25
+
+    def test_selected_indices_valid(self, graph):
+        result = select_coreset(graph, budget=15, num_clusters=8, sample_size=30,
+                                rng=np.random.default_rng(1))
+        assert result.selected.min() >= 0
+        assert result.selected.max() < graph.num_nodes
+
+    def test_weights_sum_to_num_nodes(self, graph):
+        result = select_coreset(graph, budget=20, num_clusters=10, sample_size=40,
+                                rng=np.random.default_rng(2))
+        assert result.weights.sum() == graph.num_nodes
+        assert (result.weights >= 0).all()
+
+    def test_assignment_consistent_with_weights(self, graph):
+        result = select_coreset(graph, budget=20, num_clusters=10, sample_size=40,
+                                rng=np.random.default_rng(3))
+        counts = np.bincount(result.assignment, minlength=result.budget)
+        np.testing.assert_array_equal(counts, result.weights.astype(int))
+
+    def test_selected_node_represents_itself(self, graph):
+        result = select_coreset(graph, budget=20, num_clusters=10, sample_size=40,
+                                rng=np.random.default_rng(4))
+        for pos, node in enumerate(result.selected):
+            assert result.assignment[node] == pos
+
+    def test_budget_exceeding_nodes_clamps(self, graph):
+        result = select_coreset(graph, budget=10 ** 6, num_clusters=10, sample_size=40,
+                                rng=np.random.default_rng(5))
+        assert result.budget == graph.num_nodes
+
+    def test_invalid_budget_rejected(self, graph):
+        with pytest.raises(ValueError):
+            select_coreset(graph, budget=0)
+
+    def test_selection_time_recorded(self, graph):
+        result = select_coreset(graph, budget=10, num_clusters=8, sample_size=20,
+                                rng=np.random.default_rng(6))
+        assert result.selection_seconds > 0
+
+    def test_deterministic_given_rng(self, graph):
+        r1 = select_coreset(graph, budget=15, num_clusters=10, sample_size=30,
+                            rng=np.random.default_rng(7))
+        r2 = select_coreset(graph, budget=15, num_clusters=10, sample_size=30,
+                            rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(r1.selected, r2.selected)
+        np.testing.assert_array_equal(r1.weights, r2.weights)
+
+
+class TestQuality:
+    def test_beats_random_selection_on_objective(self, graph):
+        """Greedy RS must be better (lower) than random RS — the point of Alg. 2."""
+        rng = np.random.default_rng(8)
+        r = propagated_features(graph, 2)
+        model = build_cluster_model(r, 10, rng=np.random.default_rng(8))
+        greedy = select_coreset(graph, budget=15, num_clusters=10, sample_size=50,
+                                rng=np.random.default_rng(9), r=r, cluster_model=model)
+        random_costs = []
+        for trial in range(5):
+            random_sel = np.random.default_rng(trial).choice(graph.num_nodes, size=15, replace=False)
+            random_costs.append(representativity_cost(model, random_sel))
+        assert greedy.representativity < np.mean(random_costs)
+
+    def test_gains_trend_downward(self, graph):
+        """Submodularity: early additions gain more than late ones (on average)."""
+        result = select_coreset(graph, budget=30, num_clusters=10, sample_size=60,
+                                rng=np.random.default_rng(10))
+        first_half = np.mean(result.gains[:10])
+        second_half = np.mean(result.gains[-10:])
+        assert first_half > second_half
+
+    def test_larger_budget_lower_cost(self, graph):
+        small = select_coreset(graph, budget=5, num_clusters=10, sample_size=40,
+                               rng=np.random.default_rng(11))
+        large = select_coreset(graph, budget=40, num_clusters=10, sample_size=40,
+                               rng=np.random.default_rng(11))
+        assert large.representativity < small.representativity
+
+
+class TestSampleSize:
+    def test_recommended_formula(self):
+        # n_s = (n/k) log(1/eps)
+        assert recommended_sample_size(1000, 100, epsilon=np.exp(-1)) == 10
+
+    def test_at_least_one(self):
+        assert recommended_sample_size(10, 10, epsilon=0.99) >= 1
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            recommended_sample_size(100, 0)
+
+    def test_default_used_when_none(self, graph):
+        result = select_coreset(graph, budget=10, num_clusters=8, sample_size=None,
+                                rng=np.random.default_rng(12))
+        assert result.budget == 10

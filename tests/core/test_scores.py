@@ -1,0 +1,153 @@
+"""Edge and feature scores (Sec. IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    compute_edge_scores,
+    compute_feature_scores,
+    similarity_offset,
+)
+from repro.graphs import Graph, load_dataset
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", seed=13, scale=0.3)
+
+
+class TestSimilarityOffset:
+    def test_is_max_edge_feature_distance(self, triangle_graph):
+        edges = triangle_graph.edge_array()
+        dists = [np.linalg.norm(triangle_graph.features[u] - triangle_graph.features[v])
+                 for u, v in edges]
+        assert similarity_offset(triangle_graph) == pytest.approx(max(dists))
+
+    def test_edgeless_graph_zero(self):
+        g = Graph.from_edge_list(3, [], features=np.eye(3))
+        assert similarity_offset(g) == 0.0
+
+
+class TestEdgeScores:
+    def test_candidates_are_one_or_two_hop(self, graph):
+        table = compute_edge_scores(graph, rng=np.random.default_rng(0))
+        for u in range(0, graph.num_nodes, 37):
+            expected = set(graph.two_hop_neighbors(u).tolist())
+            assert set(table.candidates[u].tolist()) <= expected
+
+    def test_candidates_exclude_self(self, graph):
+        table = compute_edge_scores(graph, rng=np.random.default_rng(0))
+        for u in range(0, graph.num_nodes, 23):
+            assert u not in table.candidates[u]
+
+    def test_probabilities_normalized(self, graph):
+        table = compute_edge_scores(graph, rng=np.random.default_rng(0))
+        for u in range(0, graph.num_nodes, 23):
+            if table.candidates[u].size:
+                assert table.probabilities[u].sum() == pytest.approx(1.0)
+                assert (table.probabilities[u] >= 0).all()
+
+    def test_existing_neighbors_favored_with_high_beta(self, graph):
+        """With β → 1, existing neighbors should carry almost all the mass."""
+        table = compute_edge_scores(graph, beta=0.95, rng=np.random.default_rng(0))
+        checked = 0
+        for u in range(graph.num_nodes):
+            cands = table.candidates[u]
+            if cands.size < 4:
+                continue
+            neighbors = set(graph.neighbors(u).tolist())
+            is_n = np.array([int(c) in neighbors for c in cands])
+            if is_n.any() and (~is_n).any():
+                neighbor_mass = table.probabilities[u][is_n].sum()
+                assert neighbor_mass > 0.5
+                checked += 1
+            if checked >= 10:
+                break
+        assert checked > 0
+
+    def test_uniform_mode_equalizes_within_group(self, graph):
+        table = compute_edge_scores(graph, beta=0.7, uniform=True,
+                                    rng=np.random.default_rng(0))
+        for u in range(graph.num_nodes):
+            cands = table.candidates[u]
+            if cands.size < 3:
+                continue
+            neighbors = set(graph.neighbors(u).tolist())
+            is_n = np.array([int(c) in neighbors for c in cands])
+            probs = table.probabilities[u]
+            if is_n.sum() >= 2:
+                group = probs[is_n]
+                np.testing.assert_allclose(group, group[0])
+                break
+
+    def test_max_candidates_caps(self, graph):
+        table = compute_edge_scores(graph, max_candidates=5, rng=np.random.default_rng(0))
+        assert max(c.size for c in table.candidates) <= 5
+
+    def test_beta_validated(self, graph):
+        with pytest.raises(ValueError):
+            compute_edge_scores(graph, beta=1.0)
+
+    def test_isolated_node_has_no_candidates(self, isolated_node_graph):
+        table = compute_edge_scores(isolated_node_graph, rng=np.random.default_rng(0))
+        assert table.candidates[3].size == 0
+        assert table.probabilities[3].size == 0
+
+    def test_base_degree_matches_graph(self, graph):
+        table = compute_edge_scores(graph, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(table.base_degree, graph.degrees)
+
+
+class TestFeatureScores:
+    def test_dimension_scores_formula(self, star_graph):
+        """w_i^f = Σ_v φ_c(v)·|x_v[i]|."""
+        table = compute_feature_scores(star_graph)
+        phi = np.log(star_graph.degrees + 1.0)
+        expected = phi @ np.abs(star_graph.features)
+        np.testing.assert_allclose(table.dimension_scores, expected)
+
+    def test_score_matrix_is_outer_product(self, star_graph):
+        table = compute_feature_scores(star_graph)
+        phi = np.log(star_graph.degrees + 1.0)
+        np.testing.assert_allclose(table.scores, np.outer(phi, table.dimension_scores))
+
+    def test_normalized_in_unit_interval(self, graph):
+        table = compute_feature_scores(graph)
+        assert table.normalized.min() >= 0.0
+        assert table.normalized.max() <= 1.0
+
+    def test_low_score_entries_perturbed_more(self, graph):
+        """Eq. 16 monotonicity: lower importance → higher perturb probability."""
+        table = compute_feature_scores(graph)
+        probs = table.perturb_probability(0.5)
+        low = table.scores < np.quantile(table.scores, 0.1)
+        high = table.scores > np.quantile(table.scores, 0.9)
+        assert probs[low].mean() > probs[high].mean()
+
+    def test_eta_scales_probabilities(self, graph):
+        table = compute_feature_scores(graph)
+        p_small = table.perturb_probability(0.2)
+        p_large = table.perturb_probability(0.8)
+        assert (p_large >= p_small - 1e-12).all()
+
+    def test_probabilities_clipped_at_one(self, graph):
+        table = compute_feature_scores(graph)
+        assert table.perturb_probability(1.4).max() <= 1.0
+
+    def test_negative_eta_rejected(self, graph):
+        with pytest.raises(ValueError):
+            compute_feature_scores(graph).perturb_probability(-0.1)
+
+    def test_uniform_mode_flat(self, graph):
+        table = compute_feature_scores(graph, uniform=True)
+        probs = table.perturb_probability(0.3)
+        np.testing.assert_allclose(probs, 0.3)
+
+    def test_per_dimension_normalization_mode(self, graph):
+        table = compute_feature_scores(graph, normalization="per_dimension")
+        assert table.normalized.min() >= 0.0
+        assert table.normalized.max() <= 1.0
+
+    def test_unknown_normalization_rejected(self, graph):
+        with pytest.raises(ValueError):
+            compute_feature_scores(graph, normalization="zscore")

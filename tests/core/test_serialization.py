@@ -1,0 +1,63 @@
+"""Model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import E2GCL, E2GCLConfig, load_model, save_model
+
+
+@pytest.fixture(scope="module")
+def fitted(request, tmp_path_factory):
+    import repro.graphs as graphs
+
+    graph = graphs.load_dataset("cora", seed=4, scale=0.25)
+    model = E2GCL(E2GCLConfig(epochs=4, num_clusters=8, sample_size=20,
+                              node_ratio=0.3, hidden_dim=16, embedding_dim=8))
+    model.fit(graph)
+    return graph, model
+
+
+class TestSaveLoad:
+    def test_roundtrip_embeddings_identical(self, fitted, tmp_path):
+        graph, model = fitted
+        path = save_model(model, tmp_path / "ckpt.npz")
+        restored = load_model(path)
+        np.testing.assert_allclose(model.embed(graph), restored.embed(graph))
+
+    def test_coreset_preserved(self, fitted, tmp_path):
+        graph, model = fitted
+        restored = load_model(save_model(model, tmp_path / "ckpt.npz"))
+        np.testing.assert_array_equal(restored.coreset.selected, model.coreset.selected)
+        np.testing.assert_array_equal(restored.coreset.weights, model.coreset.weights)
+
+    def test_config_preserved(self, fitted, tmp_path):
+        graph, model = fitted
+        restored = load_model(save_model(model, tmp_path / "ckpt.npz"))
+        assert restored.config == model.config
+
+    def test_loaded_model_requires_explicit_graph(self, fitted, tmp_path):
+        graph, model = fitted
+        restored = load_model(save_model(model, tmp_path / "ckpt.npz"))
+        with pytest.raises(ValueError, match="pass one"):
+            restored.embed()
+
+    def test_loaded_model_resaves(self, fitted, tmp_path):
+        graph, model = fitted
+        restored = load_model(save_model(model, tmp_path / "a.npz"))
+        again = load_model(save_model(restored, tmp_path / "b.npz"))
+        np.testing.assert_allclose(model.embed(graph), again.embed(graph))
+
+    def test_unfitted_model_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError, match="fit"):
+            save_model(E2GCL(), tmp_path / "x.npz")
+
+    def test_embed_on_new_graph(self, fitted, tmp_path):
+        """A checkpointed encoder transfers to any graph with matching
+        feature dimension (the transfer-learning promise of GCL)."""
+        import repro.graphs as graphs
+
+        graph, model = fitted
+        other = graphs.load_dataset("cora", seed=99, scale=0.2)
+        restored = load_model(save_model(model, tmp_path / "ckpt.npz"))
+        h = restored.embed(other)
+        assert h.shape == (other.num_nodes, 8)

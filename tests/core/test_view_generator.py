@@ -1,0 +1,173 @@
+"""Alg. 3 — per-node and batched view generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    compute_edge_scores,
+    compute_feature_scores,
+    generate_global_view,
+    generate_global_view_pair,
+    generate_node_view,
+    generate_node_view_pair,
+)
+from repro.graphs import load_dataset
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", seed=17, scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def tables(graph):
+    rng = np.random.default_rng(0)
+    return (
+        compute_edge_scores(graph, rng=rng),
+        compute_feature_scores(graph),
+    )
+
+
+class TestNodeView:
+    def test_contains_anchor(self, graph, tables):
+        edge_t, feat_t = tables
+        rng = np.random.default_rng(1)
+        view = generate_node_view(graph, 5, hops=2, tau=1.0, eta=0.3,
+                                  edge_table=edge_t, feature_table=feat_t, rng=rng)
+        assert view.node_ids[view.center] == 5
+
+    def test_view_is_valid_graph(self, graph, tables):
+        edge_t, feat_t = tables
+        rng = np.random.default_rng(2)
+        view = generate_node_view(graph, 0, hops=2, tau=1.0, eta=0.3,
+                                  edge_table=edge_t, feature_table=feat_t, rng=rng)
+        view.graph.validate()
+
+    def test_edges_come_from_candidate_sets(self, graph, tables):
+        """Every view edge (u, w) must satisfy w ∈ N_u^1 ∪ N_u^2 (or the
+        symmetric condition) — Alg. 3 line 6."""
+        edge_t, feat_t = tables
+        rng = np.random.default_rng(3)
+        view = generate_node_view(graph, 10, hops=2, tau=1.0, eta=0.0,
+                                  edge_table=edge_t, feature_table=feat_t, rng=rng)
+        for a, b in view.graph.edge_array():
+            u, w = int(view.node_ids[a]), int(view.node_ids[b])
+            cand_u = set(edge_t.candidates[u].tolist())
+            cand_w = set(edge_t.candidates[w].tolist())
+            assert w in cand_u or u in cand_w
+
+    def test_eta_zero_preserves_features(self, graph, tables):
+        edge_t, feat_t = tables
+        rng = np.random.default_rng(4)
+        view = generate_node_view(graph, 3, hops=1, tau=1.0, eta=0.0,
+                                  edge_table=edge_t, feature_table=feat_t, rng=rng)
+        np.testing.assert_allclose(view.graph.features, graph.features[view.node_ids])
+
+    def test_tau_zero_gives_singleton(self, graph, tables):
+        edge_t, feat_t = tables
+        rng = np.random.default_rng(5)
+        view = generate_node_view(graph, 7, hops=2, tau=0.0, eta=0.0,
+                                  edge_table=edge_t, feature_table=feat_t, rng=rng)
+        assert view.graph.num_nodes == 1
+        assert view.graph.num_edges == 0
+
+    def test_zero_hops_gives_singleton(self, graph, tables):
+        edge_t, feat_t = tables
+        rng = np.random.default_rng(6)
+        view = generate_node_view(graph, 7, hops=0, tau=1.0, eta=0.0,
+                                  edge_table=edge_t, feature_table=feat_t, rng=rng)
+        assert view.graph.num_nodes == 1
+
+    def test_larger_tau_larger_views(self, graph, tables):
+        edge_t, feat_t = tables
+        sizes = {}
+        for tau in (0.4, 1.4):
+            total = 0
+            rng = np.random.default_rng(7)
+            for anchor in range(0, graph.num_nodes, 29):
+                view = generate_node_view(graph, anchor, hops=2, tau=tau, eta=0.0,
+                                          edge_table=edge_t, feature_table=feat_t, rng=rng)
+                total += view.graph.num_nodes
+            sizes[tau] = total
+        assert sizes[1.4] > sizes[0.4]
+
+    def test_invalid_anchor_rejected(self, graph, tables):
+        edge_t, feat_t = tables
+        with pytest.raises(ValueError):
+            generate_node_view(graph, graph.num_nodes + 1, hops=1, tau=1.0, eta=0.0,
+                               edge_table=edge_t, feature_table=feat_t,
+                               rng=np.random.default_rng(0))
+
+    def test_pair_views_are_diverse(self, graph, tables):
+        """Independently sampled positive pairs should differ (Def. 2 diversity)."""
+        edge_t, feat_t = tables
+        rng = np.random.default_rng(8)
+        hat, tilde = generate_node_view_pair(graph, 4, hops=2,
+                                             edge_table=edge_t, feature_table=feat_t,
+                                             rng=rng, eta_hat=0.5, eta_tilde=0.5)
+        same_nodes = (hat.node_ids.shape == tilde.node_ids.shape and
+                      np.array_equal(hat.node_ids, tilde.node_ids))
+        if same_nodes:
+            assert (hat.graph.adjacency != tilde.graph.adjacency).nnz > 0 or \
+                not np.allclose(hat.graph.features, tilde.graph.features)
+
+
+class TestGlobalView:
+    def test_same_node_set(self, graph, tables):
+        edge_t, feat_t = tables
+        view = generate_global_view(graph, tau=1.0, eta=0.3, edge_table=edge_t,
+                                    feature_table=feat_t, rng=np.random.default_rng(9))
+        assert view.num_nodes == graph.num_nodes
+        view.validate()
+
+    def test_eta_zero_keeps_features(self, graph, tables):
+        edge_t, feat_t = tables
+        view = generate_global_view(graph, tau=1.0, eta=0.0, edge_table=edge_t,
+                                    feature_table=feat_t, rng=np.random.default_rng(10))
+        np.testing.assert_allclose(view.features, graph.features)
+
+    def test_edge_count_scales_with_tau(self, graph, tables):
+        edge_t, feat_t = tables
+        small = generate_global_view(graph, tau=0.4, eta=0.0, edge_table=edge_t,
+                                     feature_table=feat_t, rng=np.random.default_rng(11))
+        large = generate_global_view(graph, tau=1.4, eta=0.0, edge_table=edge_t,
+                                     feature_table=feat_t, rng=np.random.default_rng(11))
+        assert large.num_edges > small.num_edges
+
+    def test_edges_within_candidate_closure(self, graph, tables):
+        edge_t, feat_t = tables
+        view = generate_global_view(graph, tau=1.0, eta=0.0, edge_table=edge_t,
+                                    feature_table=feat_t, rng=np.random.default_rng(12))
+        for a, b in view.edge_array()[:200]:
+            cand_a = set(edge_t.candidates[a].tolist())
+            cand_b = set(edge_t.candidates[b].tolist())
+            assert b in cand_a or a in cand_b
+
+    def test_pair_is_diverse(self, graph, tables):
+        edge_t, feat_t = tables
+        hat, tilde = generate_global_view_pair(graph, edge_t, feat_t,
+                                               np.random.default_rng(13))
+        assert (hat.adjacency != tilde.adjacency).nnz > 0
+
+    def test_importance_preserves_high_score_edges(self, graph):
+        """Score-aware sampling keeps important (similar, central) neighbors
+        more often than uniform sampling keeps them."""
+        rng = np.random.default_rng(14)
+        aware = compute_edge_scores(graph, beta=0.9, rng=rng)
+        feat_t = compute_feature_scores(graph)
+        # For a sample of nodes, the highest-probability candidate should be
+        # sampled into the view much more often than a random candidate.
+        view = generate_global_view(graph, tau=0.6, eta=0.0, edge_table=aware,
+                                    feature_table=feat_t, rng=np.random.default_rng(15))
+        kept_top = 0
+        total = 0
+        for u in range(graph.num_nodes):
+            if aware.candidates[u].size < 4:
+                continue
+            top = int(aware.candidates[u][aware.probabilities[u].argmax()])
+            kept_top += int(view.has_edge(u, top))
+            total += 1
+        assert total > 0
+        assert kept_top / total > 0.4

@@ -1,0 +1,101 @@
+"""The vectorized Alg. 3 sampler internals.
+
+``generate_global_view`` replaces per-node ``rng.choice(p=...)`` calls with
+one exponential-race draw; these tests pin down the count formula and the
+distributional behaviour of that trick.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compute_edge_scores, compute_feature_scores
+from repro.core.view_generator import _batched_weighted_sample, _sample_count
+from repro.graphs import load_dataset
+
+
+class TestSampleCount:
+    def test_zero_tau_zero(self):
+        assert _sample_count(0.0, 5.0, 10) == 0
+
+    def test_zero_candidates_zero(self):
+        assert _sample_count(1.0, 5.0, 0) == 0
+
+    def test_rounds_tau_times_degree(self):
+        assert _sample_count(1.0, 4.0, 100) == 4
+        assert _sample_count(0.5, 4.0, 100) == 2
+        assert _sample_count(1.2, 5.0, 100) == 6
+
+    def test_at_least_one_when_tau_positive(self):
+        assert _sample_count(0.1, 1.0, 10) == 1
+
+    def test_clamped_to_candidates(self):
+        assert _sample_count(2.0, 50.0, 7) == 7
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0, 3), st.floats(0, 50), st.integers(0, 100))
+    def test_property_bounds(self, tau, degree, candidates):
+        count = _sample_count(tau, degree, candidates)
+        assert 0 <= count <= candidates
+        if tau > 0 and candidates > 0:
+            assert count >= 1
+
+
+class TestBatchedWeightedSample:
+    @pytest.fixture(scope="class")
+    def table(self):
+        graph = load_dataset("cora", seed=7, scale=0.2)
+        return graph, compute_edge_scores(graph, rng=np.random.default_rng(0))
+
+    def test_sources_draw_from_own_candidates(self, table):
+        graph, edge_table = table
+        src, dst = _batched_weighted_sample(edge_table, 1.0, np.random.default_rng(1))
+        for s, d in zip(src[:300], dst[:300]):
+            assert d in edge_table.candidates[s]
+
+    def test_no_duplicate_picks_per_source(self, table):
+        graph, edge_table = table
+        src, dst = _batched_weighted_sample(edge_table, 1.0, np.random.default_rng(2))
+        pairs = set()
+        for s, d in zip(src, dst):
+            assert (s, d) not in pairs
+            pairs.add((s, d))
+
+    def test_counts_match_formula(self, table):
+        graph, edge_table = table
+        src, _dst = _batched_weighted_sample(edge_table, 0.8, np.random.default_rng(3))
+        counts = np.bincount(src, minlength=graph.num_nodes)
+        for u in range(graph.num_nodes):
+            expected = _sample_count(0.8, float(edge_table.base_degree[u]),
+                                     edge_table.candidates[u].size)
+            assert counts[u] == expected
+
+    def test_high_probability_candidates_sampled_more(self, table):
+        """The exponential race must respect the weights: across many draws
+        a candidate with 10x the probability appears far more often."""
+        graph, edge_table = table
+        # pick a node with a spread-out distribution
+        node = max(range(graph.num_nodes),
+                   key=lambda u: (edge_table.probabilities[u].max()
+                                  if edge_table.candidates[u].size > 4 else -1))
+        probs = edge_table.probabilities[node]
+        top = edge_table.candidates[node][probs.argmax()]
+        bottom = edge_table.candidates[node][probs.argmin()]
+        rng = np.random.default_rng(4)
+        top_hits = bottom_hits = 0
+        for _ in range(80):
+            src, dst = _batched_weighted_sample(edge_table, 0.5, rng)
+            picked = dst[src == node]
+            top_hits += int(top in picked)
+            bottom_hits += int(bottom in picked)
+        assert top_hits > bottom_hits
+
+    def test_empty_table(self):
+        from repro.graphs import Graph
+        import scipy.sparse as sp
+
+        graph = Graph(sp.csr_matrix((4, 4)), np.ones((4, 2)))
+        edge_table = compute_edge_scores(graph, rng=np.random.default_rng(0))
+        src, dst = _batched_weighted_sample(edge_table, 1.0, np.random.default_rng(0))
+        assert src.size == 0 and dst.size == 0

@@ -1,0 +1,101 @@
+"""Metrics against hand computations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import MeanStd, accuracy, macro_f1, roc_auc
+
+
+class TestAccuracy:
+    def test_value(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(2 / 3)
+
+    def test_perfect_and_zero(self):
+        assert accuracy(np.array([1, 1]), np.array([1, 1])) == 1.0
+        assert accuracy(np.array([0, 0]), np.array([1, 1])) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestMacroF1:
+    def test_perfect(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert macro_f1(y, y) == 1.0
+
+    def test_binary_manual(self):
+        preds = np.array([1, 1, 0, 0])
+        labels = np.array([1, 0, 1, 0])
+        # class1: tp=1 fp=1 fn=1 → f1 = 0.5; class0: same by symmetry.
+        assert macro_f1(preds, labels) == pytest.approx(0.5)
+
+    def test_missing_class_in_predictions(self):
+        preds = np.array([0, 0, 0])
+        labels = np.array([0, 1, 0])
+        out = macro_f1(preds, labels)
+        assert 0 < out < 1
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == 1.0
+
+    def test_inverted_scores(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(4000)
+        labels = rng.integers(0, 2, 4000)
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_average(self):
+        scores = np.array([0.5, 0.5])
+        labels = np.array([0, 1])
+        assert roc_auc(scores, labels) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.1, 0.9]), np.array([1, 1]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_matches_pair_counting(self, seed):
+        """AUC equals the fraction of correctly ordered (pos, neg) pairs."""
+        rng = np.random.default_rng(seed)
+        scores = rng.random(30)
+        labels = np.concatenate([np.ones(10), np.zeros(20)]).astype(int)
+        rng.shuffle(labels)
+        if labels.sum() in (0, 30):
+            return
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        wins = (pos[:, None] > neg[None, :]).sum() + 0.5 * (pos[:, None] == neg[None, :]).sum()
+        expected = wins / (len(pos) * len(neg))
+        assert roc_auc(scores, labels) == pytest.approx(expected, abs=1e-9)
+
+
+class TestMeanStd:
+    def test_aggregation(self):
+        ms = MeanStd.from_values([0.8, 0.9])
+        assert ms.mean == pytest.approx(0.85)
+        assert ms.std == pytest.approx(0.05)
+
+    def test_paper_style_format(self):
+        ms = MeanStd.from_values([0.8406, 0.8406])
+        assert ms.as_percent() == "84.06±0.00"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MeanStd.from_values([])

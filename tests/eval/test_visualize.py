@@ -1,0 +1,93 @@
+"""2-D projection utilities."""
+
+import numpy as np
+import pytest
+
+from repro.eval import ScatterData, coreset_scatter, pca_2d, tsne_2d
+
+
+def three_blobs(rng, n_per=20, dim=6):
+    centers = [np.zeros(dim), np.full(dim, 10.0), np.concatenate([np.full(dim // 2, -10.0), np.zeros(dim - dim // 2)])]
+    x = np.concatenate([rng.normal(size=(n_per, dim)) + c for c in centers])
+    y = np.repeat([0, 1, 2], n_per)
+    return x, y
+
+
+class TestPCA:
+    def test_shape(self, rng):
+        out = pca_2d(rng.normal(size=(30, 5)))
+        assert out.shape == (30, 2)
+
+    def test_centered_output(self, rng):
+        out = pca_2d(rng.normal(size=(30, 5)))
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_preserves_blob_separation(self, rng):
+        x, y = three_blobs(rng)
+        out = pca_2d(x)
+        centroids = np.stack([out[y == c].mean(axis=0) for c in range(3)])
+        spread = np.linalg.norm(centroids[0] - centroids[1])
+        within = np.linalg.norm(out[y == 0] - centroids[0], axis=1).mean()
+        assert spread > 3 * within
+
+    def test_first_component_has_max_variance(self, rng):
+        out = pca_2d(rng.normal(size=(50, 4)) * np.array([5.0, 1.0, 1.0, 1.0]))
+        assert out[:, 0].var() >= out[:, 1].var()
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            pca_2d(np.zeros((1, 3)))
+
+
+class TestTSNE:
+    def test_shape_and_finite(self, rng):
+        out = tsne_2d(rng.normal(size=(25, 4)), iterations=60)
+        assert out.shape == (25, 2)
+        assert np.isfinite(out).all()
+
+    def test_separates_blobs(self, rng):
+        x, y = three_blobs(rng, n_per=15)
+        out = tsne_2d(x, iterations=150, seed=0)
+        centroids = np.stack([out[y == c].mean(axis=0) for c in range(3)])
+        within = np.mean([
+            np.linalg.norm(out[y == c] - centroids[c], axis=1).mean() for c in range(3)
+        ])
+        between = min(
+            np.linalg.norm(centroids[a] - centroids[b])
+            for a in range(3) for b in range(a + 1, 3)
+        )
+        assert between > within
+
+    def test_deterministic_under_seed(self, rng):
+        x = rng.normal(size=(20, 3))
+        out1 = tsne_2d(x, iterations=40, seed=5)
+        out2 = tsne_2d(x, iterations=40, seed=5)
+        np.testing.assert_allclose(out1, out2)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            tsne_2d(np.zeros((3, 4)))
+
+
+class TestCoresetScatter:
+    def test_marks_selected(self, rng):
+        x, y = three_blobs(rng)
+        data = coreset_scatter(x, selected=np.array([0, 5, 42]), labels=y)
+        assert data.selected_mask.sum() == 3
+        assert data.selected_mask[5]
+
+    def test_rows_format(self, rng):
+        x, y = three_blobs(rng)
+        data = coreset_scatter(x, selected=np.array([1]), labels=y)
+        rows = data.to_rows()
+        assert len(rows) == x.shape[0]
+        assert rows[1][3] is True
+        assert isinstance(rows[0][2], int)
+
+    def test_unknown_method_rejected(self, rng):
+        with pytest.raises(ValueError):
+            coreset_scatter(rng.normal(size=(10, 3)), selected=np.array([0]), method="umap")
+
+    def test_labels_optional(self, rng):
+        data = coreset_scatter(rng.normal(size=(10, 3)), selected=np.array([0]))
+        assert data.to_rows()[0][2] == -1

@@ -1,0 +1,104 @@
+"""Normalization and propagated features (R = A_n^L X)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import (
+    Graph,
+    add_self_loops,
+    adjacency_from_edge_mask,
+    adjacency_from_edges,
+    normalized_adjacency,
+    propagated_features,
+)
+
+
+class TestSelfLoops:
+    def test_adds_diagonal(self, triangle_graph):
+        out = add_self_loops(triangle_graph.adjacency)
+        np.testing.assert_allclose(out.diagonal(), 1.0)
+
+    def test_idempotent(self, triangle_graph):
+        once = add_self_loops(triangle_graph.adjacency)
+        twice = add_self_loops(once)
+        assert (once != twice).nnz == 0
+
+
+class TestNormalization:
+    def test_symmetric_is_symmetric(self, small_er_graph):
+        a_n = normalized_adjacency(small_er_graph.adjacency)
+        assert abs(a_n - a_n.T).max() < 1e-12
+
+    def test_symmetric_triangle_values(self, triangle_graph):
+        # Triangle + self loops: every degree is 3, so entries are 1/3.
+        a_n = normalized_adjacency(triangle_graph.adjacency)
+        np.testing.assert_allclose(a_n.toarray(), np.full((3, 3), 1 / 3), atol=1e-12)
+
+    def test_row_normalization_rows_sum_to_one(self, small_er_graph):
+        a_n = normalized_adjacency(small_er_graph.adjacency, method="row")
+        sums = np.asarray(a_n.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums, 1.0, atol=1e-12)
+
+    def test_isolated_node_with_self_loops(self, isolated_node_graph):
+        a_n = normalized_adjacency(isolated_node_graph.adjacency)
+        assert a_n[3, 3] == pytest.approx(1.0)
+
+    def test_isolated_node_without_self_loops_is_zero_row(self, isolated_node_graph):
+        a_n = normalized_adjacency(isolated_node_graph.adjacency, self_loops=False)
+        assert a_n[3].nnz == 0
+
+    def test_unknown_method_rejected(self, triangle_graph):
+        with pytest.raises(ValueError, match="unknown"):
+            normalized_adjacency(triangle_graph.adjacency, method="bogus")
+
+    def test_spectral_radius_at_most_one(self, small_er_graph):
+        a_n = normalized_adjacency(small_er_graph.adjacency).toarray()
+        eigvals = np.linalg.eigvalsh(a_n)
+        assert eigvals.max() <= 1.0 + 1e-9
+
+
+class TestPropagatedFeatures:
+    def test_zero_hops_is_identity(self, small_er_graph):
+        r = propagated_features(small_er_graph, 0)
+        np.testing.assert_allclose(r, small_er_graph.features)
+
+    def test_matches_dense_power(self, small_er_graph):
+        a_n = normalized_adjacency(small_er_graph.adjacency).toarray()
+        expected = a_n @ a_n @ small_er_graph.features
+        r = propagated_features(small_er_graph, 2)
+        np.testing.assert_allclose(r, expected, atol=1e-10)
+
+    def test_negative_hops_rejected(self, small_er_graph):
+        with pytest.raises(ValueError):
+            propagated_features(small_er_graph, -1)
+
+    def test_smooths_towards_neighbors(self, path_graph):
+        # After propagation, adjacent nodes' features are closer than before.
+        r = propagated_features(path_graph, 2)
+        raw_gap = np.linalg.norm(path_graph.features[0] - path_graph.features[1])
+        prop_gap = np.linalg.norm(r[0] - r[1])
+        assert prop_gap < raw_gap
+
+
+class TestEdgeConstruction:
+    def test_adjacency_from_edges_symmetric(self):
+        adj = adjacency_from_edges(4, np.array([[0, 1], [2, 3]]))
+        assert adj[1, 0] == 1 and adj[3, 2] == 1
+
+    def test_adjacency_from_edges_empty(self):
+        assert adjacency_from_edges(3, np.empty((0, 2))).nnz == 0
+
+    def test_adjacency_from_edge_mask(self, triangle_graph):
+        edges = triangle_graph.edge_array()
+        mask = np.array([True, False, True])
+        adj = adjacency_from_edge_mask(triangle_graph, mask)
+        assert adj.nnz == 4  # two undirected edges
+
+    def test_edge_mask_length_validated(self, triangle_graph):
+        with pytest.raises(ValueError, match="mask length"):
+            adjacency_from_edge_mask(triangle_graph, np.array([True]))
+
+    def test_edge_mask_all_false(self, triangle_graph):
+        adj = adjacency_from_edge_mask(triangle_graph, np.zeros(3, dtype=bool))
+        assert adj.nnz == 0

@@ -1,0 +1,67 @@
+"""Disjoint unions (graph-classification batching)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, disjoint_union, split_union_embeddings
+from repro.nn import GCN
+
+
+def make_graphs():
+    g1 = Graph.from_edge_list(3, [(0, 1), (1, 2)], features=np.ones((3, 4)),
+                              labels=np.array([0, 0, 0]))
+    g2 = Graph.from_edge_list(2, [(0, 1)], features=np.zeros((2, 4)),
+                              labels=np.array([1, 1]))
+    return [g1, g2]
+
+
+class TestDisjointUnion:
+    def test_counts(self):
+        union, offsets = disjoint_union(make_graphs())
+        assert union.num_nodes == 5
+        assert union.num_edges == 3
+        np.testing.assert_array_equal(offsets, [0, 3, 5])
+
+    def test_no_cross_graph_edges(self):
+        union, offsets = disjoint_union(make_graphs())
+        for u, v in union.edge_array():
+            # both endpoints in the same block
+            block_u = np.searchsorted(offsets, u, side="right")
+            block_v = np.searchsorted(offsets, v, side="right")
+            assert block_u == block_v
+
+    def test_features_and_labels_concatenate(self):
+        union, _ = disjoint_union(make_graphs())
+        assert union.features[:3].sum() == 12
+        assert union.features[3:].sum() == 0
+        np.testing.assert_array_equal(union.labels, [0, 0, 0, 1, 1])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            disjoint_union([])
+
+    def test_feature_dim_mismatch_rejected(self):
+        g1 = Graph.from_edge_list(2, [(0, 1)], features=np.ones((2, 3)))
+        g2 = Graph.from_edge_list(2, [(0, 1)], features=np.ones((2, 4)))
+        with pytest.raises(ValueError, match="feature dimensions"):
+            disjoint_union([g1, g2])
+
+    def test_union_forward_equals_per_graph_forward(self):
+        """The point of the construction: block-diagonal GCN == per-graph GCN."""
+        graphs = make_graphs()
+        union, offsets = disjoint_union(graphs)
+        encoder = GCN(4, 8, 4, seed=0)
+        union_blocks = split_union_embeddings(encoder.embed(union), offsets)
+        for graph, block in zip(graphs, union_blocks):
+            np.testing.assert_allclose(encoder.embed(graph), block, atol=1e-10)
+
+
+class TestSplitUnionEmbeddings:
+    def test_row_count_validated(self):
+        with pytest.raises(ValueError):
+            split_union_embeddings(np.zeros((4, 2)), np.array([0, 3, 5]))
+
+    def test_blocks_cover_all_rows(self):
+        blocks = split_union_embeddings(np.arange(10).reshape(5, 2), np.array([0, 3, 5]))
+        assert blocks[0].shape == (3, 2)
+        assert blocks[1].shape == (2, 2)

@@ -1,0 +1,69 @@
+"""Centrality measures: closed-form checks on canonical graphs."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    centrality,
+    degree_centrality,
+    eigenvector_centrality,
+    pagerank_centrality,
+)
+
+
+class TestDegreeCentrality:
+    def test_log_degree_formula(self, star_graph):
+        out = degree_centrality(star_graph)
+        np.testing.assert_allclose(out, np.log(star_graph.degrees + 1.0))
+
+    def test_hub_has_max(self, star_graph):
+        assert degree_centrality(star_graph).argmax() == 0
+
+    def test_isolated_node_zero(self, isolated_node_graph):
+        assert degree_centrality(isolated_node_graph)[3] == 0.0
+
+
+class TestPageRank:
+    def test_sums_to_one(self, small_er_graph):
+        pr = pagerank_centrality(small_er_graph)
+        assert pr.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_uniform_on_regular_graph(self, triangle_graph):
+        pr = pagerank_centrality(triangle_graph)
+        np.testing.assert_allclose(pr, 1 / 3, atol=1e-6)
+
+    def test_hub_ranks_highest(self, star_graph):
+        pr = pagerank_centrality(star_graph)
+        assert pr.argmax() == 0
+
+    def test_dangling_nodes_handled(self, isolated_node_graph):
+        pr = pagerank_centrality(isolated_node_graph)
+        assert np.isfinite(pr).all()
+        assert pr.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_empty_graph(self):
+        g = Graph.from_edge_list(0, [], features=np.zeros((0, 1)))
+        assert pagerank_centrality(g).shape == (0,)
+
+
+class TestEigenvector:
+    def test_uniform_on_complete_graph(self, triangle_graph):
+        ev = eigenvector_centrality(triangle_graph)
+        np.testing.assert_allclose(ev, ev[0], atol=1e-6)
+
+    def test_hub_highest_on_star(self, star_graph):
+        ev = eigenvector_centrality(star_graph)
+        assert ev.argmax() == 0
+
+    def test_nonnegative(self, small_er_graph):
+        assert (eigenvector_centrality(small_er_graph) >= 0).all()
+
+
+class TestDispatch:
+    def test_by_name(self, star_graph):
+        np.testing.assert_allclose(centrality(star_graph, "degree"), degree_centrality(star_graph))
+
+    def test_unknown_name_rejected(self, star_graph):
+        with pytest.raises(ValueError, match="unknown centrality"):
+            centrality(star_graph, "betweenness")

@@ -1,0 +1,70 @@
+"""Dataset registry: coverage of Tab. III, determinism, scaling."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import dataset_names, get_spec, load_dataset
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        expected = {"cora", "citeseer", "photo", "computers", "cs", "arxiv", "products"}
+        assert expected == set(dataset_names())
+
+    def test_get_spec_case_insensitive(self):
+        assert get_spec("Cora").name == "cora"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("pubmed")
+
+    def test_specs_record_paper_statistics(self):
+        spec = get_spec("cora")
+        assert spec.paper_nodes == 2708
+        assert spec.paper_features == 1433
+        assert spec.num_classes == 7
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        g1 = load_dataset("citeseer", seed=4, scale=0.3)
+        g2 = load_dataset("citeseer", seed=4, scale=0.3)
+        assert (g1.adjacency != g2.adjacency).nnz == 0
+        np.testing.assert_array_equal(g1.labels, g2.labels)
+
+    def test_seed_changes_graph(self):
+        g1 = load_dataset("cora", seed=1, scale=0.3)
+        g2 = load_dataset("cora", seed=2, scale=0.3)
+        assert (g1.adjacency != g2.adjacency).nnz > 0
+
+    def test_different_datasets_differ_for_same_seed(self):
+        g1 = load_dataset("cora", seed=0, scale=0.3)
+        g2 = load_dataset("citeseer", seed=0, scale=0.3)
+        assert g1.num_classes != g2.num_classes
+
+    def test_scale_controls_node_count(self):
+        small = load_dataset("cora", seed=0, scale=0.25)
+        full = load_dataset("cora", seed=0, scale=1.0)
+        assert small.num_nodes == pytest.approx(full.num_nodes * 0.25, rel=0.05)
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            load_dataset("cora", scale=0.0)
+
+    def test_class_count_matches_spec(self):
+        for name in ("cora", "citeseer", "photo"):
+            g = load_dataset(name, seed=0, scale=0.3)
+            assert g.num_classes == get_spec(name).num_classes
+
+    def test_graphs_are_valid(self):
+        for name in ("cora", "computers"):
+            load_dataset(name, seed=0, scale=0.3).validate()
+
+    def test_avg_degree_roughly_matches_spec(self):
+        g = load_dataset("photo", seed=0, scale=1.0)
+        spec = get_spec("photo")
+        assert g.average_degree == pytest.approx(spec.avg_degree, rel=0.25)
+
+    def test_relative_sizes_preserved(self):
+        sizes = {name: get_spec(name).num_nodes for name in dataset_names()}
+        assert sizes["cora"] < sizes["cs"] < sizes["arxiv"] < sizes["products"]

@@ -1,0 +1,99 @@
+"""Synthetic generators: statistical targets and structural invariants."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, attributed_graph, degree_corrected_sbm, random_graph
+from repro.graphs.generators import FeatureModel, sample_features
+
+
+class TestDegreeCorrectedSBM:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_edge_count_near_target(self):
+        edges, labels = degree_corrected_sbm(400, 4, avg_degree=6.0, homophily=0.8, rng=self.rng)
+        target = 400 * 6.0 / 2
+        assert abs(edges.shape[0] - target) / target < 0.1
+
+    def test_homophily_respected(self):
+        edges, labels = degree_corrected_sbm(500, 5, avg_degree=8.0, homophily=0.85, rng=self.rng)
+        same = (labels[edges[:, 0]] == labels[edges[:, 1]]).mean()
+        assert same > 0.6  # well above the 1/5 random-mixing baseline
+
+    def test_low_homophily_mixes_classes(self):
+        edges, labels = degree_corrected_sbm(500, 5, avg_degree=8.0, homophily=0.2, rng=self.rng)
+        same = (labels[edges[:, 0]] == labels[edges[:, 1]]).mean()
+        assert same < 0.55
+
+    def test_no_self_loops_or_duplicates(self):
+        edges, _ = degree_corrected_sbm(200, 3, avg_degree=5.0, homophily=0.8, rng=self.rng)
+        assert np.all(edges[:, 0] < edges[:, 1])
+        assert len({tuple(e) for e in edges}) == edges.shape[0]
+
+    def test_degree_heterogeneity(self):
+        edges, _ = degree_corrected_sbm(400, 4, avg_degree=8.0, homophily=0.8, rng=self.rng, power=1.3)
+        g = Graph.from_edge_list(400, edges)
+        # Pareto propensities should produce a heavy tail: max ≫ mean.
+        assert g.degrees.max() > 3 * g.degrees.mean()
+
+
+class TestFeatureModel:
+    def test_class_topics_differ(self):
+        rng = np.random.default_rng(1)
+        labels = np.repeat([0, 1], 200)
+        model = FeatureModel(num_features=40, topic_dims=10, p_on=0.4, p_noise=0.02)
+        x = sample_features(labels, model, rng)
+        class0_mean = x[labels == 0].mean(axis=0)
+        class1_mean = x[labels == 1].mean(axis=0)
+        # Class 0's topic block (dims 0..9) should be hotter for class 0.
+        assert class0_mean[:10].mean() > class1_mean[:10].mean()
+
+    def test_no_empty_feature_rows(self):
+        rng = np.random.default_rng(2)
+        labels = np.zeros(50, dtype=int)
+        model = FeatureModel(num_features=30, topic_dims=2, p_on=0.01, p_noise=0.0)
+        x = sample_features(labels, model, rng)
+        assert (x.sum(axis=1) > 0).all()
+
+    def test_binary_features(self):
+        rng = np.random.default_rng(3)
+        x = sample_features(np.zeros(20, dtype=int), FeatureModel(num_features=10), rng)
+        assert set(np.unique(x)) <= {0.0, 1.0}
+
+
+class TestAttributedGraph:
+    def test_deterministic_under_seed(self):
+        g1 = attributed_graph(100, 3, 20, 4.0, 0.8, seed=7)
+        g2 = attributed_graph(100, 3, 20, 4.0, 0.8, seed=7)
+        assert (g1.adjacency != g2.adjacency).nnz == 0
+        np.testing.assert_allclose(g1.features, g2.features)
+        np.testing.assert_array_equal(g1.labels, g2.labels)
+
+    def test_different_seeds_differ(self):
+        g1 = attributed_graph(100, 3, 20, 4.0, 0.8, seed=1)
+        g2 = attributed_graph(100, 3, 20, 4.0, 0.8, seed=2)
+        assert (g1.adjacency != g2.adjacency).nnz > 0
+
+    def test_no_isolated_nodes(self):
+        g = attributed_graph(150, 3, 20, 2.0, 0.8, seed=4)
+        assert (g.degrees > 0).all()
+
+    def test_valid_graph(self):
+        g = attributed_graph(80, 4, 16, 5.0, 0.75, seed=5)
+        g.validate()
+        assert g.num_classes == 4
+
+
+class TestRandomGraph:
+    def test_shape_and_determinism(self):
+        g1 = random_graph(25, 0.2, seed=9, num_features=4)
+        g2 = random_graph(25, 0.2, seed=9, num_features=4)
+        assert g1.num_nodes == 25
+        assert g1.num_features == 4
+        assert (g1.adjacency != g2.adjacency).nnz == 0
+
+    def test_density_scales_with_prob(self):
+        sparse = random_graph(100, 0.02, seed=1)
+        dense = random_graph(100, 0.3, seed=1)
+        assert dense.num_edges > sparse.num_edges

@@ -1,0 +1,69 @@
+"""Personalized PageRank diffusion (MVGRL's second view)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import ppr_diffusion_graph, ppr_matrix, topk_sparsify
+
+
+class TestPPRMatrix:
+    def test_exact_matches_power_series(self, small_er_graph):
+        exact = ppr_matrix(small_er_graph, alpha=0.2, exact=True)
+        series = ppr_matrix(small_er_graph, alpha=0.2, exact=False, iterations=300)
+        np.testing.assert_allclose(exact, series, atol=1e-6)
+
+    def test_symmetric_for_symmetric_normalization(self, small_er_graph):
+        mat = ppr_matrix(small_er_graph, alpha=0.15)
+        np.testing.assert_allclose(mat, mat.T, atol=1e-10)
+
+    def test_diagonal_dominates_distant_nodes(self, path_graph):
+        mat = ppr_matrix(path_graph, alpha=0.15)
+        # Restart mass keeps a node's own score above a far node's score.
+        assert mat[0, 0] > mat[0, 4]
+
+    def test_alpha_validated(self, path_graph):
+        with pytest.raises(ValueError):
+            ppr_matrix(path_graph, alpha=0.0)
+        with pytest.raises(ValueError):
+            ppr_matrix(path_graph, alpha=1.0)
+
+
+class TestTopKSparsify:
+    def test_row_degree_at_least_k(self):
+        rng = np.random.default_rng(0)
+        mat = rng.random((10, 10))
+        adj = topk_sparsify(mat, k=3)
+        degrees = np.asarray(adj.sum(axis=1)).ravel()
+        # Symmetrization can only add edges beyond the k chosen per row.
+        assert (degrees >= 3).all()
+
+    def test_output_is_symmetric_no_loops(self):
+        rng = np.random.default_rng(1)
+        adj = topk_sparsify(rng.random((8, 8)), k=2)
+        assert abs(adj - adj.T).max() == 0
+        assert adj.diagonal().sum() == 0
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            topk_sparsify(np.eye(3), k=0)
+
+    def test_k_larger_than_n_caps(self):
+        rng = np.random.default_rng(2)
+        adj = topk_sparsify(rng.random((4, 4)), k=100)
+        assert adj.shape == (4, 4)
+
+
+class TestDiffusionGraph:
+    def test_produces_valid_graph(self, small_er_graph):
+        view = ppr_diffusion_graph(small_er_graph, top_k=4)
+        view.validate()
+        assert view.num_nodes == small_er_graph.num_nodes
+
+    def test_features_preserved(self, small_er_graph):
+        view = ppr_diffusion_graph(small_er_graph, top_k=4)
+        np.testing.assert_allclose(view.features, small_er_graph.features)
+
+    def test_structure_differs_from_original(self, small_er_graph):
+        view = ppr_diffusion_graph(small_er_graph, top_k=4)
+        # Diffusion both adds (2-hop shortcuts) and drops (weak) edges.
+        assert (view.adjacency != small_er_graph.adjacency).nnz > 0

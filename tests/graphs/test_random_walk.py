@@ -1,0 +1,83 @@
+"""Random walks: validity, bias behaviour, skip-gram pair extraction."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import node2vec_walks, skip_gram_pairs, uniform_random_walks
+
+
+def assert_walks_follow_edges(graph, walks):
+    """Every consecutive pair in a walk is an edge (or a dead-end repeat)."""
+    for walk in walks:
+        for a, b in zip(walk[:-1], walk[1:]):
+            if a != b:
+                assert graph.has_edge(int(a), int(b))
+
+
+class TestUniformWalks:
+    def test_shapes(self, small_er_graph, rng):
+        walks = uniform_random_walks(small_er_graph, walks_per_node=2, walk_length=5, rng=rng)
+        assert walks.shape == (60, 5)
+
+    def test_every_node_starts_walks(self, small_er_graph, rng):
+        walks = uniform_random_walks(small_er_graph, walks_per_node=1, walk_length=3, rng=rng)
+        np.testing.assert_array_equal(np.sort(walks[:, 0]), np.arange(30))
+
+    def test_walks_follow_edges(self, small_er_graph, rng):
+        walks = uniform_random_walks(small_er_graph, walks_per_node=1, walk_length=6, rng=rng)
+        assert_walks_follow_edges(small_er_graph, walks)
+
+    def test_dead_end_pads_with_last_node(self, isolated_node_graph, rng):
+        walks = uniform_random_walks(isolated_node_graph, walks_per_node=1, walk_length=4, rng=rng)
+        isolated_walk = walks[3]
+        np.testing.assert_array_equal(isolated_walk, [3, 3, 3, 3])
+
+    def test_walk_length_validated(self, small_er_graph, rng):
+        with pytest.raises(ValueError):
+            uniform_random_walks(small_er_graph, 1, 0, rng)
+
+
+class TestNode2VecWalks:
+    def test_walks_follow_edges(self, small_er_graph, rng):
+        walks = node2vec_walks(small_er_graph, 1, 6, rng, p=0.5, q=2.0)
+        assert_walks_follow_edges(small_er_graph, walks)
+
+    def test_low_p_returns_more(self, path_graph):
+        """Small p (return parameter) makes walks bounce back more often."""
+        def count_returns(p):
+            rng = np.random.default_rng(0)
+            walks = node2vec_walks(path_graph, 50, 6, rng, p=p, q=1.0)
+            returns = 0
+            for walk in walks:
+                for i in range(2, len(walk)):
+                    if walk[i] == walk[i - 2] and walk[i] != walk[i - 1]:
+                        returns += 1
+            return returns
+
+        assert count_returns(0.1) > count_returns(10.0)
+
+    def test_params_validated(self, path_graph, rng):
+        with pytest.raises(ValueError):
+            node2vec_walks(path_graph, 1, 3, rng, p=0.0)
+        with pytest.raises(ValueError):
+            node2vec_walks(path_graph, 1, 3, rng, q=-1.0)
+
+
+class TestSkipGramPairs:
+    def test_pairs_within_window(self):
+        walks = np.array([[0, 1, 2, 3]])
+        pairs = set(skip_gram_pairs(walks, window=1))
+        assert pairs == {(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)}
+
+    def test_window_two_includes_skips(self):
+        walks = np.array([[0, 1, 2]])
+        pairs = set(skip_gram_pairs(walks, window=2))
+        assert (0, 2) in pairs and (2, 0) in pairs
+
+    def test_self_pairs_skipped(self):
+        walks = np.array([[5, 5, 5]])
+        assert list(skip_gram_pairs(walks, window=2)) == []
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            list(skip_gram_pairs(np.array([[0, 1]]), window=0))

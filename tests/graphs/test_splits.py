@@ -1,0 +1,115 @@
+"""Split machinery: disjointness, coverage, stratification, leakage freedom."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    load_dataset,
+    sample_negative_edges,
+    split_edges,
+    split_graphs,
+    split_nodes,
+)
+
+
+class TestNodeSplits:
+    def test_partition_properties(self, rng):
+        split = split_nodes(100, rng, train_frac=0.1, val_frac=0.1)
+        all_idx = np.concatenate([split.train, split.val, split.test])
+        assert np.array_equal(np.sort(all_idx), np.arange(100))
+
+    def test_fractions_respected(self, rng):
+        split = split_nodes(1000, rng, train_frac=0.1, val_frac=0.1)
+        assert split.train.size == pytest.approx(100, abs=2)
+        assert split.val.size == pytest.approx(100, abs=2)
+
+    def test_stratified_covers_every_class(self, rng):
+        labels = np.repeat(np.arange(5), 20)
+        split = split_nodes(100, rng, labels=labels, stratified=True)
+        assert set(labels[split.train]) == set(range(5))
+
+    def test_stratified_rare_class_in_train(self, rng):
+        labels = np.zeros(50, dtype=int)
+        labels[0] = 1  # singleton class
+        split = split_nodes(50, rng, labels=labels, stratified=True)
+        assert 1 in labels[split.train]
+
+    def test_invalid_fractions_rejected(self, rng):
+        with pytest.raises(ValueError):
+            split_nodes(10, rng, train_frac=0.8, val_frac=0.4)
+
+    def test_unstratified_is_random_partition(self, rng):
+        split = split_nodes(60, rng, stratified=False)
+        assert split.train.size >= 1
+        overlap = set(split.train) & set(split.test)
+        assert not overlap
+
+
+class TestNegativeSampling:
+    def test_negatives_are_nonedges(self, small_er_graph, rng):
+        negs = sample_negative_edges(small_er_graph, 20, rng)
+        existing = {tuple(e) for e in small_er_graph.edge_array()}
+        for u, v in negs:
+            assert (u, v) not in existing
+            assert u != v
+
+    def test_negatives_unique(self, small_er_graph, rng):
+        negs = sample_negative_edges(small_er_graph, 30, rng)
+        assert len({tuple(e) for e in negs}) == negs.shape[0]
+
+    def test_returns_fewer_when_graph_saturated(self, triangle_graph, rng):
+        # Triangle graph has zero non-edges.
+        negs = sample_negative_edges(triangle_graph, 10, rng)
+        assert negs.shape[0] == 0
+
+
+class TestEdgeSplits:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_dataset("cora", seed=8, scale=0.3)
+
+    def test_partition_of_edges(self, graph, rng):
+        split = split_edges(graph, rng)
+        m = graph.num_edges
+        total = len(split.train_pos) + len(split.val_pos) + len(split.test_pos)
+        assert total == m
+        assert len(split.train_pos) == pytest.approx(0.7 * m, abs=2)
+
+    def test_train_graph_has_only_train_edges(self, graph, rng):
+        split = split_edges(graph, rng)
+        train_edges = {tuple(e) for e in split.train_graph.edge_array()}
+        assert train_edges == {tuple(e) for e in split.train_pos}
+
+    def test_no_test_edge_leaks_into_train_graph(self, graph, rng):
+        split = split_edges(graph, rng)
+        train_edges = {tuple(e) for e in split.train_graph.edge_array()}
+        for e in split.test_pos:
+            assert tuple(e) not in train_edges
+
+    def test_train_graph_keeps_features(self, graph, rng):
+        split = split_edges(graph, rng)
+        np.testing.assert_allclose(split.train_graph.features, graph.features)
+
+    def test_negatives_disjoint_from_positives(self, graph, rng):
+        split = split_edges(graph, rng)
+        existing = {tuple(e) for e in graph.edge_array()}
+        for bucket in (split.train_neg, split.val_neg, split.test_neg):
+            for e in bucket:
+                assert tuple(e) not in existing
+
+    def test_too_small_graph_rejected(self, triangle_graph, rng):
+        with pytest.raises(ValueError, match="too small"):
+            split_edges(triangle_graph, rng)
+
+
+class TestGraphSplits:
+    def test_partition(self, rng):
+        split = split_graphs(50, rng)
+        all_idx = np.concatenate([split.train, split.val, split.test])
+        assert np.array_equal(np.sort(all_idx), np.arange(50))
+
+    def test_fractions(self, rng):
+        split = split_graphs(100, rng, train_frac=0.7, val_frac=0.1)
+        assert split.train.size == 70
+        assert split.val.size == 10
+        assert split.test.size == 20

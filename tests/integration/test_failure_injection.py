@@ -1,0 +1,110 @@
+"""Degenerate and hostile inputs: the library must fail loudly or cope."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import E2GCL, E2GCLConfig
+from repro.core import (
+    compute_edge_scores,
+    compute_feature_scores,
+    generate_global_view,
+    select_coreset,
+)
+from repro.graphs import Graph, normalized_adjacency, propagated_features
+from repro.nn import GCN
+
+
+def edgeless_graph(n=8, d=4):
+    rng = np.random.default_rng(0)
+    return Graph(sp.csr_matrix((n, n)), rng.normal(size=(n, d)),
+                 labels=rng.integers(0, 2, n), name="edgeless")
+
+
+def single_node_graph():
+    return Graph(sp.csr_matrix((1, 1)), np.ones((1, 3)), labels=np.zeros(1, dtype=int))
+
+
+class TestEdgelessGraph:
+    def test_normalization_finite(self):
+        a_n = normalized_adjacency(edgeless_graph().adjacency)
+        assert np.isfinite(a_n.toarray()).all()
+
+    def test_propagated_features_finite(self):
+        r = propagated_features(edgeless_graph(), 2)
+        assert np.isfinite(r).all()
+
+    def test_gcn_forward_finite(self):
+        g = edgeless_graph()
+        h = GCN(4, 8, 4, seed=0).embed(g)
+        assert np.isfinite(h).all()
+
+    def test_coreset_selection_works(self):
+        g = edgeless_graph(n=20)
+        result = select_coreset(g, budget=5, num_clusters=4, sample_size=10,
+                                rng=np.random.default_rng(0))
+        assert result.budget == 5
+
+    def test_view_generation_returns_disconnected_view(self):
+        g = edgeless_graph()
+        rng = np.random.default_rng(0)
+        edge_t = compute_edge_scores(g, rng=rng)
+        feat_t = compute_feature_scores(g)
+        view = generate_global_view(g, 1.0, 0.3, edge_t, feat_t, rng)
+        assert view.num_edges == 0
+        assert view.num_nodes == g.num_nodes
+
+
+class TestSingleNode:
+    def test_gcn_runs(self):
+        g = single_node_graph()
+        assert GCN(3, 4, 2, seed=0).embed(g).shape == (1, 2)
+
+    def test_coreset_clamps(self):
+        g = single_node_graph()
+        result = select_coreset(g, budget=5, num_clusters=2, sample_size=5,
+                                rng=np.random.default_rng(0))
+        assert result.budget == 1
+        assert result.weights.sum() == 1
+
+
+class TestHostileFeatures:
+    def test_constant_features_survive_scoring(self):
+        g = Graph.from_edge_list(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+                                 features=np.ones((6, 3)))
+        table = compute_feature_scores(g)
+        probs = table.perturb_probability(0.5)
+        assert np.isfinite(probs).all()
+        assert probs.min() >= 0 and probs.max() <= 1
+
+    def test_zero_features_survive_edge_scoring(self):
+        g = Graph.from_edge_list(5, [(0, 1), (1, 2), (2, 3)], features=np.zeros((5, 4)))
+        table = compute_edge_scores(g, rng=np.random.default_rng(0))
+        for probs in table.probabilities:
+            if probs.size:
+                assert np.isfinite(probs).all()
+
+    def test_huge_feature_magnitudes_do_not_overflow(self):
+        rng = np.random.default_rng(0)
+        g = Graph.from_edge_list(6, [(0, 1), (1, 2), (3, 4)],
+                                 features=rng.normal(size=(6, 3)) * 1e6)
+        table = compute_edge_scores(g, rng=rng)
+        for probs in table.probabilities:
+            if probs.size:
+                assert np.isfinite(probs).all()
+
+
+class TestTinyTraining:
+    def test_e2gcl_on_minimal_graph(self):
+        """Smallest graph the pipeline accepts: enough anchors for negatives."""
+        rng = np.random.default_rng(0)
+        g = Graph.from_edge_list(
+            10, [(i, (i + 1) % 10) for i in range(10)],
+            features=rng.normal(size=(10, 4)),
+            labels=rng.integers(0, 2, 10),
+        )
+        cfg = E2GCLConfig(epochs=3, node_ratio=0.5, num_clusters=3,
+                          sample_size=5, hidden_dim=8, embedding_dim=4,
+                          num_negatives=2)
+        model = E2GCL(cfg).fit(g)
+        assert np.isfinite(model.embed()).all()

@@ -1,0 +1,86 @@
+"""End-to-end pipelines and cross-module consistency."""
+
+import numpy as np
+import pytest
+
+from repro import E2GCL, E2GCLConfig, load_dataset
+from repro.baselines import get_method
+from repro.core import ablation_config
+from repro.eval import evaluate_embeddings
+
+
+FAST = dict(epochs=10, num_clusters=10, sample_size=30, node_ratio=0.4,
+            hidden_dim=16, embedding_dim=8)
+
+
+class TestE2GCLPipeline:
+    def test_quickstart_path(self, tiny_cora):
+        """The README quickstart, verbatim."""
+        model = E2GCL(E2GCLConfig(**FAST)).fit(tiny_cora)
+        embeddings = model.embed()
+        assert embeddings.shape == (tiny_cora.num_nodes, 8)
+        result = model.evaluate(trials=2)
+        assert result.test_accuracy.mean > 0.3
+
+    def test_pretraining_improves_over_random_features(self, small_cora):
+        model = E2GCL(E2GCLConfig(**{**FAST, "epochs": 40})).fit(small_cora)
+        trained = model.evaluate(trials=3).test_accuracy.mean
+        rng = np.random.default_rng(0)
+        random_acc = evaluate_embeddings(
+            small_cora, rng.normal(size=(small_cora.num_nodes, 8)), trials=3,
+        ).test_accuracy.mean
+        assert trained > random_acc + 0.2
+
+    def test_ablation_variants_all_run(self, tiny_cora):
+        base = E2GCLConfig(**FAST)
+        accs = {}
+        for variant in ("S,I", "S,U", "A,I", "A,U"):
+            cfg = ablation_config(base, variant)
+            model = E2GCL(cfg).fit(tiny_cora)
+            accs[variant] = model.evaluate(trials=2).test_accuracy.mean
+        assert all(np.isfinite(v) for v in accs.values())
+
+    def test_coreset_variant_faster_per_epoch_anchor_count(self, tiny_cora):
+        """The S variants optimize over fewer anchors than the A variants."""
+        base = E2GCLConfig(**{**FAST, "node_ratio": 0.2})
+        s_model = E2GCL(base).fit(tiny_cora)
+        a_model = E2GCL(base.with_overrides(use_coreset=False)).fit(tiny_cora)
+        assert s_model.coreset.budget < tiny_cora.num_nodes
+        assert a_model.coreset is None
+
+
+class TestCrossMethodComparison:
+    def test_leaderboard_runs_and_orders_sensibly(self, small_cora):
+        """GCL methods should beat random embeddings; this is the minimal
+        'shape' check behind Tab. IV at test scale."""
+        scores = {}
+        for name in ("grace", "gca"):
+            method = get_method(name, epochs=15, embedding_dim=8, hidden_dim=16, seed=0)
+            method.fit(small_cora)
+            scores[name] = evaluate_embeddings(
+                small_cora, method.embed(small_cora), trials=2, decoder_epochs=100,
+            ).test_accuracy.mean
+        rng = np.random.default_rng(1)
+        random_score = evaluate_embeddings(
+            small_cora, rng.normal(size=(small_cora.num_nodes, 8)), trials=2,
+            decoder_epochs=100,
+        ).test_accuracy.mean
+        for name, score in scores.items():
+            assert score > random_score, f"{name} failed to learn"
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self, tiny_cora):
+        def run():
+            model = E2GCL(E2GCLConfig(**{**FAST, "seed": 42})).fit(tiny_cora)
+            return model.embed()
+
+        np.testing.assert_allclose(run(), run())
+
+    def test_dataset_plus_model_reproducible(self):
+        def run():
+            graph = load_dataset("citeseer", seed=9, scale=0.25)
+            model = E2GCL(E2GCLConfig(**{**FAST, "seed": 1, "epochs": 5})).fit(graph)
+            return model.embed()
+
+        np.testing.assert_allclose(run(), run())

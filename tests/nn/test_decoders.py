@@ -1,0 +1,73 @@
+"""Task decoders: logistic regression and the link decoder."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LinkDecoder, LogisticRegressionDecoder
+
+
+def make_blobs(rng, n_per_class=40, gap=4.0):
+    x0 = rng.normal(size=(n_per_class, 2))
+    x1 = rng.normal(size=(n_per_class, 2)) + gap
+    x = np.concatenate([x0, x1])
+    y = np.concatenate([np.zeros(n_per_class, dtype=int), np.ones(n_per_class, dtype=int)])
+    return x, y
+
+
+class TestLogisticRegression:
+    def test_fits_separable_blobs(self, rng):
+        x, y = make_blobs(rng)
+        decoder = LogisticRegressionDecoder(2, 2, epochs=200, seed=0).fit(x, y)
+        assert decoder.score(x, y) > 0.95
+
+    def test_predict_proba_normalized(self, rng):
+        x, y = make_blobs(rng)
+        decoder = LogisticRegressionDecoder(2, 2, epochs=50, seed=0).fit(x, y)
+        probs = decoder.predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+        assert (probs >= 0).all()
+
+    def test_l2_shrinks_weights(self, rng):
+        x, y = make_blobs(rng)
+        weak = LogisticRegressionDecoder(2, 2, l2=0.0, epochs=200, seed=0).fit(x, y)
+        strong = LogisticRegressionDecoder(2, 2, l2=1.0, epochs=200, seed=0).fit(x, y)
+        assert np.abs(strong.linear.weight.data).sum() < np.abs(weak.linear.weight.data).sum()
+
+    def test_sample_weights_shift_boundary(self, rng):
+        # Conflicting labels at the same point: weights decide the winner.
+        x = np.zeros((10, 1))
+        y = np.array([0] * 5 + [1] * 5)
+        w = np.array([10.0] * 5 + [0.1] * 5)
+        decoder = LogisticRegressionDecoder(1, 2, l2=0.0, epochs=200, seed=0)
+        decoder.fit(x, y, sample_weights=w)
+        assert decoder.predict(np.zeros((1, 1)))[0] == 0
+
+    def test_multiclass(self, rng):
+        x = np.concatenate([rng.normal(size=(30, 2)) + off for off in (0.0, 5.0, 10.0)])
+        y = np.repeat([0, 1, 2], 30)
+        decoder = LogisticRegressionDecoder(2, 3, epochs=300, seed=0).fit(x, y)
+        assert decoder.score(x, y) > 0.9
+
+
+class TestLinkDecoder:
+    def test_pair_features_symmetric(self, rng):
+        emb = rng.normal(size=(6, 4))
+        pairs = np.array([[0, 1]])
+        fwd = LinkDecoder.pair_features(emb, pairs)
+        rev = LinkDecoder.pair_features(emb, pairs[:, ::-1])
+        np.testing.assert_allclose(fwd, rev)
+
+    def test_pair_features_empty(self, rng):
+        emb = rng.normal(size=(6, 4))
+        out = LinkDecoder.pair_features(emb, np.empty((0, 2), dtype=int))
+        assert out.shape == (0, 8)
+
+    def test_learns_cluster_structure(self, rng):
+        # Two clusters in embedding space; edges exist within clusters.
+        emb = np.concatenate([rng.normal(size=(10, 4)), rng.normal(size=(10, 4)) + 6.0])
+        pos = np.array([[i, j] for i in range(10) for j in range(i + 1, 10)][:30])
+        neg = np.array([[i, 10 + i] for i in range(10)])
+        decoder = LinkDecoder(4, epochs=200, seed=0).fit(emb, pos, neg)
+        pos_scores = decoder.predict_proba(emb, np.array([[11, 12], [13, 14]]))
+        neg_scores = decoder.predict_proba(emb, np.array([[0, 15], [2, 18]]))
+        assert pos_scores.mean() > neg_scores.mean()

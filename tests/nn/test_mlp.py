@@ -1,0 +1,82 @@
+"""MLP / Linear / ProjectionHead behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Adam, Tensor, functional
+from repro.nn import MLP, Linear, ProjectionHead
+
+
+class TestLinear:
+    def test_affine_map(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(5, 3))
+        out = layer(Tensor(x))
+        np.testing.assert_allclose(out.data, x @ layer.weight.data + layer.bias.data, atol=1e-12)
+
+    def test_no_bias(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(3, 2, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+
+class TestMLP:
+    def test_shapes(self):
+        model = MLP(4, 8, 3, num_layers=3, seed=0)
+        out = model(Tensor(np.zeros((7, 4))))
+        assert out.shape == (7, 3)
+
+    def test_single_layer_is_linear(self):
+        model = MLP(4, 8, 2, num_layers=1, seed=0)
+        x = np.random.default_rng(0).normal(size=(5, 4))
+        out = model(Tensor(x))
+        linear = model.linears[0]
+        np.testing.assert_allclose(out.data, x @ linear.weight.data + linear.bias.data, atol=1e-12)
+
+    def test_accepts_raw_arrays(self):
+        model = MLP(4, 8, 2, seed=0)
+        out = model(np.zeros((3, 4)))
+        assert out.shape == (3, 2)
+
+    def test_invalid_layers_rejected(self):
+        with pytest.raises(ValueError):
+            MLP(4, 8, 2, num_layers=0)
+
+    def test_invalid_activation_rejected(self):
+        with pytest.raises(ValueError):
+            MLP(4, 8, 2, activation="gelu")
+
+    def test_learns_xor(self):
+        """2-layer MLP can fit XOR — sanity that nonlinearity works."""
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0, 1, 1, 0])
+        model = MLP(2, 16, 2, num_layers=2, seed=1)
+        optimizer = Adam(model.parameters(), lr=0.05)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = functional.cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            optimizer.step()
+        preds = model(Tensor(x)).data.argmax(axis=1)
+        np.testing.assert_array_equal(preds, y)
+
+    def test_dropout_only_in_training(self):
+        model = MLP(4, 32, 2, num_layers=2, seed=0, dropout=0.9)
+        x = np.ones((3, 4))
+        model.eval()
+        out1 = model(Tensor(x)).data
+        out2 = model(Tensor(x)).data
+        np.testing.assert_allclose(out1, out2)
+
+
+class TestProjectionHead:
+    def test_shape(self):
+        head = ProjectionHead(8, 16, 4, seed=0)
+        out = head(Tensor(np.zeros((5, 8))))
+        assert out.shape == (5, 4)
+
+    def test_has_two_layers_of_params(self):
+        head = ProjectionHead(8, 16, 4, seed=0)
+        assert len(head.parameters()) == 4  # two weights + two biases

@@ -1,0 +1,52 @@
+"""READOUT functions (Sec. II-A graph classification)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, ops
+from repro.nn import max_readout, mean_readout, readout, sum_readout
+
+
+@pytest.fixture
+def h():
+    return Tensor(np.array([[1.0, -2.0], [3.0, 4.0], [5.0, 0.0]]), requires_grad=True)
+
+
+class TestValues:
+    def test_sum(self, h):
+        np.testing.assert_allclose(sum_readout(h).data, [9.0, 2.0])
+
+    def test_mean(self, h):
+        np.testing.assert_allclose(mean_readout(h).data, [3.0, 2.0 / 3.0])
+
+    def test_max(self, h):
+        np.testing.assert_allclose(max_readout(h).data, [5.0, 4.0])
+
+
+class TestGradients:
+    def test_sum_gradient_uniform(self, h):
+        ops.sum(sum_readout(h)).backward()
+        np.testing.assert_allclose(h.grad, np.ones((3, 2)))
+
+    def test_max_gradient_flows_to_argmax(self, h):
+        ops.sum(max_readout(h)).backward()
+        expected = np.zeros((3, 2))
+        expected[2, 0] = 1.0
+        expected[1, 1] = 1.0
+        np.testing.assert_allclose(h.grad, expected)
+
+
+class TestDispatch:
+    def test_by_name(self, h):
+        np.testing.assert_allclose(readout(h, "sum").data, sum_readout(h).data)
+
+    def test_unknown_rejected(self, h):
+        with pytest.raises(ValueError, match="unknown readout"):
+            readout(h, "attention")
+
+    def test_sum_scales_with_graph_size(self):
+        """SUM (unlike MEAN) distinguishes graph sizes — why Tab. IX uses it."""
+        small = Tensor(np.ones((3, 2)))
+        large = Tensor(np.ones((9, 2)))
+        assert sum_readout(large).data[0] == 3 * sum_readout(small).data[0]
+        assert mean_readout(large).data[0] == mean_readout(small).data[0]

@@ -1,0 +1,115 @@
+"""Bench harness: rendering, sizing knobs, registry, and the shared runner."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    EXPERIMENTS,
+    bench_epochs,
+    bench_scale,
+    bench_trials,
+    expect,
+    fit_and_score,
+    get_experiment,
+    load_bench_dataset,
+    method_kwargs,
+    render_series,
+    render_table,
+)
+
+
+class TestSizingKnobs:
+    def test_scale_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert bench_scale() == 0.5
+
+    def test_epochs_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_EPOCHS", "7")
+        assert bench_epochs() == 7
+
+    def test_trials_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_TRIALS", raising=False)
+        assert bench_trials(default=4) == 4
+
+    def test_load_bench_dataset_uses_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.1")
+        graph = load_bench_dataset("cora", seed=0)
+        assert graph.num_nodes == 70
+
+
+class TestRegistry:
+    def test_every_paper_artifact_present(self):
+        artifacts = {exp.artifact for exp in EXPERIMENTS.values()}
+        expected = {
+            "Table IV", "Table V", "Table VI", "Table VII", "Table VIII",
+            "Table IX", "Figure 2", "Figure 3", "Figure 4(a)", "Figure 4(b)",
+            "Figure 4(c)", "Figure 4(d)", "Figure 4(e)",
+        }
+        assert artifacts == expected
+
+    def test_bench_files_exist(self):
+        from pathlib import Path
+
+        bench_dir = Path(__file__).parent.parent / "benchmarks"
+        for exp in EXPERIMENTS.values():
+            assert (bench_dir / exp.bench_file).exists(), exp.bench_file
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            get_experiment("table99")
+
+
+class TestRendering:
+    def test_render_table_contains_cells(self):
+        text = render_table("T", ["A", "B"], {"m1": ["1.0", "2.0"], "m2": ["3.0", "4.0"]})
+        assert "=== T ===" in text
+        assert "m1" in text and "4.0" in text
+
+    def test_render_table_alignment(self):
+        text = render_table("T", ["Col"], {"short": ["x"], "a-very-long-name": ["y"]})
+        lines = [l for l in text.splitlines() if "|" in l]
+        pipes = {line.index("|") for line in lines}
+        assert len(pipes) == 1  # all rows align
+
+    def test_render_series_format(self):
+        text = render_series("S", {"line": [(0.5, 0.25)]}, "x", "y")
+        assert "(0.5, 0.25)" in text
+        assert "x -> y" in text
+
+    def test_expect_markers(self):
+        assert expect(True, "fine").startswith("[OK ]")
+        assert expect(False, "broken").startswith("[MISS]")
+
+
+class TestMethodKwargs:
+    def test_e2gcl_gets_selector_params(self):
+        graph = load_bench_dataset("cora", seed=0, scale=0.1)
+        kwargs = method_kwargs("e2gcl", graph, epochs=5, seed=1)
+        assert "num_clusters" in kwargs and "sample_size" in kwargs
+
+    def test_tuned_table_applied_by_dataset_name(self):
+        graph = load_bench_dataset("citeseer", seed=0, scale=0.1)
+        kwargs = method_kwargs("e2gcl", graph, epochs=5, seed=1)
+        assert kwargs["eta_hat"] == pytest.approx(1.0)
+
+    def test_walk_methods_have_no_epochs(self):
+        graph = load_bench_dataset("cora", seed=0, scale=0.1)
+        kwargs = method_kwargs("deepwalk", graph, epochs=5, seed=1)
+        assert "epochs" not in kwargs
+
+
+class TestFitAndScore:
+    def test_runs_and_pools_seeds(self):
+        graph = load_bench_dataset("cora", seed=0, scale=0.15)
+        result = fit_and_score("dgi", graph, epochs=2, trials=2, fit_seeds=2)
+        assert len(result.accuracy.values) == 4  # 2 seeds x 2 splits
+        assert result.fit_seconds > 0
+
+    def test_overrides_reach_method(self):
+        graph = load_bench_dataset("cora", seed=0, scale=0.15)
+        result = fit_and_score(
+            "e2gcl", graph, epochs=2, trials=1, fit_seeds=1,
+            method_overrides=dict(node_ratio=0.1, num_clusters=5, sample_size=10),
+        )
+        assert 0.0 <= result.accuracy.mean <= 1.0
+        assert result.selection_seconds > 0

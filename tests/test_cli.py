@@ -1,0 +1,60 @@
+"""CLI smoke tests (fast paths only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.dataset == "cora"
+        assert args.method == "e2gcl"
+
+
+class TestListCommands:
+    def test_list_datasets(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "cora" in out and "products" in out
+
+    def test_list_methods(self, capsys):
+        assert main(["list-methods"]) == 0
+        out = capsys.readouterr().out
+        assert "e2gcl" in out and "grace" in out
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out and "Figure 4(e)" in out
+
+
+class TestSelect:
+    def test_select_small(self, capsys):
+        code = main(["select", "--dataset", "cora", "--scale", "0.1",
+                     "--ratio", "0.2", "--clusters", "5", "--samples", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selected" in out
+        assert "class histogram" in out
+
+
+class TestTrain:
+    def test_train_tiny(self, capsys, tmp_path):
+        code = main(["train", "--dataset", "cora", "--scale", "0.1",
+                     "--epochs", "2", "--trials", "1",
+                     "--save", str(tmp_path / "m.npz")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert (tmp_path / "m.npz").exists()
+
+    def test_save_rejected_for_baselines(self, tmp_path, capsys):
+        code = main(["train", "--dataset", "cora", "--scale", "0.1",
+                     "--epochs", "1", "--trials", "1", "--method", "dgi",
+                     "--save", str(tmp_path / "m.npz")])
+        assert code == 2

@@ -4,11 +4,17 @@ Replaces each ``<!-- MEASURED:<key> -->`` marker with the corresponding
 ``benchmarks/results/<key>.txt`` content (fenced as code).  Idempotent:
 previously injected blocks are replaced, not duplicated.
 
+Before injection, ``BENCH_hotpaths.json`` (written by
+``benchmarks/bench_micro_hotpaths.py`` at the repo root) is aggregated into
+``benchmarks/results/hotpaths.txt`` so the hot-path timings flow into
+EXPERIMENTS.md through the same marker mechanism.
+
     python benchmarks/collect_results.py
 """
 
 from __future__ import annotations
 
+import json
 import re
 import sys
 from pathlib import Path
@@ -16,6 +22,48 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 RESULTS = ROOT / "benchmarks" / "results"
 EXPERIMENTS = ROOT / "EXPERIMENTS.md"
+HOTPATHS_JSON = ROOT / "BENCH_hotpaths.json"
+
+
+def aggregate_hotpaths() -> bool:
+    """Render ``BENCH_hotpaths.json`` into ``results/hotpaths.txt``.
+
+    Standalone (no ``repro`` import) so artifact collection works without
+    ``PYTHONPATH`` setup.  Returns False when the JSON has not been
+    generated yet.
+    """
+    if not HOTPATHS_JSON.exists():
+        return False
+    data = json.loads(HOTPATHS_JSON.read_text())
+    scales = data["scales"]
+    header = ["metric"] + [
+        f"{s['label']} ({s['dataset']}, n={s['num_nodes']})" for s in scales
+    ]
+    rows = [
+        ("score table (s)", ["%.4f" % s["score_table_seconds"] for s in scales]),
+        ("view pair (s)", ["%.4f" % s["global_view_pair_seconds"] for s in scales]),
+        ("sampler vectorized (s)", ["%.4f" % s["sampler_vectorized_seconds"] for s in scales]),
+        ("sampler seed loop (s)", ["%.4f" % s["sampler_seed_loop_seconds"] for s in scales]),
+        ("sampler speedup", ["%.1fx" % s["sampler_speedup"] for s in scales]),
+        ("selection (s)", ["%.4f" % s["coreset_selection_seconds"] for s in scales]),
+    ]
+    widths = [
+        max(len(header[0]), max(len(r[0]) for r in rows)),
+        *(
+            max(len(header[i + 1]), max(len(r[1][i]) for r in rows))
+            for i in range(len(scales))
+        ),
+    ]
+    lines = [f"=== Hot-path micro-benchmarks (best of {data['trials']}) ==="]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+    lines.append("-" * len(lines[-1]))
+    for name, cells in rows:
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip([name] + cells, widths)).rstrip()
+        )
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "hotpaths.txt").write_text("\n".join(lines) + "\n")
+    return True
 
 BLOCK_TEMPLATE = "<!-- MEASURED:{key} -->\n```text\n{body}\n```\n<!-- /MEASURED:{key} -->"
 PATTERN = re.compile(
@@ -25,6 +73,8 @@ PATTERN = re.compile(
 
 
 def main() -> int:
+    if aggregate_hotpaths():
+        print("aggregated BENCH_hotpaths.json -> results/hotpaths.txt")
     text = EXPERIMENTS.read_text()
     missing = []
 

@@ -7,7 +7,7 @@ as L2-in-the-gradient (classic, ``SGD``/``Adam``) and decoupled (``AdamW``).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 import numpy as np
 

@@ -15,7 +15,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..autograd import Adam, Tensor, functional, ops
+from ..autograd import Adam, Tensor, functional
 from ..graphs import Graph
 from ..nn import GCN, MLP
 from .base import ContrastiveMethod, register

@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
-from ..autograd import Adam, Tensor, ops
+from ..autograd import Adam, Tensor
 from ..core.augmentations import (
     add_edges,
     drop_edges,

@@ -9,9 +9,8 @@ average and never receives gradients.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Optional
 
-import numpy as np
 
 from ..autograd import Adam, Tensor, functional, ops
 from ..core.augmentations import drop_edges, mask_features

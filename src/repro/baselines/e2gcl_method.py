@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
 
 from ..core import E2GCLConfig, E2GCLTrainer
 from ..graphs import Graph

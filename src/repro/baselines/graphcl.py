@@ -16,7 +16,7 @@ for the second view, while the encoder minimizes the same loss.
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -17,7 +17,6 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-import numpy as np
 
 from ..baselines import get_method
 from ..eval import MeanStd, evaluate_embeddings

@@ -15,10 +15,9 @@ All operators are pure: they return new :class:`Graph` objects.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..graphs import Graph, adjacency_from_edge_mask, adjacency_from_edges
 

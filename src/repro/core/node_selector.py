@@ -11,13 +11,13 @@ contrastive loss.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
 from ..graphs import Graph, propagated_features
-from .kmeans import KMeansResult
+from ..perf import record
 from .representativity import (
     ClusterModel,
     RepresentativityObjective,
@@ -117,28 +117,31 @@ def select_coreset(
     start_time = time.perf_counter()
 
     if r is None:
-        r = propagated_features(graph, hops)
+        with record("selector.propagate"):
+            r = propagated_features(graph, hops)
     budget = min(budget, graph.num_nodes)
     if cluster_model is None:
-        cluster_model = build_cluster_model(r, num_clusters, rng=rng)
+        with record("selector.cluster"):
+            cluster_model = build_cluster_model(r, num_clusters, rng=rng)
     objective = RepresentativityObjective(cluster_model)
     if sample_size is None:
         sample_size = recommended_sample_size(graph.num_nodes, budget)
 
     unselected = np.ones(graph.num_nodes, dtype=bool)
     gains: List[float] = []
-    while len(objective.selected) < budget:
-        pool = np.flatnonzero(unselected)
-        if pool.size == 0:
-            break
-        if pool.size > sample_size:
-            candidates = rng.choice(pool, size=sample_size, replace=False)
-        else:
-            candidates = pool
-        batch_gains = objective.marginal_gains(candidates)
-        best_candidate = int(candidates[int(batch_gains.argmax())])
-        gains.append(objective.add(best_candidate))
-        unselected[best_candidate] = False
+    with record("selector.greedy"):
+        while len(objective.selected) < budget:
+            pool = np.flatnonzero(unselected)
+            if pool.size == 0:
+                break
+            if pool.size > sample_size:
+                candidates = rng.choice(pool, size=sample_size, replace=False)
+            else:
+                candidates = pool
+            batch_gains = objective.marginal_gains(candidates)
+            best_candidate = int(candidates[int(batch_gains.argmax())])
+            gains.append(objective.add(best_candidate))
+            unselected[best_candidate] = False
 
     selected = np.asarray(objective.selected, dtype=np.int64)
     assignment = _nearest_selected(cluster_model.r, selected)

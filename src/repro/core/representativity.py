@@ -113,6 +113,10 @@ class _ClusterCostMatrix:
     ``O(n)`` expression.  (An earlier sorted-prefix-sum variant was
     ``O(log |C_i|)`` per cluster but paid a python-level call per cluster
     per candidate, which dominated selection time on larger graphs.)
+
+    Each node's fixed slot ``(row, column) = (cluster, rank-in-cluster)`` is
+    precomputed, so a greedy ``add`` scatters only the entries whose ``eff``
+    actually dropped instead of refilling the whole padded matrix.
     """
 
     _PAD = -np.inf  # pads contribute max(0, -inf - t) = 0
@@ -121,6 +125,11 @@ class _ClusterCostMatrix:
         self._members = members
         width = max((m.size for m in members), default=0)
         self._matrix = np.full((len(members), max(width, 1)), self._PAD)
+        self._row = np.zeros(eff.shape[0], dtype=np.int64)
+        self._col = np.zeros(eff.shape[0], dtype=np.int64)
+        for i, mem in enumerate(members):
+            self._row[mem] = i
+            self._col[mem] = np.arange(mem.size)
         self.rebuild(eff)
 
     def rebuild(self, eff: np.ndarray) -> None:
@@ -128,6 +137,10 @@ class _ClusterCostMatrix:
         for i, mem in enumerate(self._members):
             if mem.size:
                 self._matrix[i, :mem.size] = eff[mem]
+
+    def update(self, nodes: np.ndarray, values: np.ndarray) -> None:
+        """Scatter new ``eff`` values for the given nodes into their slots."""
+        self._matrix[self._row[nodes], self._col[nodes]] = values
 
     def gains(self, thresholds: np.ndarray) -> np.ndarray:
         """Per-cluster gain for a vector of thresholds (one per cluster)."""
@@ -151,7 +164,10 @@ class RepresentativityObjective:
     first selection always has positive gain.
     """
 
-    def __init__(self, model: ClusterModel) -> None:
+    #: Default ceiling on the transient ``(chunk, n_c, width)`` gain tensor.
+    DEFAULT_GAIN_BUDGET_BYTES = 256 * 2 ** 20
+
+    def __init__(self, model: ClusterModel, gain_budget_bytes: Optional[int] = None) -> None:
         self.model = model
         # Cap: any selected node u gives cluster i at most
         # ||c_i - R[u]|| + d_i^max <= max center distance + max d_i, so this
@@ -162,6 +178,12 @@ class RepresentativityObjective:
         self.eff = np.full(model.num_nodes, self.unrepresented_cost)
         self.selected: List[int] = []
         self._costs = _ClusterCostMatrix(self.eff, model.members)
+        self.gain_budget_bytes = int(
+            gain_budget_bytes if gain_budget_bytes is not None
+            else self.DEFAULT_GAIN_BUDGET_BYTES
+        )
+        if self.gain_budget_bytes <= 0:
+            raise ValueError("gain_budget_bytes must be positive")
 
     # ------------------------------------------------------------------
     def cost(self) -> float:
@@ -192,12 +214,26 @@ class RepresentativityObjective:
         One greedy round of Alg. 2 evaluates ``n_s`` candidates; batching
         them turns per-candidate python overhead into three numpy passes
         (cross-cluster tensor, per-cluster intra distances, row reductions).
+        The transient ``(chunk, n_c, width)`` tensor is bounded by
+        ``gain_budget_bytes``: candidate batches larger than the budget are
+        processed in slices, so selection never allocates gigabytes on
+        large graphs regardless of ``n_s``.
         """
         candidates = np.asarray(candidates, dtype=np.int64)
+        if candidates.size == 0:
+            return np.zeros(0)
+        per_candidate = max(self._costs._matrix.size * 8, 1)
+        chunk = max(1, self.gain_budget_bytes // per_candidate)
+        if candidates.size <= chunk:
+            return self._marginal_gains_block(candidates)
+        return np.concatenate([
+            self._marginal_gains_block(candidates[start:start + chunk])
+            for start in range(0, candidates.size, chunk)
+        ])
+
+    def _marginal_gains_block(self, candidates: np.ndarray) -> np.ndarray:
         model = self.model
         m = candidates.size
-        if m == 0:
-            return np.zeros(0)
 
         # Cross-cluster term for every candidate at once: (m, n_c, width).
         thresholds = model.center_distances[candidates] + model.d_max[None, :]
@@ -225,15 +261,22 @@ class RepresentativityObjective:
         return gains
 
     def add(self, candidate: int) -> float:
-        """Commit ``candidate`` into ``V_s``; returns the realized gain."""
+        """Commit ``candidate`` into ``V_s``; returns the realized gain.
+
+        ``eff`` only ever decreases, so the padded cost matrix is patched in
+        place for exactly the nodes whose covering cost improved — ``O(n)``
+        total instead of an ``O(n_c · width)`` rebuild per greedy round.
+        """
         j, mem_j, intra, cross = self._candidate_terms(candidate)
         before = self.cost()
         thresholds = cross[self.model.assignments].copy()
         thresholds[mem_j] = np.inf  # own cluster uses the exact distances
-        np.minimum(self.eff, thresholds, out=self.eff)
-        self.eff[mem_j] = np.minimum(self.eff[mem_j], intra)
+        new_eff = np.minimum(self.eff, thresholds)
+        new_eff[mem_j] = np.minimum(new_eff[mem_j], intra)
+        changed = np.flatnonzero(new_eff < self.eff)
+        self.eff = new_eff
+        self._costs.update(changed, new_eff[changed])
         self.selected.append(int(candidate))
-        self._costs.rebuild(self.eff)
         return before - self.cost()
 
 

@@ -25,36 +25,92 @@ node's centrality *and* the dimension's importance modulate the probability;
 
 All scores depend only on degrees and raw features (the paper's *Remarks*),
 so everything here is computed once per graph and reused across epochs.
+
+Storage: :class:`EdgeScoreTable` keeps the per-node candidate sets in one
+flat CSR layout (``indptr``/``indices``/``probs``) instead of ragged
+``List[np.ndarray]`` columns, so downstream consumers (the batched view
+sampler above all) operate on whole arrays with zero per-node Python
+dispatch.  The old list-of-arrays API survives as thin zero-copy views.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..graphs import Graph, centrality as graph_centrality, degree_centrality
+from ..perf import profiled
+
+
+class _SegmentedView:
+    """Read-only list-of-arrays facade over a flat CSR pair.
+
+    ``view[u]`` returns the ``u``-th segment as a zero-copy slice, so code
+    written against the old ragged ``List[np.ndarray]`` layout keeps
+    working unchanged.
+    """
+
+    __slots__ = ("_indptr", "_data")
+
+    def __init__(self, indptr: np.ndarray, data: np.ndarray) -> None:
+        self._indptr = indptr
+        self._data = data
+
+    def __len__(self) -> int:
+        return self._indptr.shape[0] - 1
+
+    def __getitem__(self, u: int) -> np.ndarray:
+        return self._data[self._indptr[u]:self._indptr[u + 1]]
+
+    def __iter__(self):
+        for u in range(len(self)):
+            yield self[u]
 
 
 @dataclass
 class EdgeScoreTable:
-    """Per-node candidate neighbor lists with sampling probabilities.
+    """Per-node candidate neighbor sets with sampling probabilities, CSR-flat.
 
-    For each node ``u``, ``candidates[u]`` is its ``N_u^1 ∪ N_u^2`` candidate
-    set (Alg. 3 line 6) and ``probabilities[u]`` the normalized edge scores
-    ``P(u1 | u, V_u^N)`` used for neighbor sampling.  ``base_degree[u]`` is
-    ``|N_u|``, the quantity τ multiplies.
+    For each node ``u``, ``indices[indptr[u]:indptr[u+1]]`` is its sorted
+    ``N_u^1 ∪ N_u^2`` candidate set (Alg. 3 line 6) and the matching slice of
+    ``probs`` the normalized edge scores ``P(u1 | u, V_u^N)`` used for
+    neighbor sampling.  ``base_degree[u]`` is ``|N_u|``, the quantity τ
+    multiplies.  ``counts`` caches the per-node segment lengths.
+
+    ``candidates`` / ``probabilities`` expose the historical list-like API as
+    zero-copy views into the flat arrays.
     """
 
-    candidates: List[np.ndarray]
-    probabilities: List[np.ndarray]
-    base_degree: np.ndarray
+    indptr: np.ndarray      # (n + 1,) int64 segment boundaries
+    indices: np.ndarray     # (total,) int64 flat candidate ids
+    probs: np.ndarray       # (total,) float64 flat sampling probabilities
+    base_degree: np.ndarray  # (n,) float64
+    counts: np.ndarray = field(init=False)  # (n,) int64 segment sizes
+
+    def __post_init__(self) -> None:
+        self.counts = np.diff(self.indptr)
 
     @property
     def num_nodes(self) -> int:
         return self.base_degree.shape[0]
+
+    @property
+    def num_entries(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def candidates(self) -> _SegmentedView:
+        return _SegmentedView(self.indptr, self.indices)
+
+    @property
+    def probabilities(self) -> _SegmentedView:
+        return _SegmentedView(self.indptr, self.probs)
+
+    def segment_ids(self) -> np.ndarray:
+        """``(total,)`` source-node id of every flat entry."""
+        return np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.counts)
 
 
 def similarity_offset(graph: Graph) -> float:
@@ -67,19 +123,47 @@ def similarity_offset(graph: Graph) -> float:
 
 
 def _candidate_sets(graph: Graph, max_candidates: Optional[int], rng: np.random.Generator):
-    """``N_u^1 ∪ N_u^2`` for every node via one sparse square ``A + A²``."""
+    """``N_u^1 ∪ N_u^2`` for every node via one sparse square ``A + A²``.
+
+    Fully CSR: the diagonal is dropped by a coordinate mask (no ``.tolil()``
+    round-trip, no explicit zeros left behind) and the optional per-node cap
+    is applied with one random-key ``lexsort`` instead of a Python loop of
+    ``rng.choice`` calls.
+
+    Returns ``(indptr, flat_candidates, is_neighbor)`` where ``is_neighbor``
+    flags the candidates that are existing 1-hop edges — recovered for free
+    from the reach-matrix values, replacing per-node Python set probes.
+    """
     adj = graph.adjacency
-    reach = (adj + adj @ adj).tolil()
-    reach.setdiag(0)
-    reach = reach.tocsr()
-    candidate_lists = []
-    for u in range(graph.num_nodes):
-        cands = reach.indices[reach.indptr[u]:reach.indptr[u + 1]]
-        if max_candidates is not None and cands.size > max_candidates:
-            cands = rng.choice(cands, size=max_candidates, replace=False)
-            cands.sort()
-        candidate_lists.append(cands.astype(np.int64))
-    return candidate_lists
+    two_hop = (adj @ adj).tocsr()
+    two_hop.data = np.ones_like(two_hop.data)
+    # Values encode provenance: 2 → 1-hop only, 1 → 2-hop only, 3 → both.
+    reach = (adj * 2.0 + two_hop).tocsr()
+    reach.sum_duplicates()
+
+    coo = reach.tocoo()
+    keep = coo.row != coo.col
+    rows = coo.row[keep].astype(np.int64)
+    cols = coo.col[keep].astype(np.int64)
+    vals = coo.data[keep]
+
+    n = graph.num_nodes
+    counts = np.bincount(rows, minlength=n)
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+
+    if max_candidates is not None and counts.max(initial=0) > max_candidates:
+        # Uniform without-replacement subsample per overfull row: shuffle
+        # each row with random keys, keep the first ``max_candidates``
+        # positions, then restore ascending (row, col) order.
+        keys = rng.random(rows.size)
+        order = np.lexsort((keys, rows))
+        rank = np.arange(rows.size) - np.repeat(indptr[:-1], counts)
+        selected = np.sort(order[rank < max_candidates])
+        rows, cols, vals = rows[selected], cols[selected], vals[selected]
+        counts = np.bincount(rows, minlength=n)
+        indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+
+    return indptr, cols, vals >= 2.0
 
 
 def _node_influence(graph: Graph, method: str) -> np.ndarray:
@@ -92,6 +176,55 @@ def _node_influence(graph: Graph, method: str) -> np.ndarray:
     return np.log1p(values / max(values.mean(), 1e-12))
 
 
+def _segmented_max(values: np.ndarray, indptr: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Per-segment max of a flat CSR-aligned array (empty segments → 0).
+
+    ``np.maximum.reduceat`` over the starts of the *non-empty* segments is
+    exact here because empty segments contribute no flat entries, so
+    consecutive non-empty starts bound precisely one segment each.
+    """
+    n = counts.shape[0]
+    out = np.zeros(n)
+    nonempty = counts > 0
+    if nonempty.any():
+        out[nonempty] = np.maximum.reduceat(values, indptr[:-1][nonempty])
+    return out
+
+
+def _segmented_sum(values: np.ndarray, indptr: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Per-segment sum of a flat CSR-aligned array (empty segments → 0)."""
+    n = counts.shape[0]
+    out = np.zeros(n)
+    nonempty = counts > 0
+    if nonempty.any():
+        out[nonempty] = np.add.reduceat(values, indptr[:-1][nonempty])
+    return out
+
+
+_CROSS_CHUNK_ELEMENTS = 8_000_000  # flat-entry × feature-dim budget per pass
+
+
+def _pairwise_similarity(
+    graph: Graph, sources: np.ndarray, targets: np.ndarray, c_offset: float
+) -> np.ndarray:
+    """``Sim(v, u) = c − ||x_v − x_u||`` for flat (source, target) pairs,
+    chunked so the gathered feature blocks stay inside a fixed budget."""
+    feat = graph.features
+    feat_sq = (feat ** 2).sum(axis=1)
+    total = sources.shape[0]
+    cross = np.empty(total)
+    chunk = max(1, _CROSS_CHUNK_ELEMENTS // max(feat.shape[1], 1))
+    for start in range(0, total, chunk):
+        stop = min(start + chunk, total)
+        cross[start:stop] = np.einsum(
+            "ij,ij->i", feat[sources[start:stop]], feat[targets[start:stop]]
+        )
+    dist_sq = feat_sq[sources] + feat_sq[targets] - 2.0 * cross
+    np.maximum(dist_sq, 0.0, out=dist_sq)
+    return c_offset - np.sqrt(dist_sq)
+
+
+@profiled("scores.compute_edge_scores")
 def compute_edge_scores(
     graph: Graph,
     beta: float = 0.7,
@@ -101,6 +234,10 @@ def compute_edge_scores(
     centrality_method: str = "degree",
 ) -> EdgeScoreTable:
     """Precompute the edge-score sampling table for Alg. 3.
+
+    One segmented pass over the flat candidate array: similarity, centrality,
+    the β-split, and per-node normalization are all whole-array expressions
+    (``reduceat`` for the per-node max/sum), with no per-node Python work.
 
     Parameters
     ----------
@@ -118,47 +255,33 @@ def compute_edge_scores(
     if not 0.0 < beta < 1.0:
         raise ValueError("beta must be in (0, 1)")
     rng = rng or np.random.default_rng(0)
-    centrality = _node_influence(graph, centrality_method)
-    c_offset = similarity_offset(graph)
-    feat = graph.features
-    feat_sq = (feat ** 2).sum(axis=1)
-    candidate_lists = _candidate_sets(graph, max_candidates, rng)
+    indptr, flat_candidates, is_neighbor = _candidate_sets(graph, max_candidates, rng)
+    counts = np.diff(indptr)
+    sources = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), counts)
 
-    neighbor_sets = [set(graph.neighbors(u).tolist()) for u in range(graph.num_nodes)]
-    candidates: List[np.ndarray] = []
-    probabilities: List[np.ndarray] = []
-    for u in range(graph.num_nodes):
-        cands = candidate_lists[u]
-        if cands.size == 0:
-            candidates.append(cands)
-            probabilities.append(np.zeros(0))
-            continue
-        if uniform:
-            is_neighbor = np.fromiter(
-                (int(c) in neighbor_sets[u] for c in cands), dtype=bool, count=cands.size
-            )
-            scores = np.where(is_neighbor, beta, 1.0 - beta)
-        else:
-            dist_sq = feat_sq[cands] + feat_sq[u] - 2.0 * (feat[cands] @ feat[u])
-            np.maximum(dist_sq, 0.0, out=dist_sq)
-            sim = c_offset - np.sqrt(dist_sq)
-            is_neighbor = np.fromiter(
-                (int(c) in neighbor_sets[u] for c in cands), dtype=bool, count=cands.size
-            )
-            phi = centrality[cands]
-            # exp() is shift-invariant under the final normalization, so
-            # subtract the max exponent for numerical safety.
-            exponent = np.where(is_neighbor, phi + sim, -phi + sim)
-            exponent -= exponent.max()
-            scores = np.where(is_neighbor, beta, 1.0 - beta) * np.exp(exponent)
-        total = scores.sum()
-        probs = scores / total if total > 0 else np.full(cands.size, 1.0 / cands.size)
-        candidates.append(cands)
-        probabilities.append(probs)
+    if uniform:
+        scores = np.where(is_neighbor, beta, 1.0 - beta)
+    else:
+        centrality = _node_influence(graph, centrality_method)
+        sim = _pairwise_similarity(graph, sources, flat_candidates, similarity_offset(graph))
+        phi = centrality[flat_candidates]
+        # exp() is shift-invariant under the final normalization, so subtract
+        # each node's max exponent for numerical safety.
+        exponent = np.where(is_neighbor, phi + sim, -phi + sim)
+        exponent -= _segmented_max(exponent, indptr, counts)[sources]
+        scores = np.where(is_neighbor, beta, 1.0 - beta) * np.exp(exponent)
 
+    totals = _segmented_sum(scores, indptr, counts)
+    safe_totals = np.where(totals > 0, totals, 1.0)[sources]
+    probs = np.where(
+        totals[sources] > 0,
+        scores / safe_totals,
+        1.0 / np.maximum(counts, 1)[sources],
+    )
     return EdgeScoreTable(
-        candidates=candidates,
-        probabilities=probabilities,
+        indptr=indptr,
+        indices=flat_candidates.astype(np.int64),
+        probs=probs,
         base_degree=graph.degrees.copy(),
     )
 
@@ -183,6 +306,7 @@ class FeatureScoreTable:
         return np.clip(eta * self.normalized, 0.0, 1.0)
 
 
+@profiled("scores.compute_feature_scores")
 def compute_feature_scores(
     graph: Graph,
     normalization: str = "global",

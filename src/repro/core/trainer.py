@@ -9,7 +9,7 @@ recorded so Fig. 3's accuracy-vs-time curves can be regenerated.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -17,6 +17,7 @@ import numpy as np
 from ..autograd import Adam, Tensor, ops
 from ..graphs import Graph
 from ..nn import GCN, ProjectionHead
+from ..perf import record
 from .config import E2GCLConfig
 from .losses import euclidean_contrastive_loss, infonce_loss, sample_negative_indices
 from .node_selector import CoresetResult, select_coreset
@@ -115,14 +116,15 @@ class E2GCLTrainer:
             self._weights = np.asarray(weights, dtype=np.float64)
             self._selection_seconds = time.perf_counter() - start
         elif cfg.use_coreset:
-            self.coreset = select_coreset(
-                self.graph,
-                budget=cfg.budget_for(self.graph.num_nodes),
-                num_clusters=cfg.num_clusters,
-                sample_size=cfg.sample_size,
-                hops=cfg.num_layers,
-                rng=self._rng,
-            )
+            with record("trainer.selection"):
+                self.coreset = select_coreset(
+                    self.graph,
+                    budget=cfg.budget_for(self.graph.num_nodes),
+                    num_clusters=cfg.num_clusters,
+                    sample_size=cfg.sample_size,
+                    hops=cfg.num_layers,
+                    rng=self._rng,
+                )
             self._anchors = self.coreset.selected
             self._weights = self.coreset.weights
             self._selection_seconds = self.coreset.selection_seconds
@@ -150,16 +152,17 @@ class E2GCLTrainer:
     # ------------------------------------------------------------------
     def _views(self):
         cfg = self.config
-        return generate_global_view_pair(
-            self.graph,
-            self._edge_table,
-            self._feature_table,
-            self._rng,
-            tau_hat=cfg.tau_hat,
-            tau_tilde=cfg.tau_tilde,
-            eta_hat=cfg.eta_hat,
-            eta_tilde=cfg.eta_tilde,
-        )
+        with record("trainer.views"):
+            return generate_global_view_pair(
+                self.graph,
+                self._edge_table,
+                self._feature_table,
+                self._rng,
+                tau_hat=cfg.tau_hat,
+                tau_tilde=cfg.tau_tilde,
+                eta_hat=cfg.eta_hat,
+                eta_tilde=cfg.eta_tilde,
+            )
 
     def _loss(self, h_hat: Tensor, h_tilde: Tensor) -> Tensor:
         cfg = self.config
@@ -193,12 +196,13 @@ class E2GCLTrainer:
             if views is None or epoch % max(cfg.view_refresh_interval, 1) == 0:
                 views = self._views()
             view_hat, view_tilde = views
-            optimizer.zero_grad()
-            h_hat = ops.gather_rows(self.encoder(view_hat), anchors)
-            h_tilde = ops.gather_rows(self.encoder(view_tilde), anchors)
-            loss = self._loss(h_hat, h_tilde)
-            loss.backward()
-            optimizer.step()
+            with record("trainer.epoch"):
+                optimizer.zero_grad()
+                h_hat = ops.gather_rows(self.encoder(view_hat), anchors)
+                h_tilde = ops.gather_rows(self.encoder(view_tilde), anchors)
+                loss = self._loss(h_hat, h_tilde)
+                loss.backward()
+                optimizer.step()
             history.append(
                 EpochRecord(
                     epoch=epoch,

@@ -9,7 +9,7 @@ aggregate mean ± std — exactly the paper's procedure for Tab. IV.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -15,11 +15,18 @@ from .graph import Graph
 
 
 def add_self_loops(adjacency: sp.spmatrix) -> sp.csr_matrix:
-    """Return ``A + I`` as CSR (idempotent on the diagonal)."""
-    n = adjacency.shape[0]
-    out = sp.csr_matrix(adjacency, copy=True).tolil()
-    out.setdiag(1.0)
-    return out.tocsr()
+    """Return ``A + I`` as CSR (idempotent on the diagonal).
+
+    Stays in CSR throughout: adds ``1 − diag(A)`` along the diagonal so
+    existing self-loops are not double-counted, avoiding the LIL round-trip
+    (which is a Python-level loop over rows on large graphs).
+    """
+    out = sp.csr_matrix(adjacency)
+    fill = 1.0 - out.diagonal()
+    if np.any(fill):
+        out = (out + sp.diags(fill, format="csr")).tocsr()
+        out.eliminate_zeros()
+    return out
 
 
 def normalized_adjacency(

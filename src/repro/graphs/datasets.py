@@ -12,8 +12,8 @@ by every example and benchmark.  Generation is deterministic in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from .generators import FeatureModel, attributed_graph
 from .graph import Graph

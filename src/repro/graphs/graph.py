@@ -13,7 +13,7 @@ generator honest (the original graph survives every experiment).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp

@@ -14,7 +14,7 @@ Implements the paper's evaluation splits:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

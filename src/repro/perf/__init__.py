@@ -1,0 +1,32 @@
+"""``repro.perf`` — lightweight hot-path instrumentation.
+
+The trainer, node selector, score computation, and view generator all
+report into this registry; ``benchmarks/bench_micro_hotpaths.py`` turns the
+same counters into the tracked ``BENCH_hotpaths.json`` artifact.
+"""
+
+from .counters import (
+    Counter,
+    allocation_tracking_enabled,
+    disable_allocation_tracking,
+    enable_allocation_tracking,
+    get_counter,
+    profiled,
+    record,
+    report,
+    reset,
+    summary,
+)
+
+__all__ = [
+    "Counter",
+    "allocation_tracking_enabled",
+    "disable_allocation_tracking",
+    "enable_allocation_tracking",
+    "get_counter",
+    "profiled",
+    "record",
+    "report",
+    "reset",
+    "summary",
+]

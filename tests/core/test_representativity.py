@@ -118,3 +118,49 @@ class TestObjectiveProperties:
         objective.add(candidate)
         mates = model.members[0]
         assert objective.eff[mates].max() < objective.unrepresented_cost
+
+
+class TestChunkedGains:
+    """``marginal_gains`` must be exact regardless of the memory budget that
+    slices the candidate batch (up to summation-order float noise), and the
+    incremental ``add`` path it feeds must keep agreeing with the direct
+    Eq. 14 evaluation."""
+
+    def test_tiny_budget_matches_default(self):
+        model = model_from(7)
+        candidates = np.arange(40)
+        unchunked = RepresentativityObjective(model).marginal_gains(candidates)
+        one_at_a_time = RepresentativityObjective(
+            model, gain_budget_bytes=1
+        ).marginal_gains(candidates)
+        np.testing.assert_allclose(one_at_a_time, unchunked, rtol=1e-7, atol=1e-9)
+
+    def test_chunked_gains_match_scalar_after_adds(self):
+        model = model_from(8)
+        objective = RepresentativityObjective(model, gain_budget_bytes=2048)
+        for v in (3, 17, 29):
+            objective.add(v)
+        gains = objective.marginal_gains(np.arange(40))
+        for v in range(40):
+            assert gains[v] == pytest.approx(objective.marginal_gain(v), rel=1e-7, abs=1e-9)
+
+    def test_incremental_add_matches_direct_cost_under_tiny_budget(self):
+        model = model_from(9)
+        objective = RepresentativityObjective(model, gain_budget_bytes=1)
+        rng = np.random.default_rng(5)
+        for v in rng.choice(40, size=12, replace=False):
+            gains = objective.marginal_gains(np.arange(40))
+            best = int(np.argmax(gains))
+            realized = objective.add(best)
+            assert realized == pytest.approx(gains[best], rel=1e-9, abs=1e-9)
+            assert objective.cost() == pytest.approx(
+                representativity_cost(model, objective.selected), rel=1e-9
+            )
+
+    def test_empty_candidate_batch(self):
+        objective = RepresentativityObjective(model_from(10))
+        assert objective.marginal_gains(np.empty(0, dtype=np.int64)).shape == (0,)
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError):
+            RepresentativityObjective(model_from(11), gain_budget_bytes=0)

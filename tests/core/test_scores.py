@@ -151,3 +151,43 @@ class TestFeatureScores:
     def test_unknown_normalization_rejected(self, graph):
         with pytest.raises(ValueError):
             compute_feature_scores(graph, normalization="zscore")
+
+
+class TestCsrLayout:
+    """The flat CSR storage behind ``EdgeScoreTable`` and its list-style views."""
+
+    def test_indptr_is_valid_csr(self, graph):
+        table = compute_edge_scores(graph, rng=np.random.default_rng(0))
+        assert table.indptr[0] == 0
+        assert table.indptr[-1] == table.num_entries
+        assert table.indptr.shape == (table.num_nodes + 1,)
+        assert np.all(np.diff(table.indptr) >= 0)
+
+    def test_counts_are_segment_lengths(self, graph):
+        table = compute_edge_scores(graph, rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(table.counts, np.diff(table.indptr))
+        assert table.indices.shape == (table.num_entries,)
+        assert table.probs.shape == (table.num_entries,)
+
+    def test_views_are_zero_copy_segments(self, graph):
+        table = compute_edge_scores(graph, rng=np.random.default_rng(0))
+        for u in range(table.num_nodes):
+            lo, hi = table.indptr[u], table.indptr[u + 1]
+            np.testing.assert_array_equal(table.candidates[u], table.indices[lo:hi])
+            np.testing.assert_array_equal(table.probabilities[u], table.probs[lo:hi])
+        nonempty = int(np.flatnonzero(table.counts > 0)[0])
+        assert np.shares_memory(table.candidates[nonempty], table.indices)
+        assert np.shares_memory(table.probabilities[nonempty], table.probs)
+
+    def test_segment_ids_expand_indptr(self, graph):
+        table = compute_edge_scores(graph, rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(
+            table.segment_ids(),
+            np.repeat(np.arange(table.num_nodes), table.counts),
+        )
+
+    def test_flat_probs_normalized_per_segment(self, graph):
+        table = compute_edge_scores(graph, rng=np.random.default_rng(0))
+        starts = table.indptr[:-1][table.counts > 0]
+        sums = np.add.reduceat(table.probs, starts)
+        np.testing.assert_allclose(sums, 1.0, atol=1e-9)

@@ -10,8 +10,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import compute_edge_scores, compute_feature_scores
-from repro.core.view_generator import _batched_weighted_sample, _sample_count
+from repro.core import compute_edge_scores, compute_feature_scores, generate_global_view
+from repro.core.view_generator import (
+    _batched_weighted_sample,
+    _sample_count,
+    _sample_counts,
+    _sequential_weighted_sample,
+)
 from repro.graphs import load_dataset
 
 
@@ -99,3 +104,98 @@ class TestBatchedWeightedSample:
         edge_table = compute_edge_scores(graph, rng=np.random.default_rng(0))
         src, dst = _batched_weighted_sample(edge_table, 1.0, np.random.default_rng(0))
         assert src.size == 0 and dst.size == 0
+
+
+class TestVectorizedCounts:
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0, 3), st.lists(st.tuples(st.floats(0, 50), st.integers(0, 100)),
+                                     min_size=1, max_size=20))
+    def test_matches_scalar_formula(self, tau, rows):
+        degrees = np.asarray([d for d, _ in rows])
+        candidates = np.asarray([c for _, c in rows], dtype=np.int64)
+        vectorized = _sample_counts(tau, degrees, candidates)
+        scalar = [_sample_count(tau, float(d), int(c)) for d, c in rows]
+        np.testing.assert_array_equal(vectorized, scalar)
+
+
+@pytest.fixture(scope="module")
+def sampler_table():
+    graph = load_dataset("cora", seed=11, scale=0.2)
+    return graph, compute_edge_scores(graph, rng=np.random.default_rng(0))
+
+
+class TestSamplerEquivalence:
+    """The exponential race must be *distributionally* interchangeable with
+    sequential ``rng.choice(p=...)`` draws — the contract that lets
+    ``generate_global_view`` use the batched kernel."""
+
+    def test_identical_pick_counts_per_node(self, sampler_table):
+        graph, table = sampler_table
+        bsrc, _ = _batched_weighted_sample(table, 0.7, np.random.default_rng(5))
+        ssrc, _ = _sequential_weighted_sample(table, 0.7, np.random.default_rng(6))
+        np.testing.assert_array_equal(
+            np.bincount(bsrc, minlength=graph.num_nodes),
+            np.bincount(ssrc, minlength=graph.num_nodes),
+        )
+
+    @pytest.mark.slow
+    def test_chi_square_inclusion_frequencies(self, sampler_table):
+        """Chi-square homogeneity over per-candidate inclusion counts: across
+        repeated draws, the batched sampler's hit profile on the most
+        contended node must be statistically indistinguishable from the
+        sequential reference's."""
+        from scipy import stats
+
+        graph, table = sampler_table
+        tau = 0.5
+        # Most contended node: largest candidate set still subsampled at tau.
+        counts = table.counts
+        want = _sample_counts(tau, table.base_degree, counts)
+        contended = np.flatnonzero((want > 0) & (want < counts))
+        assert contended.size, "fixture graph must have a contended node"
+        node = int(contended[np.argmax(counts[contended])])
+        cands = table.candidates[node]
+        assert cands.size >= 5
+
+        runs = 300
+        pos = {int(c): i for i, c in enumerate(cands)}
+        hits = np.zeros((2, cands.size))
+        rng_b, rng_s = np.random.default_rng(21), np.random.default_rng(22)
+        for _ in range(runs):
+            bsrc, bdst = _batched_weighted_sample(table, tau, rng_b)
+            ssrc, sdst = _sequential_weighted_sample(table, tau, rng_s)
+            for row, (src, dst) in enumerate([(bsrc, bdst), (ssrc, sdst)]):
+                for d in dst[src == node]:
+                    hits[row, pos[int(d)]] += 1
+
+        # Drop sparse cells so the chi-square approximation is valid.
+        keep = hits.sum(axis=0) >= 10
+        assert keep.sum() >= 2
+        _chi2, p, _dof, _exp = stats.chi2_contingency(hits[:, keep])
+        assert p > 1e-3, f"samplers diverge in distribution (p={p:.2e})"
+
+
+class TestDeterminism:
+    def test_same_seed_same_view(self, sampler_table):
+        graph, table = sampler_table
+        feature_table = compute_feature_scores(graph)
+        views = [
+            generate_global_view(graph, 0.8, 0.3, table, feature_table,
+                                 np.random.default_rng(123))
+            for _ in range(2)
+        ]
+        assert (views[0].adjacency != views[1].adjacency).nnz == 0
+        np.testing.assert_array_equal(views[0].features, views[1].features)
+
+    def test_same_seed_same_picks(self, sampler_table):
+        _graph, table = sampler_table
+        a = _batched_weighted_sample(table, 0.6, np.random.default_rng(9))
+        b = _batched_weighted_sample(table, 0.6, np.random.default_rng(9))
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self, sampler_table):
+        _graph, table = sampler_table
+        a = _batched_weighted_sample(table, 0.6, np.random.default_rng(9))
+        b = _batched_weighted_sample(table, 0.6, np.random.default_rng(10))
+        assert a[1].shape != b[1].shape or not np.array_equal(a[1], b[1])

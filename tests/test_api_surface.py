@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.eval",
     "repro.bench",
+    "repro.perf",
 ]
 
 

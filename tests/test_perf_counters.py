@@ -1,0 +1,101 @@
+"""The ``repro.perf`` scoped-counter registry."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro import perf
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    perf.reset()
+    yield
+    perf.reset()
+    perf.disable_allocation_tracking()
+
+
+class TestRecord:
+    def test_accumulates_calls_and_seconds(self):
+        for _ in range(3):
+            with perf.record("t.scope"):
+                time.sleep(0.001)
+        counter = perf.get_counter("t.scope")
+        assert counter.calls == 3
+        assert counter.seconds >= 0.003
+        assert counter.mean_seconds == pytest.approx(counter.seconds / 3)
+
+    def test_unknown_scope_is_none(self):
+        assert perf.get_counter("never.recorded") is None
+
+    def test_records_even_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with perf.record("t.raises"):
+                raise RuntimeError("boom")
+        assert perf.get_counter("t.raises").calls == 1
+
+    def test_reset_clears(self):
+        with perf.record("t.gone"):
+            pass
+        perf.reset()
+        assert perf.get_counter("t.gone") is None
+
+
+class TestProfiled:
+    def test_explicit_name(self):
+        @perf.profiled("t.named")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert work.__name__ == "work"
+        assert perf.get_counter("t.named").calls == 1
+
+    def test_default_name_is_qualname(self):
+        @perf.profiled()
+        def helper():
+            return 7
+
+        assert helper() == 7
+        scope = f"{helper.__module__}.{helper.__qualname__}"
+        assert perf.get_counter(scope).calls == 1
+
+
+class TestReporting:
+    def test_report_is_json_serializable(self):
+        with perf.record("t.a"):
+            pass
+        snapshot = json.loads(json.dumps(perf.report()))
+        assert snapshot["t.a"]["calls"] == 1
+        assert set(snapshot["t.a"]) == {"calls", "seconds", "mean_seconds", "peak_bytes"}
+
+    def test_summary_lists_scopes(self):
+        with perf.record("t.slowest"):
+            time.sleep(0.002)
+        with perf.record("t.fast"):
+            pass
+        text = perf.summary()
+        assert "t.slowest" in text and "t.fast" in text
+        assert text.index("t.slowest") < text.index("t.fast")
+
+
+class TestAllocationTracking:
+    def test_disabled_by_default(self):
+        assert not perf.allocation_tracking_enabled()
+        with perf.record("t.noalloc"):
+            np.zeros(100_000)
+        assert perf.get_counter("t.noalloc").peak_bytes == 0
+
+    def test_enabled_records_peak(self):
+        perf.enable_allocation_tracking()
+        try:
+            assert perf.allocation_tracking_enabled()
+            with perf.record("t.alloc"):
+                buffer = np.zeros(200_000)
+                del buffer
+        finally:
+            perf.disable_allocation_tracking()
+        assert perf.get_counter("t.alloc").peak_bytes >= 200_000 * 8
+        assert not perf.allocation_tracking_enabled()

@@ -1,0 +1,101 @@
+"""Unused-import lint for ``src/``.
+
+AST-based: a module-level or function-level import is *used* if its bound
+name appears anywhere else in the module as a ``Name`` load (attribute
+chains like ``np.array`` count through their root name).  ``__init__.py``
+files are exempt — their imports exist to re-export.  ``from x import y``
+names listed in ``__all__`` count as used.
+
+Run standalone (``python tools/check_imports.py``) or via the test suite
+(``tests/test_lint_imports.py``); exits non-zero when anything is unused.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+
+def _bound_names(node: ast.AST) -> List[Tuple[str, int]]:
+    """(name, lineno) pairs an import statement binds into the namespace."""
+    out = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            # ``import a.b.c`` binds the root ``a``; ``import a.b as c`` binds c.
+            name = alias.asname or alias.name.split(".")[0]
+            out.append((name, node.lineno))
+    elif isinstance(node, ast.ImportFrom):
+        if node.module == "__future__":
+            return []
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            out.append((alias.asname or alias.name, node.lineno))
+    return out
+
+
+def _exported_names(tree: ast.Module) -> set:
+    """Names listed in a literal module-level ``__all__``."""
+    exported = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "__all__" in targets and isinstance(node.value, (ast.List, ast.Tuple)):
+                for elt in node.value.elts:
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                        exported.add(elt.value)
+    return exported
+
+
+def check_file(path: Path) -> List[str]:
+    """Return ``"path:line: name"`` entries for each unused import."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    imports: List[Tuple[str, int]] = []
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            imports.extend(_bound_names(node))
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            root = node
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name):
+                used.add(root.id)
+    used |= _exported_names(tree)
+    try:
+        rel = path.relative_to(ROOT)
+    except ValueError:
+        rel = path
+    return [
+        f"{rel}:{lineno}: unused import {name!r}"
+        for name, lineno in imports
+        if name not in used
+    ]
+
+
+def main(paths=None) -> int:
+    targets = [Path(p) for p in paths] if paths else sorted(SRC.rglob("*.py"))
+    problems: List[str] = []
+    for path in targets:
+        if path.name == "__init__.py":
+            continue
+        if not path.is_file():
+            print(f"error: no such file: {path}")
+            return 2
+        problems.extend(check_file(path))
+    for line in problems:
+        print(line)
+    if problems:
+        print(f"{len(problems)} unused import(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:] or None))

@@ -18,7 +18,7 @@ from repro.bench import (
     method_kwargs,
     render_series,
 )
-from repro.eval import TimedEvaluator
+from repro.engine import TimedEvalHook
 
 DATASETS = ("cora", "citeseer")
 METHODS = ("afgrl", "bgrl", "mvgrl", "grace", "gca", "e2gcl")
@@ -35,20 +35,16 @@ def run_figure3() -> str:
         times = {}
         for name in METHODS:
             method = get_method(name, **method_kwargs(name, graph, epochs, seed=0))
-            evaluator = TimedEvaluator(
+            # The hook reads the engine's canonical clock, which starts
+            # before setup — E2GCL's selection time is already on the curve.
+            hook = TimedEvalHook(
                 graph, lambda m=method: m.embed(graph), label=name,
                 every=max(1, epochs // 6), eval_trials=2, decoder_epochs=100,
             )
-            evaluator.start()
-            method.fit(graph, callback=evaluator)
-            if name == "e2gcl":
-                # Selection happens before epoch 0; charge it to the curve
-                # retroactively (it is part of E2GCL's total training time).
-                for point in evaluator.curve.points:
-                    point.seconds += method.selection_seconds
-            series[name.upper()] = [(p.seconds, p.accuracy) for p in evaluator.curve.points]
-            final[name] = evaluator.curve.final_accuracy()
-            times[name] = evaluator.curve.points[-1].seconds if evaluator.curve.points else 0.0
+            method.fit(graph, hooks=[hook])
+            series[name.upper()] = [(p.seconds, p.accuracy) for p in hook.curve.points]
+            final[name] = hook.curve.final_accuracy()
+            times[name] = hook.curve.points[-1].seconds if hook.curve.points else 0.0
 
         best_baseline = max(final[m] for m in METHODS if m != "e2gcl")
         checks.append(expect(

@@ -32,6 +32,35 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Checkpointing: slot buffers (momentum/Adam moments) keyed generically
+    # so the training engine can snapshot any optimizer uniformly — lists of
+    # arrays map one-to-one onto the parameter list, scalars ride along.
+    def state_dict(self) -> dict:
+        """Internal state to checkpoint (beyond the parameters themselves)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output; base optimizer has no state."""
+        if state:
+            raise ValueError(f"unexpected optimizer state keys: {sorted(state)}")
+
+    def _check_slots(self, arrays, label: str) -> List[np.ndarray]:
+        """Validate per-parameter slot arrays against the parameter list."""
+        arrays = [np.asarray(a, dtype=np.float64) for a in arrays]
+        if len(arrays) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state mismatch: {len(arrays)} {label} buffers for "
+                f"{len(self.parameters)} parameters"
+            )
+        for array, param in zip(arrays, self.parameters):
+            if array.shape != param.data.shape:
+                raise ValueError(
+                    f"optimizer {label} shape {array.shape} does not match "
+                    f"parameter shape {param.data.shape}"
+                )
+        return arrays
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and L2 decay."""
@@ -60,6 +89,14 @@ class SGD(Optimizer):
                 vel += grad
                 grad = vel
             param.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        """Velocity buffers (one per parameter)."""
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore velocity buffers saved by :meth:`state_dict`."""
+        self._velocity = self._check_slots(state["velocity"], "velocity")
 
 
 class Adam(Optimizer):
@@ -98,6 +135,20 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        """First/second moment buffers plus the shared step counter."""
+        return {
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+            "t": self._t,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore moments and step counter saved by :meth:`state_dict`."""
+        self._m = self._check_slots(state["m"], "m")
+        self._v = self._check_slots(state["v"], "v")
+        self._t = int(state["t"])
 
 
 class AdamW(Adam):

@@ -10,12 +10,11 @@ BYOL-style with an EMA target.
 
 from __future__ import annotations
 
-import time
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from ..autograd import Adam, Tensor, functional
+from ..autograd import Tensor, functional
 from ..graphs import Graph
 from ..nn import GCN, MLP
 from .base import ContrastiveMethod, register
@@ -71,26 +70,43 @@ class AFGRL(ContrastiveMethod):
             targets[v] = h[chosen].mean(axis=0)
         return targets
 
-    def _fit_impl(self, graph: Graph, callback) -> None:
+    # ------------------------------------------------------------------
+    # TrainStep plugin surface
+    # ------------------------------------------------------------------
+    def _materialize_impl(self, graph: Graph) -> None:
         self.target_encoder = self._build_encoder(graph)
         self.target_encoder.load_state_dict(self.encoder.state_dict())
         self.predictor = MLP(
             self.embedding_dim, self.hidden_dim, self.embedding_dim,
             num_layers=2, seed=self.seed + 7,
         )
-        params = self.encoder.parameters() + self.predictor.parameters()
-        optimizer = Adam(params, lr=self.lr, weight_decay=self.weight_decay)
-        start = time.perf_counter()
-        for epoch in range(self.epochs):
-            if epoch % self.refresh_positives_every == 0:
-                self._positive_targets = self._discover_positives(graph)
-            optimizer.zero_grad()
-            online = self.predictor(self.encoder(graph))
-            loss = functional.bootstrap_cosine_loss(online, Tensor(self._positive_targets))
-            loss.backward()
-            optimizer.step()
-            self._ema_update()
-            self.info.losses.append(float(loss.item()))
-            self.info.epoch_seconds.append(time.perf_counter() - start)
-            if callback is not None:
-                callback(epoch, self)
+
+    def trainable_parameters(self):
+        """Online encoder plus predictor (the target gets no gradients)."""
+        return self.encoder.parameters() + self.predictor.parameters()
+
+    def checkpoint_components(self) -> Dict[str, object]:
+        """Networks plus the currently discovered positive targets."""
+        return {
+            "encoder": self.encoder,
+            "predictor": self.predictor,
+            "target_encoder": self.target_encoder,
+            "positive_targets": self._positive_targets,
+        }
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        super().load_state_arrays(arrays)
+        if "positive_targets" in arrays:
+            self._positive_targets = np.array(arrays["positive_targets"])
+
+    def compute_loss(self, loop, epoch: int) -> Tensor:
+        """Regress the online view onto the discovered positives."""
+        graph = self._graph
+        if epoch % self.refresh_positives_every == 0:
+            self._positive_targets = self._discover_positives(graph)
+        online = self.predictor(self.encoder(graph))
+        return functional.bootstrap_cosine_loss(online, Tensor(self._positive_targets))
+
+    def finish_epoch(self, loop, epoch: int) -> None:
+        """EMA update after the optimizer step."""
+        self._ema_update()

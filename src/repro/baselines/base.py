@@ -6,6 +6,14 @@ returns frozen representations for the linear-eval decoders.  A registry
 maps paper names ("GRACE", "GCA", ...) to constructors so benchmarks can
 enumerate Tab. IV's model column directly.
 
+Since the engine refactor, no method hand-rolls an epoch loop: a
+:class:`ContrastiveMethod` *is* a :class:`repro.engine.TrainStep` plugin
+(build views → forward → loss) and ``fit`` drives it through one shared
+:class:`repro.engine.TrainLoop`, which owns the optimizer, the canonical
+wall-clock origin (started before encoder construction, so timings are
+comparable across methods), hooks (early stopping, checkpointing, timed
+eval), and checkpoint save/resume.
+
 The perturbation-based baselines share :class:`TwoViewContrastiveMethod`:
 two augmented views per epoch → shared GCN encoder → InfoNCE.  Their
 *operation sets* are explicit constructor arguments, which is what the
@@ -15,13 +23,12 @@ Fig. 2 "operation upgrade" experiment varies (e.g. GRACE's original
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
-from ..autograd import Adam, Tensor
+from ..autograd import Tensor
 from ..core.augmentations import (
     add_edges,
     drop_edges,
@@ -30,6 +37,14 @@ from ..core.augmentations import (
     perturb_features,
 )
 from ..core.losses import infonce_loss
+from ..engine import (
+    CallbackHook,
+    RngStreams,
+    RunHistory,
+    TrainLoop,
+    TrainStep,
+    load_step_state,
+)
 from ..graphs import Graph
 from ..nn import GCN, ProjectionHead
 
@@ -43,17 +58,32 @@ FD = "FD"  # feature dropping
 _OPERATION_NAMES = (ED, EA, FM, FP, FD)
 
 
-@dataclass
 class FitInfo:
-    """Bookkeeping every baseline records during ``fit``."""
+    """Bookkeeping every baseline exposes after ``fit`` — a read-only view
+    over the engine's :class:`~repro.engine.RunHistory`, so losses and
+    wall-clock come from the loop's single timing origin."""
 
-    losses: List[float] = field(default_factory=list)
-    seconds: float = 0.0
-    epoch_seconds: List[float] = field(default_factory=list)
+    def __init__(self, history: Optional[RunHistory] = None) -> None:
+        self.history = history if history is not None else RunHistory()
+
+    @property
+    def losses(self) -> List[float]:
+        """Per-epoch losses."""
+        return self.history.losses
+
+    @property
+    def epoch_seconds(self) -> List[float]:
+        """Cumulative wall-clock at each epoch end (engine origin)."""
+        return self.history.elapsed
+
+    @property
+    def seconds(self) -> float:
+        """Total run wall-clock, setup/selection included."""
+        return self.history.total_seconds
 
 
-class ContrastiveMethod:
-    """Interface all pre-training methods share."""
+class ContrastiveMethod(TrainStep):
+    """Interface all pre-training methods share (a ``TrainStep`` plugin)."""
 
     name = "base"
 
@@ -76,7 +106,10 @@ class ContrastiveMethod:
         self.seed = seed
         self.encoder: Optional[GCN] = None
         self.info = FitInfo()
-        self._rng = np.random.default_rng(seed)
+        self.rngs = RngStreams(seed)
+        self._rng = self.rngs.main
+        self._graph: Optional[Graph] = None
+        self.last_loop: Optional[TrainLoop] = None
 
     # ------------------------------------------------------------------
     def _build_encoder(self, graph: Graph) -> GCN:
@@ -88,16 +121,78 @@ class ContrastiveMethod:
             seed=self.seed,
         )
 
-    def fit(self, graph: Graph, callback: Optional[Callable[[int, "ContrastiveMethod"], None]] = None) -> "ContrastiveMethod":
-        """Pre-train on ``graph``; labels are never read."""
-        start = time.perf_counter()
+    # ------------------------------------------------------------------
+    # TrainStep plugin surface
+    # ------------------------------------------------------------------
+    def materialize(self, graph: Graph) -> "ContrastiveMethod":
+        """Construct all modules deterministically (no training, no heavy
+        precompute) — enough to load checkpointed arrays and ``embed``."""
+        self._graph = graph
         self.encoder = self._build_encoder(graph)
-        self._fit_impl(graph, callback)
-        self.info.seconds = time.perf_counter() - start
+        self._materialize_impl(graph)
         return self
 
-    def _fit_impl(self, graph: Graph, callback) -> None:  # pragma: no cover
-        raise NotImplementedError
+    def _materialize_impl(self, graph: Graph) -> None:
+        """Subclass hook: build projectors / targets / discriminators."""
+
+    def prepare(self, loop) -> None:
+        """Engine setup phase: materialize modules + heavy precompute."""
+        self.materialize(self._graph)
+        self._prepare_impl(self._graph)
+
+    def _prepare_impl(self, graph: Graph) -> None:
+        """Subclass hook: one-off precompute (diffusion graphs, targets)."""
+
+    def trainable_parameters(self):
+        """Parameters the engine's optimizer updates."""
+        return self.encoder.parameters()
+
+    def checkpoint_components(self) -> Dict[str, object]:
+        """Named modules/parameters a checkpoint captures."""
+        return {"encoder": self.encoder}
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        graph: Graph,
+        callback: Optional[Callable[[int, "ContrastiveMethod"], None]] = None,
+        *,
+        hooks: Sequence = (),
+        resume_from: Optional[Union[str, Path]] = None,
+    ) -> "ContrastiveMethod":
+        """Pre-train on ``graph`` through the shared engine; labels are
+        never read.
+
+        ``callback(epoch, method)`` fires after each epoch (legacy
+        surface); ``hooks`` extends the engine's hook pipeline (early
+        stopping, periodic checkpoints, timed eval); ``resume_from``
+        continues a run from a v2 checkpoint bit-identically.
+        """
+        self._graph = graph
+        run_hooks = list(hooks)
+        if callback is not None:
+            run_hooks.append(CallbackHook(callback, owner=self))
+        loop = TrainLoop(
+            self,
+            epochs=self.epochs,
+            lr=self.lr,
+            weight_decay=self.weight_decay,
+            hooks=run_hooks,
+            rngs=self.rngs,
+            scope=f"method.{self.name}",
+            resume_from=resume_from,
+        )
+        self.last_loop = loop
+        self.info = FitInfo(loop.run())
+        return self
+
+    def load_checkpoint(self, path: Union[str, Path], graph: Graph) -> "ContrastiveMethod":
+        """Rehydrate a trained method from an engine (v2) checkpoint for
+        inference: rebuilds the modules for ``graph`` and restores their
+        arrays, so ``embed`` reproduces the checkpointed representations."""
+        self.materialize(graph)
+        load_step_state(self, path)
+        return self
 
     def embed(self, graph: Graph) -> np.ndarray:
         """Frozen-encoder representations."""
@@ -171,25 +266,26 @@ class TwoViewContrastiveMethod(ContrastiveMethod):
     def _project(self, h: Tensor) -> Tensor:
         return self.projector(h) if self.projector is not None else h
 
-    def _fit_impl(self, graph: Graph, callback) -> None:
+    # ------------------------------------------------------------------
+    def _materialize_impl(self, graph: Graph) -> None:
         self.projector = ProjectionHead(
             self.embedding_dim, self.hidden_dim, self.projection_dim, seed=self.seed + 5
         )
-        params = self.encoder.parameters() + self.projector.parameters()
-        optimizer = Adam(params, lr=self.lr, weight_decay=self.weight_decay)
-        start = time.perf_counter()
-        for epoch in range(self.epochs):
-            view1, view2 = self._views(graph)
-            optimizer.zero_grad()
-            z1 = self._project(self.encoder(view1))
-            z2 = self._project(self.encoder(view2))
-            loss = infonce_loss(z1, z2, temperature=self.temperature)
-            loss.backward()
-            optimizer.step()
-            self.info.losses.append(float(loss.item()))
-            self.info.epoch_seconds.append(time.perf_counter() - start)
-            if callback is not None:
-                callback(epoch, self)
+
+    def trainable_parameters(self):
+        """Encoder plus projection head."""
+        return self.encoder.parameters() + self.projector.parameters()
+
+    def checkpoint_components(self) -> Dict[str, object]:
+        """Encoder plus projection head."""
+        return {"encoder": self.encoder, "projector": self.projector}
+
+    def compute_loss(self, loop, epoch: int) -> Tensor:
+        """Two augmented views → shared encoder → symmetric NT-Xent."""
+        view1, view2 = self._views(self._graph)
+        z1 = self._project(self.encoder(view1))
+        z2 = self._project(self.encoder(view2))
+        return infonce_loss(z1, z2, temperature=self.temperature)
 
 
 # ----------------------------------------------------------------------

@@ -8,11 +8,9 @@ average and never receives gradients.
 
 from __future__ import annotations
 
-import time
-from typing import Optional
+from typing import Dict, Optional
 
-
-from ..autograd import Adam, Tensor, functional, ops
+from ..autograd import Tensor, functional, ops
 from ..core.augmentations import drop_edges, mask_features
 from ..graphs import Graph
 from ..nn import GCN, MLP
@@ -54,36 +52,47 @@ class BGRL(ContrastiveMethod):
             param.data *= self.ema_decay
             param.data += (1.0 - self.ema_decay) * online[name].data
 
-    def _fit_impl(self, graph: Graph, callback) -> None:
+    # ------------------------------------------------------------------
+    # TrainStep plugin surface
+    # ------------------------------------------------------------------
+    def _materialize_impl(self, graph: Graph) -> None:
         self.target_encoder = self._build_encoder(graph)
         self.target_encoder.load_state_dict(self.encoder.state_dict())
         self.predictor = MLP(
             self.embedding_dim, self.hidden_dim, self.embedding_dim,
             num_layers=2, seed=self.seed + 3,
         )
-        params = self.encoder.parameters() + self.predictor.parameters()
-        optimizer = Adam(params, lr=self.lr, weight_decay=self.weight_decay)
-        start = time.perf_counter()
-        for epoch in range(self.epochs):
-            view1 = self._augment(graph, self.edge_drop_rates[0], self.feature_mask_rates[0])
-            view2 = self._augment(graph, self.edge_drop_rates[1], self.feature_mask_rates[1])
-            optimizer.zero_grad()
-            online1 = self.predictor(self.encoder(view1))
-            online2 = self.predictor(self.encoder(view2))
-            # Target representations are constants (stop-gradient).
-            target1 = Tensor(self.target_encoder.embed(view1))
-            target2 = Tensor(self.target_encoder.embed(view2))
-            loss = ops.mul(
-                ops.add(
-                    functional.bootstrap_cosine_loss(online1, target2),
-                    functional.bootstrap_cosine_loss(online2, target1),
-                ),
-                0.5,
-            )
-            loss.backward()
-            optimizer.step()
-            self._ema_update()
-            self.info.losses.append(float(loss.item()))
-            self.info.epoch_seconds.append(time.perf_counter() - start)
-            if callback is not None:
-                callback(epoch, self)
+
+    def trainable_parameters(self):
+        """Online encoder plus predictor (the target gets no gradients)."""
+        return self.encoder.parameters() + self.predictor.parameters()
+
+    def checkpoint_components(self) -> Dict[str, object]:
+        """Online encoder, predictor, and the EMA target encoder."""
+        return {
+            "encoder": self.encoder,
+            "predictor": self.predictor,
+            "target_encoder": self.target_encoder,
+        }
+
+    def compute_loss(self, loop, epoch: int) -> Tensor:
+        """Symmetric bootstrap cosine loss across two augmented views."""
+        graph = self._graph
+        view1 = self._augment(graph, self.edge_drop_rates[0], self.feature_mask_rates[0])
+        view2 = self._augment(graph, self.edge_drop_rates[1], self.feature_mask_rates[1])
+        online1 = self.predictor(self.encoder(view1))
+        online2 = self.predictor(self.encoder(view2))
+        # Target representations are constants (stop-gradient).
+        target1 = Tensor(self.target_encoder.embed(view1))
+        target2 = Tensor(self.target_encoder.embed(view2))
+        return ops.mul(
+            ops.add(
+                functional.bootstrap_cosine_loss(online1, target2),
+                functional.bootstrap_cosine_loss(online2, target1),
+            ),
+            0.5,
+        )
+
+    def finish_epoch(self, loop, epoch: int) -> None:
+        """EMA update after the optimizer step."""
+        self._ema_update()

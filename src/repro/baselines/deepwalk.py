@@ -4,12 +4,16 @@ Both learn node embeddings from random-walk corpora with skip-gram +
 negative sampling (SGNS), trained by plain SGD on numpy arrays (no autodiff
 needed — the SGNS gradient is closed-form).  Structure-only, which is why
 Tab. IV shows them trailing the feature-aware GCL methods.
+
+On the engine they are a single-"epoch" :class:`TrainStep` that overrides
+``run_epoch`` wholesale: there is no loss tensor to backpropagate, so the
+SGNS schedule runs inside one engine epoch and no optimizer is built
+(``trainable_parameters`` is empty).
 """
 
 from __future__ import annotations
 
-import time
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -79,7 +83,7 @@ class _WalkEmbeddingMethod(ContrastiveMethod):
     max_pairs = 200_000  # subsample huge corpora (keeps large graphs tractable)
 
     def __init__(self, **kwargs) -> None:
-        kwargs.setdefault("epochs", 1)  # the SGNS loop has its own schedule
+        kwargs["epochs"] = 1  # single engine epoch: SGNS has its own schedule
         super().__init__(**kwargs)
         self._embeddings: Optional[np.ndarray] = None
         self._fitted_nodes: Optional[int] = None
@@ -90,8 +94,16 @@ class _WalkEmbeddingMethod(ContrastiveMethod):
     def _walks(self, graph: Graph) -> np.ndarray:  # pragma: no cover - interface
         raise NotImplementedError
 
-    def _fit_impl(self, graph: Graph, callback) -> None:
-        start = time.perf_counter()
+    # ------------------------------------------------------------------
+    # TrainStep plugin surface
+    # ------------------------------------------------------------------
+    def trainable_parameters(self):
+        """SGNS maintains its own arrays — the engine builds no optimizer."""
+        return []
+
+    def run_epoch(self, loop, epoch: int) -> float:
+        """The whole walk → pairs → SGNS fit runs as one engine epoch."""
+        graph = self._graph
         walks = self._walks(graph)
         pairs = np.asarray(list(skip_gram_pairs(walks, self.window)), dtype=np.int64)
         if pairs.shape[0] > self.max_pairs:
@@ -101,17 +113,30 @@ class _WalkEmbeddingMethod(ContrastiveMethod):
             # Edgeless graph: fall back to random embeddings.
             self._embeddings = self._rng.normal(size=(graph.num_nodes, self.embedding_dim))
             self._fitted_nodes = graph.num_nodes
-            return
+            return 0.0
         noise = (graph.degrees + 1.0) ** 0.75
         noise /= noise.sum()
         trainer = _SkipGramTrainer(graph.num_nodes, self.embedding_dim, self._rng)
         trainer.train(pairs, noise, self.sgns_epochs, self.sgns_lr, self.num_negatives)
         self._embeddings = trainer.in_vectors
         self._fitted_nodes = graph.num_nodes
-        self.info.losses.append(0.0)
-        self.info.epoch_seconds.append(time.perf_counter() - start)
-        if callback is not None:
-            callback(0, self)
+        return 0.0
+
+    def checkpoint_components(self) -> Dict[str, object]:
+        """The learned embedding table."""
+        return {"embeddings": self._embeddings}
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        if "embeddings" in arrays:
+            self._embeddings = np.array(arrays["embeddings"])
+
+    def state_json(self) -> dict:
+        """Number of nodes the (transductive) embeddings were fit on."""
+        return {"fitted_nodes": self._fitted_nodes}
+
+    def load_state_json(self, payload: dict) -> None:
+        fitted = payload.get("fitted_nodes")
+        self._fitted_nodes = int(fitted) if fitted is not None else None
 
     def embed(self, graph: Graph) -> np.ndarray:
         if self._embeddings is None:

@@ -8,12 +8,11 @@ scores (node, summary) pairs with a BCE objective.
 
 from __future__ import annotations
 
-import time
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from ..autograd import Adam, Parameter, Tensor, functional, init, ops
+from ..autograd import Parameter, Tensor, functional, init, ops
 from ..graphs import Graph
 from .base import ContrastiveMethod, register
 
@@ -27,6 +26,7 @@ class DGI(ContrastiveMethod):
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
         self.discriminator_weight: Optional[Parameter] = None
+        self._targets: Optional[np.ndarray] = None
 
     def _corrupt(self, graph: Graph) -> Graph:
         """The canonical DGI corruption: permute feature rows, keep edges."""
@@ -42,28 +42,34 @@ class DGI(ContrastiveMethod):
         projected = ops.matmul(h, self.discriminator_weight)       # (n, d)
         return ops.reshape(ops.matmul(projected, ops.transpose(summary)), (h.shape[0],))
 
-    def _fit_impl(self, graph: Graph, callback) -> None:
+    # ------------------------------------------------------------------
+    # TrainStep plugin surface
+    # ------------------------------------------------------------------
+    def _materialize_impl(self, graph: Graph) -> None:
         rng = np.random.default_rng(self.seed + 11)
         self.discriminator_weight = Parameter(
             init.glorot_uniform((self.embedding_dim, self.embedding_dim), rng), name="disc"
         )
-        params = self.encoder.parameters() + [self.discriminator_weight]
-        optimizer = Adam(params, lr=self.lr, weight_decay=self.weight_decay)
+
+    def _prepare_impl(self, graph: Graph) -> None:
         n = graph.num_nodes
-        targets = np.concatenate([np.ones(n), np.zeros(n)])
-        start = time.perf_counter()
-        for epoch in range(self.epochs):
-            corrupted = self._corrupt(graph)
-            optimizer.zero_grad()
-            h_real = self.encoder(graph)
-            h_fake = self.encoder(corrupted)
-            summary = self._summary(h_real)
-            logits = ops.concat([self._scores(h_real, summary),
-                                 self._scores(h_fake, summary)], axis=0)
-            loss = functional.binary_cross_entropy_with_logits(logits, targets)
-            loss.backward()
-            optimizer.step()
-            self.info.losses.append(float(loss.item()))
-            self.info.epoch_seconds.append(time.perf_counter() - start)
-            if callback is not None:
-                callback(epoch, self)
+        self._targets = np.concatenate([np.ones(n), np.zeros(n)])
+
+    def trainable_parameters(self):
+        """Encoder plus the bilinear discriminator."""
+        return self.encoder.parameters() + [self.discriminator_weight]
+
+    def checkpoint_components(self) -> Dict[str, object]:
+        """Encoder plus the discriminator weight."""
+        return {"encoder": self.encoder, "discriminator_weight": self.discriminator_weight}
+
+    def compute_loss(self, loop, epoch: int) -> Tensor:
+        """Real vs corrupted (node, summary) pairs under BCE."""
+        graph = self._graph
+        corrupted = self._corrupt(graph)
+        h_real = self.encoder(graph)
+        h_fake = self.encoder(corrupted)
+        summary = self._summary(h_real)
+        logits = ops.concat([self._scores(h_real, summary),
+                             self._scores(h_fake, summary)], axis=0)
+        return functional.binary_cross_entropy_with_logits(logits, self._targets)

@@ -2,17 +2,20 @@
 
 Lets the benchmark harness iterate E2GCL and the baselines uniformly (same
 ``fit``/``embed``/timing surface), and exposes the selector hook for the
-Tab. VII comparison.
+Tab. VII comparison.  The heavy lifting happens in
+:class:`repro.core.E2GCLTrainer`, itself a :class:`repro.engine.TrainStep`
+plugin — this wrapper forwards hooks / resume straight to it.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
 
 from ..core import E2GCLConfig, E2GCLTrainer
+from ..engine import load_step_state
 from ..graphs import Graph
-from .base import ContrastiveMethod, register
+from .base import ContrastiveMethod, FitInfo, register
 
 
 @register
@@ -56,17 +59,41 @@ class E2GCLMethod(ContrastiveMethod):
     def _build_encoder(self, graph: Graph):
         return None  # the trainer owns encoder construction
 
-    def _fit_impl(self, graph: Graph, callback) -> None:
+    def fit(
+        self,
+        graph: Graph,
+        callback: Optional[Callable[[int, "E2GCLMethod"], None]] = None,
+        *,
+        hooks: Sequence = (),
+        resume_from: Optional[Union[str, Path]] = None,
+    ) -> "E2GCLMethod":
+        """Delegate to the E2GCL trainer (itself an engine plugin)."""
+        self._graph = graph
         self.trainer = E2GCLTrainer(graph, self.config, selector=self.selector)
         # Expose the encoder before training so per-epoch callbacks (e.g.
         # the Fig. 3 timed evaluator) can embed mid-run.
         self.encoder = self.trainer.encoder
         self.train_result = self.trainer.train(
-            callback=(lambda epoch, _t: callback(epoch, self)) if callback else None
+            callback=(lambda epoch, _t: callback(epoch, self)) if callback else None,
+            hooks=hooks,
+            resume_from=resume_from,
         )
         self.encoder = self.train_result.encoder
-        self.info.losses = [rec.loss for rec in self.train_result.history]
-        self.info.epoch_seconds = [rec.elapsed_seconds for rec in self.train_result.history]
+        self.info = FitInfo(self.train_result.run_history)
+        self.last_loop = self.trainer.last_loop
+        return self
+
+    def load_checkpoint(self, path: Union[str, Path], graph: Graph) -> "E2GCLMethod":
+        """Rehydrate from an engine checkpoint written during ``fit``.
+
+        The checkpoint's step class is :class:`E2GCLTrainer` (the actual
+        engine plugin), so a fresh trainer is built and its arrays restored.
+        """
+        self._graph = graph
+        self.trainer = E2GCLTrainer(graph, self.config, selector=self.selector)
+        load_step_state(self.trainer, path)
+        self.encoder = self.trainer.encoder
+        return self
 
     @property
     def selection_seconds(self) -> float:

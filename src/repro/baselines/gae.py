@@ -9,12 +9,11 @@ adds a reparameterized gaussian latent with a KL prior term.
 
 from __future__ import annotations
 
-import time
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from ..autograd import Adam, Tensor, functional, ops
+from ..autograd import Tensor, functional, ops
 from ..graphs import Graph, sample_negative_edges
 from ..nn import GCN
 from .base import ContrastiveMethod, register
@@ -40,19 +39,9 @@ class GAE(ContrastiveMethod):
         targets = np.concatenate([np.ones(pos.shape[0]), np.zeros(neg.shape[0])])
         return functional.binary_cross_entropy_with_logits(logits, targets)
 
-    def _fit_impl(self, graph: Graph, callback) -> None:
-        optimizer = Adam(self.encoder.parameters(), lr=self.lr, weight_decay=self.weight_decay)
-        start = time.perf_counter()
-        for epoch in range(self.epochs):
-            optimizer.zero_grad()
-            h = self.encoder(graph)
-            loss = self._reconstruction_loss(h, graph)
-            loss.backward()
-            optimizer.step()
-            self.info.losses.append(float(loss.item()))
-            self.info.epoch_seconds.append(time.perf_counter() - start)
-            if callback is not None:
-                callback(epoch, self)
+    def compute_loss(self, loop, epoch: int) -> Tensor:
+        """Negative-sampled edge reconstruction."""
+        return self._reconstruction_loss(self.encoder(self._graph), self._graph)
 
 
 @register
@@ -65,8 +54,13 @@ class VGAE(ContrastiveMethod):
         super().__init__(**kwargs)
         self.kl_weight = kl_weight
         self.logvar_encoder: Optional[GCN] = None
+        self._pos: Optional[np.ndarray] = None
+        self._kl_weight = 0.0
 
-    def _fit_impl(self, graph: Graph, callback) -> None:
+    # ------------------------------------------------------------------
+    # TrainStep plugin surface
+    # ------------------------------------------------------------------
+    def _materialize_impl(self, graph: Graph) -> None:
         self.logvar_encoder = GCN(
             in_features=graph.num_features,
             hidden_features=self.hidden_dim,
@@ -74,43 +68,49 @@ class VGAE(ContrastiveMethod):
             num_layers=self.num_layers,
             seed=self.seed + 13,
         )
+
+    def _prepare_impl(self, graph: Graph) -> None:
         # The reconstruction term is a *mean* over sampled edges, so the KL
         # must be a per-node mean too (a raw sum overwhelms reconstruction
         # and collapses the posterior to the prior).
-        kl_weight = self.kl_weight if self.kl_weight is not None else 0.05 / graph.num_nodes
-        params = self.encoder.parameters() + self.logvar_encoder.parameters()
-        optimizer = Adam(params, lr=self.lr, weight_decay=self.weight_decay)
-        start = time.perf_counter()
-        pos = graph.edge_array()
-        for epoch in range(self.epochs):
-            optimizer.zero_grad()
-            mu = self.encoder(graph)
-            logvar = self.logvar_encoder(graph)
-            noise = self._rng.normal(size=mu.shape)
-            z = ops.add(mu, ops.mul(ops.exp(ops.mul(logvar, 0.5)), noise))
+        self._kl_weight = (
+            self.kl_weight if self.kl_weight is not None else 0.05 / graph.num_nodes
+        )
+        self._pos = graph.edge_array()
 
-            neg = sample_negative_edges(graph, pos.shape[0], self._rng)
-            logits = ops.concat([_edge_logits(z, pos), _edge_logits(z, neg)], axis=0)
-            targets = np.concatenate([np.ones(pos.shape[0]), np.zeros(neg.shape[0])])
-            recon = functional.binary_cross_entropy_with_logits(logits, targets)
+    def trainable_parameters(self):
+        """μ and log σ² encoders."""
+        return self.encoder.parameters() + self.logvar_encoder.parameters()
 
-            # KL(q || N(0, I)) = -0.5 Σ (1 + logσ² − μ² − σ²)
-            kl = ops.mul(
-                ops.sum(
-                    ops.sub(
-                        ops.add(ops.mul(mu, mu), ops.exp(logvar)),
-                        ops.add(logvar, 1.0),
-                    )
-                ),
-                0.5 * kl_weight,
-            )
-            loss = ops.add(recon, kl)
-            loss.backward()
-            optimizer.step()
-            self.info.losses.append(float(loss.item()))
-            self.info.epoch_seconds.append(time.perf_counter() - start)
-            if callback is not None:
-                callback(epoch, self)
+    def checkpoint_components(self) -> Dict[str, object]:
+        """μ and log σ² encoders."""
+        return {"encoder": self.encoder, "logvar_encoder": self.logvar_encoder}
+
+    def compute_loss(self, loop, epoch: int) -> Tensor:
+        """Reparameterized reconstruction plus weighted KL prior."""
+        graph = self._graph
+        pos = self._pos
+        mu = self.encoder(graph)
+        logvar = self.logvar_encoder(graph)
+        noise = self._rng.normal(size=mu.shape)
+        z = ops.add(mu, ops.mul(ops.exp(ops.mul(logvar, 0.5)), noise))
+
+        neg = sample_negative_edges(graph, pos.shape[0], self._rng)
+        logits = ops.concat([_edge_logits(z, pos), _edge_logits(z, neg)], axis=0)
+        targets = np.concatenate([np.ones(pos.shape[0]), np.zeros(neg.shape[0])])
+        recon = functional.binary_cross_entropy_with_logits(logits, targets)
+
+        # KL(q || N(0, I)) = -0.5 Σ (1 + logσ² − μ² − σ²)
+        kl = ops.mul(
+            ops.sum(
+                ops.sub(
+                    ops.add(ops.mul(mu, mu), ops.exp(logvar)),
+                    ops.add(logvar, 1.0),
+                )
+            ),
+            0.5 * self._kl_weight,
+        )
+        return ops.add(recon, kl)
 
     def embed(self, graph: Graph) -> np.ndarray:
         """The posterior mean μ (standard VGAE inference)."""

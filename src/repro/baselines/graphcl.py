@@ -15,16 +15,14 @@ for the second view, while the encoder minimizes the same loss.
 
 from __future__ import annotations
 
-import time
 from typing import Sequence, Tuple
 
 import numpy as np
 
-from ..autograd import Adam
+from ..autograd import Tensor
 from ..core.augmentations import add_edges, drop_edges, drop_features, mask_features, perturb_features
 from ..core.losses import infonce_loss
 from ..graphs import Graph
-from ..nn import ProjectionHead
 from .base import EA, ED, FM, FP, TwoViewContrastiveMethod, register
 
 
@@ -83,39 +81,32 @@ class ADGCL(TwoViewContrastiveMethod):
         view2 = self._apply_upgrades(drop_edges(graph, self.current_rate, self._rng))
         return view1, view2
 
-    def _fit_impl(self, graph: Graph, callback) -> None:
-        self.projector = ProjectionHead(
-            self.embedding_dim, self.hidden_dim, self.projection_dim, seed=self.seed + 5
-        )
-        params = self.encoder.parameters() + self.projector.parameters()
-        optimizer = Adam(params, lr=self.lr, weight_decay=self.weight_decay)
-        start = time.perf_counter()
-        for epoch in range(self.epochs):
-            # Adversary step: pick the drop rate the encoder currently finds
-            # hardest (max loss), evaluated without gradients.
-            if epoch % 5 == 0:
-                worst_rate, worst_loss = self.current_rate, -np.inf
-                base = self.encoder.embed(self._apply_upgrades(graph))
-                for rate in self.adversarial_rates:
-                    probe_view = drop_edges(graph, rate, self._rng)
-                    probe = self.encoder.embed(probe_view)
-                    from ..autograd import Tensor
+    def compute_loss(self, loop, epoch: int) -> Tensor:
+        """Adversary step (rate grid) every 5 epochs, then NT-Xent."""
+        graph = self._graph
+        # Adversary step: pick the drop rate the encoder currently finds
+        # hardest (max loss), evaluated without gradients.
+        if epoch % 5 == 0:
+            worst_rate, worst_loss = self.current_rate, -np.inf
+            base = self.encoder.embed(self._apply_upgrades(graph))
+            for rate in self.adversarial_rates:
+                probe_view = drop_edges(graph, rate, self._rng)
+                probe = self.encoder.embed(probe_view)
+                loss_val = float(
+                    infonce_loss(Tensor(base), Tensor(probe), temperature=self.temperature).item()
+                )
+                if loss_val > worst_loss:
+                    worst_loss, worst_rate = loss_val, rate
+            self.current_rate = worst_rate
 
-                    loss_val = float(
-                        infonce_loss(Tensor(base), Tensor(probe), temperature=self.temperature).item()
-                    )
-                    if loss_val > worst_loss:
-                        worst_loss, worst_rate = loss_val, rate
-                self.current_rate = worst_rate
+        view1, view2 = self._views(graph)
+        z1 = self._project(self.encoder(view1))
+        z2 = self._project(self.encoder(view2))
+        return infonce_loss(z1, z2, temperature=self.temperature)
 
-            view1, view2 = self._views(graph)
-            optimizer.zero_grad()
-            z1 = self._project(self.encoder(view1))
-            z2 = self._project(self.encoder(view2))
-            loss = infonce_loss(z1, z2, temperature=self.temperature)
-            loss.backward()
-            optimizer.step()
-            self.info.losses.append(float(loss.item()))
-            self.info.epoch_seconds.append(time.perf_counter() - start)
-            if callback is not None:
-                callback(epoch, self)
+    def state_json(self) -> dict:
+        """The adversary's currently selected drop rate."""
+        return {"current_rate": self.current_rate}
+
+    def load_state_json(self, payload: dict) -> None:
+        self.current_rate = float(payload.get("current_rate", self.adversarial_rates[0]))

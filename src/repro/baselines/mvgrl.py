@@ -13,12 +13,11 @@ Fig. 2's upgrade adds uniform feature perturbation (FP) on both views.
 
 from __future__ import annotations
 
-import time
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..autograd import Adam, Parameter, Tensor, functional, init, ops
+from ..autograd import Parameter, Tensor, functional, init, ops
 from ..core.augmentations import perturb_features
 from ..graphs import Graph, ppr_diffusion_graph
 from ..nn import GCN
@@ -49,6 +48,7 @@ class MVGRL(ContrastiveMethod):
         self.diffusion_encoder: Optional[GCN] = None
         self.discriminator_weight: Optional[Parameter] = None
         self._diffusion_graph: Optional[Graph] = None
+        self._targets: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def _summary(self, h: Tensor) -> Tensor:
@@ -63,7 +63,10 @@ class MVGRL(ContrastiveMethod):
             return perturb_features(graph, self.feature_perturb_rate, self._rng)
         return graph
 
-    def _fit_impl(self, graph: Graph, callback) -> None:
+    # ------------------------------------------------------------------
+    # TrainStep plugin surface
+    # ------------------------------------------------------------------
+    def _materialize_impl(self, graph: Graph) -> None:
         rng = np.random.default_rng(self.seed + 23)
         self.diffusion_encoder = GCN(
             in_features=graph.num_features,
@@ -75,45 +78,54 @@ class MVGRL(ContrastiveMethod):
         self.discriminator_weight = Parameter(
             init.glorot_uniform((self.embedding_dim, self.embedding_dim), rng), name="disc"
         )
-        self._diffusion_graph = ppr_diffusion_graph(graph, alpha=self.ppr_alpha, top_k=self.ppr_top_k)
-        params = (
+
+    def _prepare_impl(self, graph: Graph) -> None:
+        self._diffusion_graph = ppr_diffusion_graph(
+            graph, alpha=self.ppr_alpha, top_k=self.ppr_top_k
+        )
+        n = graph.num_nodes
+        self._targets = np.concatenate([np.ones(2 * n), np.zeros(2 * n)])
+
+    def trainable_parameters(self):
+        """Both encoders plus the bilinear discriminator."""
+        return (
             self.encoder.parameters()
             + self.diffusion_encoder.parameters()
             + [self.discriminator_weight]
         )
-        optimizer = Adam(params, lr=self.lr, weight_decay=self.weight_decay)
-        n = graph.num_nodes
-        targets = np.concatenate([np.ones(2 * n), np.zeros(2 * n)])
-        start = time.perf_counter()
-        for epoch in range(self.epochs):
-            adj_view = self._maybe_perturb(graph)
-            diff_view = self._maybe_perturb(self._diffusion_graph)
-            perm = self._rng.permutation(n)
-            adj_corrupt = adj_view.with_features(adj_view.features[perm])
-            diff_corrupt = diff_view.with_features(diff_view.features[perm])
 
-            optimizer.zero_grad()
-            h_adj = self.encoder(adj_view)
-            h_diff = self.diffusion_encoder(diff_view)
-            h_adj_neg = self.encoder(adj_corrupt)
-            h_diff_neg = self.diffusion_encoder(diff_corrupt)
-            s_adj = self._summary(h_adj)
-            s_diff = self._summary(h_diff)
-            # Cross-view scoring: adjacency nodes vs diffusion summary and
-            # vice versa (the MVGRL objective).
-            logits = ops.concat([
-                self._scores(h_adj, s_diff),
-                self._scores(h_diff, s_adj),
-                self._scores(h_adj_neg, s_diff),
-                self._scores(h_diff_neg, s_adj),
-            ], axis=0)
-            loss = functional.binary_cross_entropy_with_logits(logits, targets)
-            loss.backward()
-            optimizer.step()
-            self.info.losses.append(float(loss.item()))
-            self.info.epoch_seconds.append(time.perf_counter() - start)
-            if callback is not None:
-                callback(epoch, self)
+    def checkpoint_components(self) -> Dict[str, object]:
+        """Both encoders plus the discriminator weight."""
+        return {
+            "encoder": self.encoder,
+            "diffusion_encoder": self.diffusion_encoder,
+            "discriminator_weight": self.discriminator_weight,
+        }
+
+    def compute_loss(self, loop, epoch: int) -> Tensor:
+        """Cross-view DGI objective: adjacency nodes vs diffusion summary
+        (and vice versa), against row-shuffled corruptions."""
+        graph = self._graph
+        n = graph.num_nodes
+        adj_view = self._maybe_perturb(graph)
+        diff_view = self._maybe_perturb(self._diffusion_graph)
+        perm = self._rng.permutation(n)
+        adj_corrupt = adj_view.with_features(adj_view.features[perm])
+        diff_corrupt = diff_view.with_features(diff_view.features[perm])
+
+        h_adj = self.encoder(adj_view)
+        h_diff = self.diffusion_encoder(diff_view)
+        h_adj_neg = self.encoder(adj_corrupt)
+        h_diff_neg = self.diffusion_encoder(diff_corrupt)
+        s_adj = self._summary(h_adj)
+        s_diff = self._summary(h_diff)
+        logits = ops.concat([
+            self._scores(h_adj, s_diff),
+            self._scores(h_diff, s_adj),
+            self._scores(h_adj_neg, s_diff),
+            self._scores(h_diff_neg, s_adj),
+        ], axis=0)
+        return functional.binary_cross_entropy_with_logits(logits, self._targets)
 
     def embed(self, graph: Graph) -> np.ndarray:
         """MVGRL's final representation: sum of both views' encoders."""

@@ -3,17 +3,37 @@
 Unlike the contrastive methods these consume labels directly: they train on
 the 10% labeled nodes of each split and predict on the rest — the paper's
 reference point for how far label-free pre-training closes the gap.
+
+Both train through the shared :class:`repro.engine.TrainLoop` via a tiny
+cross-entropy :class:`~repro.engine.TrainStep`, so no optimizer loop is
+hand-rolled here either.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
-from ..autograd import Adam, Tensor, functional, ops
+from ..autograd import Tensor, functional, ops
+from ..engine import TrainLoop, TrainStep
 from ..graphs import Graph
 from ..nn import GCN, MLP
+
+
+class _CrossEntropyStep(TrainStep):
+    """Minimize cross-entropy of ``logits_fn()`` against fixed labels."""
+
+    def __init__(self, model, logits_fn: Callable[[], Tensor], labels: np.ndarray) -> None:
+        self.model = model
+        self._logits_fn = logits_fn
+        self._labels = labels
+
+    def trainable_parameters(self) -> List:
+        return self.model.parameters()
+
+    def compute_loss(self, loop, epoch: int) -> Tensor:
+        return functional.cross_entropy(self._logits_fn(), self._labels)
 
 
 class SupervisedGCN:
@@ -51,14 +71,20 @@ class SupervisedGCN:
             seed=self.seed,
             dropout=self.dropout,
         )
-        optimizer = Adam(self.model.parameters(), lr=self.lr, weight_decay=self.weight_decay)
         train_idx = np.asarray(train_idx)
-        for _ in range(self.epochs):
-            optimizer.zero_grad()
-            logits = ops.gather_rows(self.model(graph), train_idx)
-            loss = functional.cross_entropy(logits, graph.labels[train_idx])
-            loss.backward()
-            optimizer.step()
+        step = _CrossEntropyStep(
+            self.model,
+            lambda: ops.gather_rows(self.model(graph), train_idx),
+            graph.labels[train_idx],
+        )
+        TrainLoop(
+            step,
+            epochs=self.epochs,
+            lr=self.lr,
+            weight_decay=self.weight_decay,
+            seed=self.seed,
+            scope=f"supervised.{self.name}",
+        ).run()
         return self
 
     def predict(self, graph: Graph) -> np.ndarray:
@@ -103,15 +129,19 @@ class SupervisedMLP:
             num_layers=self.num_layers,
             seed=self.seed,
         )
-        optimizer = Adam(self.model.parameters(), lr=self.lr, weight_decay=self.weight_decay)
         train_idx = np.asarray(train_idx)
         x_train = Tensor(graph.features[train_idx])
-        for _ in range(self.epochs):
-            optimizer.zero_grad()
-            logits = self.model(x_train)
-            loss = functional.cross_entropy(logits, graph.labels[train_idx])
-            loss.backward()
-            optimizer.step()
+        step = _CrossEntropyStep(
+            self.model, lambda: self.model(x_train), graph.labels[train_idx]
+        )
+        TrainLoop(
+            step,
+            epochs=self.epochs,
+            lr=self.lr,
+            weight_decay=self.weight_decay,
+            seed=self.seed,
+            scope=f"supervised.{self.name}",
+        ).run()
         return self
 
     def predict(self, graph: Graph) -> np.ndarray:

@@ -55,13 +55,25 @@ def _cmd_list_experiments(_args) -> int:
 
 def _cmd_train(args) -> int:
     from .baselines import get_method
+    from .engine import EarlyStopping, PeriodicCheckpoint
     from .eval import evaluate_embeddings
     from .graphs import load_dataset
 
     graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
     print(f"dataset: {graph}")
     method = get_method(args.method, epochs=args.epochs, seed=args.seed)
-    method.fit(graph)
+    hooks = []
+    if args.checkpoint:
+        hooks.append(PeriodicCheckpoint(args.checkpoint, every=args.checkpoint_every))
+    if args.patience:
+        hooks.append(EarlyStopping(args.patience))
+    method.fit(graph, hooks=hooks, resume_from=args.resume)
+    if args.checkpoint:
+        print(f"engine checkpoint at {args.checkpoint} "
+              f"(every {args.checkpoint_every} epochs)")
+    stop = method.last_loop.stop_reason if method.last_loop is not None else None
+    if stop:
+        print(stop)
     result = evaluate_embeddings(graph, method.embed(graph), seed=args.seed,
                                  trials=args.trials)
     print(f"{args.method}: accuracy {result.test_accuracy} "
@@ -124,6 +136,14 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--scale", type=float, default=1.0)
     train.add_argument("--save", default=None, help="write an .npz checkpoint (e2gcl only)")
+    train.add_argument("--checkpoint", default=None,
+                       help="write a resumable engine checkpoint (.npz, any method)")
+    train.add_argument("--checkpoint-every", type=int, default=10,
+                       help="epochs between --checkpoint writes")
+    train.add_argument("--resume", default=None,
+                       help="resume training from an engine checkpoint")
+    train.add_argument("--patience", type=int, default=None,
+                       help="early-stop after N epochs without loss improvement")
     train.set_defaults(func=_cmd_train)
 
     select = sub.add_parser("select", help="run Alg. 2 coreset selection standalone")

@@ -1,9 +1,15 @@
-"""Save/load pre-trained E2GCL models.
+"""Save/load pre-trained E2GCL models (legacy facade format, v1).
 
-A checkpoint is a single ``.npz`` holding the encoder's parameter arrays,
-the config (as JSON), and — when present — the coreset.  Loading rebuilds
-the model without re-running selection or training, so downstream tasks can
-reuse one expensive pre-training.
+A v1 checkpoint is a single ``.npz`` holding the encoder's parameter
+arrays, the config (as JSON), and — when present — the coreset.  Loading
+rebuilds the model without re-running selection or training, so downstream
+tasks can reuse one expensive pre-training.
+
+This format predates the engine and stays supported for published E2GCL
+model files; new code should prefer the method-agnostic *v2* engine
+checkpoints (:mod:`repro.engine.checkpoint`), which additionally capture
+optimizer and RNG state so runs can be resumed bit-identically.  Both
+formats share the JSON packing helpers.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import Union
 
 import numpy as np
 
+from ..engine import pack_json
 from ..nn import GCN
 from .config import E2GCLConfig
 from .model import E2GCL
@@ -33,9 +40,7 @@ def save_model(model: E2GCL, path: Union[str, Path]) -> Path:
         f"param/{name}": array
         for name, array in model.result.encoder.state_dict().items()
     }
-    payload["meta/config"] = np.frombuffer(
-        json.dumps(dataclasses.asdict(model.config)).encode(), dtype=np.uint8
-    )
+    payload["meta/config"] = pack_json(dataclasses.asdict(model.config))
     payload["meta/version"] = np.array([_FORMAT_VERSION])
     payload["meta/in_features"] = np.array([model.result.encoder.layers[0].weight.shape[0]])
     coreset = model.result.coreset
@@ -87,11 +92,5 @@ def load_model(path: Union[str, Path]) -> E2GCL:
     model = E2GCL(config)
     # Reassemble the minimal fitted state: the facade only needs the result
     # record (encoder + coreset); embed() must then receive an explicit graph.
-    model.result = TrainResult(
-        encoder=encoder,
-        coreset=coreset,
-        history=[],
-        selection_seconds=0.0,
-        total_seconds=0.0,
-    )
+    model.result = TrainResult(encoder=encoder, coreset=coreset)
     return model

@@ -2,19 +2,26 @@
 
 Per epoch: draw two global positive views with the score-aware generator,
 run the shared GCN encoder on both, gather the coreset anchors, and descend
-the contrastive loss weighted by the coreset λ.  Wall-clock milestones are
-recorded so Fig. 3's accuracy-vs-time curves can be regenerated.
+the contrastive loss weighted by the coreset λ.
+
+The trainer is a :class:`repro.engine.TrainStep` plugin: :meth:`train`
+drives it through the shared :class:`repro.engine.TrainLoop`, which owns
+the optimizer, the hook pipeline, checkpoint save/resume, and the one
+canonical wall clock — started *before* selection and score precomputation,
+so Fig. 3's accuracy-vs-time milestones are comparable with every baseline.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..autograd import Adam, Tensor, ops
+from ..autograd import Tensor, ops
+from ..engine import CallbackHook, EpochRecord, RngStreams, RunHistory, TrainLoop, TrainStep
 from ..graphs import Graph
 from ..nn import GCN, ProjectionHead
 from ..perf import record
@@ -24,14 +31,7 @@ from .node_selector import CoresetResult, select_coreset
 from .scores import compute_edge_scores, compute_feature_scores
 from .view_generator import generate_global_view_pair
 
-
-@dataclass
-class EpochRecord:
-    """One row of the training history (feeds Fig. 3)."""
-
-    epoch: int
-    loss: float
-    elapsed_seconds: float
+__all__ = ["E2GCLTrainer", "TrainResult", "EpochRecord"]
 
 
 @dataclass
@@ -39,21 +39,27 @@ class TrainResult:
     """Everything produced by a pre-training run.
 
     ``selection_seconds`` is Tab. V's ST column, ``total_seconds`` its TT
-    column (selection + score pre-computation + optimization).
+    column (selection + score pre-computation + optimization), both
+    measured from the engine's single timing origin.
     """
 
     encoder: GCN
     coreset: Optional[CoresetResult]
-    history: List[EpochRecord]
-    selection_seconds: float
-    total_seconds: float
+    run_history: RunHistory = field(default_factory=RunHistory)
+    selection_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def history(self) -> List[EpochRecord]:
+        """Per-epoch records (feeds Fig. 3)."""
+        return self.run_history.records
 
     @property
     def final_loss(self) -> float:
-        return self.history[-1].loss if self.history else float("nan")
+        return self.run_history.final_loss
 
 
-class E2GCLTrainer:
+class E2GCLTrainer(TrainStep):
     """Orchestrates node selection, view generation, and encoder training.
 
     Parameters
@@ -88,7 +94,8 @@ class E2GCLTrainer:
             num_layers=config.num_layers,
             seed=config.seed,
         )
-        self._rng = np.random.default_rng(config.seed)
+        self.rngs = RngStreams(config.seed)
+        self._rng = self.rngs.main
         self.selector = selector
         self.projector: Optional[ProjectionHead] = None
         if config.loss == "infonce":
@@ -102,6 +109,10 @@ class E2GCLTrainer:
         self._edge_table = None
         self._feature_table = None
         self._selection_seconds = 0.0
+        self._views_cache = None
+        self._view_rng_state = None
+        self._replay_view_state = None
+        self.last_loop: Optional[TrainLoop] = None
 
     # ------------------------------------------------------------------
     def setup(self) -> "E2GCLTrainer":
@@ -167,6 +178,13 @@ class E2GCLTrainer:
     def _loss(self, h_hat: Tensor, h_tilde: Tensor) -> Tensor:
         cfg = self.config
         if cfg.loss == "euclidean":
+            if self._anchors.size < 2:
+                raise ValueError(
+                    f"euclidean contrastive loss needs at least 2 coreset anchors "
+                    f"to sample negatives, got {self._anchors.size}; increase "
+                    f"node_ratio (or the selector budget) or switch to the "
+                    f"infonce loss"
+                )
             negatives = sample_negative_indices(
                 self._anchors.size, min(cfg.num_negatives, self._anchors.size - 1), self._rng
             )
@@ -175,51 +193,105 @@ class E2GCLTrainer:
         z_tilde = self.projector(h_tilde)
         return infonce_loss(z_hat, z_tilde, temperature=cfg.temperature, weights=self._weights)
 
-    def train(
-        self,
-        callback: Optional[Callable[[int, "E2GCLTrainer"], None]] = None,
-    ) -> TrainResult:
-        """Run the optimization loop; ``callback(epoch, trainer)`` fires after
-        each epoch (used by Fig. 3's timed evaluation)."""
+    # ------------------------------------------------------------------
+    # TrainStep plugin surface
+    # ------------------------------------------------------------------
+    def prepare(self, loop) -> None:
+        """Selection + score tables (skipped if ``setup`` already ran)."""
         if self._anchors is None:
             self.setup()
-        cfg = self.config
-        start = time.perf_counter()
+
+    def trainable_parameters(self):
+        """Encoder, plus the projection head for the InfoNCE variant."""
         params = self.encoder.parameters()
         if self.projector is not None:
             params = params + self.projector.parameters()
-        optimizer = Adam(params, lr=cfg.lr, weight_decay=cfg.weight_decay)
-        history: List[EpochRecord] = []
-        views = None
-        anchors = self._anchors
-        for epoch in range(cfg.epochs):
-            if views is None or epoch % max(cfg.view_refresh_interval, 1) == 0:
-                views = self._views()
-            view_hat, view_tilde = views
-            with record("trainer.epoch"):
-                optimizer.zero_grad()
-                h_hat = ops.gather_rows(self.encoder(view_hat), anchors)
-                h_tilde = ops.gather_rows(self.encoder(view_tilde), anchors)
-                loss = self._loss(h_hat, h_tilde)
-                loss.backward()
-                optimizer.step()
-            history.append(
-                EpochRecord(
-                    epoch=epoch,
-                    loss=float(loss.item()),
-                    elapsed_seconds=time.perf_counter() - start + self._selection_seconds,
-                )
-            )
-            if callback is not None:
-                callback(epoch, self)
+        return params
 
-        total = time.perf_counter() - start + self._selection_seconds
+    def checkpoint_components(self):
+        """Encoder (and projector when the loss uses one)."""
+        return {"encoder": self.encoder, "projector": self.projector}
+
+    def run_epoch(self, loop, epoch: int) -> float:
+        """Refresh views on schedule, then one optimization step."""
+        cfg = self.config
+        interval = max(cfg.view_refresh_interval, 1)
+        if self._replay_view_state is not None and epoch % interval != 0:
+            # Resuming mid-refresh-interval: regenerate the cached views by
+            # replaying the RNG from the state saved at the last refresh,
+            # then restore the live state so training continues bit-for-bit.
+            live_state = self._rng.bit_generator.state
+            self._rng.bit_generator.state = self._replay_view_state
+            self._views_cache = self._views()
+            self._rng.bit_generator.state = live_state
+        elif self._views_cache is None or epoch % interval == 0:
+            self._view_rng_state = self._rng.bit_generator.state
+            self._views_cache = self._views()
+        self._replay_view_state = None
+        view_hat, view_tilde = self._views_cache
+
+        optimizer = loop.optimizer
+        optimizer.zero_grad()
+        anchors = self._anchors
+        h_hat = ops.gather_rows(self.encoder(view_hat), anchors)
+        h_tilde = ops.gather_rows(self.encoder(view_tilde), anchors)
+        loss = self._loss(h_hat, h_tilde)
+        loss.backward()
+        optimizer.step()
+        return float(loss.item())
+
+    def state_json(self) -> dict:
+        """Scalars a resume needs: the view-refresh RNG state and the
+        selection cost (already inside the engine's elapsed offset, kept
+        for the Tab. V ST column)."""
+        return {
+            "view_rng_state": self._view_rng_state,
+            "selection_seconds": self._selection_seconds,
+        }
+
+    def load_state_json(self, payload: dict) -> None:
+        """Restore :meth:`state_json`; the saved view RNG state is replayed
+        on the first resumed epoch when it falls mid-refresh-interval."""
+        self._view_rng_state = payload.get("view_rng_state")
+        self._replay_view_state = payload.get("view_rng_state")
+        self._selection_seconds = float(payload.get("selection_seconds", 0.0))
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        callback: Optional[Callable[[int, "E2GCLTrainer"], None]] = None,
+        *,
+        hooks: Sequence = (),
+        resume_from: Optional[Union[str, Path]] = None,
+    ) -> TrainResult:
+        """Run the optimization loop through the shared engine.
+
+        ``callback(epoch, trainer)`` fires after each epoch (used by
+        Fig. 3's timed evaluation); ``hooks`` extends the engine pipeline;
+        ``resume_from`` continues from a v2 checkpoint bit-identically.
+        """
+        cfg = self.config
+        run_hooks = list(hooks)
+        if callback is not None:
+            run_hooks.append(CallbackHook(callback, owner=self))
+        loop = TrainLoop(
+            self,
+            epochs=cfg.epochs,
+            lr=cfg.lr,
+            weight_decay=cfg.weight_decay,
+            hooks=run_hooks,
+            rngs=self.rngs,
+            scope="trainer",
+            resume_from=resume_from,
+        )
+        self.last_loop = loop
+        history = loop.run()
         return TrainResult(
             encoder=self.encoder,
             coreset=self.coreset,
-            history=history,
+            run_history=history,
             selection_seconds=self._selection_seconds,
-            total_seconds=total,
+            total_seconds=history.total_seconds,
         )
 
     def embed(self, graph: Optional[Graph] = None) -> np.ndarray:

@@ -1,0 +1,154 @@
+"""Method-agnostic checkpoint save/resume (format v2).
+
+A v2 checkpoint is a single ``.npz`` capturing *everything* a run needs to
+continue bit-identically:
+
+* ``state/<name>`` — the step's arrays (encoder/projector/target-network
+  parameters, discovered positives, walk embeddings, ...);
+* ``opt/<slot>/<i>`` — the optimizer's per-parameter slot buffers (Adam
+  moments, SGD velocity), indexed in parameter order;
+* ``meta/engine`` — a JSON blob with the next epoch, elapsed wall-clock,
+  the full per-epoch history, every RNG stream's bit-generator state, the
+  optimizer's scalar state, the step's own scalar state, and the step
+  class name (validated on load so a GRACE checkpoint cannot silently
+  resume a BGRL run).
+
+This generalizes the v1 facade format in :mod:`repro.core.serialization`
+(E2GCL-only, parameters + config, no resume) to every registered method;
+the v1 reader stays for published E2GCL model files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+CHECKPOINT_VERSION = 2
+
+_STATE_PREFIX = "state/"
+_OPT_PREFIX = "opt/"
+
+
+def pack_json(payload: dict) -> np.ndarray:
+    """Encode a JSON-serializable dict as a uint8 array (npz-storable)."""
+    return np.frombuffer(json.dumps(payload).encode(), dtype=np.uint8)
+
+
+def unpack_json(array: np.ndarray) -> dict:
+    """Inverse of :func:`pack_json`."""
+    return json.loads(bytes(array).decode())
+
+
+def save_checkpoint(loop, path: Union[str, Path]) -> Path:
+    """Write the loop's full resumable state to ``path`` (``.npz``)."""
+    path = Path(path)
+    payload: Dict[str, np.ndarray] = {}
+    for name, array in loop.step.state_arrays().items():
+        payload[f"{_STATE_PREFIX}{name}"] = array
+
+    optimizer_scalars: Dict[str, object] = {}
+    if loop.optimizer is not None:
+        for key, value in loop.optimizer.state_dict().items():
+            if isinstance(value, list):
+                for i, array in enumerate(value):
+                    payload[f"{_OPT_PREFIX}{key}/{i}"] = array
+            else:
+                optimizer_scalars[key] = value
+
+    meta = {
+        "version": CHECKPOINT_VERSION,
+        "step_class": type(loop.step).__name__,
+        "epoch_next": loop.history.next_epoch,
+        "epochs": loop.epochs,
+        "elapsed_seconds": loop.elapsed(),
+        "history": loop.history.to_rows(),
+        "rng": loop.rngs.state(),
+        "optimizer": optimizer_scalars,
+        "step": loop.step.state_json(),
+    }
+    payload["meta/engine"] = pack_json(meta)
+    payload["meta/version"] = np.array([CHECKPOINT_VERSION])
+    np.savez(path, **payload)
+    return path
+
+
+def read_checkpoint(path: Union[str, Path]) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Load ``(meta, state_arrays)`` from a v2 checkpoint.
+
+    ``meta`` is the engine JSON blob; ``state_arrays`` holds the step's
+    arrays with the ``state/`` prefix stripped.  Optimizer slot buffers are
+    attached under ``meta["optimizer"]`` as lists in parameter order.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["meta/version"][0])
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported engine checkpoint version {version} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        meta = unpack_json(data["meta/engine"])
+        arrays = {
+            key[len(_STATE_PREFIX):]: data[key]
+            for key in data.files
+            if key.startswith(_STATE_PREFIX)
+        }
+        slots: Dict[str, Dict[int, np.ndarray]] = {}
+        for key in data.files:
+            if not key.startswith(_OPT_PREFIX):
+                continue
+            _, slot, index = key.split("/")
+            slots.setdefault(slot, {})[int(index)] = data[key]
+        for slot, indexed in slots.items():
+            meta["optimizer"][slot] = [indexed[i] for i in sorted(indexed)]
+    return meta, arrays
+
+
+def load_step_state(
+    step, path: Union[str, Path], expect_class: bool = True
+) -> dict:
+    """Restore only the step's arrays/scalars from a checkpoint.
+
+    Used to rehydrate a trained model for inference (``embed``) without a
+    live :class:`TrainLoop`.  Returns the checkpoint's meta blob.
+    """
+    meta, arrays = read_checkpoint(path)
+    if expect_class and meta["step_class"] != type(step).__name__:
+        raise ValueError(
+            f"checkpoint was written by step {meta['step_class']!r}, "
+            f"cannot load into {type(step).__name__!r}"
+        )
+    step.load_state_json(meta["step"])
+    step.load_state_arrays(arrays)
+    return meta
+
+
+def restore_loop(loop, path: Union[str, Path]) -> None:
+    """Restore a :class:`TrainLoop` (step + optimizer + RNG + history).
+
+    Called by the loop itself after :meth:`TrainStep.prepare` has rebuilt
+    the modules and the optimizer has been constructed, so every buffer the
+    checkpoint overwrites already exists with the right shape.
+    """
+    from .history import RunHistory
+
+    meta, arrays = read_checkpoint(path)
+    if meta["step_class"] != type(loop.step).__name__:
+        raise ValueError(
+            f"cannot resume: checkpoint step {meta['step_class']!r} does not "
+            f"match running step {type(loop.step).__name__!r}"
+        )
+    loop.step.load_state_json(meta["step"])
+    loop.step.load_state_arrays(arrays)
+    optimizer_state = meta["optimizer"]
+    if loop.optimizer is not None:
+        loop.optimizer.load_state_dict(optimizer_state)
+    elif optimizer_state:
+        raise ValueError("checkpoint carries optimizer state but the step has no parameters")
+    loop.rngs.set_state(meta["rng"])
+    loop.history = RunHistory.from_rows(meta["history"])
+    loop.start_epoch = int(meta["epoch_next"])
+    loop.elapsed_offset = float(meta["elapsed_seconds"])

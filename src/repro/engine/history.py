@@ -1,0 +1,86 @@
+"""The engine's canonical run record.
+
+A :class:`RunHistory` is owned by the :class:`~repro.engine.loop.TrainLoop`
+and appended to once per epoch.  Every per-method bookkeeping surface
+(``FitInfo`` on the baselines, ``TrainResult`` on the E2GCL trainer) is a
+*view* over this object, so all methods report losses and wall-clock from
+the same origin — the start of :meth:`TrainLoop.run`, before encoder
+construction and selection (Fig. 3's curves are comparable across methods
+only under a shared origin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+@dataclass
+class EpochRecord:
+    """One row of the training history (feeds Fig. 3).
+
+    ``elapsed_seconds`` is measured from the engine's single timing origin
+    (run start, inclusive of setup/selection) minus any excluded probe time,
+    plus the elapsed time of prior runs when resumed from a checkpoint.
+    """
+
+    epoch: int
+    loss: float
+    elapsed_seconds: float
+
+
+class RunHistory:
+    """Append-only sequence of :class:`EpochRecord` rows plus run totals."""
+
+    def __init__(self) -> None:
+        self.records: List[EpochRecord] = []
+        #: Total wall-clock of the run, set once by the loop when it stops.
+        self.total_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    def append(self, record: EpochRecord) -> None:
+        """Add one epoch row (the loop calls this after each epoch)."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[EpochRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    # ------------------------------------------------------------------
+    @property
+    def losses(self) -> List[float]:
+        """Per-epoch losses, in order."""
+        return [r.loss for r in self.records]
+
+    @property
+    def elapsed(self) -> List[float]:
+        """Cumulative wall-clock at the end of each epoch."""
+        return [r.elapsed_seconds for r in self.records]
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last recorded epoch (NaN when empty)."""
+        return self.records[-1].loss if self.records else float("nan")
+
+    @property
+    def next_epoch(self) -> int:
+        """The epoch index a resumed run should continue from."""
+        return self.records[-1].epoch + 1 if self.records else 0
+
+    # ------------------------------------------------------------------
+    def to_rows(self) -> List[List[float]]:
+        """JSON-serializable ``[epoch, loss, elapsed]`` rows (checkpointing)."""
+        return [[r.epoch, r.loss, r.elapsed_seconds] for r in self.records]
+
+    @classmethod
+    def from_rows(cls, rows) -> "RunHistory":
+        """Rebuild a history from :meth:`to_rows` output."""
+        history = cls()
+        for epoch, loss, elapsed in rows:
+            history.append(EpochRecord(int(epoch), float(loss), float(elapsed)))
+        return history

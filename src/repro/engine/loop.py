@@ -1,0 +1,173 @@
+"""The unified training loop shared by E2GCL and every baseline.
+
+One loop owns everything method-agnostic about pre-training:
+
+* **optimizer construction** from the step's trainable parameters (no
+  method builds its own ``Adam`` — enforced by
+  ``tools/check_engine_adoption.py``);
+* **epoch iteration** with an ordered hook pipeline (``on_setup``,
+  ``on_epoch_start``, ``on_epoch_end``, ``on_checkpoint``, ``on_stop``);
+* **one canonical timing origin** — the wall clock starts at the top of
+  :meth:`run`, *before* module construction and selection, so per-epoch
+  timestamps are comparable across methods (Fig. 3) and E2GCL's selection
+  cost is charged the same way as every baseline's setup;
+* **deterministic RNG streams** (:class:`~repro.engine.rng.RngStreams`),
+  snapshotted into checkpoints;
+* **checkpoint save/resume** — ``loop.save_checkpoint(path)`` captures the
+  full run state, ``TrainLoop(..., resume_from=path)`` continues it
+  bit-identically;
+* **perf counter scoping** — setup and epochs accumulate under
+  ``<scope>.setup`` / ``<scope>.epoch`` in :mod:`repro.perf`.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Union
+
+from ..autograd import Adam
+from ..perf import record
+from .checkpoint import restore_loop, save_checkpoint
+from .history import EpochRecord, RunHistory
+from .rng import RngStreams
+from .step import TrainStep
+
+
+class TrainLoop:
+    """Hook-driven optimization loop around a :class:`TrainStep` plugin.
+
+    Parameters
+    ----------
+    step:
+        The method plugin (build views → forward → loss).
+    epochs:
+        Upper bound on epochs; hooks may stop the run earlier.
+    lr / weight_decay:
+        Handed to the engine-built optimizer (Adam unless
+        ``optimizer_factory`` overrides it).
+    optimizer_factory:
+        Optional ``params -> Optimizer`` replacing the default Adam.
+    hooks:
+        Ordered hook pipeline; each event fires across hooks in list order.
+    rngs:
+        The run's RNG streams; defaults to fresh streams from ``seed``.
+        Steps that draw from their own generators pass them in so
+        checkpoints capture the *live* streams.
+    seed:
+        Root seed used only when ``rngs`` is not supplied.
+    scope:
+        Prefix for the :mod:`repro.perf` counters
+        (``<scope>.setup`` / ``<scope>.epoch``).
+    resume_from:
+        Optional v2 checkpoint path; the run continues from its saved
+        epoch with restored parameters, optimizer slots, and RNG states.
+    """
+
+    def __init__(
+        self,
+        step: TrainStep,
+        *,
+        epochs: int,
+        lr: float = 0.01,
+        weight_decay: float = 0.0,
+        optimizer_factory: Optional[Callable] = None,
+        hooks: Iterable = (),
+        rngs: Optional[RngStreams] = None,
+        seed: int = 0,
+        scope: str = "engine",
+        resume_from: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        self.step = step
+        self.epochs = epochs
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self._optimizer_factory = optimizer_factory or (
+            lambda params: Adam(params, lr=lr, weight_decay=weight_decay)
+        )
+        self.hooks = list(hooks)
+        self.rngs = rngs if rngs is not None else RngStreams(seed)
+        self.scope = scope
+        self.history = RunHistory()
+        self.optimizer = None
+        self.stop_reason: Optional[str] = None
+        self.start_epoch = 0
+        #: Elapsed seconds inherited from the run a checkpoint was saved in.
+        self.elapsed_offset = 0.0
+        self._resume_from = Path(resume_from) if resume_from is not None else None
+        self._t0: Optional[float] = None
+        self._excluded_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        """Wall-clock since the run's timing origin, excluding probe time
+        and including time inherited from a resumed checkpoint."""
+        if self._t0 is None:
+            return self.elapsed_offset
+        return (
+            time.perf_counter() - self._t0
+            - self._excluded_seconds
+            + self.elapsed_offset
+        )
+
+    def exclude_seconds(self, seconds: float) -> None:
+        """Deduct ``seconds`` from the clock (e.g. a linear-eval probe —
+        the paper measures training time, not the probe's cost)."""
+        self._excluded_seconds += seconds
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def request_stop(self, reason: str) -> None:
+        """Stop after the current epoch's hooks finish (early stopping,
+        simulated interruption, budget exhaustion)."""
+        self.stop_reason = reason
+
+    def save_checkpoint(self, path: Union[str, Path]) -> Path:
+        """Write a v2 checkpoint and fire every hook's ``on_checkpoint``."""
+        written = save_checkpoint(self, path)
+        epoch = self.history.records[-1].epoch if self.history.records else -1
+        for hook in self.hooks:
+            hook.on_checkpoint(self, epoch, written)
+        return written
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def run(self) -> RunHistory:
+        """Execute the run; returns the (possibly resumed) history."""
+        self._t0 = time.perf_counter()
+        self._excluded_seconds = 0.0
+        with record(f"{self.scope}.setup"):
+            self.step.prepare(self)
+        params = list(self.step.trainable_parameters())
+        if params:
+            self.optimizer = self._optimizer_factory(params)
+        if self._resume_from is not None:
+            restore_loop(self, self._resume_from)
+            # Setup already ran (and was billed) in the original run; the
+            # resumed clock continues from the checkpoint's elapsed time.
+            self._t0 = time.perf_counter()
+        for hook in self.hooks:
+            hook.on_setup(self)
+        for epoch in range(self.start_epoch, self.epochs):
+            for hook in self.hooks:
+                hook.on_epoch_start(self, epoch)
+            with record(f"{self.scope}.epoch"):
+                loss = self.step.run_epoch(self, epoch)
+            epoch_record = EpochRecord(
+                epoch=epoch, loss=float(loss), elapsed_seconds=self.elapsed()
+            )
+            self.history.append(epoch_record)
+            for hook in self.hooks:
+                hook.on_epoch_end(self, epoch, epoch_record)
+            if self.stop_reason is not None:
+                break
+        self.history.total_seconds = self.elapsed()
+        for hook in self.hooks:
+            hook.on_stop(self)
+        return self.history

@@ -1,0 +1,137 @@
+"""The per-method plugin interface of the training engine.
+
+A :class:`TrainStep` supplies everything method-specific — module
+construction, the build-views → forward → loss epoch body, auxiliary
+updates (EMA targets), and checkpointable state — while the
+:class:`~repro.engine.loop.TrainLoop` owns everything shared: optimizer
+construction, epoch iteration, the wall clock, RNG streams, hooks, and
+checkpoint save/resume.  Porting a method onto the engine means reducing it
+to this interface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..autograd import Parameter
+from ..autograd.module import Module
+
+
+def pack_components(components: Dict[str, object]) -> Dict[str, np.ndarray]:
+    """Flatten named modules/parameters/arrays into checkpoint arrays.
+
+    ``components`` maps a component name to a :class:`Module` (flattened as
+    ``name.param_path``), a bare :class:`Parameter`, or a raw numpy array.
+    ``None`` components are skipped (e.g. an optional projector).
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    for name, component in components.items():
+        if component is None:
+            continue
+        if isinstance(component, Module):
+            for key, value in component.state_dict().items():
+                arrays[f"{name}.{key}"] = value
+        elif isinstance(component, Parameter):
+            arrays[name] = component.data.copy()
+        else:
+            arrays[name] = np.asarray(component)
+    return arrays
+
+
+def unpack_components(
+    components: Dict[str, object], arrays: Dict[str, np.ndarray]
+) -> None:
+    """Restore :func:`pack_components` output into live components.
+
+    Modules get ``load_state_dict``, parameters get their data overwritten.
+    Raw-array components cannot be restored in place (the dict holds a
+    copy); steps carrying raw arrays override ``load_state_arrays``.
+    """
+    for name, component in components.items():
+        if component is None:
+            continue
+        if isinstance(component, Module):
+            prefix = f"{name}."
+            sub = {
+                key[len(prefix):]: value
+                for key, value in arrays.items()
+                if key.startswith(prefix)
+            }
+            component.load_state_dict(sub)
+        elif isinstance(component, Parameter):
+            component.data = arrays[name].copy()
+
+
+class TrainStep:
+    """Method plugin: the parts of training the engine cannot own.
+
+    Lifecycle (driven by :class:`~repro.engine.loop.TrainLoop`):
+
+    1. :meth:`prepare` — construct modules and run heavy one-off setup
+       (selection, score tables, diffusion graphs).  Runs inside the
+       engine's timing origin, so setup cost is part of every method's
+       wall clock.
+    2. :meth:`trainable_parameters` — the list handed to the engine-built
+       optimizer (empty list → no optimizer, e.g. closed-form SGNS).
+    3. :meth:`run_epoch` per epoch — the default wraps
+       :meth:`compute_loss` in the standard ``zero_grad → backward →
+       step`` dance and then calls :meth:`finish_epoch` (EMA updates).
+    4. ``state_arrays``/``state_json`` — everything a checkpoint must
+       capture beyond the optimizer and RNG streams, which the engine
+       snapshots itself.
+    """
+
+    def prepare(self, loop) -> None:
+        """Construct modules / run one-off setup.  Default: nothing."""
+
+    def trainable_parameters(self) -> List[Parameter]:
+        """Parameters the engine's optimizer updates.  Default: none."""
+        return []
+
+    def compute_loss(self, loop, epoch: int):
+        """Build views, forward, and return the epoch's loss tensor."""
+        raise NotImplementedError
+
+    def finish_epoch(self, loop, epoch: int) -> None:
+        """Post-step bookkeeping (EMA target updates).  Default: nothing."""
+
+    def run_epoch(self, loop, epoch: int) -> float:
+        """One optimization epoch; returns the scalar loss recorded in the
+        history.  Override wholesale for methods without a
+        loss-backward-step shape (e.g. skip-gram training)."""
+        optimizer = loop.optimizer
+        optimizer.zero_grad()
+        loss = self.compute_loss(loop, epoch)
+        loss.backward()
+        optimizer.step()
+        self.finish_epoch(loop, epoch)
+        return float(loss.item())
+
+    # ------------------------------------------------------------------
+    # Checkpointable state
+    # ------------------------------------------------------------------
+    def checkpoint_components(self) -> Dict[str, object]:
+        """Named components (modules / parameters / arrays) to checkpoint.
+
+        The default ``state_arrays``/``load_state_arrays`` pair round-trips
+        whatever this returns; steps with raw-array state additionally
+        override ``load_state_arrays``.
+        """
+        return {}
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """All numpy state a checkpoint must capture (parameters included)."""
+        return pack_components(self.checkpoint_components())
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_arrays` output into the live step."""
+        unpack_components(self.checkpoint_components(), arrays)
+
+    def state_json(self) -> dict:
+        """JSON-serializable scalar state (rates, counters).  Default: {}."""
+        return {}
+
+    def load_state_json(self, payload: dict) -> None:
+        """Restore :meth:`state_json` output.  Default: nothing."""

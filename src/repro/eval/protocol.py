@@ -52,6 +52,12 @@ class TimedEvaluator:
 
     Evaluation time is *excluded* from the recorded wall clock (the paper
     measures training time, not the probe's cost).
+
+    Legacy interface: it keeps its own ``start()``-reset clock, which does
+    not see engine setup/selection time.  Engine-driven runs should prefer
+    :class:`repro.engine.TimedEvalHook`, which reads the loop's canonical
+    clock (one origin shared by every method, probe cost excluded via
+    ``loop.exclude_seconds``) and is passed as ``fit(graph, hooks=[...])``.
     """
 
     def __init__(

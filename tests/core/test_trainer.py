@@ -86,6 +86,33 @@ class TestTrainer:
         h2 = E2GCLTrainer(tiny_cora, fast_config(seed=5)).train().encoder.embed(tiny_cora)
         np.testing.assert_allclose(h1, h2)
 
+    def test_single_anchor_euclidean_loss_raises_clear_error(self, tiny_cora):
+        """Regression: a degenerate coreset budget (1 anchor) used to reach
+        ``sample_negative_indices`` with ``num_negatives <= 0``; the trainer
+        now fails up front with an actionable message."""
+
+        def one_node_selector(graph, budget, rng):
+            return np.array([0]), np.array([float(graph.num_nodes)])
+
+        trainer = E2GCLTrainer(
+            tiny_cora, fast_config(loss="euclidean"), selector=one_node_selector
+        )
+        with pytest.raises(ValueError, match="at least 2 coreset anchors"):
+            trainer.train()
+
+    def test_single_anchor_infonce_still_trains(self, tiny_cora):
+        """The InfoNCE variant has no negative-sampling step; a 1-anchor
+        coreset is degenerate but must not crash."""
+
+        def one_node_selector(graph, budget, rng):
+            return np.array([0]), np.array([float(graph.num_nodes)])
+
+        trainer = E2GCLTrainer(
+            tiny_cora, fast_config(epochs=2, loss="infonce"), selector=one_node_selector
+        )
+        result = trainer.train()
+        assert np.isfinite(result.final_loss)
+
     def test_different_seeds_differ(self, tiny_cora):
         h1 = E2GCLTrainer(tiny_cora, fast_config(seed=1)).train().encoder.embed(tiny_cora)
         h2 = E2GCLTrainer(tiny_cora, fast_config(seed=2)).train().encoder.embed(tiny_cora)

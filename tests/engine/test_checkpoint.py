@@ -1,0 +1,129 @@
+"""Engine checkpoint (v2) save / resume / reload behaviour.
+
+Two guarantees:
+
+* every registered method round-trips through ``fit`` →
+  ``PeriodicCheckpoint`` → ``load_checkpoint`` → ``embed`` with identical
+  embeddings (no retraining);
+* a run killed mid-training (simulated with :class:`StopAfter`) resumed
+  from its last checkpoint finishes with **bit-identical** final
+  embeddings and loss trajectory — parameters, optimizer slots, RNG
+  streams, and E2GCL's cached views all restore exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import available_methods, get_method
+from repro.engine import (
+    CHECKPOINT_VERSION,
+    PeriodicCheckpoint,
+    StopAfter,
+    load_step_state,
+    read_checkpoint,
+)
+
+KWARGS = dict(epochs=6, embedding_dim=8, hidden_dim=16, seed=0)
+
+RESUME_METHODS = ("grace", "bgrl", "e2gcl")
+
+
+def make(name):
+    kwargs = dict(KWARGS)
+    if name in ("deepwalk", "node2vec"):
+        kwargs.pop("epochs")  # walk methods run one engine epoch regardless
+        kwargs.pop("hidden_dim")
+    return get_method(name, **kwargs)
+
+
+@pytest.mark.parametrize("name", available_methods())
+def test_save_load_embed_round_trip(name, tiny_cora, tmp_path):
+    path = tmp_path / f"{name}.npz"
+    method = make(name)
+    method.fit(tiny_cora, hooks=[PeriodicCheckpoint(path, every=2)])
+    expected = method.embed(tiny_cora)
+
+    restored = make(name).load_checkpoint(path, tiny_cora)
+    np.testing.assert_array_equal(restored.embed(tiny_cora), expected)
+
+
+@pytest.mark.parametrize("name", available_methods())
+def test_checkpoint_metadata(name, tiny_cora, tmp_path):
+    path = tmp_path / f"{name}.npz"
+    method = make(name)
+    method.fit(tiny_cora, hooks=[PeriodicCheckpoint(path, every=100)])
+    meta, _arrays = read_checkpoint(path)
+    assert meta["version"] == CHECKPOINT_VERSION
+    assert meta["epoch_next"] == len(method.info.losses)
+    assert [row[1] for row in meta["history"]] == method.info.losses
+    assert meta["elapsed_seconds"] > 0
+
+
+@pytest.mark.parametrize("name", RESUME_METHODS)
+def test_killed_run_resumes_bit_identically(name, tiny_cora, tmp_path):
+    # Reference: one uninterrupted run.
+    reference = make(name)
+    reference.fit(tiny_cora)
+    expected_losses = list(reference.info.losses)
+    expected_embed = reference.embed(tiny_cora)
+
+    # Interrupted run: checkpoint every epoch, killed after epoch 2.
+    path = tmp_path / f"{name}.npz"
+    killed = make(name)
+    killed.fit(
+        tiny_cora,
+        hooks=[PeriodicCheckpoint(path, every=1), StopAfter(2)],
+    )
+    assert len(killed.info.losses) == 3
+
+    # Resume and finish: trajectory and embeddings must match bit-for-bit.
+    resumed = make(name)
+    resumed.fit(tiny_cora, resume_from=path)
+    assert resumed.info.losses == expected_losses
+    np.testing.assert_array_equal(resumed.embed(tiny_cora), expected_embed)
+
+
+def test_e2gcl_resume_mid_view_refresh_interval(tiny_cora, tmp_path):
+    """Killing E2GCL between view refreshes exercises the RNG replay path:
+    the cached views are regenerated from the saved refresh-time state."""
+    kwargs = dict(KWARGS, view_refresh_interval=4)
+
+    reference = get_method("e2gcl", **kwargs)
+    reference.fit(tiny_cora)
+    expected_embed = reference.embed(tiny_cora)
+
+    path = tmp_path / "e2gcl.npz"
+    killed = get_method("e2gcl", **kwargs)
+    # Stop after epoch 1 — inside the first 4-epoch refresh interval.
+    killed.fit(tiny_cora, hooks=[PeriodicCheckpoint(path, every=1), StopAfter(1)])
+
+    resumed = get_method("e2gcl", **kwargs)
+    resumed.fit(tiny_cora, resume_from=path)
+    assert resumed.info.losses == reference.info.losses
+    np.testing.assert_array_equal(resumed.embed(tiny_cora), expected_embed)
+
+
+def test_resume_continues_elapsed_clock(tiny_cora, tmp_path):
+    path = tmp_path / "grace.npz"
+    method = make("grace")
+    method.fit(tiny_cora, hooks=[PeriodicCheckpoint(path, every=1), StopAfter(2)])
+    saved_elapsed = method.last_loop.history.records[-1].elapsed_seconds
+
+    resumed = make("grace")
+    resumed.fit(tiny_cora, resume_from=path)
+    # Epoch 3's timestamp includes the interrupted run's elapsed time.
+    assert resumed.last_loop.history.records[3].elapsed_seconds > saved_elapsed
+
+
+def test_step_class_mismatch_rejected(tiny_cora, tmp_path):
+    path = tmp_path / "grace.npz"
+    make("grace").fit(tiny_cora, hooks=[PeriodicCheckpoint(path, every=100)])
+    wrong = make("bgrl")
+    wrong.materialize(tiny_cora)
+    with pytest.raises(ValueError, match="written by step"):
+        load_step_state(wrong, path)
+
+
+def test_load_checkpoint_rejects_unfitted_path(tmp_path, tiny_cora):
+    with pytest.raises((FileNotFoundError, OSError)):
+        make("grace").load_checkpoint(tmp_path / "missing.npz", tiny_cora)

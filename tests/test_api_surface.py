@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.graphs",
     "repro.nn",
     "repro.core",
+    "repro.engine",
     "repro.baselines",
     "repro.eval",
     "repro.bench",

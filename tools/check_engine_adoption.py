@@ -1,0 +1,94 @@
+"""Engine-adoption lint for ``src/``: no hand-rolled optimizer loops.
+
+The unified training engine (``repro.engine.TrainLoop``) owns optimizer
+construction for every pre-training method.  This AST lint fails when any
+module outside the allowlist constructs an optimizer directly — i.e. calls
+a name ending in ``Adam``, ``AdamW``, or ``SGD`` (through any attribute
+chain, so ``optim.Adam(...)`` counts too).
+
+Allowed constructors:
+
+* ``src/repro/engine/`` — the engine itself (``TrainLoop`` builds the
+  default Adam);
+* ``src/repro/nn/decoders.py`` — the linear-eval probe, which is an
+  evaluation detail rather than pre-training and deliberately stays a
+  tight closed loop;
+* ``src/repro/autograd/`` — where the optimizers are defined.
+
+Run standalone (``python tools/check_engine_adoption.py``) or via the test
+suite (``tests/test_lint_engine_adoption.py``); exits non-zero on findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+OPTIMIZER_NAMES = ("Adam", "AdamW", "SGD")
+
+# Paths (relative to the repo root) whose optimizer constructions are allowed.
+ALLOWED_PREFIXES = (
+    "src/repro/engine/",
+    "src/repro/autograd/",
+    "src/repro/nn/decoders.py",
+)
+
+
+def _is_allowed(rel: Path) -> bool:
+    posix = rel.as_posix()
+    return any(
+        posix == prefix or posix.startswith(prefix) for prefix in ALLOWED_PREFIXES
+    )
+
+
+def _called_name(node: ast.Call) -> str:
+    """The terminal identifier of the callee (``optim.Adam`` -> ``Adam``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def check_file(path: Path) -> List[str]:
+    """Return ``"path:line: msg"`` entries for direct optimizer constructions."""
+    try:
+        rel = path.relative_to(ROOT)
+    except ValueError:
+        rel = path
+    if _is_allowed(rel):
+        return []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and _called_name(node) in OPTIMIZER_NAMES:
+            problems.append(
+                f"{rel}:{node.lineno}: direct {_called_name(node)}(...) construction; "
+                f"drive training through repro.engine.TrainLoop instead"
+            )
+    return problems
+
+
+def main(paths=None) -> int:
+    targets = [Path(p) for p in paths] if paths else sorted(SRC.rglob("*.py"))
+    problems: List[str] = []
+    for path in targets:
+        if not path.is_file():
+            print(f"error: no such file: {path}")
+            return 2
+        problems.extend(check_file(path))
+    for line in problems:
+        print(line)
+    if problems:
+        print(f"{len(problems)} hand-rolled optimizer construction(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:] or None))

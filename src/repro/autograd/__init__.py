@@ -7,6 +7,7 @@ Public surface::
 """
 
 from . import functional, init, ops
+from .gradcheck import GradcheckResult, gradcheck
 from .module import Module, Parameter, Sequential
 from .optim import SGD, Adam, AdamW, CosineAnnealingLR, ExponentialLR
 from .tensor import Tensor, ensure_tensor
@@ -14,6 +15,8 @@ from .tensor import Tensor, ensure_tensor
 __all__ = [
     "Tensor",
     "ensure_tensor",
+    "gradcheck",
+    "GradcheckResult",
     "Parameter",
     "Module",
     "Sequential",

@@ -56,12 +56,15 @@ class GCA(TwoViewContrastiveMethod):
         self.feature_mask_rates = feature_mask_rates
         self._edge_probs: Optional[Dict[float, np.ndarray]] = None
         self._feature_probs: Optional[Dict[float, np.ndarray]] = None
-        self._prepared_for: Optional[int] = None
+        # The prepared-for key is the graph object itself (held alive), not
+        # its id(): a dead graph's address can be reused by a new one, which
+        # would silently skip re-preparation.
+        self._prepared_for: Optional[Graph] = None
 
     # ------------------------------------------------------------------
     def _prepare(self, graph: Graph) -> None:
         """Precompute adaptive scores once per graph."""
-        if self._prepared_for == id(graph):
+        if self._prepared_for is graph:
             return
         node_centrality = np.log(centrality(graph, self.centrality_method) + 1e-8 + 1.0)
         edges = graph.edge_array()
@@ -73,7 +76,7 @@ class GCA(TwoViewContrastiveMethod):
         self._feature_probs = {
             rate: _gca_probabilities(feature_weights, rate) for rate in self.feature_mask_rates
         }
-        self._prepared_for = id(graph)
+        self._prepared_for = graph
 
     def _adaptive_view(self, graph: Graph, edge_rate: float, feature_rate: float) -> Graph:
         drop_prob = self._edge_probs[edge_rate]

@@ -38,6 +38,12 @@ def bench_trials(default: int = 3) -> int:
     return int(os.environ.get("REPRO_BENCH_TRIALS", default))
 
 
+def bench_trace_dir(default: Optional[str] = None) -> Optional[str]:
+    """Directory for per-fit JSONL traces (``REPRO_BENCH_TRACE_DIR`` to
+    override); None disables trace emission."""
+    return os.environ.get("REPRO_BENCH_TRACE_DIR", default)
+
+
 # ----------------------------------------------------------------------
 # Method rows
 # ----------------------------------------------------------------------
@@ -94,6 +100,7 @@ def fit_and_score(
     method_overrides: Optional[dict] = None,
     method_factory: Optional[Callable] = None,
     fit_seeds: int = 2,
+    trace_dir: Optional[str] = None,
 ) -> MethodResult:
     """Pre-train ``name`` on ``graph`` and linear-evaluate (Alg. 1 protocol).
 
@@ -101,16 +108,41 @@ def fit_and_score(
     10 full runs; multiple fit seeds x ``trials`` decoder splits is the
     bench-scale equivalent that keeps initialization variance out of the
     tables).  Reported times are per-fit averages.
+
+    ``trace_dir`` (default: :func:`bench_trace_dir`, i.e. the
+    ``REPRO_BENCH_TRACE_DIR`` environment variable) makes every fit write a
+    ``<method>-<dataset>-seed<k>.jsonl`` trace there, readable with
+    ``repro trace``.
     """
     accuracies: List[float] = []
     fit_seconds = 0.0
     selection_seconds = 0.0
     runs = max(1, fit_seeds)
+    if trace_dir is None:
+        trace_dir = bench_trace_dir()
     for fit_seed in range(seed, seed + runs):
         kwargs = method_kwargs(name, graph, epochs, fit_seed)
         kwargs.update(method_overrides or {})
         method = method_factory(**kwargs) if method_factory else get_method(name, **kwargs)
-        method.fit(graph)
+        hooks = []
+        tracer = None
+        if trace_dir is not None:
+            from ..obs import MetricsHook, TraceHook, Tracer, build_manifest
+
+            os.makedirs(trace_dir, exist_ok=True)
+            trace_path = os.path.join(
+                trace_dir, f"{name}-{graph.name}-seed{fit_seed}.jsonl"
+            )
+            tracer = Tracer(trace_path)
+            manifest = build_manifest(
+                config=kwargs, seed=fit_seed, graph=graph, extra={"method": name}
+            )
+            hooks = [TraceHook(tracer, manifest=manifest), MetricsHook(tracer)]
+        try:
+            method.fit(graph, hooks=hooks)
+        finally:
+            if tracer is not None:
+                tracer.close()
         result = evaluate_embeddings(
             graph, method.embed(graph), seed=seed, trials=trials, decoder_epochs=150,
         )

@@ -6,11 +6,15 @@ Usage::
     python -m repro list-methods
     python -m repro list-experiments
     python -m repro train --dataset cora --method e2gcl --epochs 40
+    python -m repro train --dataset cora --method e2gcl --trace run.jsonl
     python -m repro select --dataset computers --ratio 0.1
+    python -m repro trace run.jsonl
 
 ``train`` pre-trains a method and reports linear-eval accuracy; ``select``
-runs Alg. 2 standalone and prints coreset statistics.  Benchmarks are run
-through pytest (``pytest benchmarks/ --benchmark-only``), not the CLI.
+runs Alg. 2 standalone and prints coreset statistics; ``trace`` summarizes
+a JSONL trace written by ``train --trace`` (slowest spans, per-epoch
+metrics).  Benchmarks are run through pytest
+(``pytest benchmarks/ --benchmark-only``), not the CLI.
 """
 
 from __future__ import annotations
@@ -67,15 +71,35 @@ def _cmd_train(args) -> int:
         hooks.append(PeriodicCheckpoint(args.checkpoint, every=args.checkpoint_every))
     if args.patience:
         hooks.append(EarlyStopping(args.patience))
-    method.fit(graph, hooks=hooks, resume_from=args.resume)
-    if args.checkpoint:
-        print(f"engine checkpoint at {args.checkpoint} "
-              f"(every {args.checkpoint_every} epochs)")
-    stop = method.last_loop.stop_reason if method.last_loop is not None else None
-    if stop:
-        print(stop)
-    result = evaluate_embeddings(graph, method.embed(graph), seed=args.seed,
-                                 trials=args.trials)
+    tracer = None
+    if args.trace:
+        from .obs import MetricsHook, TraceHook, Tracer, build_manifest
+
+        tracer = Tracer(args.trace)
+        # Activate here (not in the hook) so the post-fit linear eval below
+        # is traced too; TraceHook sees an active tracer and leaves
+        # ownership with us.
+        tracer.activate()
+        manifest = build_manifest(
+            config=vars(args), seed=args.seed, graph=graph,
+            extra={"method": args.method},
+        )
+        hooks.append(TraceHook(tracer, manifest=manifest))
+        hooks.append(MetricsHook(tracer))
+    try:
+        method.fit(graph, hooks=hooks, resume_from=args.resume)
+        if args.checkpoint:
+            print(f"engine checkpoint at {args.checkpoint} "
+                  f"(every {args.checkpoint_every} epochs)")
+        stop = method.last_loop.stop_reason if method.last_loop is not None else None
+        if stop:
+            print(stop)
+        result = evaluate_embeddings(graph, method.embed(graph), seed=args.seed,
+                                     trials=args.trials)
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"trace written to {args.trace}")
     print(f"{args.method}: accuracy {result.test_accuracy} "
           f"(fit {method.info.seconds:.1f}s)")
     if args.save:
@@ -98,6 +122,18 @@ def save_model_wrapper(method, path):
     facade.trainer = method.trainer
     facade.result = method.train_result
     return save_model(facade, path)
+
+
+def _cmd_trace(args) -> int:
+    from .obs import render_summary, summarize_trace
+
+    try:
+        summary = summarize_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.path}: {exc}", file=sys.stderr)
+        return 2
+    print(render_summary(summary, top=args.top))
+    return 0
 
 
 def _cmd_select(args) -> int:
@@ -144,7 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resume training from an engine checkpoint")
     train.add_argument("--patience", type=int, default=None,
                        help="early-stop after N epochs without loss improvement")
+    train.add_argument("--trace", default=None,
+                       help="write a JSONL run trace (spans, metrics, manifest)")
     train.set_defaults(func=_cmd_train)
+
+    trace = sub.add_parser("trace", help="summarize a JSONL trace from train --trace")
+    trace.add_argument("path", help="trace file written by train --trace")
+    trace.add_argument("--top", type=int, default=12,
+                       help="number of slowest spans to show")
+    trace.set_defaults(func=_cmd_trace)
 
     select = sub.add_parser("select", help="run Alg. 2 coreset selection standalone")
     select.add_argument("--dataset", default="cora")

@@ -144,8 +144,9 @@ def select_coreset(
             unselected[best_candidate] = False
 
     selected = np.asarray(objective.selected, dtype=np.int64)
-    assignment = _nearest_selected(cluster_model.r, selected)
-    weights = np.bincount(assignment, minlength=selected.size).astype(np.float64)
+    with record("selector.assign"):
+        assignment = _nearest_selected(cluster_model.r, selected)
+        weights = np.bincount(assignment, minlength=selected.size).astype(np.float64)
     elapsed = time.perf_counter() - start_time
     return CoresetResult(
         selected=selected,

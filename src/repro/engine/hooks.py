@@ -1,10 +1,11 @@
 """Stock hooks for the training engine.
 
-Hooks observe the loop at five points — setup, epoch start/end, checkpoint
-writes, and stop — and may steer it through ``loop.request_stop`` /
-``loop.save_checkpoint`` / ``loop.exclude_seconds``.  Events fire across
-the hook list in order, so e.g. a :class:`PeriodicCheckpoint` placed before
-a stopping hook still captures the epoch the run dies on.
+Hooks observe the loop at six points — run start (before setup, at the
+timing origin), setup, epoch start/end, checkpoint writes, and stop — and
+may steer it through ``loop.request_stop`` / ``loop.save_checkpoint`` /
+``loop.exclude_seconds``.  Events fire across the hook list in order, so
+e.g. a :class:`PeriodicCheckpoint` placed before a stopping hook still
+captures the epoch the run dies on.
 """
 
 from __future__ import annotations
@@ -18,6 +19,13 @@ import numpy as np
 
 class Hook:
     """Base hook: every event defaults to a no-op."""
+
+    def on_run_start(self, loop) -> None:
+        """At the top of ``run`` — the timing origin, before step setup.
+
+        The one place a hook can observe the run before any method work
+        (selection, score tables, encoder construction) happens; used by
+        :class:`repro.obs.TraceHook` to open the trace around setup."""
 
     def on_setup(self, loop) -> None:
         """After step preparation / optimizer construction / resume."""
@@ -170,6 +178,7 @@ class TimedEvalHook(Hook):
             return
         from ..eval.node_classification import evaluate_embeddings
         from ..eval.protocol import CurvePoint
+        from ..obs.tracer import emit_metric
 
         probe_start = time.perf_counter()
         result = evaluate_embeddings(
@@ -180,6 +189,7 @@ class TimedEvalHook(Hook):
             decoder_epochs=self.decoder_epochs,
         )
         loop.exclude_seconds(time.perf_counter() - probe_start)
+        emit_metric("eval_accuracy", result.test_accuracy.mean, epoch=epoch)
         self.curve.points.append(
             CurvePoint(
                 epoch=epoch,

@@ -5,8 +5,9 @@ One loop owns everything method-agnostic about pre-training:
 * **optimizer construction** from the step's trainable parameters (no
   method builds its own ``Adam`` — enforced by
   ``tools/check_engine_adoption.py``);
-* **epoch iteration** with an ordered hook pipeline (``on_setup``,
-  ``on_epoch_start``, ``on_epoch_end``, ``on_checkpoint``, ``on_stop``);
+* **epoch iteration** with an ordered hook pipeline (``on_run_start``,
+  ``on_setup``, ``on_epoch_start``, ``on_epoch_end``, ``on_checkpoint``,
+  ``on_stop``);
 * **one canonical timing origin** — the wall clock starts at the top of
   :meth:`run`, *before* module construction and selection, so per-epoch
   timestamps are comparable across methods (Fig. 3) and E2GCL's selection
@@ -142,6 +143,8 @@ class TrainLoop:
         """Execute the run; returns the (possibly resumed) history."""
         self._t0 = time.perf_counter()
         self._excluded_seconds = 0.0
+        for hook in self.hooks:
+            hook.on_run_start(self)
         with record(f"{self.scope}.setup"):
             self.step.prepare(self)
         params = list(self.step.trainable_parameters())

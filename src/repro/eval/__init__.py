@@ -9,7 +9,6 @@ from .link_prediction import LinkPredictionResult, evaluate_link_prediction
 from .metrics import MeanStd, accuracy, macro_f1, roc_auc
 from .node_classification import NodeClassificationResult, evaluate_embeddings
 from .protocol import CurvePoint, TimedCurve, TimedEvaluator
-from .timer import Stopwatch
 from .visualize import ScatterData, coreset_scatter, pca_2d, tsne_2d
 
 __all__ = [
@@ -27,7 +26,6 @@ __all__ = [
     "TimedEvaluator",
     "TimedCurve",
     "CurvePoint",
-    "Stopwatch",
     "pca_2d",
     "tsne_2d",
     "coreset_scatter",

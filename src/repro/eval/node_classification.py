@@ -15,6 +15,7 @@ import numpy as np
 
 from ..graphs import Graph, split_nodes
 from ..nn import LogisticRegressionDecoder
+from ..perf import record
 from .metrics import MeanStd, accuracy
 
 
@@ -48,25 +49,26 @@ def evaluate_embeddings(
 
     test_scores: List[float] = []
     val_scores: List[float] = []
-    for trial in range(trials):
-        rng = np.random.default_rng(seed + 1000 * trial)
-        split = split_nodes(
-            graph.num_nodes, rng, train_frac=train_frac, val_frac=val_frac,
-            labels=graph.labels, stratified=True,
-        )
-        decoder = LogisticRegressionDecoder(
-            num_features=embeddings.shape[1],
-            num_classes=graph.num_classes,
-            l2=l2,
-            epochs=decoder_epochs,
-            seed=seed + trial,
-        )
-        decoder.fit(embeddings[split.train], graph.labels[split.train])
-        test_scores.append(accuracy(decoder.predict(embeddings[split.test]), graph.labels[split.test]))
-        if split.val.size:
-            val_scores.append(accuracy(decoder.predict(embeddings[split.val]), graph.labels[split.val]))
-        else:
-            val_scores.append(test_scores[-1])
+    with record("eval.linear_probe"):
+        for trial in range(trials):
+            rng = np.random.default_rng(seed + 1000 * trial)
+            split = split_nodes(
+                graph.num_nodes, rng, train_frac=train_frac, val_frac=val_frac,
+                labels=graph.labels, stratified=True,
+            )
+            decoder = LogisticRegressionDecoder(
+                num_features=embeddings.shape[1],
+                num_classes=graph.num_classes,
+                l2=l2,
+                epochs=decoder_epochs,
+                seed=seed + trial,
+            )
+            decoder.fit(embeddings[split.train], graph.labels[split.train])
+            test_scores.append(accuracy(decoder.predict(embeddings[split.test]), graph.labels[split.test]))
+            if split.val.size:
+                val_scores.append(accuracy(decoder.predict(embeddings[split.val]), graph.labels[split.val]))
+            else:
+                val_scores.append(test_scores[-1])
 
     return NodeClassificationResult(
         test_accuracy=MeanStd.from_values(test_scores),

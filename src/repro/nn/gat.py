@@ -104,15 +104,16 @@ class GAT(Module):
             layer = GATLayer(dims[i], dims[i + 1], rng, activation=act)
             self.layers.append(layer)
             setattr(self, f"att_{i}", layer)
-        self._cache_key: Optional[int] = None
+        # Keyed by the adjacency object itself (held alive), never by id():
+        # a freed view's address can be reused and alias the cache.
+        self._cache_key = None
         self._cached_edges: Optional[np.ndarray] = None
 
     def _directed_edges(self, graph: Graph) -> np.ndarray:
-        key = id(graph.adjacency)
-        if self._cache_key != key:
+        if self._cache_key is not graph.adjacency:
             coo = add_self_loops(graph.adjacency).tocoo()
             self._cached_edges = np.stack([coo.row, coo.col], axis=1)
-            self._cache_key = key
+            self._cache_key = graph.adjacency
         return self._cached_edges
 
     def forward(self, graph: Graph, features: Optional[Tensor] = None) -> Tensor:

@@ -92,14 +92,16 @@ class GCN(Module):
         self.num_layers = num_layers
         self.dropout = dropout
         self._dropout_rng = np.random.default_rng(seed + 1)
-        self._cache_key: Optional[int] = None
+        # The cache holds the adjacency object itself, not its id(): an id is
+        # a memory address, and a freed adjacency's address can be reused by
+        # the next epoch's view, silently serving a stale normalization.
+        self._cache_key: Optional[sp.spmatrix] = None
         self._cached_a_n: Optional[sp.csr_matrix] = None
 
     def _normalized(self, graph: Graph) -> sp.csr_matrix:
-        key = id(graph.adjacency)
-        if self._cache_key != key:
+        if self._cache_key is not graph.adjacency:
             self._cached_a_n = normalized_adjacency(graph.adjacency)
-            self._cache_key = key
+            self._cache_key = graph.adjacency
         return self._cached_a_n
 
     def forward(self, graph: Graph, features: Optional[Tensor] = None) -> Tensor:

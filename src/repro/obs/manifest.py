@@ -1,0 +1,119 @@
+"""Run manifests: the provenance record written at the head of a trace.
+
+A manifest pins down everything needed to audit or re-run a recorded run:
+the full config, the root seed, a content fingerprint of the dataset (so a
+trace can be matched to the exact synthetic graph it trained on), package
+versions, platform, and the invoking command line.  ``BENCH_*.json``
+numbers become auditable by pairing them with a trace whose manifest
+carries the same fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import platform
+import sys
+import time
+from dataclasses import asdict, is_dataclass
+from typing import Dict, Optional
+
+import numpy as np
+import scipy
+
+
+def dataset_fingerprint(graph) -> Dict:
+    """Shape counts plus a SHA-256 over the graph's defining arrays.
+
+    The digest covers the CSR adjacency structure, the feature matrix
+    bytes, and the labels, so any change to the synthetic analogue (scale,
+    seed, generator tweak) changes the fingerprint.
+    """
+    digest = hashlib.sha256()
+    adjacency = graph.adjacency.tocsr()
+    digest.update(np.ascontiguousarray(adjacency.indptr).tobytes())
+    digest.update(np.ascontiguousarray(adjacency.indices).tobytes())
+    digest.update(np.ascontiguousarray(graph.features).tobytes())
+    if graph.labels is not None:
+        digest.update(np.ascontiguousarray(graph.labels).tobytes())
+    return {
+        "name": graph.name,
+        "num_nodes": int(graph.num_nodes),
+        "num_edges": int(graph.num_edges),
+        "num_features": int(graph.num_features),
+        "num_classes": int(graph.num_classes) if graph.labels is not None else None,
+        "sha256": digest.hexdigest(),
+    }
+
+
+def package_versions() -> Dict[str, str]:
+    """Versions of the packages the numbers depend on."""
+    from .. import __version__
+
+    versions = {
+        "repro": __version__,
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "python": sys.version.split()[0],
+    }
+    try:
+        import networkx
+
+        versions["networkx"] = networkx.__version__
+    except ImportError:  # pragma: no cover - networkx is a declared dep
+        pass
+    return versions
+
+
+def jsonable(obj):
+    """Recursively coerce ``obj`` into JSON-serializable primitives.
+
+    Dataclasses become dicts, numpy scalars/arrays become numbers/lists,
+    and anything else non-serializable falls back to ``repr``.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return jsonable(asdict(obj))
+    if isinstance(obj, dict):
+        return {str(key): jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [jsonable(item) for item in obj]
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return repr(obj)
+
+
+def build_manifest(
+    config=None,
+    seed: Optional[int] = None,
+    graph=None,
+    extra: Optional[Dict] = None,
+) -> Dict:
+    """Assemble a run manifest.
+
+    Parameters
+    ----------
+    config:
+        The run's hyperparameters — a dict, dataclass (e.g.
+        ``E2GCLConfig``), or anything :func:`jsonable` can flatten.
+    seed:
+        The root seed the run's RNG streams derive from.
+    graph:
+        The training graph; fingerprinted via :func:`dataset_fingerprint`.
+    extra:
+        Additional top-level fields (method name, CLI scale, ...).
+    """
+    manifest = {
+        "created_unix": time.time(),
+        "argv": list(sys.argv),
+        "platform": platform.platform(),
+        "packages": package_versions(),
+        "seed": seed,
+        "config": jsonable(config) if config is not None else None,
+        "dataset": dataset_fingerprint(graph) if graph is not None else None,
+    }
+    if extra:
+        manifest.update(jsonable(extra))
+    return manifest

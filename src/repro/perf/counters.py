@@ -49,6 +49,23 @@ class Counter:
 _lock = threading.Lock()
 _counters: Dict[str, Counter] = {}
 _allocation_tracking = False
+# When a repro.obs tracer is active it registers itself here, and every
+# recorded scope is mirrored into the trace as a named span.  The tracer
+# side owns (un)registration so this module never imports repro.obs.
+_trace_sink = None
+
+
+def set_trace_sink(sink) -> None:
+    """Mirror every recorded scope into ``sink`` (an object with a
+    ``span(name)`` context-manager factory), or stop mirroring with None.
+    Called by :class:`repro.obs.Tracer` on activation/deactivation."""
+    global _trace_sink
+    _trace_sink = sink
+
+
+def trace_sink():
+    """The currently registered trace sink (None when tracing is off)."""
+    return _trace_sink
 
 
 def reset() -> None:
@@ -84,7 +101,15 @@ def allocation_tracking_enabled() -> bool:
 
 @contextmanager
 def record(name: str) -> Iterator[None]:
-    """Accumulate wall-clock (and, if enabled, peak allocation) under ``name``."""
+    """Accumulate wall-clock (and, if enabled, peak allocation) under ``name``.
+
+    While a :mod:`repro.obs` tracer is active the scope is also emitted
+    into the trace as a span of the same name.
+    """
+    sink = _trace_sink
+    span = sink.span(name) if sink is not None else None
+    if span is not None:
+        span.__enter__()
     track = _allocation_tracking and tracemalloc.is_tracing()
     if track:
         tracemalloc.reset_peak()
@@ -93,6 +118,8 @@ def record(name: str) -> Iterator[None]:
         yield
     finally:
         elapsed = time.perf_counter() - start
+        if span is not None:
+            span.__exit__(None, None, None)
         peak = tracemalloc.get_traced_memory()[1] if track else 0
         with _lock:
             counter = _counters.get(name)

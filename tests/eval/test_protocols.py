@@ -5,7 +5,6 @@ import numpy as np
 import pytest
 
 from repro.eval import (
-    Stopwatch,
     TimedEvaluator,
     evaluate_embeddings,
     evaluate_graph_classification,
@@ -149,25 +148,3 @@ class TestTimedEvaluator:
         assert curve.best_accuracy() >= curve.points[0].accuracy - 1e-12
         assert curve.time_to_reach(2.0) is None  # accuracy can't reach 200%
         assert curve.time_to_reach(0.0) is not None
-
-
-class TestStopwatch:
-    def test_measures_and_accumulates(self):
-        watch = Stopwatch()
-        with watch.measure("a"):
-            sum(range(1000))
-        with watch.measure("a"):
-            sum(range(1000))
-        assert watch.counts["a"] == 2
-        assert watch.seconds("a") > 0
-        assert watch.mean_seconds("a") <= watch.seconds("a")
-
-    def test_total_and_report(self):
-        watch = Stopwatch()
-        with watch.measure("x"):
-            pass
-        assert watch.total() == watch.seconds("x")
-        assert "x" in watch.report()
-
-    def test_unknown_segment_zero(self):
-        assert Stopwatch().seconds("missing") == 0.0

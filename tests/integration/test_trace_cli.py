@@ -1,0 +1,101 @@
+"""End-to-end: ``repro train --trace`` writes a full trace and
+``repro trace`` summarizes it (the PR's acceptance pipeline)."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs import current_tracer, read_events, summarize_events
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    yield
+    leaked = current_tracer()
+    if leaked is not None:
+        leaked.deactivate()
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+    code = main([
+        "train", "--dataset", "cora", "--method", "e2gcl",
+        "--epochs", "2", "--trials", "1", "--scale", "0.1",
+        "--trace", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestTrainTrace:
+    def test_manifest_leads_the_stream(self, trace_path):
+        events = read_events(trace_path)
+        assert events[0]["type"] == "manifest"
+        manifest = events[0]
+        assert manifest["method"] == "e2gcl"
+        assert manifest["dataset"]["name"] == "cora"
+        assert manifest["dataset"]["sha256"]
+        assert manifest["config"]["epochs"] == 2
+        assert manifest["packages"]["repro"]
+
+    def test_expected_spans_present(self, trace_path):
+        spans = {e["name"] for e in read_events(trace_path)
+                 if e["type"] == "span"}
+        # setup + selection + per-epoch + eval — the whole run is covered.
+        for required in ("run", "trainer.setup", "trainer.selection",
+                         "selector.greedy", "epoch", "trainer.epoch",
+                         "eval.linear_probe"):
+            assert required in spans, f"missing span {required}"
+
+    def test_per_epoch_metric_series(self, trace_path):
+        summary = summarize_events(read_events(trace_path))
+        rows = summary.epoch_table()
+        assert [row["epoch"] for row in rows] == [0, 1]
+        assert all("loss" in row for row in rows)
+
+    def test_tracer_released_after_command(self, trace_path):
+        assert current_tracer() is None
+
+    def test_trace_subcommand_renders_summary(self, trace_path, capsys):
+        assert main(["trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "dataset cora" in out
+        assert "slowest spans" in out
+        assert "eval.linear_probe" in out
+        assert "per-epoch metrics" in out
+
+
+class TestTraceSubcommandErrors:
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        assert main(["trace", str(bad)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+
+class TestBenchTraceEmission:
+    def test_fit_and_score_writes_traces(self, tmp_path):
+        from repro.bench.harness import fit_and_score, load_bench_dataset
+
+        graph = load_bench_dataset("cora", scale=0.1)
+        fit_and_score("grace", graph, epochs=2, trials=1, fit_seeds=1,
+                      trace_dir=str(tmp_path))
+        traces = sorted(tmp_path.glob("*.jsonl"))
+        assert [p.name for p in traces] == ["grace-cora-seed0.jsonl"]
+        events = read_events(traces[0])
+        assert events[0]["type"] == "manifest"
+        assert events[0]["method"] == "grace"
+        assert any(e["type"] == "span" and e["name"] == "run" for e in events)
+        assert current_tracer() is None
+
+    def test_no_traces_without_opt_in(self, tmp_path, monkeypatch):
+        from repro.bench.harness import fit_and_score, load_bench_dataset
+
+        monkeypatch.delenv("REPRO_BENCH_TRACE_DIR", raising=False)
+        graph = load_bench_dataset("cora", scale=0.1)
+        fit_and_score("grace", graph, epochs=1, trials=1, fit_seeds=1)
+        assert list(tmp_path.glob("*.jsonl")) == []

@@ -1,0 +1,91 @@
+"""Manifest building: fingerprints, versions, JSON coercion, completeness."""
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs import load_dataset
+from repro.obs import build_manifest, dataset_fingerprint, jsonable, package_versions
+
+
+class TestDatasetFingerprint:
+    def test_deterministic(self, tiny_cora):
+        assert dataset_fingerprint(tiny_cora) == dataset_fingerprint(tiny_cora)
+
+    def test_fields(self, tiny_cora):
+        fp = dataset_fingerprint(tiny_cora)
+        assert fp["name"] == "cora"
+        assert fp["num_nodes"] == tiny_cora.num_nodes
+        assert fp["num_edges"] == tiny_cora.num_edges
+        assert fp["num_features"] == tiny_cora.num_features
+        assert len(fp["sha256"]) == 64
+
+    def test_sensitive_to_content(self):
+        a = load_dataset("cora", seed=3, scale=0.25)
+        b = load_dataset("cora", seed=4, scale=0.25)
+        assert dataset_fingerprint(a)["sha256"] != dataset_fingerprint(b)["sha256"]
+
+    def test_sensitive_to_features(self, tiny_cora):
+        before = dataset_fingerprint(tiny_cora)["sha256"]
+        perturbed = tiny_cora.features.copy()
+        perturbed[0, 0] += 1.0
+        clone = type(tiny_cora)(
+            adjacency=tiny_cora.adjacency, features=perturbed,
+            labels=tiny_cora.labels, name=tiny_cora.name,
+        )
+        assert dataset_fingerprint(clone)["sha256"] != before
+
+
+class TestPackageVersions:
+    def test_core_packages_present(self):
+        versions = package_versions()
+        for key in ("repro", "numpy", "scipy", "python"):
+            assert versions[key]
+
+
+class TestJsonable:
+    def test_primitives_pass_through(self):
+        assert jsonable({"a": 1, "b": [1.5, None, "x"]}) == {"a": 1, "b": [1.5, None, "x"]}
+
+    def test_numpy_coerced(self):
+        out = jsonable({"s": np.float64(2.5), "arr": np.arange(3)})
+        assert out == {"s": 2.5, "arr": [0, 1, 2]}
+
+    def test_dataclass_flattened(self):
+        @dataclass
+        class Cfg:
+            lr: float
+            dims: tuple
+
+        assert jsonable(Cfg(lr=0.01, dims=(8, 16))) == {"lr": 0.01, "dims": [8, 16]}
+
+    def test_fallback_is_repr(self):
+        value = jsonable({"fn": len})
+        assert isinstance(value["fn"], str)
+
+    def test_result_is_json_serializable(self, tiny_cora):
+        manifest = build_manifest(
+            config={"rng": np.random.default_rng(0)}, seed=0, graph=tiny_cora
+        )
+        json.dumps(manifest)  # must not raise
+
+
+class TestBuildManifest:
+    def test_completeness(self, tiny_cora):
+        manifest = build_manifest(
+            config={"epochs": 3}, seed=7, graph=tiny_cora,
+            extra={"method": "e2gcl"},
+        )
+        for key in ("created_unix", "argv", "platform", "packages",
+                    "seed", "config", "dataset"):
+            assert key in manifest, f"manifest missing {key}"
+        assert manifest["seed"] == 7
+        assert manifest["config"] == {"epochs": 3}
+        assert manifest["dataset"]["sha256"]
+        assert manifest["method"] == "e2gcl"
+
+    def test_minimal_manifest(self):
+        manifest = build_manifest()
+        assert manifest["config"] is None and manifest["dataset"] is None
+        assert manifest["packages"]["numpy"]

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.eval",
     "repro.bench",
     "repro.perf",
+    "repro.obs",
 ]
 
 
@@ -63,6 +64,17 @@ def test_version_is_exposed():
     import repro
 
     assert repro.__version__
+
+
+def test_stopwatch_stays_removed():
+    """``repro.eval.timer`` was folded into ``repro.obs`` spans; the module
+    and its ``Stopwatch`` export must not come back."""
+    import repro.eval
+
+    assert not hasattr(repro.eval, "Stopwatch")
+    assert "Stopwatch" not in repro.eval.__all__
+    with pytest.raises(ImportError):
+        importlib.import_module("repro.eval.timer")
 
 
 def test_no_accidental_sklearn_or_torch_imports():

@@ -14,6 +14,12 @@ class TestParser:
         args = build_parser().parse_args(["train"])
         assert args.dataset == "cora"
         assert args.method == "e2gcl"
+        assert args.trace is None
+
+    def test_trace_subcommand_parses(self):
+        args = build_parser().parse_args(["trace", "run.jsonl", "--top", "5"])
+        assert args.path == "run.jsonl"
+        assert args.top == 5
 
 
 class TestListCommands:

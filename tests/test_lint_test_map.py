@@ -1,0 +1,40 @@
+"""Wire ``tools/check_test_map.py`` into the suite: every ``src/repro``
+module has a test file (or an explicit mapping/allowlist entry)."""
+
+import importlib.util
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_test_map", ROOT / "tools" / "check_test_map.py"
+)
+check_test_map = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_test_map)
+
+
+def test_every_module_has_a_test_file():
+    problems = check_test_map.check_map()
+    assert not problems, "unmapped modules:\n" + "\n".join(problems)
+
+
+def test_default_convention_paths():
+    expected = check_test_map.expected_test_path(
+        check_test_map.SRC / "core" / "trainer.py"
+    )
+    assert expected == check_test_map.TESTS / "core" / "test_trainer.py"
+    expected = check_test_map.expected_test_path(check_test_map.SRC / "cli.py")
+    assert expected == check_test_map.TESTS / "test_cli.py"
+
+
+def test_covered_by_targets_exist():
+    """A renamed test file cannot silently orphan its mapped modules."""
+    for rel, target in check_test_map.COVERED_BY.items():
+        assert (ROOT / rel).is_file(), f"stale COVERED_BY key: {rel}"
+        assert (ROOT / target).is_file(), f"missing COVERED_BY target: {target}"
+
+
+def test_allowlist_is_short_and_real():
+    assert len(check_test_map.ALLOWLIST) <= 3, "keep the allowlist short"
+    for rel in check_test_map.ALLOWLIST:
+        assert (ROOT / rel).is_file(), f"stale allowlist entry: {rel}"

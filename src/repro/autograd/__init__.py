@@ -9,7 +9,7 @@ Public surface::
 from . import functional, init, ops
 from .gradcheck import GradcheckResult, gradcheck
 from .module import Module, Parameter, Sequential
-from .optim import SGD, Adam, AdamW, CosineAnnealingLR, ExponentialLR
+from .optim import SGD, Adam, AdamW, CosineAnnealingLR, ExponentialLR, global_grad_norm
 from .tensor import Tensor, ensure_tensor
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "AdamW",
     "ExponentialLR",
     "CosineAnnealingLR",
+    "global_grad_norm",
     "ops",
     "functional",
     "init",

@@ -7,11 +7,28 @@ as L2-in-the-gradient (classic, ``SGD``/``Adam``) and decoupled (``AdamW``).
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 import numpy as np
 
 from .module import Parameter
+
+
+def global_grad_norm(parameters: Iterable[Parameter]) -> Optional[float]:
+    """Global l2 norm over every parameter gradient, or None when no
+    parameter has a gradient.
+
+    The norm is NaN/Inf whenever any gradient entry is non-finite, which
+    is exactly what health guards check — one scalar summarizes the
+    numerical state of the whole backward pass.
+    """
+    total = 0.0
+    seen = False
+    for param in parameters:
+        if param.grad is not None:
+            total += float(np.sum(np.square(param.grad)))
+            seen = True
+    return float(np.sqrt(total)) if seen else None
 
 
 class Optimizer:
@@ -28,6 +45,11 @@ class Optimizer:
     def zero_grad(self) -> None:
         for param in self.parameters:
             param.zero_grad()
+
+    def grad_norm(self) -> Optional[float]:
+        """Global l2 norm of the current gradients (see
+        :func:`global_grad_norm`)."""
+        return global_grad_norm(self.parameters)
 
     def step(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError

@@ -19,6 +19,16 @@ from ..nn import GCN
 from .base import ContrastiveMethod, register
 
 
+def _require_edges(graph: Graph, pos: np.ndarray) -> None:
+    """Edge reconstruction is undefined on an edgeless graph — the BCE
+    would be a mean over zero terms (NaN); fail loudly instead."""
+    if pos.shape[0] == 0:
+        raise ValueError(
+            f"graph {graph.name!r} has no edges; (V)GAE's edge-reconstruction "
+            "loss is undefined without positive examples"
+        )
+
+
 def _edge_logits(h: Tensor, pairs: np.ndarray) -> Tensor:
     """Inner-product decoder logits for each (u, v) pair."""
     h_u = ops.index(h, pairs[:, 0])
@@ -34,6 +44,7 @@ class GAE(ContrastiveMethod):
 
     def _reconstruction_loss(self, h: Tensor, graph: Graph) -> Tensor:
         pos = graph.edge_array()
+        _require_edges(graph, pos)
         neg = sample_negative_edges(graph, pos.shape[0], self._rng)
         logits = ops.concat([_edge_logits(h, pos), _edge_logits(h, neg)], axis=0)
         targets = np.concatenate([np.ones(pos.shape[0]), np.zeros(neg.shape[0])])
@@ -77,6 +88,7 @@ class VGAE(ContrastiveMethod):
             self.kl_weight if self.kl_weight is not None else 0.05 / graph.num_nodes
         )
         self._pos = graph.edge_array()
+        _require_edges(graph, self._pos)
 
     def trainable_parameters(self):
         """μ and log σ² encoders."""

@@ -4,6 +4,7 @@ from .harness import (
     METHOD_ORDER,
     MethodResult,
     bench_epochs,
+    bench_guard,
     bench_scale,
     bench_trials,
     expect,
@@ -20,6 +21,7 @@ __all__ = [
     "MethodResult",
     "bench_scale",
     "bench_epochs",
+    "bench_guard",
     "bench_trials",
     "fit_and_score",
     "load_bench_dataset",

@@ -44,6 +44,18 @@ def bench_trace_dir(default: Optional[str] = None) -> Optional[str]:
     return os.environ.get("REPRO_BENCH_TRACE_DIR", default)
 
 
+def bench_guard(default: str = "off") -> str:
+    """Health-guard policy for bench fits (``REPRO_BENCH_GUARD`` to
+    override): off, warn, or raise.  Long sweeps set ``warn`` to flag
+    divergent cells in the output without aborting the table."""
+    policy = os.environ.get("REPRO_BENCH_GUARD", default)
+    if policy not in ("off", "warn", "raise"):
+        raise ValueError(
+            f"REPRO_BENCH_GUARD must be off, warn, or raise; got {policy!r}"
+        )
+    return policy
+
+
 # ----------------------------------------------------------------------
 # Method rows
 # ----------------------------------------------------------------------
@@ -101,6 +113,7 @@ def fit_and_score(
     method_factory: Optional[Callable] = None,
     fit_seeds: int = 2,
     trace_dir: Optional[str] = None,
+    guard: Optional[str] = None,
 ) -> MethodResult:
     """Pre-train ``name`` on ``graph`` and linear-evaluate (Alg. 1 protocol).
 
@@ -113,6 +126,11 @@ def fit_and_score(
     ``REPRO_BENCH_TRACE_DIR`` environment variable) makes every fit write a
     ``<method>-<dataset>-seed<k>.jsonl`` trace there, readable with
     ``repro trace``.
+
+    ``guard`` (default: :func:`bench_guard`, i.e. ``REPRO_BENCH_GUARD``)
+    attaches a :class:`repro.resilience.HealthGuard` to every fit so a
+    divergent cell warns (or aborts) instead of silently producing NaN
+    numbers in a table.
     """
     accuracies: List[float] = []
     fit_seconds = 0.0
@@ -120,6 +138,8 @@ def fit_and_score(
     runs = max(1, fit_seeds)
     if trace_dir is None:
         trace_dir = bench_trace_dir()
+    if guard is None:
+        guard = bench_guard()
     for fit_seed in range(seed, seed + runs):
         kwargs = method_kwargs(name, graph, epochs, fit_seed)
         kwargs.update(method_overrides or {})
@@ -138,6 +158,10 @@ def fit_and_score(
                 config=kwargs, seed=fit_seed, graph=graph, extra={"method": name}
             )
             hooks = [TraceHook(tracer, manifest=manifest), MetricsHook(tracer)]
+        if guard != "off":
+            from ..resilience import HealthGuard
+
+            hooks.append(HealthGuard(policy=guard))
         try:
             method.fit(graph, hooks=hooks)
         finally:

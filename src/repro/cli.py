@@ -67,10 +67,30 @@ def _cmd_train(args) -> int:
     print(f"dataset: {graph}")
     method = get_method(args.method, epochs=args.epochs, seed=args.seed)
     hooks = []
-    if args.checkpoint:
+    recovering = args.guard == "recover"
+    if args.guard != "off":
+        from .resilience import HealthGuard
+
+        # Guard must run before AutoRecovery so a failure signalled at
+        # epoch N is seen before recovery decides whether to checkpoint.
+        hooks.append(HealthGuard(policy=args.guard))
+    if recovering:
+        from .resilience import AutoRecovery, CheckpointManager
+
+        ckpt_dir = args.checkpoint or f"{args.method}-{args.dataset}-ckpts"
+        manager = CheckpointManager(ckpt_dir, keep=args.keep_checkpoints)
+        hooks.append(AutoRecovery(manager, every=args.checkpoint_every,
+                                  max_retries=args.max_retries))
+    elif args.checkpoint:
         hooks.append(PeriodicCheckpoint(args.checkpoint, every=args.checkpoint_every))
     if args.patience:
         hooks.append(EarlyStopping(args.patience))
+    resume_from = args.resume
+    if resume_from is not None:
+        resume_from = _resolve_resume(resume_from)
+        if resume_from is None:
+            print(f"no valid checkpoint found under {args.resume}", file=sys.stderr)
+            return 2
     tracer = None
     if args.trace:
         from .obs import MetricsHook, TraceHook, Tracer, build_manifest
@@ -87,8 +107,15 @@ def _cmd_train(args) -> int:
         hooks.append(TraceHook(tracer, manifest=manifest))
         hooks.append(MetricsHook(tracer))
     try:
-        method.fit(graph, hooks=hooks, resume_from=args.resume)
-        if args.checkpoint:
+        method.fit(graph, hooks=hooks, resume_from=resume_from)
+        if recovering:
+            print(f"recovering checkpoints under {ckpt_dir} "
+                  f"(keep {args.keep_checkpoints}, every {args.checkpoint_every} epochs)")
+            if method.last_loop is not None:
+                for entry in method.last_loop.history.recoveries:
+                    print(f"recovered: epoch {entry['failed_epoch']} -> "
+                          f"{entry['resume_epoch']} ({entry['reason']})")
+        elif args.checkpoint:
             print(f"engine checkpoint at {args.checkpoint} "
                   f"(every {args.checkpoint_every} epochs)")
         stop = method.last_loop.stop_reason if method.last_loop is not None else None
@@ -111,6 +138,21 @@ def _cmd_train(args) -> int:
         save_model_path = save_model_wrapper(method, args.save)
         print(f"checkpoint written to {save_model_path}")
     return 0
+
+
+def _resolve_resume(target):
+    """Resolve ``--resume``: a file is used as-is, a directory is searched
+    for its newest digest-valid checkpoint (corrupt files are skipped)."""
+    from pathlib import Path
+
+    from .engine import find_latest_valid
+
+    path = Path(target)
+    if path.is_dir():
+        return find_latest_valid(path)
+    if not path.is_file():
+        return None
+    return path
 
 
 def save_model_wrapper(method, path):
@@ -177,9 +219,18 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--checkpoint-every", type=int, default=10,
                        help="epochs between --checkpoint writes")
     train.add_argument("--resume", default=None,
-                       help="resume training from an engine checkpoint")
+                       help="resume from an engine checkpoint, or from the newest "
+                            "valid checkpoint when given a directory")
     train.add_argument("--patience", type=int, default=None,
                        help="early-stop after N epochs without loss improvement")
+    train.add_argument("--guard", choices=["off", "warn", "raise", "recover"],
+                       default="off",
+                       help="numerical health guard policy (recover adds "
+                            "checkpoint rollback + retry)")
+    train.add_argument("--max-retries", type=int, default=3,
+                       help="recovery attempts before giving up (--guard recover)")
+    train.add_argument("--keep-checkpoints", type=int, default=3,
+                       help="checkpoints retained by the recovery manager")
     train.add_argument("--trace", default=None,
                        help="write a JSONL run trace (spans, metrics, manifest)")
     train.set_defaults(func=_cmd_train)

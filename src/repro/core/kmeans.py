@@ -105,6 +105,11 @@ def kmeans(
     n = points.shape[0]
     if n == 0:
         raise ValueError("cannot cluster an empty dataset")
+    if not np.isfinite(points).all():
+        raise ValueError(
+            "points contain non-finite values; kmeans distances (and every "
+            "centroid) would be NaN — clean or clip the features first"
+        )
     if num_clusters < 1:
         raise ValueError("num_clusters must be >= 1")
     rng = rng or np.random.default_rng()

@@ -11,17 +11,20 @@ contrastive loss.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
 from ..graphs import Graph, propagated_features
+from ..obs.tracer import emit_event
 from ..perf import record
 from .representativity import (
     ClusterModel,
     RepresentativityObjective,
     build_cluster_model,
+    representativity_cost,
 )
 
 
@@ -120,9 +123,22 @@ def select_coreset(
         with record("selector.propagate"):
             r = propagated_features(graph, hops)
     budget = min(budget, graph.num_nodes)
+    if not np.isfinite(r).all():
+        return _degree_fallback(
+            graph, budget, r, None, start_time,
+            reason="non-finite propagated features",
+        )
     if cluster_model is None:
         with record("selector.cluster"):
             cluster_model = build_cluster_model(r, num_clusters, rng=rng)
+    if budget < graph.num_nodes > 1 and np.ptp(r, axis=0).max() == 0.0:
+        # Every node coincides in R-space (e.g. constant features after
+        # propagation): distances carry no information and greedy would
+        # pick by sampling order, which is arbitrary.
+        return _degree_fallback(
+            graph, budget, r, cluster_model, start_time,
+            reason="all nodes coincide in R-space",
+        )
     objective = RepresentativityObjective(cluster_model)
     if sample_size is None:
         sample_size = recommended_sample_size(graph.num_nodes, budget)
@@ -139,6 +155,19 @@ def select_coreset(
             else:
                 candidates = pool
             batch_gains = objective.marginal_gains(candidates)
+            if not np.isfinite(batch_gains).all():
+                return _degree_fallback(
+                    graph, budget, r, cluster_model, start_time,
+                    reason="non-finite marginal gains",
+                )
+            if not gains and budget < graph.num_nodes and batch_gains.max() <= 0.0:
+                # No candidate improves coverage on the very first round:
+                # the objective carries no signal (e.g. all nodes coincide
+                # in R-space) and greedy selection would be arbitrary.
+                return _degree_fallback(
+                    graph, budget, r, cluster_model, start_time,
+                    reason="degenerate objective (no positive first-round gain)",
+                )
             best_candidate = int(candidates[int(batch_gains.argmax())])
             gains.append(objective.add(best_candidate))
             unselected[best_candidate] = False
@@ -154,5 +183,46 @@ def select_coreset(
         representativity=objective.cost(),
         gains=gains,
         selection_seconds=elapsed,
+        assignment=assignment,
+    )
+
+
+def _degree_fallback(
+    graph: Graph,
+    budget: int,
+    r: np.ndarray,
+    cluster_model: Optional[ClusterModel],
+    start_time: float,
+    reason: str,
+) -> CoresetResult:
+    """Degree-based coreset when the representativity objective degenerates.
+
+    High-degree nodes are the coverage-maximizing choice when R-space
+    distances carry no information (constant features, non-finite
+    propagation); the result keeps Alg. 2's output contract — weights
+    still sum to ``|V|`` via nearest-neighbor assignment (non-finite
+    coordinates are zeroed first so the assignment stays well-defined).
+    """
+    warnings.warn(
+        f"coreset objective degenerated ({reason}); falling back to "
+        f"degree-based selection of {budget} nodes",
+        RuntimeWarning,
+    )
+    emit_event("selector.fallback", reason=reason, budget=budget)
+    order = np.lexsort((np.arange(graph.num_nodes), -graph.degrees))
+    selected = np.sort(order[:budget]).astype(np.int64)
+    r_safe = np.nan_to_num(r, nan=0.0, posinf=0.0, neginf=0.0)
+    assignment = _nearest_selected(r_safe, selected)
+    weights = np.bincount(assignment, minlength=selected.size).astype(np.float64)
+    representativity = (
+        representativity_cost(cluster_model, selected)
+        if cluster_model is not None else float("inf")
+    )
+    return CoresetResult(
+        selected=selected,
+        weights=weights,
+        representativity=float(representativity),
+        gains=[],
+        selection_seconds=time.perf_counter() - start_time,
         assignment=assignment,
     )

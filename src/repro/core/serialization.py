@@ -21,7 +21,7 @@ from typing import Union
 
 import numpy as np
 
-from ..engine import pack_json
+from ..engine import atomic_savez, pack_json
 from ..nn import GCN
 from .config import E2GCLConfig
 from .model import E2GCL
@@ -48,8 +48,9 @@ def save_model(model: E2GCL, path: Union[str, Path]) -> Path:
         payload["coreset/selected"] = coreset.selected
         payload["coreset/weights"] = coreset.weights
         payload["coreset/assignment"] = coreset.assignment
-    np.savez(path, **payload)
-    return path
+    # Crash-safe like the engine's v2 writer: a kill mid-save can never
+    # leave a truncated file under the model's name.
+    return atomic_savez(path, payload)
 
 
 def load_model(path: Union[str, Path]) -> E2GCL:

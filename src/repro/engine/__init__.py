@@ -19,11 +19,16 @@ Quickstart::
 
 from .checkpoint import (
     CHECKPOINT_VERSION,
+    CheckpointCorruptError,
+    atomic_savez,
+    find_latest_valid,
     load_step_state,
     pack_json,
+    payload_digest,
     read_checkpoint,
     save_checkpoint,
     unpack_json,
+    verify_checkpoint,
 )
 from .history import EpochRecord, RunHistory
 from .hooks import (
@@ -34,7 +39,7 @@ from .hooks import (
     StopAfter,
     TimedEvalHook,
 )
-from .loop import TrainLoop
+from .loop import Failure, TrainingFailure, TrainLoop
 from .rng import RngStreams
 from .step import TrainStep, pack_components, unpack_components
 
@@ -50,7 +55,14 @@ __all__ = [
     "StopAfter",
     "CallbackHook",
     "TimedEvalHook",
+    "Failure",
+    "TrainingFailure",
     "CHECKPOINT_VERSION",
+    "CheckpointCorruptError",
+    "atomic_savez",
+    "payload_digest",
+    "verify_checkpoint",
+    "find_latest_valid",
     "save_checkpoint",
     "read_checkpoint",
     "load_step_state",

@@ -1,4 +1,4 @@
-"""Method-agnostic checkpoint save/resume (format v2).
+"""Method-agnostic checkpoint save/resume (format v2, crash-safe).
 
 A v2 checkpoint is a single ``.npz`` capturing *everything* a run needs to
 continue bit-identically:
@@ -11,7 +11,19 @@ continue bit-identically:
   the full per-epoch history, every RNG stream's bit-generator state, the
   optimizer's scalar state, the step's own scalar state, and the step
   class name (validated on load so a GRACE checkpoint cannot silently
-  resume a BGRL run).
+  resume a BGRL run);
+* ``meta/digest`` — a SHA-256 digest over every other entry's name, dtype,
+  shape, and bytes, recomputed and compared on load so a corrupted file
+  (bit flips, partial copies) raises :class:`CheckpointCorruptError`
+  instead of silently resuming from garbage.
+
+Every write goes through :func:`atomic_savez` — serialize to a temporary
+file in the destination directory, ``fsync``, then ``os.replace`` — so a
+process killed mid-write can never leave a truncated checkpoint under the
+real name; the previous checkpoint (if any) survives intact.
+:func:`find_latest_valid` scans a directory for the newest checkpoint that
+passes digest validation, skipping corrupt files, which is how a crashed
+run is resumed without operator intervention.
 
 This generalizes the v1 facade format in :mod:`repro.core.serialization`
 (E2GCL-only, parameters + config, no resume) to every registered method;
@@ -20,9 +32,12 @@ the v1 reader stays for published E2GCL model files.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import zipfile
 from pathlib import Path
-from typing import Dict, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -30,6 +45,51 @@ CHECKPOINT_VERSION = 2
 
 _STATE_PREFIX = "state/"
 _OPT_PREFIX = "opt/"
+_DIGEST_KEY = "meta/digest"
+
+
+class CheckpointCorruptError(ValueError):
+    """A checkpoint file is unreadable or fails digest validation."""
+
+
+def payload_digest(payload: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over every entry's name, dtype, shape, and raw bytes.
+
+    The digest entry itself is excluded, so the digest stored inside a
+    checkpoint can be recomputed from the rest of the file on load.
+    """
+    sha = hashlib.sha256()
+    for name in sorted(payload):
+        if name == _DIGEST_KEY:
+            continue
+        array = np.ascontiguousarray(payload[name])
+        sha.update(name.encode())
+        sha.update(str(array.dtype).encode())
+        sha.update(str(array.shape).encode())
+        sha.update(array.tobytes())
+    return sha.hexdigest()
+
+
+def atomic_savez(path: Union[str, Path], payload: Dict[str, np.ndarray]) -> Path:
+    """Write ``payload`` as ``.npz`` atomically: tmp file + fsync + replace.
+
+    The temporary file lives in the destination directory (``os.replace``
+    must not cross filesystems); on any failure it is removed, so a killed
+    or crashing writer leaves either the old file or no file — never a
+    truncated one under the real name.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return path
 
 
 def pack_json(payload: dict) -> np.ndarray:
@@ -65,14 +125,17 @@ def save_checkpoint(loop, path: Union[str, Path]) -> Path:
         "epochs": loop.epochs,
         "elapsed_seconds": loop.elapsed(),
         "history": loop.history.to_rows(),
+        "recoveries": list(loop.history.recoveries),
         "rng": loop.rngs.state(),
         "optimizer": optimizer_scalars,
         "step": loop.step.state_json(),
     }
     payload["meta/engine"] = pack_json(meta)
     payload["meta/version"] = np.array([CHECKPOINT_VERSION])
-    np.savez(path, **payload)
-    return path
+    payload[_DIGEST_KEY] = np.frombuffer(
+        payload_digest(payload).encode(), dtype=np.uint8
+    )
+    return atomic_savez(path, payload)
 
 
 def read_checkpoint(path: Union[str, Path]) -> Tuple[dict, Dict[str, np.ndarray]]:
@@ -81,30 +144,93 @@ def read_checkpoint(path: Union[str, Path]) -> Tuple[dict, Dict[str, np.ndarray]
     ``meta`` is the engine JSON blob; ``state_arrays`` holds the step's
     arrays with the ``state/`` prefix stripped.  Optimizer slot buffers are
     attached under ``meta["optimizer"]`` as lists in parameter order.
+
+    Raises :class:`CheckpointCorruptError` when the file is unreadable,
+    truncated, missing its digest, or fails digest validation.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as data:
-        version = int(data["meta/version"][0])
-        if version != CHECKPOINT_VERSION:
-            raise ValueError(
-                f"unsupported engine checkpoint version {version} "
-                f"(expected {CHECKPOINT_VERSION})"
-            )
-        meta = unpack_json(data["meta/engine"])
-        arrays = {
-            key[len(_STATE_PREFIX):]: data[key]
-            for key in data.files
-            if key.startswith(_STATE_PREFIX)
-        }
-        slots: Dict[str, Dict[int, np.ndarray]] = {}
-        for key in data.files:
-            if not key.startswith(_OPT_PREFIX):
-                continue
-            _, slot, index = key.split("/")
-            slots.setdefault(slot, {})[int(index)] = data[key]
-        for slot, indexed in slots.items():
-            meta["optimizer"][slot] = [indexed[i] for i in sorted(indexed)]
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            contents = {key: data[key] for key in data.files}
+    except FileNotFoundError:
+        # A missing file is an addressing error, not a damaged checkpoint.
+        raise
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+        raise CheckpointCorruptError(
+            f"cannot read checkpoint {path}: {exc}"
+        ) from exc
+    if _DIGEST_KEY not in contents:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} has no integrity digest "
+            "(pre-digest file or truncated write)"
+        )
+    stored = bytes(contents[_DIGEST_KEY]).decode(errors="replace")
+    actual = payload_digest(contents)
+    if stored != actual:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} failed digest validation "
+            f"(stored {stored[:12]}..., recomputed {actual[:12]}...)"
+        )
+    if "meta/version" not in contents or "meta/engine" not in contents:
+        raise CheckpointCorruptError(f"checkpoint {path} is missing engine metadata")
+    version = int(contents["meta/version"][0])
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported engine checkpoint version {version} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    meta = unpack_json(contents["meta/engine"])
+    meta.setdefault("recoveries", [])
+    arrays = {
+        key[len(_STATE_PREFIX):]: value
+        for key, value in contents.items()
+        if key.startswith(_STATE_PREFIX)
+    }
+    slots: Dict[str, Dict[int, np.ndarray]] = {}
+    for key, value in contents.items():
+        if not key.startswith(_OPT_PREFIX):
+            continue
+        _, slot, index = key.split("/")
+        slots.setdefault(slot, {})[int(index)] = value
+    for slot, indexed in slots.items():
+        meta["optimizer"][slot] = [indexed[i] for i in sorted(indexed)]
     return meta, arrays
+
+
+def verify_checkpoint(path: Union[str, Path]) -> bool:
+    """Whether ``path`` holds a readable checkpoint with a valid digest."""
+    try:
+        read_checkpoint(path)
+    except (CheckpointCorruptError, ValueError):
+        return False
+    return True
+
+
+def find_latest_valid(
+    directory: Union[str, Path], pattern: str = "*.npz"
+) -> Optional[Path]:
+    """The most advanced valid checkpoint under ``directory``, or None.
+
+    Candidates matching ``pattern`` are ranked by the epoch they would
+    resume from (then file name, for a deterministic tie-break) and the
+    first one that passes digest validation wins — corrupt or truncated
+    files are skipped, so a run killed mid-write resumes from the last
+    good checkpoint instead of dying on the damaged one.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    ranked: List[Tuple[int, str, Path]] = []
+    for candidate in directory.glob(pattern):
+        try:
+            meta, _ = read_checkpoint(candidate)
+        except (CheckpointCorruptError, ValueError):
+            continue
+        ranked.append((int(meta["epoch_next"]), candidate.name, candidate))
+    if not ranked:
+        return None
+    ranked.sort()
+    return ranked[-1][2]
 
 
 def load_step_state(
@@ -150,5 +276,6 @@ def restore_loop(loop, path: Union[str, Path]) -> None:
         raise ValueError("checkpoint carries optimizer state but the step has no parameters")
     loop.rngs.set_state(meta["rng"])
     loop.history = RunHistory.from_rows(meta["history"])
+    loop.history.recoveries = [dict(entry) for entry in meta.get("recoveries", [])]
     loop.start_epoch = int(meta["epoch_next"])
     loop.elapsed_offset = float(meta["elapsed_seconds"])

@@ -12,7 +12,7 @@ only under a shared origin).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Dict, Iterator, List
 
 
 @dataclass
@@ -36,6 +36,10 @@ class RunHistory:
         self.records: List[EpochRecord] = []
         #: Total wall-clock of the run, set once by the loop when it stops.
         self.total_seconds: float = 0.0
+        #: One entry per :class:`repro.resilience.AutoRecovery` rollback
+        #: (failed epoch, checkpoint restored, retry count, new LR) — part
+        #: of the run record so a recovered run is auditable after the fact.
+        self.recoveries: List[Dict] = []
 
     # ------------------------------------------------------------------
     def append(self, record: EpochRecord) -> None:

@@ -1,9 +1,10 @@
 """Stock hooks for the training engine.
 
-Hooks observe the loop at six points — run start (before setup, at the
-timing origin), setup, epoch start/end, checkpoint writes, and stop — and
-may steer it through ``loop.request_stop`` / ``loop.save_checkpoint`` /
-``loop.exclude_seconds``.  Events fire across the hook list in order, so
+Hooks observe the loop at seven points — run start (before setup, at the
+timing origin), setup, epoch start/end, failures, checkpoint writes, and
+stop — and may steer it through ``loop.request_stop`` /
+``loop.save_checkpoint`` / ``loop.exclude_seconds`` /
+``loop.restore_from``.  Events fire across the hook list in order, so
 e.g. a :class:`PeriodicCheckpoint` placed before a stopping hook still
 captures the epoch the run dies on.
 """
@@ -35,6 +36,16 @@ class Hook:
 
     def on_epoch_end(self, loop, epoch: int, record) -> None:
         """After epoch ``epoch``; ``record`` is its history row."""
+
+    def on_failure(self, loop, epoch: int, failure) -> bool:
+        """A failure was detected at epoch ``epoch`` (health-guard signal
+        or an exception raised inside the epoch body).
+
+        Return True to claim the failure as *handled* — the loop then
+        continues from ``loop.start_epoch`` (set by a rollback via
+        ``loop.restore_from``).  When no hook handles it, the loop
+        re-raises the underlying error (or a ``TrainingFailure``)."""
+        return False
 
     def on_checkpoint(self, loop, epoch: int, path: Path) -> None:
         """After a checkpoint was written to ``path``."""

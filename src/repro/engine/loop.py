@@ -6,8 +6,13 @@ One loop owns everything method-agnostic about pre-training:
   method builds its own ``Adam`` — enforced by
   ``tools/check_engine_adoption.py``);
 * **epoch iteration** with an ordered hook pipeline (``on_run_start``,
-  ``on_setup``, ``on_epoch_start``, ``on_epoch_end``, ``on_checkpoint``,
-  ``on_stop``);
+  ``on_setup``, ``on_epoch_start``, ``on_epoch_end``, ``on_failure``,
+  ``on_checkpoint``, ``on_stop``);
+* **failure dispatch** — an exception inside the epoch body, or a failure
+  signalled by a hook (``loop.signal_failure``), is offered to every
+  hook's ``on_failure``; a recovery hook may roll the run back to a
+  checkpoint (``loop.restore_from``) and the loop re-enters from the
+  restored epoch, otherwise the error propagates;
 * **one canonical timing origin** — the wall clock starts at the top of
   :meth:`run`, *before* module construction and selection, so per-epoch
   timestamps are comparable across methods (Fig. 3) and E2GCL's selection
@@ -24,8 +29,9 @@ One loop owns everything method-agnostic about pre-training:
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Optional, Union
+from typing import Callable, Dict, Iterable, Optional, Union
 
 from ..autograd import Adam
 from ..perf import record
@@ -33,6 +39,31 @@ from .checkpoint import restore_loop, save_checkpoint
 from .history import EpochRecord, RunHistory
 from .rng import RngStreams
 from .step import TrainStep
+
+
+@dataclass
+class Failure:
+    """A detected training failure, handed to every hook's ``on_failure``.
+
+    ``error`` is the exception raised inside the epoch body, or None when
+    the failure was signalled by a hook (e.g. a
+    :class:`repro.resilience.HealthGuard` spotting a NaN loss).
+    """
+
+    reason: str
+    epoch: int
+    error: Optional[BaseException] = None
+    details: Dict = field(default_factory=dict)
+
+
+class TrainingFailure(RuntimeError):
+    """Raised by the loop when a signalled failure goes unhandled."""
+
+    def __init__(self, failure: Failure) -> None:
+        super().__init__(
+            f"training failed at epoch {failure.epoch}: {failure.reason}"
+        )
+        self.failure = failure
 
 
 class TrainLoop:
@@ -94,6 +125,9 @@ class TrainLoop:
         self.history = RunHistory()
         self.optimizer = None
         self.stop_reason: Optional[str] = None
+        #: Failure signalled by a hook during the current epoch (cleared by
+        #: the loop once dispatched to ``on_failure``).
+        self.failure: Optional[Failure] = None
         self.start_epoch = 0
         #: Elapsed seconds inherited from the run a checkpoint was saved in.
         self.elapsed_offset = 0.0
@@ -128,6 +162,33 @@ class TrainLoop:
         simulated interruption, budget exhaustion)."""
         self.stop_reason = reason
 
+    def signal_failure(self, reason: str, **details) -> None:
+        """Flag the current epoch as failed (called by health guards).
+
+        After the epoch's ``on_epoch_end`` hooks finish, the loop
+        dispatches the failure to every hook's ``on_failure``; if none
+        handles it, :class:`TrainingFailure` is raised.  A later signal in
+        the same epoch does not overwrite an earlier one.
+        """
+        if self.failure is None:
+            epoch = self.history.records[-1].epoch if self.history.records else 0
+            self.failure = Failure(reason=reason, epoch=epoch, details=details)
+
+    def restore_from(self, path: Union[str, Path]) -> None:
+        """Roll the live run back to a checkpoint (recovery hooks).
+
+        Restores step arrays, optimizer slots, RNG streams, and history,
+        and rewinds ``start_epoch`` so the loop re-runs from the
+        checkpoint's next epoch.  Mid-run the wall clock keeps running —
+        time spent in the failed epochs stays on the run's clock, unlike a
+        fresh-process resume where the checkpoint's elapsed time is
+        inherited.
+        """
+        offset, excluded = self.elapsed_offset, self._excluded_seconds
+        restore_loop(self, path)
+        if self._t0 is not None:
+            self.elapsed_offset, self._excluded_seconds = offset, excluded
+
     def save_checkpoint(self, path: Union[str, Path]) -> Path:
         """Write a v2 checkpoint and fire every hook's ``on_checkpoint``."""
         written = save_checkpoint(self, path)
@@ -157,20 +218,47 @@ class TrainLoop:
             self._t0 = time.perf_counter()
         for hook in self.hooks:
             hook.on_setup(self)
-        for epoch in range(self.start_epoch, self.epochs):
+        epoch = self.start_epoch
+        while epoch < self.epochs:
             for hook in self.hooks:
                 hook.on_epoch_start(self, epoch)
-            with record(f"{self.scope}.epoch"):
-                loss = self.step.run_epoch(self, epoch)
-            epoch_record = EpochRecord(
-                epoch=epoch, loss=float(loss), elapsed_seconds=self.elapsed()
-            )
-            self.history.append(epoch_record)
-            for hook in self.hooks:
-                hook.on_epoch_end(self, epoch, epoch_record)
+            failure: Optional[Failure] = None
+            try:
+                with record(f"{self.scope}.epoch"):
+                    loss = self.step.run_epoch(self, epoch)
+            except Exception as exc:
+                failure = Failure(
+                    reason=f"{type(exc).__name__}: {exc}", epoch=epoch, error=exc
+                )
+            else:
+                epoch_record = EpochRecord(
+                    epoch=epoch, loss=float(loss), elapsed_seconds=self.elapsed()
+                )
+                self.history.append(epoch_record)
+                for hook in self.hooks:
+                    hook.on_epoch_end(self, epoch, epoch_record)
+                failure = self.failure
+            if failure is not None:
+                self.failure = None
+                if not self._dispatch_failure(epoch, failure):
+                    if failure.error is not None:
+                        raise failure.error
+                    raise TrainingFailure(failure)
+                # A handler rolled the run back (loop.restore_from rewound
+                # start_epoch); re-enter from the restored epoch.
+                epoch = self.start_epoch
+                continue
             if self.stop_reason is not None:
                 break
+            epoch += 1
         self.history.total_seconds = self.elapsed()
         for hook in self.hooks:
             hook.on_stop(self)
         return self.history
+
+    def _dispatch_failure(self, epoch: int, failure: Failure) -> bool:
+        """Offer ``failure`` to each hook in order; True once one claims it."""
+        for hook in self.hooks:
+            if hook.on_failure(self, epoch, failure):
+                return True
+        return False

@@ -14,7 +14,13 @@ from .centrality import (
     eigenvector_centrality,
     pagerank_centrality,
 )
-from .datasets import DatasetSpec, dataset_names, get_spec, load_dataset
+from .datasets import (
+    DatasetSpec,
+    UnknownDatasetError,
+    dataset_names,
+    get_spec,
+    load_dataset,
+)
 from .generators import FeatureModel, attributed_graph, degree_corrected_sbm, random_graph
 from .graph import Graph
 from .ppr import ppr_diffusion_graph, ppr_matrix, topk_sparsify
@@ -53,6 +59,7 @@ __all__ = [
     "eigenvector_centrality",
     "centrality",
     "DatasetSpec",
+    "UnknownDatasetError",
     "dataset_names",
     "get_spec",
     "load_dataset",

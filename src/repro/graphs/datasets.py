@@ -73,6 +73,18 @@ _SPECS: Dict[str, DatasetSpec] = {
 }
 
 
+class UnknownDatasetError(KeyError, ValueError):
+    """Raised for dataset names not in the registry.
+
+    Subclasses both ``KeyError`` (the registry is a mapping) and
+    ``ValueError`` (the name is bad user input), so callers can catch
+    whichever reads naturally.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0] if self.args else ""
+
+
 def dataset_names() -> list:
     """Names accepted by :func:`load_dataset`."""
     return sorted(_SPECS)
@@ -80,9 +92,15 @@ def dataset_names() -> list:
 
 def get_spec(name: str) -> DatasetSpec:
     """Return the generation recipe for a dataset (case-insensitive)."""
+    if not isinstance(name, str):
+        raise UnknownDatasetError(
+            f"dataset name must be a string, not {type(name).__name__}"
+        )
     key = name.lower()
     if key not in _SPECS:
-        raise KeyError(f"unknown dataset {name!r}; available: {dataset_names()}")
+        raise UnknownDatasetError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        )
     return _SPECS[key]
 
 

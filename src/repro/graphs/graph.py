@@ -47,15 +47,42 @@ class Graph:
         if adjacency.shape[0] != adjacency.shape[1]:
             raise ValueError(f"adjacency must be square; got {adjacency.shape}")
         n = adjacency.shape[0]
-        features = np.asarray(features, dtype=np.float64)
+        if adjacency.nnz and not np.isfinite(adjacency.data).all():
+            raise ValueError(
+                f"adjacency of {name!r} contains non-finite entries"
+            )
+        try:
+            features = np.asarray(features, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"features of {name!r} must be numeric "
+                f"(got dtype {np.asarray(features).dtype}): {exc}"
+            ) from exc
         if features.ndim != 2 or features.shape[0] != n:
             raise ValueError(
                 f"features must be (n={n}, d); got {features.shape}"
+            )
+        if not np.isfinite(features).all():
+            bad = int(features.shape[0] - np.isfinite(features).all(axis=1).sum())
+            raise ValueError(
+                f"features of {name!r} contain NaN/Inf in {bad} row(s); "
+                "propagation would silently poison every embedding — clean "
+                "or impute the features first"
             )
         if labels is not None:
             labels = np.asarray(labels)
             if labels.shape != (n,):
                 raise ValueError(f"labels must be ({n},); got {labels.shape}")
+            if not np.issubdtype(labels.dtype, np.integer):
+                raise ValueError(
+                    f"labels of {name!r} must be integers; got dtype "
+                    f"{labels.dtype}"
+                )
+            if labels.size and int(labels.min()) < 0:
+                raise ValueError(
+                    f"labels of {name!r} contain negative class indices "
+                    f"(min {int(labels.min())})"
+                )
 
         # Enforce invariants: symmetric, binary, no self-loops.
         adjacency = adjacency.maximum(adjacency.T)

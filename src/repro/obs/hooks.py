@@ -19,8 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
+from ..autograd import global_grad_norm
 from ..engine.hooks import Hook
 from ..perf import report
 from .manifest import build_manifest
@@ -78,6 +77,11 @@ class TraceHook(Hook):
         """Mark the checkpoint write in the trace."""
         self.tracer.event("checkpoint", epoch=epoch, path=str(path))
 
+    def on_failure(self, loop, epoch: int, failure) -> bool:
+        """Mark the failure in the trace (never claims it as handled)."""
+        self.tracer.event("failure", epoch=epoch, reason=failure.reason)
+        return False
+
     def on_stop(self, loop) -> None:
         """Close the run span, bridge counter deltas, release the tracer."""
         if self._epoch_span is not None:  # stop mid-epoch (defensive)
@@ -120,11 +124,6 @@ class MetricsHook(Hook):
         self.tracer.metric("elapsed_seconds", record.elapsed_seconds, epoch=epoch)
         if not self.grad_norms or loop.optimizer is None:
             return
-        total = 0.0
-        seen = False
-        for param in loop.optimizer.parameters:
-            if param.grad is not None:
-                total += float(np.sum(param.grad * param.grad))
-                seen = True
-        if seen:
-            self.tracer.metric("grad_norm", float(np.sqrt(total)), epoch=epoch)
+        norm = global_grad_norm(loop.optimizer.parameters)
+        if norm is not None:
+            self.tracer.metric("grad_norm", norm, epoch=epoch)

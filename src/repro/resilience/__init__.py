@@ -1,0 +1,48 @@
+"""``repro.resilience`` — fault tolerance for long training runs.
+
+Four pieces, all riding the engine's hook pipeline so E2GCL and every
+registered baseline get them with zero per-method code:
+
+* :class:`HealthGuard` — per-epoch NaN/Inf and loss-spike checks with a
+  warn / raise / recover policy;
+* :class:`AutoRecovery` — on failure, roll back to the last *valid*
+  checkpoint, optionally shrink the LR, and retry within a bounded budget;
+* :class:`CheckpointManager` — an atomic, digest-verified, keep-last-N
+  checkpoint series (the engine's writer is crash-safe; the manager adds
+  retention and ``latest_valid`` lookup);
+* :class:`FaultPlan` — seeded injection of NaN gradients, mid-epoch
+  crashes, and checkpoint corruption, so the chaos suite can *prove* the
+  three recovery paths deterministically.
+
+Quickstart::
+
+    from repro.resilience import AutoRecovery, CheckpointManager, HealthGuard
+
+    guard = HealthGuard(policy="recover")
+    recovery = AutoRecovery(CheckpointManager("ckpts", keep=3), max_retries=2)
+    method.fit(graph, hooks=[guard, recovery])   # guard BEFORE recovery
+
+    # After a crash, a fresh process resumes from the newest valid file:
+    from repro.engine import find_latest_valid
+    method.fit(graph, resume_from=find_latest_valid("ckpts"))
+"""
+
+from .checkpoints import CheckpointManager
+from .faults import Fault, FaultInjectionHook, FaultPlan, SimulatedCrash, degenerate_graph
+from .health import POLICIES, HealthError, HealthGuard, HealthReport
+from .recovery import DEFAULT_RETRY_ON, AutoRecovery
+
+__all__ = [
+    "HealthGuard",
+    "HealthError",
+    "HealthReport",
+    "POLICIES",
+    "AutoRecovery",
+    "DEFAULT_RETRY_ON",
+    "CheckpointManager",
+    "FaultPlan",
+    "Fault",
+    "FaultInjectionHook",
+    "SimulatedCrash",
+    "degenerate_graph",
+]

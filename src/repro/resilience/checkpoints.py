@@ -1,0 +1,91 @@
+"""Crash-safe checkpoint series with retention (keep-last-N).
+
+A :class:`CheckpointManager` owns a directory of engine (v2) checkpoints,
+one file per saved epoch (``<stem>-e000042.npz``).  Writes go through the
+engine's atomic writer (tmp + fsync + ``os.replace``) and every file
+embeds a SHA-256 digest, so:
+
+* a process killed mid-save never leaves a truncated file under a real
+  checkpoint name;
+* :meth:`latest_valid` — built on
+  :func:`repro.engine.checkpoint.find_latest_valid` — skips files whose
+  digest no longer matches (bit rot, partial copies, fault injection) and
+  returns the newest checkpoint a run can actually resume from.
+
+Retention keeps the last ``keep`` files; older ones are pruned after each
+successful save, never before, so the set of resumable states only ever
+grows until the new state is durable.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..engine.checkpoint import find_latest_valid
+
+
+class CheckpointManager:
+    """Write, prune, and locate a run's checkpoint series.
+
+    Parameters
+    ----------
+    directory:
+        Where the series lives; created on first save.
+    stem:
+        File-name prefix (``<stem>-e<epoch>.npz``).
+    keep:
+        Newest files retained after each save (older ones are deleted);
+        ``keep >= 2`` is recommended when fault tolerance matters — with a
+        single file there is no fallback if it is later corrupted in place.
+    """
+
+    def __init__(
+        self, directory: Union[str, Path], stem: str = "ckpt", keep: int = 3
+    ) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        if not re.fullmatch(r"[\w.-]+", stem):
+            raise ValueError(f"stem must be a plain file-name token; got {stem!r}")
+        self.directory = Path(directory)
+        self.stem = stem
+        self.keep = keep
+        #: Paths written by this manager, oldest first (pruned ones removed).
+        self.saved: List[Path] = []
+
+    # ------------------------------------------------------------------
+    def path_for(self, epoch: int) -> Path:
+        """Checkpoint path for the state *after* ``epoch`` completed."""
+        return self.directory / f"{self.stem}-e{epoch:06d}.npz"
+
+    def checkpoints(self) -> List[Path]:
+        """Existing series files on disk, in epoch order."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob(f"{self.stem}-e*.npz"))
+
+    # ------------------------------------------------------------------
+    def save(self, loop) -> Path:
+        """Atomically checkpoint ``loop``'s current state, then prune."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        epoch = loop.history.records[-1].epoch if loop.history.records else 0
+        path = loop.save_checkpoint(self.path_for(epoch))
+        if path not in self.saved:
+            self.saved.append(path)
+        self.prune()
+        return path
+
+    def prune(self) -> List[Path]:
+        """Delete all but the newest ``keep`` series files; returns them."""
+        existing = self.checkpoints()
+        doomed = existing[: max(0, len(existing) - self.keep)]
+        for path in doomed:
+            path.unlink()
+            if path in self.saved:
+                self.saved.remove(path)
+        return doomed
+
+    def latest_valid(self) -> Optional[Path]:
+        """Newest series checkpoint that passes digest validation."""
+        return find_latest_valid(self.directory, f"{self.stem}-e*.npz")

@@ -1,0 +1,209 @@
+"""Deterministic fault injection for chaos-testing the training stack.
+
+A :class:`FaultPlan` is a seeded script of failures: poison the gradients
+at epoch *k*, crash mid-epoch, corrupt a checkpoint file by truncation or
+bit-flips, or hand a method a degenerate graph.  Everything draws from one
+``numpy`` generator seeded at construction, so a chaos test that passes
+once passes every time — the acceptance bar for the recovery machinery is
+*deterministic* kill→resume, corrupt→skip, and NaN→rollback.
+
+In-run faults ride the engine's hook pipeline via :meth:`FaultPlan.hook`;
+file attacks (:meth:`truncate_file`, :meth:`flip_bytes`) operate on
+written checkpoints directly, simulating torn writes and bit rot that no
+in-process hook could produce.  Each scheduled fault fires once by
+default (``once=False`` re-arms it every epoch), so a recovered run does
+not immediately re-fail on the same injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from ..engine.hooks import Hook
+
+
+class SimulatedCrash(RuntimeError):
+    """Injected stand-in for a killed process (never auto-recovered:
+    ``AutoRecovery``'s default ``retry_on`` excludes it, so it propagates
+    out of ``TrainLoop.run`` exactly like a real SIGKILL would end the
+    process)."""
+
+
+@dataclass
+class Fault:
+    """One scheduled in-run fault."""
+
+    kind: str
+    epoch: int
+    once: bool = True
+    fired: int = 0
+    params: Dict = field(default_factory=dict)
+
+    def due(self, epoch: int) -> bool:
+        return epoch == self.epoch and (not self.once or self.fired == 0)
+
+
+class FaultPlan:
+    """A seeded, inspectable schedule of injected failures.
+
+    Builder methods return ``self`` so plans read as one expression::
+
+        plan = FaultPlan(seed=7).nan_gradients(epoch=4).crash(epoch=9)
+        method.fit(graph, hooks=[plan.hook(), guard, recovery])
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(seed)
+        self.faults: List[Fault] = []
+
+    # ------------------------------------------------------------------
+    # Scheduled (in-run) faults
+    # ------------------------------------------------------------------
+    def nan_gradients(self, epoch: int, fraction: float = 1.0,
+                      once: bool = True) -> "FaultPlan":
+        """Overwrite ``fraction`` of each parameter's gradient with NaN at
+        ``epoch``, between backward and the optimizer step — the poison
+        then flows through Adam into the parameters, exactly like a real
+        numerical blow-up."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.faults.append(Fault("nan_gradients", epoch, once,
+                                 params={"fraction": fraction}))
+        return self
+
+    def crash(self, epoch: int, once: bool = True) -> "FaultPlan":
+        """Raise :class:`SimulatedCrash` mid-epoch at ``epoch`` (after
+        backward, before the optimizer step) — the sharpest spot to tear a
+        run, since the epoch is half-applied."""
+        self.faults.append(Fault("crash", epoch, once))
+        return self
+
+    def hook(self) -> "FaultInjectionHook":
+        """The engine hook that executes this plan's scheduled faults."""
+        return FaultInjectionHook(self)
+
+    # ------------------------------------------------------------------
+    # File attacks (checkpoint corruption)
+    # ------------------------------------------------------------------
+    def truncate_file(self, path: Union[str, Path],
+                      keep_fraction: float = 0.5) -> Path:
+        """Cut ``path`` down to ``keep_fraction`` of its bytes — a torn
+        write, as left by a kill mid-copy on a non-atomic writer."""
+        if not 0.0 <= keep_fraction < 1.0:
+            raise ValueError("keep_fraction must be in [0, 1)")
+        path = Path(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: int(len(data) * keep_fraction)])
+        return path
+
+    def flip_bytes(self, path: Union[str, Path], count: int = 8) -> Path:
+        """XOR-flip ``count`` seeded-random bytes of ``path`` — silent bit
+        rot that leaves the file readable but its digest invalid."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        path = Path(path)
+        data = bytearray(path.read_bytes())
+        if not data:
+            raise ValueError(f"cannot corrupt empty file {path}")
+        offsets = self.rng.integers(0, len(data), size=count)
+        for offset in offsets:
+            data[int(offset)] ^= 0xFF
+        path.write_bytes(bytes(data))
+        return path
+
+
+class FaultInjectionHook(Hook):
+    """Executes a :class:`FaultPlan`'s scheduled faults inside a run.
+
+    Gradient- and crash-faults fire *inside* the epoch body: at epoch
+    start the hook wraps ``loop.optimizer.step`` with a one-shot shim that
+    injects after backward has populated the gradients, then restores the
+    original method — no fault code remains installed on other epochs.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def on_epoch_start(self, loop, epoch: int) -> None:
+        due = [f for f in self.plan.faults if f.due(epoch)]
+        if not due or loop.optimizer is None:
+            return
+        optimizer = loop.optimizer
+        original_step = optimizer.step
+        plan_rng = self.plan.rng
+
+        def sabotaged_step():
+            optimizer.step = original_step
+            for fault in due:
+                fault.fired += 1
+                if fault.kind == "crash":
+                    raise SimulatedCrash(
+                        f"fault plan (seed {self.plan.seed}) crashed the run "
+                        f"mid-epoch {epoch}"
+                    )
+                if fault.kind == "nan_gradients":
+                    fraction = fault.params["fraction"]
+                    for param in optimizer.parameters:
+                        if param.grad is None:
+                            continue
+                        if fraction >= 1.0:
+                            param.grad[...] = np.nan
+                        else:
+                            mask = plan_rng.random(param.grad.shape) < fraction
+                            param.grad[mask] = np.nan
+            original_step()
+
+        optimizer.step = sabotaged_step
+
+    def on_stop(self, loop) -> None:
+        """Defensive: drop any shim left by an epoch that never stepped."""
+        if loop.optimizer is not None:
+            loop.optimizer.__dict__.pop("step", None)
+
+
+# ----------------------------------------------------------------------
+# Degenerate inputs
+# ----------------------------------------------------------------------
+def degenerate_graph(kind: str, num_nodes: int = 12, num_features: int = 6,
+                     seed: int = 0):
+    """Small pathological graphs for robustness tests.
+
+    ``kind``:
+
+    * ``"isolated"``     — a short path plus isolated (degree-0) nodes;
+    * ``"edgeless"``     — no edges at all;
+    * ``"single_class"`` — connected ring, every label identical;
+    * ``"constant_features"`` — ring whose feature rows are all equal (the
+      coreset objective degenerates: all nodes coincide in R-space).
+    """
+    from ..graphs import Graph
+
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(num_nodes, num_features))
+    labels = rng.integers(0, 2, num_nodes)
+    ring = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+    if kind == "isolated":
+        half = num_nodes // 2
+        edges = [(i, i + 1) for i in range(half - 1)]
+        return Graph.from_edge_list(num_nodes, edges, features=features,
+                                    labels=labels, name="isolated")
+    if kind == "edgeless":
+        return Graph.from_edge_list(num_nodes, [], features=features,
+                                    labels=labels, name="edgeless")
+    if kind == "single_class":
+        return Graph.from_edge_list(num_nodes, ring, features=features,
+                                    labels=np.zeros(num_nodes, dtype=np.int64),
+                                    name="single_class")
+    if kind == "constant_features":
+        return Graph.from_edge_list(num_nodes, ring,
+                                    features=np.ones((num_nodes, num_features)),
+                                    labels=labels, name="constant_features")
+    raise ValueError(
+        "kind must be one of 'isolated', 'edgeless', 'single_class', "
+        f"'constant_features'; got {kind!r}"
+    )

@@ -1,0 +1,167 @@
+"""Numerical health guards for the training engine.
+
+GCL methods are empirically touchy: a bad LR or a degenerate view can send
+the loss to NaN, and nothing in plain numpy stops the run — Adam happily
+propagates NaN moments forever and every later epoch is wasted compute.
+:class:`HealthGuard` is an engine hook that inspects each epoch's loss,
+gradient norm, and (periodically) the parameters themselves, flags
+non-finite values and loss spikes, and reacts per a configurable policy:
+
+* ``"warn"``    — ``warnings.warn`` + a tracer event; training continues;
+* ``"raise"``   — raise :class:`HealthError` (the run dies loudly);
+* ``"recover"`` — ``loop.signal_failure`` so a recovery hook (usually
+  :class:`repro.resilience.AutoRecovery`) can roll back to the last good
+  checkpoint and retry.
+
+All checks are O(#parameters) per epoch — orders of magnitude below a
+forward/backward pass over a graph — so the guard can stay on permanently
+(the chaos suite pins its overhead below 5% of a smoke fit).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..autograd import global_grad_norm
+from ..engine.hooks import Hook
+from ..obs.tracer import emit_event
+
+#: Valid ``HealthGuard`` policies.
+POLICIES = ("warn", "raise", "recover")
+
+
+@dataclass
+class HealthReport:
+    """One epoch's failed checks (empty ``problems`` == healthy)."""
+
+    epoch: int
+    problems: List[str] = field(default_factory=list)
+    loss: float = float("nan")
+    grad_norm: Optional[float] = None
+
+    @property
+    def healthy(self) -> bool:
+        return not self.problems
+
+    def describe(self) -> str:
+        return f"epoch {self.epoch}: " + "; ".join(self.problems)
+
+
+class HealthError(RuntimeError):
+    """Raised by ``HealthGuard(policy="raise")`` on a failed check."""
+
+    def __init__(self, report: HealthReport) -> None:
+        super().__init__(f"health check failed at {report.describe()}")
+        self.report = report
+
+
+class HealthGuard(Hook):
+    """Per-epoch NaN/Inf and divergence checks with a reaction policy.
+
+    Parameters
+    ----------
+    policy:
+        ``"warn"``, ``"raise"``, or ``"recover"`` (see module docstring).
+    spike_factor:
+        A loss counts as a divergence spike when it exceeds the median of
+        the last ``window`` losses by more than ``spike_factor`` times the
+        window's spread (max − min, floored at ``spike_floor``).  The
+        relative-to-spread form works for losses of any sign and scale;
+        ``spike_factor=None`` disables the check.
+    window:
+        Trailing losses the spike baseline is computed over; the check
+        only fires once the window is full, so warm-up noise is ignored.
+    spike_floor:
+        Minimum spread used in the spike test — guards against a flat
+        window (converged loss) turning numerical dust into spikes.
+    check_params_every:
+        Parameters are scanned for non-finite values every this many
+        epochs (1 = every epoch; 0 disables the scan).
+    check_grads:
+        Whether to check the global gradient norm for non-finite values.
+
+    After the run, :attr:`reports` holds one :class:`HealthReport` per
+    *unhealthy* epoch and :attr:`checked_epochs` counts all inspections.
+    """
+
+    def __init__(
+        self,
+        policy: str = "raise",
+        spike_factor: Optional[float] = 25.0,
+        window: int = 10,
+        spike_floor: float = 1e-3,
+        check_params_every: int = 1,
+        check_grads: bool = True,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}; got {policy!r}")
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.policy = policy
+        self.spike_factor = spike_factor
+        self.window = window
+        self.spike_floor = spike_floor
+        self.check_params_every = check_params_every
+        self.check_grads = check_grads
+        self.reports: List[HealthReport] = []
+        self.checked_epochs = 0
+        self._recent: List[float] = []
+
+    # ------------------------------------------------------------------
+    def inspect(self, loop, epoch: int, loss: float) -> HealthReport:
+        """Run every enabled check; returns the epoch's report."""
+        report = HealthReport(epoch=epoch, loss=loss)
+        if not np.isfinite(loss):
+            report.problems.append(f"non-finite loss ({loss})")
+        elif self.spike_factor is not None and len(self._recent) >= self.window:
+            baseline = float(np.median(self._recent))
+            spread = max(max(self._recent) - min(self._recent), self.spike_floor)
+            if loss > baseline + self.spike_factor * spread:
+                report.problems.append(
+                    f"loss spike ({loss:.4g} vs recent median {baseline:.4g}, "
+                    f"spread {spread:.4g})"
+                )
+        if self.check_grads and loop.optimizer is not None:
+            norm = global_grad_norm(loop.optimizer.parameters)
+            report.grad_norm = norm
+            if norm is not None and not np.isfinite(norm):
+                report.problems.append(f"non-finite gradient norm ({norm})")
+        if self.check_params_every and (epoch + 1) % self.check_params_every == 0:
+            bad = self._nonfinite_parameters(loop)
+            if bad:
+                report.problems.append(f"non-finite parameters ({bad})")
+        return report
+
+    @staticmethod
+    def _nonfinite_parameters(loop) -> int:
+        """Number of parameter tensors containing a non-finite entry."""
+        if loop.optimizer is not None:
+            params = loop.optimizer.parameters
+        else:
+            params = loop.step.trainable_parameters()
+        return sum(1 for p in params if not np.isfinite(p.data).all())
+
+    # ------------------------------------------------------------------
+    def on_epoch_end(self, loop, epoch: int, record) -> None:
+        self.checked_epochs += 1
+        report = self.inspect(loop, epoch, record.loss)
+        if report.healthy:
+            self._recent.append(record.loss)
+            if len(self._recent) > self.window:
+                del self._recent[0]
+            return
+        self.reports.append(report)
+        emit_event(
+            "health", epoch=epoch, policy=self.policy,
+            problems=list(report.problems),
+        )
+        if self.policy == "raise":
+            raise HealthError(report)
+        if self.policy == "recover":
+            loop.signal_failure(report.describe(), problems=list(report.problems))
+        else:
+            warnings.warn(f"HealthGuard: {report.describe()}", RuntimeWarning)

@@ -1,0 +1,127 @@
+"""Automatic rollback-and-retry on detected training failures.
+
+:class:`AutoRecovery` pairs with a :class:`~repro.resilience.HealthGuard`
+running in ``"recover"`` policy (or with any hook that calls
+``loop.signal_failure``): while the run is healthy it checkpoints every
+``every`` epochs through a :class:`~repro.resilience.CheckpointManager`;
+when the loop dispatches a failure it
+
+1. locates the newest *valid* checkpoint (digest-checked, corrupt files
+   skipped),
+2. rolls the live loop back to it (``loop.restore_from`` — parameters,
+   optimizer slots, RNG streams, and history all rewind, so the retried
+   epochs replay the exact random sequence of the failed attempt),
+3. optionally shrinks the learning rate (divergence is the most common
+   failure mode and a smaller step usually clears it), and
+4. records the recovery in ``loop.history.recoveries`` and as a tracer
+   event.
+
+The retry budget is bounded: after ``max_retries`` rollbacks the hook
+stops claiming failures and the loop raises, so a deterministic failure
+cannot spin forever.
+
+Hook order matters: place the guard *before* AutoRecovery in the hook
+list, so a failure signalled for epoch ``k`` is visible before
+AutoRecovery's own ``on_epoch_end`` runs — a poisoned epoch is then never
+checkpointed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple, Type, Union
+
+from ..engine.hooks import Hook
+from ..obs.tracer import emit_event
+from .checkpoints import CheckpointManager
+
+#: Exception classes AutoRecovery will retry by default when they escape
+#: the epoch body: numerical blow-ups, not programming errors.
+DEFAULT_RETRY_ON: Tuple[Type[BaseException], ...] = (
+    ArithmeticError,  # includes FloatingPointError, ZeroDivisionError, OverflowError
+)
+
+
+class AutoRecovery(Hook):
+    """Roll back to the last good checkpoint and retry, a bounded number
+    of times.
+
+    Parameters
+    ----------
+    manager:
+        A :class:`CheckpointManager`, or a directory path one is built for.
+    every:
+        Healthy-epoch checkpoint cadence (1 = every epoch).
+    max_retries:
+        Rollbacks allowed per run; the failure propagates once exhausted.
+    lr_factor:
+        Multiplier applied to the optimizer's learning rate on each
+        recovery (1.0 = keep the LR).
+    retry_on:
+        Exception classes treated as recoverable when raised inside the
+        epoch body.  Failures *signalled* by a guard (no exception) are
+        always considered recoverable.
+    """
+
+    def __init__(
+        self,
+        manager: Union[CheckpointManager, str, Path],
+        every: int = 1,
+        max_retries: int = 3,
+        lr_factor: float = 0.5,
+        retry_on: Tuple[Type[BaseException], ...] = DEFAULT_RETRY_ON,
+    ) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if lr_factor <= 0:
+            raise ValueError("lr_factor must be positive")
+        if not isinstance(manager, CheckpointManager):
+            manager = CheckpointManager(manager)
+        self.manager = manager
+        self.every = every
+        self.max_retries = max_retries
+        self.lr_factor = lr_factor
+        self.retry_on = tuple(retry_on)
+        #: Rollbacks performed so far (also each entry's ``retry`` field).
+        self.retries = 0
+        #: One record per rollback, mirroring ``loop.history.recoveries``.
+        self.recoveries: List[dict] = []
+
+    # ------------------------------------------------------------------
+    def on_epoch_end(self, loop, epoch: int, record) -> None:
+        """Checkpoint healthy epochs on the configured cadence.
+
+        ``loop.failure`` is checked first so an epoch a preceding guard
+        already flagged is never written into the good-checkpoint series.
+        """
+        if loop.failure is None and (epoch + 1) % self.every == 0:
+            self.manager.save(loop)
+
+    def on_failure(self, loop, epoch: int, failure) -> bool:
+        """Attempt a rollback; True when the failure was absorbed."""
+        if failure.error is not None and not isinstance(failure.error, self.retry_on):
+            return False
+        if self.retries >= self.max_retries:
+            emit_event("recovery.exhausted", epoch=epoch, retries=self.retries)
+            return False
+        target = self.manager.latest_valid()
+        if target is None:
+            return False
+        self.retries += 1
+        loop.restore_from(target)
+        if loop.optimizer is not None and self.lr_factor != 1.0:
+            loop.optimizer.lr *= self.lr_factor
+        entry = {
+            "failed_epoch": epoch,
+            "resume_epoch": loop.start_epoch,
+            "checkpoint": str(target),
+            "reason": failure.reason,
+            "retry": self.retries,
+            "lr": None if loop.optimizer is None else loop.optimizer.lr,
+        }
+        loop.history.recoveries.append(entry)
+        self.recoveries.append(entry)
+        emit_event("recovery", **entry)
+        return True

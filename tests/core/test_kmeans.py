@@ -77,6 +77,12 @@ class TestEdgeCases:
         with pytest.raises(ValueError):
             kmeans(np.zeros(5), 2, rng=rng)
 
+    def test_nonfinite_points_rejected(self, rng):
+        x = np.zeros((6, 2))
+        x[3, 1] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            kmeans(x, 2, rng=rng)
+
     def test_empty_cluster_repair_keeps_k_effective(self):
         """Pathological init: one far outlier forces a potential empty cluster."""
         x = np.concatenate([np.zeros((20, 2)), np.full((1, 2), 100.0)])

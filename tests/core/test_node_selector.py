@@ -102,6 +102,52 @@ class TestQuality:
         assert large.representativity < small.representativity
 
 
+class TestDegradation:
+    """The degree fallback keeps Alg. 2's output contract when the
+    representativity objective carries no signal."""
+
+    def constant_graph(self):
+        from repro.resilience import degenerate_graph
+
+        return degenerate_graph("constant_features", num_nodes=16,
+                                num_features=4)
+
+    def test_constant_features_fall_back_to_degree(self):
+        graph = self.constant_graph()
+        with pytest.warns(RuntimeWarning, match="degree-based"):
+            result = select_coreset(graph, budget=4, num_clusters=3,
+                                    sample_size=8,
+                                    rng=np.random.default_rng(0))
+        assert result.budget == 4
+        assert result.weights.sum() == graph.num_nodes
+        assert result.gains == []
+        assert np.isfinite(result.representativity)
+
+    def test_nonfinite_propagated_features_fall_back(self, graph):
+        r = propagated_features(graph, 2).copy()
+        r[0, 0] = np.nan
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            result = select_coreset(graph, budget=5, num_clusters=4,
+                                    sample_size=10,
+                                    rng=np.random.default_rng(1), r=r)
+        assert result.budget == 5
+        assert result.weights.sum() == graph.num_nodes
+        # Highest-degree nodes win under the fallback.
+        top = np.sort(np.argsort(-graph.degrees, kind="stable")[:5])
+        np.testing.assert_array_equal(result.selected, top)
+
+    def test_fallback_is_deterministic(self):
+        graph = self.constant_graph()
+        results = []
+        with pytest.warns(RuntimeWarning):
+            for _ in range(2):
+                results.append(select_coreset(
+                    graph, budget=4, num_clusters=3, sample_size=8,
+                    rng=np.random.default_rng(2)))
+        np.testing.assert_array_equal(results[0].selected,
+                                      results[1].selected)
+
+
 class TestSampleSize:
     def test_recommended_formula(self):
         # n_s = (n/k) log(1/eps)

@@ -17,10 +17,15 @@ import pytest
 from repro.baselines import available_methods, get_method
 from repro.engine import (
     CHECKPOINT_VERSION,
+    CheckpointCorruptError,
     PeriodicCheckpoint,
     StopAfter,
+    atomic_savez,
+    find_latest_valid,
     load_step_state,
+    payload_digest,
     read_checkpoint,
+    verify_checkpoint,
 )
 
 KWARGS = dict(epochs=6, embedding_dim=8, hidden_dim=16, seed=0)
@@ -127,3 +132,70 @@ def test_step_class_mismatch_rejected(tiny_cora, tmp_path):
 def test_load_checkpoint_rejects_unfitted_path(tmp_path, tiny_cora):
     with pytest.raises((FileNotFoundError, OSError)):
         make("grace").load_checkpoint(tmp_path / "missing.npz", tiny_cora)
+
+
+class TestCrashSafety:
+    """Atomic writes, digest validation, and corrupt-aware discovery."""
+
+    def write_one(self, tiny_cora, path):
+        method = make("grace")
+        method.fit(tiny_cora, hooks=[PeriodicCheckpoint(path, every=100)])
+        return method
+
+    def test_atomic_savez_leaves_no_tmp_files(self, tmp_path):
+        payload = {"a": np.arange(5), "b": np.eye(2)}
+        out = atomic_savez(tmp_path / "blob.npz", payload)
+        assert out.exists()
+        assert list(tmp_path.glob(".*.tmp-*")) == []
+        with np.load(out) as data:
+            np.testing.assert_array_equal(data["a"], np.arange(5))
+
+    def test_checkpoints_carry_a_valid_digest(self, tiny_cora, tmp_path):
+        path = tmp_path / "grace.npz"
+        self.write_one(tiny_cora, path)
+        assert verify_checkpoint(path)
+        with np.load(path) as data:
+            assert "meta/digest" in data.files
+
+    def test_digest_mismatch_is_corruption(self, tiny_cora, tmp_path):
+        path = tmp_path / "grace.npz"
+        self.write_one(tiny_cora, path)
+        # Rewrite one payload array without refreshing the digest: the
+        # file stays a perfectly readable zip, only the digest disagrees.
+        with np.load(path) as data:
+            contents = {key: data[key] for key in data.files}
+        first_state = next(k for k in contents if k.startswith("state/"))
+        contents[first_state] = contents[first_state] + 1.0
+        atomic_savez(path, contents)
+        assert not verify_checkpoint(path)
+        with pytest.raises(CheckpointCorruptError, match="digest"):
+            read_checkpoint(path)
+
+    def test_truncated_file_is_corruption(self, tiny_cora, tmp_path):
+        path = tmp_path / "grace.npz"
+        self.write_one(tiny_cora, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert not verify_checkpoint(path)
+        with pytest.raises(CheckpointCorruptError):
+            read_checkpoint(path)
+
+    def test_find_latest_valid_prefers_newest_intact(self, tiny_cora, tmp_path):
+        method = make("grace")
+        method.fit(tiny_cora, hooks=[PeriodicCheckpoint(tmp_path / "a.npz", every=100)])
+        # Same state, later "epoch" via a second longer fit.
+        longer = get_method("grace", **dict(KWARGS, epochs=8))
+        longer.fit(tiny_cora, hooks=[PeriodicCheckpoint(tmp_path / "b.npz", every=100)])
+        assert find_latest_valid(tmp_path).name == "b.npz"
+        (tmp_path / "b.npz").write_bytes(b"junk")
+        assert find_latest_valid(tmp_path).name == "a.npz"
+
+    def test_find_latest_valid_empty_or_missing_dir(self, tmp_path):
+        assert find_latest_valid(tmp_path) is None
+        assert find_latest_valid(tmp_path / "nope") is None
+
+    def test_payload_digest_ignores_the_digest_entry(self):
+        payload = {"x": np.arange(3)}
+        digest = payload_digest(payload)
+        payload["meta/digest"] = np.frombuffer(digest.encode(), dtype=np.uint8)
+        assert payload_digest(payload) == digest

@@ -18,6 +18,16 @@ class TestRegistry:
         with pytest.raises(KeyError, match="unknown dataset"):
             load_dataset("pubmed")
 
+    def test_unknown_dataset_is_also_a_value_error(self):
+        # UnknownDatasetError subclasses both, and the message names the
+        # valid choices so the CLI error is self-explanatory.
+        with pytest.raises(ValueError, match="available"):
+            get_spec("pubmed")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ValueError, match="string"):
+            get_spec(42)
+
     def test_specs_record_paper_statistics(self):
         spec = get_spec("cora")
         assert spec.paper_nodes == 2708

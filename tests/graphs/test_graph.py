@@ -56,6 +56,37 @@ class TestConstruction:
         assert g.num_edges == 1
         g.validate()
 
+    def test_rejects_nonfinite_features(self):
+        features = np.zeros((3, 2))
+        features[1, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN/Inf in 1 row"):
+            Graph(sp.csr_matrix((3, 3)), features)
+
+    def test_rejects_inf_features(self):
+        features = np.zeros((2, 2))
+        features[0, 1] = np.inf
+        with pytest.raises(ValueError, match="NaN/Inf"):
+            Graph(sp.csr_matrix((2, 2)), features)
+
+    def test_rejects_non_numeric_features(self):
+        with pytest.raises(ValueError, match="numeric"):
+            Graph(sp.csr_matrix((2, 2)), np.array([["a", "b"], ["c", "d"]]))
+
+    def test_rejects_nonfinite_adjacency(self):
+        adj = sp.csr_matrix(np.array([[0.0, np.nan], [np.nan, 0.0]]))
+        with pytest.raises(ValueError, match="non-finite"):
+            Graph(adj, np.zeros((2, 1)))
+
+    def test_rejects_float_labels(self):
+        with pytest.raises(ValueError, match="integers"):
+            Graph(sp.csr_matrix((2, 2)), np.zeros((2, 1)),
+                  labels=np.array([0.5, 1.5]))
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ValueError, match="negative"):
+            Graph(sp.csr_matrix((2, 2)), np.zeros((2, 1)),
+                  labels=np.array([0, -3]))
+
 
 class TestProperties:
     def test_counts(self, triangle_graph):

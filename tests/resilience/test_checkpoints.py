@@ -1,0 +1,95 @@
+"""CheckpointManager: series naming, retention, corrupt-aware lookup."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Parameter
+from repro.engine import Hook, TrainLoop, TrainStep, read_checkpoint
+from repro.resilience import CheckpointManager, FaultPlan
+
+
+class QuadraticStep(TrainStep):
+    def __init__(self):
+        self.w = Parameter(np.zeros(3))
+
+    def trainable_parameters(self):
+        return [self.w]
+
+    def compute_loss(self, loop, epoch):
+        return ((self.w - 1.0) ** 2.0).mean()
+
+    def checkpoint_components(self):
+        return {"w": self.w}
+
+
+class SaveEveryEpoch(Hook):
+    def __init__(self, manager):
+        self.manager = manager
+
+    def on_epoch_end(self, loop, epoch, record):
+        self.manager.save(loop)
+
+
+def run_with_manager(manager, epochs=5):
+    loop = TrainLoop(QuadraticStep(), epochs=epochs, lr=0.1,
+                     hooks=[SaveEveryEpoch(manager)])
+    loop.run()
+    return loop
+
+
+class TestValidation:
+    def test_rejects_keep_below_one(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointManager(tmp_path, keep=0)
+
+    def test_rejects_weird_stem(self, tmp_path):
+        with pytest.raises(ValueError, match="stem"):
+            CheckpointManager(tmp_path, stem="a/b")
+
+
+class TestSeries:
+    def test_path_for_is_zero_padded(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        assert manager.path_for(7).name == "ckpt-e000007.npz"
+
+    def test_retention_keeps_last_n(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        run_with_manager(manager, epochs=5)
+        names = [p.name for p in manager.checkpoints()]
+        assert names == ["ckpt-e000003.npz", "ckpt-e000004.npz"]
+        assert [p.name for p in manager.saved] == names
+
+    def test_saved_checkpoints_are_valid_and_resumable(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=3)
+        run_with_manager(manager, epochs=4)
+        latest = manager.latest_valid()
+        assert latest is not None and latest.name == "ckpt-e000003.npz"
+        meta, arrays = read_checkpoint(latest)
+        assert meta["epoch_next"] == 4
+        assert "w" in arrays
+
+    def test_empty_directory_has_no_latest(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "never-created")
+        assert manager.checkpoints() == []
+        assert manager.latest_valid() is None
+
+
+class TestCorruption:
+    def test_latest_valid_skips_corrupt_files(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=3)
+        run_with_manager(manager, epochs=5)
+        plan = FaultPlan(seed=1)
+
+        plan.flip_bytes(manager.path_for(4))
+        assert manager.latest_valid().name == "ckpt-e000003.npz"
+
+        plan.truncate_file(manager.path_for(3))
+        assert manager.latest_valid().name == "ckpt-e000002.npz"
+
+    def test_all_corrupt_means_none(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        run_with_manager(manager, epochs=3)
+        plan = FaultPlan(seed=2)
+        for path in manager.checkpoints():
+            plan.truncate_file(path, keep_fraction=0.3)
+        assert manager.latest_valid() is None

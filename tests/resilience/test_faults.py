@@ -1,0 +1,138 @@
+"""FaultPlan: deterministic injection of NaNs, crashes, and file damage."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Parameter
+from repro.engine import TrainLoop, TrainStep
+from repro.resilience import (
+    Fault,
+    FaultPlan,
+    SimulatedCrash,
+    degenerate_graph,
+)
+
+
+class QuadraticStep(TrainStep):
+    def __init__(self):
+        self.w = Parameter(np.zeros(4))
+
+    def trainable_parameters(self):
+        return [self.w]
+
+    def compute_loss(self, loop, epoch):
+        return ((self.w - 1.0) ** 2.0).mean()
+
+    def checkpoint_components(self):
+        return {"w": self.w}
+
+
+def run(plan, epochs=5):
+    step = QuadraticStep()
+    loop = TrainLoop(step, epochs=epochs, lr=0.1, hooks=[plan.hook()])
+    history = loop.run()
+    return step, loop, history
+
+
+class TestScheduling:
+    def test_fault_due_fires_once_by_default(self):
+        fault = Fault("crash", epoch=3)
+        assert not fault.due(2)
+        assert fault.due(3)
+        fault.fired = 1
+        assert not fault.due(3)
+
+    def test_recurring_fault_rearms(self):
+        fault = Fault("crash", epoch=3, once=False, fired=5)
+        assert fault.due(3)
+
+    def test_builder_validation(self):
+        with pytest.raises(ValueError, match="fraction"):
+            FaultPlan().nan_gradients(epoch=0, fraction=0.0)
+
+    def test_builders_chain(self):
+        plan = FaultPlan(seed=7).nan_gradients(epoch=4).crash(epoch=9)
+        assert [f.kind for f in plan.faults] == ["nan_gradients", "crash"]
+
+
+class TestInRunFaults:
+    def test_nan_gradients_poison_the_parameters(self):
+        plan = FaultPlan(seed=0).nan_gradients(epoch=2)
+        step, _loop, history = run(plan, epochs=5)
+        # Epochs before the fault are clean; Adam carries the poison into
+        # the weights, so every later loss is NaN.
+        assert np.isfinite(history.losses[:3]).all()
+        assert np.isnan(history.losses[3:]).all()
+        assert not np.isfinite(step.w.data).all()
+
+    def test_partial_fraction_is_deterministic(self):
+        losses = []
+        for _ in range(2):
+            plan = FaultPlan(seed=9).nan_gradients(epoch=1, fraction=0.5)
+            _, _, history = run(plan, epochs=4)
+            losses.append(history.losses)
+        np.testing.assert_array_equal(losses[0], losses[1])
+
+    def test_crash_raises_mid_epoch(self):
+        plan = FaultPlan(seed=0).crash(epoch=2)
+        step = QuadraticStep()
+        loop = TrainLoop(step, epochs=5, lr=0.1, hooks=[plan.hook()])
+        with pytest.raises(SimulatedCrash, match="mid-epoch 2"):
+            loop.run()
+        # Only the two completed epochs are on record.
+        assert len(loop.history.records) == 2
+
+    def test_shim_is_removed_after_firing(self):
+        plan = FaultPlan(seed=0).nan_gradients(epoch=0)
+        _, loop, _ = run(plan, epochs=2)
+        assert "step" not in loop.optimizer.__dict__
+
+
+class TestFileAttacks:
+    def test_truncate_shrinks_the_file(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(bytes(range(100)))
+        FaultPlan().truncate_file(path, keep_fraction=0.4)
+        assert path.stat().st_size == 40
+
+    def test_truncate_validates_fraction(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"x" * 10)
+        with pytest.raises(ValueError, match="keep_fraction"):
+            FaultPlan().truncate_file(path, keep_fraction=1.0)
+
+    def test_flip_bytes_is_seeded(self, tmp_path):
+        original = bytes(range(256)) * 4
+        mutated = []
+        for i in range(2):
+            path = tmp_path / f"blob{i}.bin"
+            path.write_bytes(original)
+            FaultPlan(seed=3).flip_bytes(path, count=8)
+            mutated.append(path.read_bytes())
+        assert mutated[0] == mutated[1]
+        assert mutated[0] != original
+
+    def test_flip_bytes_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="empty"):
+            FaultPlan().flip_bytes(path)
+
+
+class TestDegenerateGraphs:
+    def test_kinds(self):
+        isolated = degenerate_graph("isolated", num_nodes=10)
+        assert (isolated.degrees == 0).sum() >= 5
+
+        edgeless = degenerate_graph("edgeless")
+        assert edgeless.num_edges == 0
+
+        single = degenerate_graph("single_class")
+        assert set(single.labels.tolist()) == {0}
+
+        constant = degenerate_graph("constant_features")
+        assert np.ptp(constant.features, axis=0).max() == 0.0
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="kind"):
+            degenerate_graph("zombie")

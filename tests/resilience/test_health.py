@@ -1,0 +1,146 @@
+"""HealthGuard: detection (NaN loss/grads/params, spikes) and policies."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.autograd import Parameter
+from repro.engine import TrainLoop, TrainStep, TrainingFailure
+from repro.resilience import HealthError, HealthGuard
+
+
+class ScriptedStep(TrainStep):
+    """Replay a fixed loss sequence (no parameters, no optimizer)."""
+
+    def __init__(self, losses):
+        self.losses = list(losses)
+
+    def run_epoch(self, loop, epoch):
+        return self.losses[epoch]
+
+
+class PoisonableStep(TrainStep):
+    """Quadratic step whose parameter can be poisoned at a chosen epoch."""
+
+    def __init__(self, poison_at=None):
+        self.w = Parameter(np.zeros(3))
+        self.poison_at = poison_at
+
+    def trainable_parameters(self):
+        return [self.w]
+
+    def compute_loss(self, loop, epoch):
+        if epoch == self.poison_at:
+            self.w.data[0] = np.nan
+        return ((self.w - 1.0) ** 2.0).mean()
+
+    def checkpoint_components(self):
+        return {"w": self.w}
+
+
+class TestValidation:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            HealthGuard(policy="explode")
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError, match="window"):
+            HealthGuard(window=1)
+
+
+class TestDetection:
+    def test_healthy_run_produces_no_reports(self):
+        guard = HealthGuard(policy="warn")
+        TrainLoop(ScriptedStep([3.0, 2.0, 1.0]), epochs=3, hooks=[guard]).run()
+        assert guard.reports == []
+        assert guard.checked_epochs == 3
+
+    def test_nan_loss_is_flagged(self):
+        guard = HealthGuard(policy="warn")
+        losses = [1.0, float("nan"), 1.0]
+        with pytest.warns(RuntimeWarning, match="non-finite loss"):
+            TrainLoop(ScriptedStep(losses), epochs=3, hooks=[guard]).run()
+        assert len(guard.reports) == 1
+        assert guard.reports[0].epoch == 1
+
+    def test_loss_spike_detected_after_window_fills(self):
+        guard = HealthGuard(policy="warn", window=4, spike_factor=5.0)
+        losses = [1.0, 1.1, 0.9, 1.0, 50.0]
+        with pytest.warns(RuntimeWarning, match="loss spike"):
+            TrainLoop(ScriptedStep(losses), epochs=5, hooks=[guard]).run()
+        assert "loss spike" in guard.reports[0].problems[0]
+
+    def test_no_spike_check_before_window_full(self):
+        # The same spike inside the warm-up window is ignored.
+        guard = HealthGuard(policy="raise", window=10, spike_factor=5.0)
+        TrainLoop(ScriptedStep([1.0, 1.1, 50.0]), epochs=3, hooks=[guard]).run()
+        assert guard.reports == []
+
+    def test_flat_window_does_not_turn_dust_into_spikes(self):
+        guard = HealthGuard(policy="raise", window=3, spike_factor=5.0)
+        losses = [1.0, 1.0, 1.0, 1.0 + 1e-9]
+        TrainLoop(ScriptedStep(losses), epochs=4, hooks=[guard]).run()
+        assert guard.reports == []
+
+    def test_poisoned_parameters_flagged(self):
+        guard = HealthGuard(policy="warn", spike_factor=None)
+        step = PoisonableStep(poison_at=2)
+        with pytest.warns(RuntimeWarning):
+            TrainLoop(step, epochs=4, lr=0.1, hooks=[guard]).run()
+        assert any(
+            "non-finite" in p for r in guard.reports for p in r.problems
+        )
+
+
+class TestPolicies:
+    def test_raise_policy_raises_health_error(self):
+        guard = HealthGuard(policy="raise")
+        loop = TrainLoop(ScriptedStep([1.0, float("inf")]), epochs=2,
+                         hooks=[guard])
+        with pytest.raises(HealthError, match="non-finite loss"):
+            loop.run()
+
+    def test_recover_policy_signals_failure(self):
+        # With no recovery hook installed the signalled failure escalates
+        # to TrainingFailure — nothing is silently swallowed.
+        guard = HealthGuard(policy="recover")
+        loop = TrainLoop(ScriptedStep([1.0, float("nan")]), epochs=2,
+                         hooks=[guard])
+        with pytest.raises(TrainingFailure, match="non-finite loss"):
+            loop.run()
+
+    def test_warn_policy_lets_the_run_finish(self):
+        guard = HealthGuard(policy="warn")
+        losses = [1.0, float("nan"), 1.0, 1.0]
+        with pytest.warns(RuntimeWarning):
+            history = TrainLoop(ScriptedStep(losses), epochs=4,
+                                hooks=[guard]).run()
+        assert len(history.records) == 4
+
+
+class TestOverhead:
+    def test_guard_overhead_under_five_percent(self, tiny_cora):
+        """Per-epoch guard cost projects to <5% of a real method fit.
+
+        Measured the same way as the tracer's no-op budget: time the fit,
+        time ``inspect`` in isolation on the live loop, and assert the
+        per-epoch projection stays under the budget.
+        """
+        from repro.baselines import get_method
+
+        guard = HealthGuard(policy="warn")
+        method = get_method("grace", epochs=3, embedding_dim=8,
+                            hidden_dim=16, seed=0)
+        t0 = time.perf_counter()
+        method.fit(tiny_cora, hooks=[guard])
+        fit_seconds = time.perf_counter() - t0
+        per_epoch_fit = fit_seconds / 3
+
+        loop = method.last_loop
+        n = 200
+        t0 = time.perf_counter()
+        for _ in range(n):
+            guard.inspect(loop, 2, 1.0)
+        per_inspect = (time.perf_counter() - t0) / n
+        assert per_inspect < 0.05 * per_epoch_fit

@@ -1,0 +1,147 @@
+"""AutoRecovery: rollback-and-retry semantics and the retry budget."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Parameter
+from repro.engine import Hook, TrainLoop, TrainStep, TrainingFailure
+from repro.resilience import AutoRecovery, CheckpointManager, SimulatedCrash
+
+
+class FlakyStep(TrainStep):
+    """Quadratic step that raises once at its Nth ``compute_loss`` *call*.
+
+    Call-count (not epoch) based, so the retried epoch succeeds — which is
+    exactly the transient-blow-up shape AutoRecovery exists for.
+    """
+
+    def __init__(self, fail_on_call=None, error=FloatingPointError):
+        self.w = Parameter(np.zeros(3))
+        self.fail_on_call = fail_on_call
+        self.error = error
+        self.calls = 0
+
+    def trainable_parameters(self):
+        return [self.w]
+
+    def compute_loss(self, loop, epoch):
+        self.calls += 1
+        if self.calls == self.fail_on_call:
+            raise self.error("injected transient blow-up")
+        return ((self.w - 1.0) ** 2.0).mean()
+
+    def checkpoint_components(self):
+        return {"w": self.w}
+
+
+class SignalOnce(Hook):
+    """Guard stand-in: signal a failure the first time ``epoch`` is hit."""
+
+    def __init__(self, epoch):
+        self.epoch = epoch
+        self.fired = False
+
+    def on_epoch_end(self, loop, epoch, record):
+        if epoch == self.epoch and not self.fired:
+            self.fired = True
+            loop.signal_failure("synthetic guard trip")
+
+
+class TestValidation:
+    def test_constructor_bounds(self, tmp_path):
+        with pytest.raises(ValueError, match="every"):
+            AutoRecovery(tmp_path, every=0)
+        with pytest.raises(ValueError, match="max_retries"):
+            AutoRecovery(tmp_path, max_retries=-1)
+        with pytest.raises(ValueError, match="lr_factor"):
+            AutoRecovery(tmp_path, lr_factor=0.0)
+
+    def test_accepts_a_plain_directory(self, tmp_path):
+        recovery = AutoRecovery(tmp_path / "ckpts")
+        assert isinstance(recovery.manager, CheckpointManager)
+
+
+class TestRecovery:
+    def test_transient_exception_is_absorbed_and_run_completes(self, tmp_path):
+        step = FlakyStep(fail_on_call=4)  # dies at epoch 3's attempt
+        recovery = AutoRecovery(tmp_path, max_retries=2, lr_factor=0.5)
+        loop = TrainLoop(step, epochs=6, lr=0.1, hooks=[recovery])
+        history = loop.run()
+        assert len(history.records) == 6
+        assert recovery.retries == 1
+        entry = recovery.recoveries[0]
+        assert entry["failed_epoch"] == 3
+        assert entry["resume_epoch"] == 3
+        assert entry["retry"] == 1
+        assert "blow-up" in entry["reason"]
+        assert history.recoveries == recovery.recoveries
+
+    def test_lr_shrinks_on_each_recovery(self, tmp_path):
+        step = FlakyStep(fail_on_call=3)
+        recovery = AutoRecovery(tmp_path, max_retries=2, lr_factor=0.5)
+        loop = TrainLoop(step, epochs=4, lr=0.1, hooks=[recovery])
+        loop.run()
+        assert loop.optimizer.lr == pytest.approx(0.05)
+
+    def test_signalled_failure_is_always_recoverable(self, tmp_path):
+        guard = SignalOnce(epoch=2)
+        recovery = AutoRecovery(tmp_path, max_retries=1)
+        loop = TrainLoop(FlakyStep(), epochs=5, lr=0.1,
+                         hooks=[guard, recovery])
+        history = loop.run()
+        assert len(history.records) == 5
+        assert recovery.retries == 1
+
+    def test_flagged_epoch_is_not_checkpointed(self, tmp_path):
+        # The guard signals at epoch 2 before AutoRecovery's on_epoch_end
+        # runs; the poisoned state must not enter the good series.
+        guard = SignalOnce(epoch=2)
+        recovery = AutoRecovery(tmp_path, max_retries=1)
+        saved_at_failure = []
+
+        class Spy(Hook):
+            def on_failure(self, loop, epoch, failure):
+                saved_at_failure.extend(recovery.manager.checkpoints())
+                return False
+
+        TrainLoop(FlakyStep(), epochs=4, lr=0.1,
+                  hooks=[guard, Spy(), recovery]).run()
+        assert all(p.name != "ckpt-e000002.npz" for p in saved_at_failure)
+
+
+class TestLimits:
+    def test_non_retryable_error_propagates(self, tmp_path):
+        step = FlakyStep(fail_on_call=3, error=SimulatedCrash)
+        recovery = AutoRecovery(tmp_path, max_retries=5)
+        loop = TrainLoop(step, epochs=4, lr=0.1, hooks=[recovery])
+        with pytest.raises(SimulatedCrash):
+            loop.run()
+        assert recovery.retries == 0
+
+    def test_retry_budget_is_bounded(self, tmp_path):
+        class AlwaysDiverges(FlakyStep):
+            def compute_loss(self, loop, epoch):
+                if epoch == 2:
+                    raise FloatingPointError("deterministic blow-up")
+                return super().compute_loss(loop, epoch)
+
+        recovery = AutoRecovery(tmp_path, max_retries=2)
+        loop = TrainLoop(AlwaysDiverges(), epochs=4, lr=0.1,
+                         hooks=[recovery])
+        with pytest.raises(FloatingPointError):
+            loop.run()
+        assert recovery.retries == 2
+
+    def test_no_checkpoint_yet_means_no_recovery(self, tmp_path):
+        step = FlakyStep(fail_on_call=1)  # dies before any save
+        recovery = AutoRecovery(tmp_path, max_retries=3)
+        loop = TrainLoop(step, epochs=3, lr=0.1, hooks=[recovery])
+        with pytest.raises(FloatingPointError):
+            loop.run()
+        assert recovery.retries == 0
+
+    def test_guard_signal_without_recovery_escalates(self, tmp_path):
+        loop = TrainLoop(FlakyStep(), epochs=3, lr=0.1,
+                         hooks=[SignalOnce(epoch=1)])
+        with pytest.raises(TrainingFailure, match="synthetic guard trip"):
+            loop.run()

@@ -6,6 +6,7 @@ import pytest
 from repro.bench import (
     EXPERIMENTS,
     bench_epochs,
+    bench_guard,
     bench_scale,
     bench_trials,
     expect,
@@ -35,6 +36,19 @@ class TestSizingKnobs:
         monkeypatch.setenv("REPRO_BENCH_SCALE", "0.1")
         graph = load_bench_dataset("cora", seed=0)
         assert graph.num_nodes == 70
+
+    def test_guard_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_GUARD", "warn")
+        assert bench_guard() == "warn"
+
+    def test_guard_rejects_unknown_policy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_GUARD", "explode")
+        with pytest.raises(ValueError, match="REPRO_BENCH_GUARD"):
+            bench_guard()
+
+    def test_guard_defaults_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_GUARD", raising=False)
+        assert bench_guard() == "off"
 
 
 class TestRegistry:

@@ -64,3 +64,55 @@ class TestTrain:
                      "--epochs", "1", "--trials", "1", "--method", "dgi",
                      "--save", str(tmp_path / "m.npz")])
         assert code == 2
+
+
+class TestResilienceFlags:
+    def test_guard_defaults_off(self):
+        args = build_parser().parse_args(["train"])
+        assert args.guard == "off"
+        assert args.max_retries == 3
+        assert args.keep_checkpoints == 3
+
+    def test_guard_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--guard", "explode"])
+
+    def test_train_with_recovering_guard(self, capsys, tmp_path):
+        ckpt_dir = tmp_path / "ckpts"
+        code = main(["train", "--dataset", "cora", "--scale", "0.1",
+                     "--epochs", "2", "--trials", "1", "--method", "grace",
+                     "--guard", "recover", "--checkpoint", str(ckpt_dir),
+                     "--checkpoint-every", "1", "--keep-checkpoints", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovering checkpoints" in out
+        # Retention honored: 2 epochs saved, keep 2.
+        assert len(list(ckpt_dir.glob("ckpt-e*.npz"))) == 2
+
+    def test_resume_from_directory(self, capsys, tmp_path):
+        ckpt_dir = tmp_path / "ckpts"
+        assert main(["train", "--dataset", "cora", "--scale", "0.1",
+                     "--epochs", "2", "--trials", "1", "--method", "grace",
+                     "--guard", "recover", "--checkpoint", str(ckpt_dir),
+                     "--checkpoint-every", "1"]) == 0
+        code = main(["train", "--dataset", "cora", "--scale", "0.1",
+                     "--epochs", "4", "--trials", "1", "--method", "grace",
+                     "--resume", str(ckpt_dir)])
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_resume_from_empty_directory_fails_clearly(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        code = main(["train", "--dataset", "cora", "--scale", "0.1",
+                     "--epochs", "2", "--trials", "1",
+                     "--resume", str(empty)])
+        assert code == 2
+        assert "no valid checkpoint" in capsys.readouterr().err
+
+    def test_resume_from_missing_path_fails_clearly(self, tmp_path, capsys):
+        code = main(["train", "--dataset", "cora", "--scale", "0.1",
+                     "--epochs", "2", "--trials", "1",
+                     "--resume", str(tmp_path / "does-not-exist")])
+        assert code == 2
+        assert "no valid checkpoint" in capsys.readouterr().err

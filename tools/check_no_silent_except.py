@@ -1,0 +1,104 @@
+"""Silent-exception lint for ``src/``.
+
+Swallowed exceptions are how NaNs and corrupt checkpoints travel: a handler
+that catches everything and does nothing converts a loud failure into a
+wrong number three modules later.  This AST lint bans two shapes:
+
+* a bare ``except:`` clause — always, regardless of body;
+* ``except Exception:`` / ``except BaseException:`` (alone or inside a
+  tuple) whose body does nothing — only ``pass``/``...``/docstrings.
+
+Narrow handlers (``except ImportError: pass``) stay legal: catching a
+*specific* exception and ignoring it is a decision, catching *everything*
+and ignoring it is a bug.  Deliberate broad-catch sites (there should be
+almost none) are listed in ``ALLOWLIST`` with a justification.
+
+Run standalone (``python tools/check_no_silent_except.py``) or via the
+test suite (``tests/test_lint_no_silent_except.py``); exits non-zero when
+anything silent is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+#: ``"relative/path.py:lineno" -> why this broad silent catch is OK``.
+ALLOWLIST = {}
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _is_broad(expr) -> bool:
+    """Whether the except type annotation includes Exception/BaseException."""
+    if expr is None:  # bare except — handled separately, but broad too
+        return True
+    if isinstance(expr, ast.Tuple):
+        return any(_is_broad(elt) for elt in expr.elts)
+    if isinstance(expr, ast.Name):
+        return expr.id in _BROAD
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in _BROAD
+    return False
+
+
+def _is_silent(body) -> bool:
+    """Whether a handler body does nothing (pass/.../bare docstrings only)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # ``...`` or a stray string literal
+        return False
+    return True
+
+
+def check_file(path: Path) -> List[str]:
+    """Return ``"path:line: message"`` entries for each violation."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    try:
+        rel = path.relative_to(ROOT)
+    except ValueError:
+        rel = path
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        key = f"{rel}:{node.lineno}"
+        if key in ALLOWLIST:
+            continue
+        if node.type is None:
+            problems.append(
+                f"{key}: bare 'except:' (catches KeyboardInterrupt/SystemExit; "
+                "name the exception)"
+            )
+        elif _is_broad(node.type) and _is_silent(node.body):
+            problems.append(
+                f"{key}: broad '{ast.unparse(node.type)}' handler with an "
+                "empty body silently swallows every failure"
+            )
+    return problems
+
+
+def main(paths=None) -> int:
+    targets = [Path(p) for p in paths] if paths else sorted(SRC.rglob("*.py"))
+    problems: List[str] = []
+    for path in targets:
+        if not path.is_file():
+            print(f"error: no such file: {path}")
+            return 2
+        problems.extend(check_file(path))
+    for line in problems:
+        print(line)
+    if problems:
+        print(f"{len(problems)} silent except handler(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:] or None))

@@ -23,6 +23,7 @@ ROOT = Path(__file__).resolve().parent.parent
 RESULTS = ROOT / "benchmarks" / "results"
 EXPERIMENTS = ROOT / "EXPERIMENTS.md"
 HOTPATHS_JSON = ROOT / "BENCH_hotpaths.json"
+SERVE_JSON = ROOT / "BENCH_serve.json"
 
 
 def aggregate_hotpaths() -> bool:
@@ -65,6 +66,47 @@ def aggregate_hotpaths() -> bool:
     (RESULTS / "hotpaths.txt").write_text("\n".join(lines) + "\n")
     return True
 
+def aggregate_serve() -> bool:
+    """Render ``BENCH_serve.json`` into ``results/serve.txt``.
+
+    Standalone (no ``repro`` import), mirroring :func:`aggregate_hotpaths`.
+    Returns False when the JSON has not been generated yet.
+    """
+    if not SERVE_JSON.exists():
+        return False
+    data = json.loads(SERVE_JSON.read_text())
+    throughput = data["throughput"]
+    latency = data["latency"]
+    dataset = data["dataset"]
+    column = (f"{dataset['name']} x{dataset['scale']} "
+              f"(n={dataset['num_nodes']}, conc={throughput['concurrency']})")
+    rows = [
+        ("batched (req/s)", "%.0f" % throughput["batched_rps"]),
+        ("unbatched (req/s)", "%.0f" % throughput["unbatched_rps"]),
+        ("batching speedup", "%.1fx" % throughput["batching_speedup"]),
+        ("batch occupancy", "%.1f" % throughput["mean_batch_occupancy"]),
+        ("open-loop burst (req/s)", "%.0f" % throughput["open_loop_rps"]),
+        ("warm p50/p99 (ms)", "%.3f / %.3f" % (
+            latency["warm"]["p50_ms"], latency["warm"]["p99_ms"])),
+        ("cold p50/p99 (ms)", "%.3f / %.3f" % (
+            latency["cold_inductive"]["p50_ms"],
+            latency["cold_inductive"]["p99_ms"])),
+        ("cold/warm p99 ratio", "%.0fx" % latency["warm_cold_p99_ratio"]),
+        ("served == offline", "bit-identical"
+         if data["consistency"]["bit_identical"] else "MISMATCH"),
+    ]
+    name_width = max(len("metric"), max(len(r[0]) for r in rows))
+    cell_width = max(len(column), max(len(r[1]) for r in rows))
+    lines = [f"=== Serving benchmarks (best of {data['trials']}) ==="]
+    lines.append(f"{'metric'.ljust(name_width)} | {column.ljust(cell_width)}".rstrip())
+    lines.append("-" * len(lines[-1]))
+    for name, cell in rows:
+        lines.append(f"{name.ljust(name_width)} | {cell.ljust(cell_width)}".rstrip())
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "serve.txt").write_text("\n".join(lines) + "\n")
+    return True
+
+
 BLOCK_TEMPLATE = "<!-- MEASURED:{key} -->\n```text\n{body}\n```\n<!-- /MEASURED:{key} -->"
 PATTERN = re.compile(
     r"<!-- MEASURED:(?P<key>[\w]+) -->(?:\n```text\n.*?\n```\n<!-- /MEASURED:(?P=key) -->)?",
@@ -75,6 +117,8 @@ PATTERN = re.compile(
 def main() -> int:
     if aggregate_hotpaths():
         print("aggregated BENCH_hotpaths.json -> results/hotpaths.txt")
+    if aggregate_serve():
+        print("aggregated BENCH_serve.json -> results/serve.txt")
     text = EXPERIMENTS.read_text()
     missing = []
 

@@ -12,6 +12,7 @@ from .base import (
     available_methods,
     get_method,
     register,
+    registered_methods,
 )
 from .bgrl import BGRL
 from .deepwalk import DeepWalk, Node2Vec
@@ -39,6 +40,7 @@ __all__ = [
     "register",
     "get_method",
     "available_methods",
+    "registered_methods",
     "ED",
     "EA",
     "FM",

@@ -311,3 +311,12 @@ def get_method(name: str, **kwargs) -> ContrastiveMethod:
 def available_methods() -> List[str]:
     """Registered method names, sorted (Tab. IV's model column)."""
     return sorted(_REGISTRY)
+
+
+def registered_methods() -> Dict[str, Type[ContrastiveMethod]]:
+    """Snapshot of the registry, ``{name: method class}``.
+
+    A copy, so callers (e.g. the serving stack's step-class → method-name
+    reverse map) cannot mutate the live registry.
+    """
+    return dict(_REGISTRY)

@@ -166,6 +166,125 @@ def save_model_wrapper(method, path):
     return save_model(facade, path)
 
 
+def _build_server(args):
+    """Shared serve/query setup: dataset + registry + server + client."""
+    from .graphs import load_dataset
+    from .serve import (
+        EmbeddingServer,
+        InProcessClient,
+        ModelRegistry,
+        ServeError,
+    )
+
+    graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    registry = ModelRegistry()
+    try:
+        version = registry.load(args.checkpoint)
+    except ServeError as exc:
+        print(f"cannot load model: {exc}", file=sys.stderr)
+        return None
+    server = EmbeddingServer(
+        registry, graph,
+        use_batching=not args.no_batching,
+        cache_size=args.cache_size,
+        snapshot_dir=args.snapshot_dir,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+    return graph, version, server, InProcessClient(server)
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    built = _build_server(args)
+    if built is None:
+        return 2
+    graph, version, server, client = built
+    print(f"serving {version.version_id} ({version.step_class}) over {graph}")
+    try:
+        if args.requests:
+            # In-process transport: one JSON request per line, answers on
+            # stdout — the socket-free path the integration tests drive.
+            with open(args.requests) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        payload = json.loads(line)
+                    except ValueError as exc:
+                        payload = {"_unparseable": str(exc)}
+                    print(json.dumps(client.request(payload)))
+            return 0
+        from .serve import build_http_server
+
+        httpd = build_http_server(server, host=args.host, port=args.port)
+        host, port = httpd.server_address[:2]
+        print(f"listening on http://{host}:{port}/query (POST JSON; ctrl-c to stop)")
+        try:
+            httpd.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            httpd.server_close()
+        return 0
+    finally:
+        client.close()
+        server.close()
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    built = _build_server(args)
+    if built is None:
+        return 2
+    _, _, server, client = built
+    request = {"op": args.op}
+    if args.node is not None:
+        request["node"] = args.node
+    if args.features is not None:
+        try:
+            request["features"] = json.loads(args.features)
+        except ValueError as exc:
+            print(f"--features must be a JSON array: {exc}", file=sys.stderr)
+            client.close()
+            server.close()
+            return 2
+    if args.neighbors is not None:
+        try:
+            request["neighbors"] = json.loads(args.neighbors)
+        except ValueError as exc:
+            print(f"--neighbors must be a JSON array: {exc}", file=sys.stderr)
+            client.close()
+            server.close()
+            return 2
+    try:
+        response = client.request(request)
+    finally:
+        client.close()
+        server.close()
+    print(json.dumps(response, indent=None))
+    return 0 if response.get("ok") else 1
+
+
+def _add_serve_common(parser) -> None:
+    parser.add_argument("--checkpoint", required=True,
+                        help="engine checkpoint file, or a directory searched "
+                             "for its newest digest-valid checkpoint")
+    parser.add_argument("--dataset", default="cora")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--cache-size", type=int, default=4096)
+    parser.add_argument("--snapshot-dir", default=None,
+                        help="persist digest-validated embedding snapshots here")
+    parser.add_argument("--no-batching", action="store_true",
+                        help="disable request microbatching")
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+
+
 def _cmd_trace(args) -> int:
     from .obs import render_summary, summarize_trace
 
@@ -234,6 +353,29 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--trace", default=None,
                        help="write a JSONL run trace (spans, metrics, manifest)")
     train.set_defaults(func=_cmd_train)
+
+    serve = sub.add_parser(
+        "serve", help="serve embedding/classification queries from a checkpoint")
+    _add_serve_common(serve)
+    serve.add_argument("--requests", default=None,
+                       help="answer JSONL requests from this file in-process "
+                            "(one JSON object per line) instead of binding HTTP")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8071,
+                       help="HTTP port (0 picks an ephemeral port)")
+    serve.set_defaults(func=_cmd_serve)
+
+    query = sub.add_parser(
+        "query", help="answer one serving query in-process (no server needed)")
+    _add_serve_common(query)
+    query.add_argument("--op", default="embed",
+                       choices=["embed", "classify", "neighbors", "models", "stats"])
+    query.add_argument("--node", type=int, default=None)
+    query.add_argument("--features", default=None,
+                       help="JSON array: unseen-node feature vector")
+    query.add_argument("--neighbors", default=None,
+                       help="JSON array: unseen-node neighbor ids")
+    query.set_defaults(func=_cmd_query)
 
     trace = sub.add_parser("trace", help="summarize a JSONL trace from train --trace")
     trace.add_argument("path", help="trace file written by train --trace")

@@ -21,6 +21,7 @@ from .checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointCorruptError,
     atomic_savez,
+    checkpoint_digest,
     find_latest_valid,
     load_step_state,
     pack_json,
@@ -61,6 +62,7 @@ __all__ = [
     "CheckpointCorruptError",
     "atomic_savez",
     "payload_digest",
+    "checkpoint_digest",
     "verify_checkpoint",
     "find_latest_valid",
     "save_checkpoint",

@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import zipfile
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -79,7 +80,11 @@ def atomic_savez(path: Union[str, Path], payload: Dict[str, np.ndarray]) -> Path
     truncated one under the real name.
     """
     path = Path(path)
-    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    # pid alone is not unique within a process: two serving threads
+    # snapshotting the same path would share (and steal) one temp file.
+    tmp = path.with_name(
+        f".{path.name}.tmp-{os.getpid()}-{threading.get_ident()}"
+    )
     try:
         with open(tmp, "wb") as handle:
             np.savez(handle, **payload)
@@ -195,6 +200,26 @@ def read_checkpoint(path: Union[str, Path]) -> Tuple[dict, Dict[str, np.ndarray]
     for slot, indexed in slots.items():
         meta["optimizer"][slot] = [indexed[i] for i in sorted(indexed)]
     return meta, arrays
+
+
+def checkpoint_digest(path: Union[str, Path]) -> str:
+    """The SHA-256 digest stored inside a checkpoint or artifact file.
+
+    Reads only the digest entry (no state arrays are materialized), so the
+    serving registry can derive a stable model-version id from a file
+    cheaply.  Validation is left to :func:`read_checkpoint` — this is an
+    identity lookup, not an integrity check.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            files = set(data.files)
+            digest = bytes(data[_DIGEST_KEY]) if _DIGEST_KEY in files else None
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+        raise CheckpointCorruptError(f"cannot read checkpoint {path}: {exc}") from exc
+    if digest is None:
+        raise CheckpointCorruptError(f"checkpoint {path} has no integrity digest")
+    return digest.decode(errors="replace")
 
 
 def verify_checkpoint(path: Union[str, Path]) -> bool:

@@ -3,7 +3,10 @@
 Graph-classification pre-training treats a collection of graphs as one
 block-diagonal graph (the standard mini-batching trick): node indices are
 offset per graph and no cross-graph edges exist, so a GCN forward over the
-union equals per-graph forwards.
+union equals per-graph forwards.  The serving microbatcher reuses the same
+trick for mixed ego-subgraph batches, which is why the edge cases here —
+empty member graphs, zero-row blocks, degenerate offsets — are load-bearing
+and pinned by regression tests.
 """
 
 from __future__ import annotations
@@ -22,6 +25,10 @@ def disjoint_union(graphs: Sequence[Graph], name: str = "union") -> Tuple[Graph,
     Returns ``(union_graph, offsets)`` where ``offsets[i]`` is the index of
     graph ``i``'s first node in the union (``offsets`` has length
     ``len(graphs) + 1`` so ``offsets[i]:offsets[i+1]`` slices graph ``i``).
+
+    Empty member graphs (zero nodes) are legal: they contribute an empty
+    block and an empty slice, so round-tripping through
+    :func:`split_union_embeddings` preserves positions.
     """
     if not graphs:
         raise ValueError("cannot union zero graphs")
@@ -29,17 +36,45 @@ def disjoint_union(graphs: Sequence[Graph], name: str = "union") -> Tuple[Graph,
     if len(dims) != 1:
         raise ValueError(f"feature dimensions disagree: {sorted(dims)}")
 
-    adjacency = sp.block_diag([g.adjacency for g in graphs], format="csr")
+    # Zero-node blocks historically tripped block_diag shape inference in
+    # some scipy releases; build the all-empty union explicitly and assert
+    # the mixed case so drift fails loudly instead of mis-assigning rows.
+    total = sum(g.num_nodes for g in graphs)
+    if total == 0:
+        adjacency = sp.csr_matrix((0, 0))
+    else:
+        adjacency = sp.block_diag([g.adjacency for g in graphs], format="csr")
+        if adjacency.shape != (total, total):
+            raise AssertionError(
+                f"union adjacency is {adjacency.shape}, expected {(total, total)}"
+            )
     features = np.concatenate([g.features for g in graphs], axis=0)
     labels = None
     if all(g.labels is not None for g in graphs):
         labels = np.concatenate([g.labels for g in graphs])
-    offsets = np.concatenate([[0], np.cumsum([g.num_nodes for g in graphs])])
+    offsets = np.concatenate(
+        [[0], np.cumsum([g.num_nodes for g in graphs])]
+    ).astype(np.int64)
     return Graph(adjacency, features, labels, name=name), offsets
 
 
 def split_union_embeddings(embeddings: np.ndarray, offsets: np.ndarray) -> List[np.ndarray]:
-    """Slice union-level node embeddings back into per-graph blocks."""
+    """Slice union-level node embeddings back into per-graph blocks.
+
+    ``offsets`` must be the monotone array :func:`disjoint_union` returned
+    (length ``num_graphs + 1``, starting at 0); a malformed one — negative
+    gaps would silently mis-assign rows across graphs — is rejected.
+    """
+    offsets = np.asarray(offsets)
+    if offsets.ndim != 1 or offsets.shape[0] < 2:
+        raise ValueError(
+            f"offsets must be 1-D with at least 2 entries, got shape {offsets.shape}"
+        )
+    if offsets[0] != 0 or np.any(np.diff(offsets) < 0):
+        raise ValueError(
+            "offsets must start at 0 and be non-decreasing "
+            f"(got {offsets.tolist()})"
+        )
     if embeddings.shape[0] != offsets[-1]:
         raise ValueError(
             f"embeddings have {embeddings.shape[0]} rows but offsets expect {offsets[-1]}"

@@ -46,7 +46,16 @@ class GCNLayer(Module):
         self.activation = activation
 
     def forward(self, a_n: sp.spmatrix, h: Tensor) -> Tensor:
-        out = ops.spmm(a_n, ops.matmul(h, self.weight))
+        return self.propagate(a_n, ops.matmul(h, self.weight))
+
+    def propagate(self, a_n: sp.spmatrix, transformed: Tensor) -> Tensor:
+        """Aggregation half of the convolution: ``σ(A_n (XW) + b)``.
+
+        Split out so serving can feed a precomputed feature transform
+        (``XW`` is input-independent, hence cacheable per graph) and pay
+        only the aggregation per request.
+        """
+        out = ops.spmm(a_n, transformed)
         if self.bias is not None:
             out = ops.add(out, self.bias)
         if self.activation == "relu":

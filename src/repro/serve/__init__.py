@@ -1,0 +1,59 @@
+"""``repro.serve`` — online embedding serving over frozen checkpoints.
+
+Turns any v2 engine checkpoint into a live query service::
+
+    from repro.serve import ModelRegistry, EmbeddingServer, InProcessClient
+
+    registry = ModelRegistry()
+    registry.load("grace-cora-ckpts/")          # newest digest-valid file
+    server = EmbeddingServer(registry, graph)
+    client = InProcessClient(server)
+    client.request({"op": "embed", "node": 7})
+    client.request({"op": "classify", "features": [...], "neighbors": [3, 9]})
+
+Pieces: :class:`ModelRegistry` (content-addressed frozen models),
+:class:`EmbeddingStore` (full-graph snapshots + LRU, bit-identical to
+offline ``embed``), :class:`InductiveEncoder` (degree-corrected L-hop ego
+inference, unseen-node splicing), :class:`MicroBatcher` (request
+coalescing), :class:`EmbeddingServer` + transports (in-process and stdlib
+HTTP).  See ``docs/SERVING.md`` for the architecture and consistency
+model.
+"""
+
+from .batcher import MicroBatcher
+from .errors import (
+    MalformedQueryError,
+    ModelNotFoundError,
+    ServeError,
+    StaleVersionError,
+    UnknownNodeError,
+    UnknownOpError,
+    error_response,
+)
+from .inductive import EgoQuery, InductiveEncoder
+from .metrics import LatencyHistogram, ServeMetrics
+from .registry import ModelRegistry, ModelVersion, method_for_step_class
+from .server import EmbeddingServer, InProcessClient, build_http_server
+from .store import EmbeddingStore
+
+__all__ = [
+    "ServeError",
+    "MalformedQueryError",
+    "UnknownOpError",
+    "UnknownNodeError",
+    "StaleVersionError",
+    "ModelNotFoundError",
+    "error_response",
+    "LatencyHistogram",
+    "ServeMetrics",
+    "ModelRegistry",
+    "ModelVersion",
+    "method_for_step_class",
+    "EmbeddingStore",
+    "EgoQuery",
+    "InductiveEncoder",
+    "MicroBatcher",
+    "EmbeddingServer",
+    "InProcessClient",
+    "build_http_server",
+]

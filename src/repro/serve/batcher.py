@@ -1,0 +1,139 @@
+"""Request-coalescing microbatcher.
+
+Concurrent queries hit a single queue; one worker thread drains it into
+batches bounded by a size watermark (``max_batch``) and a time watermark
+(``max_wait_ms``, measured from the first request of the batch), then runs
+one batched encode for the whole group.  Callers block on a per-request
+:class:`~concurrent.futures.Future`, so the thread-pool front end stays
+synchronous while forward passes amortize python/scipy dispatch across the
+batch — that amortization is the measured win in ``BENCH_serve.json``.
+
+Failure isolation: the handler receives the whole batch and may return an
+``Exception`` instance in any slot; only that request's future fails.  A
+handler that raises outright fails every request in the batch with the
+same exception — nothing is ever silently dropped.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, List, Optional, Sequence
+
+from .metrics import ServeMetrics
+
+_STOP = object()
+
+
+class MicroBatcher:
+    """Coalesce concurrent ``submit`` calls into batched handler calls.
+
+    Parameters
+    ----------
+    handler:
+        ``handler(items) -> results`` with one result per item, in order.
+        A result slot may be an ``Exception`` to fail just that item.
+    max_batch:
+        Size watermark: a batch is dispatched as soon as it has this many
+        requests.
+    max_wait_ms:
+        Time watermark: a batch waits at most this long (after its first
+        request) for company before dispatching, bounding added latency.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[List[object]], Sequence[object]],
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        metrics: Optional[ServeMetrics] = None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.handler = handler
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.metrics = metrics or ServeMetrics()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, item: object) -> "Future":
+        """Enqueue one request; resolve/fail via the returned future."""
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        future: "Future" = Future()
+        self._queue.put((item, future))
+        return future
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Drain outstanding requests, then stop the worker."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_STOP)
+        self._worker.join(timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is _STOP:
+                return
+            batch = [first]
+            deadline = time.monotonic() + self.max_wait_ms / 1000.0
+            stop_after = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    entry = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if entry is _STOP:
+                    stop_after = True
+                    break
+                batch.append(entry)
+            self._dispatch(batch)
+            if stop_after:
+                return
+
+    def _dispatch(self, batch: List[tuple]) -> None:
+        self.metrics.observe_batch(len(batch))
+        items = [item for item, _ in batch]
+        try:
+            results = self.handler(items)
+        except Exception as exc:  # noqa: BLE001 - forwarded, never swallowed
+            # The future carries the failure to the blocked caller; the
+            # worker itself must survive to serve the next batch.
+            for _, future in batch:
+                future.set_exception(exc)
+            return
+        if len(results) != len(batch):
+            mismatch = RuntimeError(
+                f"batch handler returned {len(results)} results "
+                f"for {len(batch)} requests"
+            )
+            for _, future in batch:
+                future.set_exception(mismatch)
+            return
+        for (_, future), result in zip(batch, results):
+            if isinstance(result, Exception):
+                future.set_exception(result)
+            else:
+                future.set_result(result)

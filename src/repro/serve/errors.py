@@ -1,0 +1,76 @@
+"""Structured serving errors.
+
+Every failure a query can trigger maps to one exception class with a
+stable machine-readable ``code`` and an HTTP-ish ``status``, so both the
+in-process client and the HTTP endpoint return the same error shape:
+
+``{"ok": False, "error": {"code": ..., "message": ..., "details": {...}}}``
+
+The server front end catches exactly :class:`ServeError` — anything else
+is a server bug and propagates (tier-1 ``check_no_silent_except`` forbids
+broad swallowing), surfaced to remote callers as a 500 with the exception
+type but no traceback.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class ServeError(Exception):
+    """Base class for query-level failures (client-attributable)."""
+
+    code = "serve_error"
+    status = 400
+
+    def __init__(self, message: str, **details):
+        super().__init__(message)
+        self.details: Dict[str, object] = details
+
+
+class MalformedQueryError(ServeError):
+    """Payload is not a dict, misses required fields, or has bad types."""
+
+    code = "malformed_query"
+    status = 400
+
+
+class UnknownOpError(ServeError):
+    """The requested operation is not one the server exposes."""
+
+    code = "unknown_op"
+    status = 400
+
+
+class UnknownNodeError(ServeError):
+    """A node id is outside the served graph (or duplicated in a splice)."""
+
+    code = "unknown_node"
+    status = 404
+
+
+class StaleVersionError(ServeError):
+    """The requested model version is not (or no longer) registered."""
+
+    code = "stale_version"
+    status = 409
+
+
+class ModelNotFoundError(ServeError):
+    """No loadable checkpoint at the requested path."""
+
+    code = "model_not_found"
+    status = 404
+
+
+def error_response(exc: ServeError) -> dict:
+    """The canonical JSON error envelope for a :class:`ServeError`."""
+    return {
+        "ok": False,
+        "error": {
+            "code": exc.code,
+            "message": str(exc),
+            "details": exc.details,
+        },
+        "status": exc.status,
+    }

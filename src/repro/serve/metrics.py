@@ -1,0 +1,144 @@
+"""Serving metrics: latency histograms, cache hit rate, batch occupancy.
+
+All counters are thread-safe (queries arrive from a thread pool) and are
+mirrored into :mod:`repro.obs` as first-class metric series when a tracer
+is active — ``serve.latency`` (attributed by op), ``serve.cache`` (hit
+0/1), and ``serve.batch_size`` — so a traced serving run can be analysed
+with the same ``repro trace`` tooling as training runs.  With no tracer
+the obs calls are one global read each.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..obs import emit_metric
+
+# Raw samples kept per histogram.  A closed-loop bench at concurrency 32
+# stays far below this; past the cap the reservoir halves by keeping every
+# other sample so quantiles stay representative without unbounded memory.
+_MAX_SAMPLES = 262_144
+
+
+class LatencyHistogram:
+    """Streaming latency recorder with exact quantiles over a reservoir."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: List[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._total += seconds
+            self._samples.append(seconds)
+            if len(self._samples) > _MAX_SAMPLES:
+                self._samples = self._samples[::2]
+
+    def percentile(self, q: float) -> float:
+        """Latency at percentile ``q`` (0-100); NaN with no samples."""
+        with self._lock:
+            if not self._samples:
+                return float("nan")
+            return float(np.percentile(self._samples, q))
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def summary(self) -> dict:
+        with self._lock:
+            samples = np.asarray(self._samples, dtype=np.float64)
+            count, total = self._count, self._total
+        if samples.size == 0:
+            return {"count": 0, "mean_s": float("nan"),
+                    "p50_s": float("nan"), "p95_s": float("nan"),
+                    "p99_s": float("nan")}
+        p50, p95, p99 = np.percentile(samples, [50, 95, 99])
+        return {
+            "count": count,
+            "mean_s": total / count,
+            "p50_s": float(p50),
+            "p95_s": float(p95),
+            "p99_s": float(p99),
+        }
+
+
+class ServeMetrics:
+    """All serving-side counters for one :class:`EmbeddingServer`."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._latency: Dict[str, LatencyHistogram] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.errors: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def latency(self, op: str) -> LatencyHistogram:
+        with self._lock:
+            hist = self._latency.get(op)
+            if hist is None:
+                hist = self._latency[op] = LatencyHistogram(op)
+            return hist
+
+    def observe(self, op: str, seconds: float) -> None:
+        self.latency(op).record(seconds)
+        emit_metric("serve.latency", seconds, op=op)
+
+    def observe_cache(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+        emit_metric("serve.cache", 1.0 if hit else 0.0)
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+        emit_metric("serve.batch_size", float(size))
+
+    def observe_error(self, code: str) -> None:
+        with self._lock:
+            self.errors[code] = self.errors.get(code, 0) + 1
+        emit_metric("serve.error", 1.0, code=code)
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else None
+
+    @property
+    def mean_batch_occupancy(self) -> Optional[float]:
+        return self.batched_requests / self.batches if self.batches else None
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of every counter (what ``stats`` queries return)."""
+        with self._lock:
+            latency = {op: h.summary() for op, h in self._latency.items()}
+            errors = dict(self.errors)
+        return {
+            "latency": latency,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.cache_hit_rate,
+            },
+            "batching": {
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "mean_occupancy": self.mean_batch_occupancy,
+            },
+            "errors": errors,
+        }

@@ -1,0 +1,181 @@
+"""Model registry: checkpoint files → versioned frozen encoders.
+
+A :class:`ModelRegistry` turns any digest-valid v2 engine checkpoint (or
+legacy v1 E2GCL file) into a :class:`ModelVersion` the server can route
+queries to.  Version ids are content-addressed — ``<method>-<digest12>``,
+where the digest is the SHA-256 the checkpoint writer stored — so the same
+file always yields the same version id and two different sets of weights
+can never collide under one id.  Loading reuses the engine's validated
+read path (:func:`repro.engine.read_checkpoint` via
+:func:`repro.core.serialization.export_encoder`), so a truncated or
+bit-flipped checkpoint is rejected at registration time, never at query
+time.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..baselines import registered_methods
+from ..core.serialization import EncoderArtifact, export_encoder
+from ..engine import CheckpointCorruptError, checkpoint_digest, find_latest_valid
+from ..obs import emit_event
+from .errors import ModelNotFoundError, StaleVersionError
+
+
+def method_for_step_class(step_class: str) -> Optional[str]:
+    """Registry method name for a checkpoint's ``step_class``, or None.
+
+    Baseline methods are their own :class:`TrainStep`, so the step class is
+    the method class (``GRACE`` → ``grace``); E2GCL checkpoints are written
+    by the inner ``E2GCLTrainer`` step, which the method facade owns.
+    """
+    reverse = {cls.__name__: name for name, cls in registered_methods().items()}
+    reverse["E2GCLTrainer"] = "e2gcl"
+    return reverse.get(step_class)
+
+
+@dataclass
+class ModelVersion:
+    """One registered frozen model, addressable by ``version_id``."""
+
+    version_id: str
+    method: Optional[str]
+    step_class: str
+    digest: str
+    artifact: EncoderArtifact
+    path: Optional[Path] = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def inductive(self) -> bool:
+        return self.artifact.inductive
+
+    def describe(self) -> dict:
+        """JSON-ready summary (what ``models`` queries return)."""
+        return {
+            "version": self.version_id,
+            "method": self.method,
+            "step_class": self.step_class,
+            "kind": self.artifact.kind,
+            "inductive": self.inductive,
+            "embedding_dim": self.artifact.embedding_dim,
+            "num_layers": self.artifact.num_layers,
+            "path": str(self.path) if self.path else None,
+        }
+
+
+class ModelRegistry:
+    """Thread-safe mapping of version ids to frozen models.
+
+    The most recently registered version is the default target for queries
+    that name no version.  Requesting an id that was never registered (or
+    was evicted by :meth:`unregister`) raises :class:`StaleVersionError`
+    so clients holding an old id get a structured 409, not a KeyError.
+    """
+
+    def __init__(self):
+        self._versions: "OrderedDict[str, ModelVersion]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def load(self, path: Union[str, Path]) -> ModelVersion:
+        """Register the checkpoint at ``path`` (file, or directory searched
+        for its newest digest-valid checkpoint)."""
+        target = Path(path)
+        if target.is_dir():
+            resolved = find_latest_valid(target)
+            if resolved is None:
+                raise ModelNotFoundError(
+                    f"no digest-valid checkpoint under {target}", path=str(target)
+                )
+            target = resolved
+        if not target.is_file():
+            raise ModelNotFoundError(f"no checkpoint at {target}", path=str(target))
+        try:
+            artifact = export_encoder(target)
+            digest = checkpoint_digest(target)
+        except (CheckpointCorruptError, ValueError) as exc:
+            raise ModelNotFoundError(
+                f"cannot load checkpoint {target}: {exc}", path=str(target)
+            ) from exc
+        method = method_for_step_class(artifact.step_class)
+        version_id = f"{method or artifact.step_class.lower()}-{digest[:12]}"
+        version = ModelVersion(
+            version_id=version_id,
+            method=method,
+            step_class=artifact.step_class,
+            digest=digest,
+            artifact=artifact,
+            path=target,
+        )
+        return self._register(version)
+
+    def register_artifact(
+        self, artifact: EncoderArtifact, version_id: Optional[str] = None
+    ) -> ModelVersion:
+        """Register an in-memory artifact (tests, checkpoint-free serving)."""
+        method = method_for_step_class(artifact.step_class)
+        if version_id is None:
+            version_id = f"{method or artifact.step_class.lower()}-{artifact.fingerprint[:12]}"
+        version = ModelVersion(
+            version_id=version_id,
+            method=method,
+            step_class=artifact.step_class,
+            digest=artifact.fingerprint,
+            artifact=artifact,
+        )
+        return self._register(version)
+
+    def _register(self, version: ModelVersion) -> ModelVersion:
+        with self._lock:
+            # Re-registering an id moves it to the end: it becomes latest.
+            self._versions.pop(version.version_id, None)
+            self._versions[version.version_id] = version
+        emit_event("serve.model_registered", version=version.version_id,
+                   method=version.method or version.step_class)
+        return version
+
+    # ------------------------------------------------------------------
+    def get(self, version_id: Optional[str] = None) -> ModelVersion:
+        """The named version, or the latest-registered when ``None``."""
+        with self._lock:
+            if version_id is None:
+                if not self._versions:
+                    raise StaleVersionError("no model versions registered")
+                return next(reversed(self._versions.values()))
+            found = self._versions.get(version_id)
+        if found is None:
+            raise StaleVersionError(
+                f"model version {version_id!r} is not registered",
+                requested=version_id, available=self.versions(),
+            )
+        return found
+
+    def unregister(self, version_id: str) -> None:
+        """Drop a version; later queries for it get :class:`StaleVersionError`."""
+        with self._lock:
+            if version_id not in self._versions:
+                raise StaleVersionError(
+                    f"model version {version_id!r} is not registered",
+                    requested=version_id,
+                )
+            del self._versions[version_id]
+
+    def versions(self) -> List[str]:
+        """Registered version ids, oldest first (last one is the default)."""
+        with self._lock:
+            return list(self._versions)
+
+    def describe(self) -> List[dict]:
+        with self._lock:
+            entries = list(self._versions.values())
+        return [entry.describe() for entry in entries]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._versions)

@@ -1,0 +1,379 @@
+"""Serving front end: request dispatch, thread pool, transports.
+
+:class:`EmbeddingServer` is transport-agnostic: ``handle(dict) -> dict``
+implements the whole query protocol, and the two bundled transports — an
+in-process client (tests, CLI, benchmarks; zero sockets) and a stdlib
+``http.server`` JSON endpoint — are thin shells around it.
+
+Protocol (one JSON object per request)::
+
+    {"op": "embed",     "node": 7}                    # known node
+    {"op": "embed",     "features": [...],
+                        "neighbors": [3, 9]}          # unseen node (splice)
+    {"op": "classify",  "node": 7}                    # frozen linear probe
+    {"op": "neighbors", "node": 7}
+    {"op": "models"} | {"op": "stats"}
+
+Any request may pin ``"version": "<id>"``; omitted means latest.  Known
+nodes are answered from the embedding store (snapshot + LRU; bit-identical
+to offline ``embed``); unseen nodes go through the inductive ego-subgraph
+path, coalesced by the microbatcher.  All failures are structured
+(:mod:`repro.serve.errors`): a malformed payload gets a 400-shaped dict,
+an unknown node a 404, a stale version a 409 — the server never dies on a
+bad query and never swallows one either.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..graphs import Graph
+from ..nn import LogisticRegressionDecoder
+from ..obs import span
+from .batcher import MicroBatcher
+from .errors import (
+    MalformedQueryError,
+    ServeError,
+    UnknownOpError,
+    error_response,
+)
+from .inductive import EgoQuery, InductiveEncoder
+from .metrics import ServeMetrics
+from .registry import ModelRegistry, ModelVersion
+from .store import EmbeddingStore
+
+
+class EmbeddingServer:
+    """Online query engine over a registry of frozen models.
+
+    Parameters
+    ----------
+    registry, graph:
+        The models to serve and the base graph they answer against.
+    use_cache:
+        Route known-node ``embed``/``classify`` through the embedding
+        store (snapshot + LRU).  Off, every query takes the cold inductive
+        path — the bench uses this to isolate cache and batching effects.
+    use_batching:
+        Coalesce inductive encodes through the :class:`MicroBatcher`.
+    probe_epochs / probe_seed:
+        Training budget for the frozen linear probe head backing
+        ``classify`` (fit lazily, once per model version).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        graph: Graph,
+        use_cache: bool = True,
+        use_batching: bool = True,
+        cache_size: int = 4096,
+        snapshot_dir: Optional[Union[str, Path]] = None,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        probe_epochs: int = 200,
+        probe_seed: int = 0,
+    ):
+        self.registry = registry
+        self.graph = graph
+        self.use_cache = use_cache
+        self.use_batching = use_batching
+        self.metrics = ServeMetrics()
+        self.store = EmbeddingStore(
+            registry, graph, cache_size=cache_size,
+            snapshot_dir=snapshot_dir, metrics=self.metrics,
+        )
+        self.probe_epochs = probe_epochs
+        self.probe_seed = probe_seed
+        self._encoders: Dict[str, InductiveEncoder] = {}
+        self._probes: Dict[str, LogisticRegressionDecoder] = {}
+        self._lock = threading.Lock()
+        self._batcher: Optional[MicroBatcher] = None
+        if use_batching:
+            self._batcher = MicroBatcher(
+                self._encode_batch, max_batch=max_batch,
+                max_wait_ms=max_wait_ms, metrics=self.metrics,
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._batcher is not None:
+            self._batcher.close()
+
+    def __enter__(self) -> "EmbeddingServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Per-version components
+    # ------------------------------------------------------------------
+    def _encoder(self, version: ModelVersion) -> InductiveEncoder:
+        with self._lock:
+            enc = self._encoders.get(version.version_id)
+            if enc is None:
+                enc = InductiveEncoder(version.artifact, self.graph)
+                self._encoders[version.version_id] = enc
+            return enc
+
+    def _probe(self, version: ModelVersion) -> LogisticRegressionDecoder:
+        """The frozen classification head for a version (fit on demand)."""
+        with self._lock:
+            probe = self._probes.get(version.version_id)
+        if probe is not None:
+            return probe
+        if self.graph.labels is None:
+            raise MalformedQueryError(
+                "classify needs a labeled graph; the served graph has no labels"
+            )
+        embeddings = self.store.snapshot(version.version_id)
+        with span("serve.probe_fit", version=version.version_id):
+            fitted = LogisticRegressionDecoder(
+                num_features=embeddings.shape[1],
+                num_classes=self.graph.num_classes,
+                epochs=self.probe_epochs,
+                seed=self.probe_seed,
+            ).fit(embeddings, self.graph.labels)
+        with self._lock:
+            # First fit wins so concurrent classifies share one head.
+            return self._probes.setdefault(version.version_id, fitted)
+
+    # ------------------------------------------------------------------
+    # Encoding paths
+    # ------------------------------------------------------------------
+    def _encode_batch(self, items: List[tuple]) -> List[object]:
+        """Microbatch handler: items are ``(version_id, payload)`` pairs.
+
+        Grouped by model version (one block-diagonal forward per version
+        per batch); per-item failures come back as exception slots so one
+        bad splice cannot fail its batchmates.
+        """
+        results: List[object] = [None] * len(items)
+        groups: Dict[str, List[int]] = {}
+        for i, (version_id, _) in enumerate(items):
+            groups.setdefault(version_id, []).append(i)
+        for version_id, indices in groups.items():
+            encoder = self._encoder(self.registry.get(version_id))
+            # Validate individually so a malformed item fails alone and the
+            # rest of the group still encodes as one batch.
+            valid: List[int] = []
+            for i in indices:
+                payload = items[i][1]
+                try:
+                    if isinstance(payload, EgoQuery):
+                        encoder.validate_query(payload)
+                    else:
+                        encoder._check_node(payload)
+                except ServeError as exc:
+                    results[i] = exc
+                else:
+                    valid.append(i)
+            if not valid:
+                continue
+            encoded = encoder.encode_batch([items[i][1] for i in valid])
+            for i, emb in zip(valid, encoded):
+                results[i] = emb
+        return results
+
+    def _inductive_embed(self, version: ModelVersion, payload) -> np.ndarray:
+        """Cold-path embedding (known node id or :class:`EgoQuery`)."""
+        if self._batcher is not None:
+            return self._batcher.submit((version.version_id, payload)).result()
+        encoder = self._encoder(version)
+        if isinstance(payload, EgoQuery):
+            return encoder.encode_unseen(payload)
+        return encoder.encode_node(payload)
+
+    def _embedding_for(self, version: ModelVersion, request: dict) -> np.ndarray:
+        if "features" in request or "neighbors" in request:
+            if "node" in request:
+                raise MalformedQueryError(
+                    "give either 'node' (known) or 'features'+'neighbors' "
+                    "(unseen), not both"
+                )
+            if "features" not in request:
+                raise MalformedQueryError(
+                    "an unseen-node query needs 'features'"
+                )
+            try:
+                query = EgoQuery(
+                    features=np.asarray(request["features"], dtype=np.float64),
+                    neighbors=np.asarray(request.get("neighbors", []),
+                                         dtype=np.int64),
+                )
+            except (TypeError, ValueError) as exc:
+                raise MalformedQueryError(
+                    f"cannot parse unseen-node query: {exc}"
+                ) from exc
+            if not version.inductive:
+                raise MalformedQueryError(
+                    f"model {version.version_id} is transductive "
+                    f"({version.artifact.kind}); unseen-node queries need an "
+                    "inductive encoder"
+                )
+            return self._inductive_embed(version, query)
+        if "node" not in request:
+            raise MalformedQueryError("embed needs 'node' or 'features'")
+        node = request["node"]
+        if self.use_cache or not version.inductive:
+            return self.store.embedding(node, version.version_id)
+        return self._inductive_embed(version, node)
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def handle(self, request: object) -> dict:
+        """Answer one request dict; never raises for client errors."""
+        start = time.perf_counter()
+        op = "invalid"
+        try:
+            if not isinstance(request, dict):
+                raise MalformedQueryError(
+                    f"request must be a JSON object, got {type(request).__name__}"
+                )
+            op_field = request.get("op")
+            if not isinstance(op_field, str):
+                raise MalformedQueryError("request needs a string 'op' field")
+            op = op_field
+            version_id = request.get("version")
+            if version_id is not None and not isinstance(version_id, str):
+                raise MalformedQueryError("'version' must be a string")
+            response = self._dispatch(op, version_id, request)
+        except ServeError as exc:
+            self.metrics.observe_error(exc.code)
+            self.metrics.observe(op, time.perf_counter() - start)
+            return error_response(exc)
+        self.metrics.observe(op, time.perf_counter() - start)
+        response["ok"] = True
+        response["op"] = op
+        return response
+
+    def _dispatch(self, op: str, version_id: Optional[str], request: dict) -> dict:
+        if op == "models":
+            return {"models": self.registry.describe()}
+        if op == "stats":
+            return {"stats": self.metrics.snapshot()}
+        if op == "neighbors":
+            if "node" not in request:
+                raise MalformedQueryError("neighbors needs 'node'")
+            node = self.store._check_node(request["node"])
+            return {"node": node,
+                    "neighbors": self.graph.neighbors(node).tolist()}
+        if op == "embed":
+            version = self.registry.get(version_id)
+            embedding = self._embedding_for(version, request)
+            return {"version": version.version_id,
+                    "embedding": np.asarray(embedding).tolist()}
+        if op == "classify":
+            version = self.registry.get(version_id)
+            embedding = np.asarray(self._embedding_for(version, request))
+            probe = self._probe(version)
+            proba = probe.predict_proba(embedding[None, :])[0]
+            return {"version": version.version_id,
+                    "label": int(np.argmax(proba)),
+                    "proba": proba.tolist()}
+        raise UnknownOpError(
+            f"unknown op {op!r}",
+            available=["embed", "classify", "neighbors", "models", "stats"],
+        )
+
+
+class InProcessClient:
+    """Socket-free client: JSON round-trips requests through ``handle``.
+
+    Serializing both ways keeps the in-process transport wire-faithful —
+    anything that works here works over HTTP byte-for-byte.
+    """
+
+    def __init__(self, server: EmbeddingServer, pool_size: int = 8):
+        self.server = server
+        self._pool = ThreadPoolExecutor(
+            max_workers=pool_size, thread_name_prefix="repro-serve"
+        )
+
+    def request(self, payload: object) -> dict:
+        wire = json.dumps(payload)
+        return json.loads(json.dumps(self.server.handle(json.loads(wire))))
+
+    def submit(self, payload: object):
+        """Async variant for concurrent load (returns a future)."""
+        return self._pool.submit(self.request, payload)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "InProcessClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _make_handler(server: EmbeddingServer):
+    class _Handler(BaseHTTPRequestHandler):
+        def do_POST(self):  # noqa: N802 - http.server API
+            if self.path.rstrip("/") not in ("", "/query"):
+                self._reply(404, {"ok": False, "error": {
+                    "code": "not_found", "message": f"no route {self.path}",
+                    "details": {}}})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                payload = json.loads(self.rfile.read(length).decode())
+            except (ValueError, UnicodeDecodeError) as exc:
+                self._reply(400, error_response(
+                    MalformedQueryError(f"request body is not JSON: {exc}")
+                ))
+                return
+            response = server.handle(payload)
+            status = 200 if response.get("ok") else int(response.pop("status", 400))
+            self._reply(status, response)
+
+        def do_GET(self):  # noqa: N802 - http.server API
+            if self.path.rstrip("/") == "/healthz":
+                self._reply(200, {"ok": True,
+                                  "models": server.registry.versions()})
+            else:
+                self._reply(404, {"ok": False, "error": {
+                    "code": "not_found", "message": f"no route {self.path}",
+                    "details": {}}})
+
+        def _reply(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, fmt, *args):  # noqa: A003 - silence stderr chatter
+            del fmt, args
+
+    return _Handler
+
+
+def build_http_server(
+    server: EmbeddingServer, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A ``ThreadingHTTPServer`` speaking the query protocol over POST.
+
+    ``port=0`` binds an ephemeral port (``httpd.server_address[1]``).
+    The caller owns the serve loop::
+
+        httpd = build_http_server(server)
+        threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        ...
+        httpd.shutdown()
+    """
+    return ThreadingHTTPServer((host, port), _make_handler(server))

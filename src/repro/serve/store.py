@@ -1,0 +1,224 @@
+"""Embedding store: precomputed full-graph snapshots + a per-node LRU.
+
+Consistency model: a snapshot is the frozen encoder applied to the whole
+served graph exactly as the offline ``embed`` path would — the same
+arrays, the same op order — so served embeddings are bit-identical to
+offline ones for any node.  Snapshots are immutable and content-addressed
+by model version (which is itself content-addressed by checkpoint digest),
+so a cache entry can never be stale with respect to its version: version
+ids change when weights change.
+
+Persistence: with a ``snapshot_dir``, each snapshot is written crash-safely
+(``atomic_savez``) with the engine's SHA-256 digest convention.  On reload
+the store accepts only digest-valid files whose recorded model fingerprint
+matches the registered version — a process killed mid-snapshot leaves
+either a valid older file or a temp file that is ignored, and a corrupt
+file is skipped and recomputed (the same recovery contract as training
+checkpoints).
+"""
+
+from __future__ import annotations
+
+import threading
+import zipfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..engine import (
+    atomic_savez,
+    pack_json,
+    payload_digest,
+    unpack_json,
+)
+from ..graphs import Graph
+from ..obs import emit_event, span
+from .errors import UnknownNodeError
+from .metrics import ServeMetrics
+from .registry import ModelRegistry, ModelVersion
+
+_SNAPSHOT_PREFIX = "emb-"
+
+
+class EmbeddingStore:
+    """Versioned full-graph embedding snapshots with an LRU node cache.
+
+    The LRU is keyed ``(model_version, node_id)`` and fronts the snapshot
+    matrices: with many versions resident the matrices can be dropped
+    (:meth:`evict_snapshot`) while hot nodes stay cached, and the hit/miss
+    counters feed the serving cache-hit-rate metric.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        graph: Graph,
+        cache_size: int = 4096,
+        snapshot_dir: Optional[Union[str, Path]] = None,
+        metrics: Optional[ServeMetrics] = None,
+    ):
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.registry = registry
+        self.graph = graph
+        self.cache_size = cache_size
+        self.snapshot_dir = Path(snapshot_dir) if snapshot_dir else None
+        self.metrics = metrics or ServeMetrics()
+        self._snapshots: Dict[str, np.ndarray] = {}
+        self._lru: "OrderedDict[Tuple[str, int], np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._compute_locks: Dict[str, threading.Lock] = {}
+        if self.snapshot_dir is not None:
+            self.snapshot_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self, version_id: Optional[str] = None) -> np.ndarray:
+        """Full-graph embedding matrix for a version (computed once).
+
+        Resolution order: in-memory → digest-valid file in
+        ``snapshot_dir`` → recompute (and persist).  The returned array is
+        the live snapshot; callers must not mutate it.
+        """
+        version = self.registry.get(version_id)
+        with self._lock:
+            cached = self._snapshots.get(version.version_id)
+            if cached is not None:
+                return cached
+            # One materializer per version: concurrent first-touch queries
+            # would otherwise duplicate the full-graph forward and race the
+            # same snapshot filename.
+            compute_lock = self._compute_locks.setdefault(
+                version.version_id, threading.Lock())
+        with compute_lock:
+            with self._lock:
+                cached = self._snapshots.get(version.version_id)
+            if cached is not None:
+                return cached
+            loaded = self._load_snapshot(version)
+            if loaded is None:
+                with span("serve.snapshot_compute", version=version.version_id):
+                    loaded = version.artifact.embed(self.graph)
+                self._persist_snapshot(version, loaded)
+            with self._lock:
+                self._snapshots[version.version_id] = loaded
+        return loaded
+
+    def evict_snapshot(self, version_id: str) -> None:
+        """Drop a version's in-memory matrix (LRU entries survive)."""
+        with self._lock:
+            self._snapshots.pop(version_id, None)
+
+    def _snapshot_path(self, version: ModelVersion) -> Optional[Path]:
+        if self.snapshot_dir is None:
+            return None
+        return self.snapshot_dir / f"{_SNAPSHOT_PREFIX}{version.version_id}.npz"
+
+    def _persist_snapshot(self, version: ModelVersion, embeddings: np.ndarray) -> None:
+        path = self._snapshot_path(version)
+        if path is None:
+            return
+        payload = {
+            "embeddings": np.ascontiguousarray(embeddings),
+            "meta/snapshot": pack_json({
+                "version": version.version_id,
+                "fingerprint": version.artifact.fingerprint,
+                "num_nodes": int(embeddings.shape[0]),
+            }),
+        }
+        payload["meta/digest"] = np.frombuffer(
+            payload_digest(payload).encode(), dtype=np.uint8
+        )
+        atomic_savez(path, payload)
+        emit_event("serve.snapshot_written", version=version.version_id,
+                   path=str(path))
+
+    def _load_snapshot(self, version: ModelVersion) -> Optional[np.ndarray]:
+        """Digest-valid snapshot from disk, or None (corrupt files skipped)."""
+        path = self._snapshot_path(version)
+        if path is None or not path.is_file():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                contents = {key: data[key] for key in data.files}
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+            emit_event("serve.snapshot_rejected", version=version.version_id,
+                       path=str(path), reason=f"unreadable: {exc}")
+            return None
+        if "meta/digest" not in contents:
+            emit_event("serve.snapshot_rejected", version=version.version_id,
+                       path=str(path), reason="missing digest")
+            return None
+        stored = bytes(contents["meta/digest"]).decode(errors="replace")
+        if stored != payload_digest(contents):
+            emit_event("serve.snapshot_rejected", version=version.version_id,
+                       path=str(path), reason="digest mismatch")
+            return None
+        meta = unpack_json(contents["meta/snapshot"])
+        if meta.get("fingerprint") != version.artifact.fingerprint:
+            # Same version id but different weights can only happen if the
+            # directory is shared across incompatible registries; refuse.
+            emit_event("serve.snapshot_rejected", version=version.version_id,
+                       path=str(path), reason="fingerprint mismatch")
+            return None
+        return np.asarray(contents["embeddings"])
+
+    def verify_snapshot_file(self, path: Union[str, Path]) -> bool:
+        """Whether a snapshot file is readable and digest-valid."""
+        path = Path(path)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                contents = {key: data[key] for key in data.files}
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+            return False
+        if "meta/digest" not in contents:
+            return False
+        stored = bytes(contents["meta/digest"]).decode(errors="replace")
+        return stored == payload_digest(contents)
+
+    # ------------------------------------------------------------------
+    # Per-node reads (LRU front)
+    # ------------------------------------------------------------------
+    def embedding(self, node_id: int, version_id: Optional[str] = None) -> np.ndarray:
+        """One node's embedding under a version, through the LRU cache."""
+        version = self.registry.get(version_id)
+        node = self._check_node(node_id)
+        key = (version.version_id, node)
+        with self._lock:
+            hit = self._lru.get(key)
+            if hit is not None:
+                self._lru.move_to_end(key)
+        if hit is not None:
+            self.metrics.observe_cache(True)
+            return hit
+        self.metrics.observe_cache(False)
+        row = np.array(self.snapshot(version.version_id)[node])
+        with self._lock:
+            self._lru[key] = row
+            self._lru.move_to_end(key)
+            while len(self._lru) > self.cache_size:
+                self._lru.popitem(last=False)
+        return row
+
+    def _check_node(self, node_id) -> int:
+        if isinstance(node_id, bool) or not isinstance(node_id, (int, np.integer)):
+            raise UnknownNodeError(
+                f"node id must be an integer, got {type(node_id).__name__}",
+                node=repr(node_id),
+            )
+        node = int(node_id)
+        if not 0 <= node < self.graph.num_nodes:
+            raise UnknownNodeError(
+                f"node {node} is outside the served graph "
+                f"(0..{self.graph.num_nodes - 1})",
+                node=node, num_nodes=self.graph.num_nodes,
+            )
+        return node
+
+    @property
+    def cached_nodes(self) -> int:
+        with self._lock:
+            return len(self._lru)

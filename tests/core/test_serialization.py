@@ -61,3 +61,166 @@ class TestSaveLoad:
         restored = load_model(save_model(model, tmp_path / "ckpt.npz"))
         h = restored.embed(other)
         assert h.shape == (other.num_nodes, 8)
+
+
+class TestExportEncoder:
+    """Method-agnostic frozen-artifact extraction (the serving surface)."""
+
+    def _checkpoint(self, method_name, graph, path, epochs=2):
+        from repro.baselines import get_method
+        from repro.engine import PeriodicCheckpoint
+
+        method = get_method(method_name, epochs=epochs, seed=0)
+        method.fit(graph, hooks=[PeriodicCheckpoint(str(path), every=1)])
+        return method
+
+    @pytest.mark.parametrize("method_name", ["grace", "dgi", "e2gcl"])
+    def test_gcn_methods_bit_identical(self, method_name, tiny_cora, tmp_path):
+        from repro.core.serialization import export_encoder
+
+        path = tmp_path / f"{method_name}.npz"
+        method = self._checkpoint(method_name, tiny_cora, path)
+        artifact = export_encoder(path)
+        assert artifact.kind == "gcn"
+        assert artifact.inductive
+        np.testing.assert_array_equal(artifact.embed(tiny_cora),
+                                      method.embed(tiny_cora))
+
+    def test_walk_method_exports_table(self, tiny_cora, tmp_path):
+        from repro.core.serialization import export_encoder
+
+        path = tmp_path / "node2vec.npz"
+        method = self._checkpoint("node2vec", tiny_cora, path, epochs=1)
+        artifact = export_encoder(path)
+        assert artifact.kind == "table"
+        assert not artifact.inductive
+        np.testing.assert_array_equal(artifact.embed(tiny_cora),
+                                      method.embed(tiny_cora))
+
+    def test_table_artifact_rejects_other_graph(self, tiny_cora, tmp_path):
+        import repro.graphs as graphs
+        from repro.core.serialization import export_encoder
+
+        path = tmp_path / "deepwalk.npz"
+        self._checkpoint("deepwalk", tiny_cora, path, epochs=1)
+        artifact = export_encoder(path)
+        other = graphs.load_dataset("cora", seed=9, scale=0.1)
+        with pytest.raises(ValueError, match="transductive"):
+            artifact.embed(other)
+
+    def test_gcn_artifact_rejects_feature_mismatch(self, tiny_cora, tmp_path):
+        from repro.core.serialization import export_encoder
+        from repro.graphs import Graph
+
+        path = tmp_path / "grace.npz"
+        self._checkpoint("grace", tiny_cora, path)
+        artifact = export_encoder(path)
+        bad = Graph.from_edge_list(3, [(0, 1)], features=np.ones((3, 2)))
+        with pytest.raises(ValueError, match="features"):
+            artifact.embed(bad)
+
+    def test_reads_legacy_v1_files(self, fitted, tmp_path):
+        """export_encoder must keep serving pre-engine E2GCL model files."""
+        import warnings
+
+        from repro.core.serialization import export_encoder
+
+        graph, model = fitted
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            path = save_model(model, tmp_path / "v1.npz")
+        artifact = export_encoder(path)
+        assert artifact.kind == "gcn"
+        assert artifact.step_class == "E2GCLTrainer"
+        np.testing.assert_allclose(artifact.embed(graph), model.embed(graph))
+
+    def test_corrupt_checkpoint_raises(self, tiny_cora, tmp_path):
+        from repro.core.serialization import export_encoder
+        from repro.engine import CheckpointCorruptError
+        from repro.resilience import FaultPlan
+
+        path = tmp_path / "grace.npz"
+        self._checkpoint("grace", tiny_cora, path)
+        FaultPlan(seed=0).flip_bytes(path, count=16)
+        with pytest.raises(CheckpointCorruptError):
+            export_encoder(path)
+
+
+class TestArtifactRoundTrip:
+    """save_artifact/load_artifact: the frozen-artifact persistence lock."""
+
+    def test_gcn_round_trip_bit_identical(self, tiny_cora, tmp_path):
+        from repro.core.serialization import (
+            EncoderArtifact, load_artifact, save_artifact,
+        )
+        from repro.nn import GCN
+
+        artifact = EncoderArtifact.from_encoder(
+            GCN(tiny_cora.num_features, 16, 8, seed=3))
+        path = save_artifact(artifact, tmp_path / "artifact.npz")
+        restored = load_artifact(path)
+        assert restored.kind == "gcn"
+        assert restored.fingerprint == artifact.fingerprint
+        np.testing.assert_array_equal(restored.embed(tiny_cora),
+                                      artifact.embed(tiny_cora))
+
+    def test_table_round_trip(self, tmp_path):
+        from repro.core.serialization import (
+            EncoderArtifact, load_artifact, save_artifact,
+        )
+        from repro.engine import payload_digest
+
+        table = np.random.default_rng(0).normal(size=(9, 5))
+        artifact = EncoderArtifact(
+            kind="table", step_class="DeepWalk",
+            fingerprint=payload_digest({"embeddings": table}),
+            table=table, fitted_nodes=9)
+        restored = load_artifact(save_artifact(artifact, tmp_path / "t.npz"))
+        assert restored.kind == "table"
+        assert restored.fitted_nodes == 9
+        np.testing.assert_array_equal(restored.table, table)
+
+    def test_corrupt_artifact_rejected(self, tmp_path):
+        from repro.core.serialization import (
+            EncoderArtifact, load_artifact, save_artifact,
+        )
+        from repro.engine import CheckpointCorruptError
+        from repro.nn import GCN
+        from repro.resilience import FaultPlan
+
+        path = save_artifact(EncoderArtifact.from_encoder(GCN(4, 8, 2, seed=0)),
+                             tmp_path / "artifact.npz")
+        FaultPlan(seed=5).flip_bytes(path, count=8)
+        with pytest.raises(CheckpointCorruptError):
+            load_artifact(path)
+
+    def test_truncated_artifact_rejected(self, tmp_path):
+        from repro.core.serialization import (
+            EncoderArtifact, load_artifact, save_artifact,
+        )
+        from repro.engine import CheckpointCorruptError
+        from repro.nn import GCN
+        from repro.resilience import FaultPlan
+
+        path = save_artifact(EncoderArtifact.from_encoder(GCN(4, 8, 2, seed=0)),
+                             tmp_path / "artifact.npz")
+        FaultPlan(seed=5).truncate_file(path, keep_fraction=0.5)
+        with pytest.raises(CheckpointCorruptError):
+            load_artifact(path)
+
+
+class TestDeprecatedV1Shim:
+    def test_save_model_warns(self, fitted, tmp_path):
+        graph, model = fitted
+        with pytest.warns(DeprecationWarning, match="v1"):
+            save_model(model, tmp_path / "warned.npz")
+
+    def test_load_model_warns(self, fitted, tmp_path):
+        import warnings
+
+        graph, model = fitted
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            path = save_model(model, tmp_path / "warned.npz")
+        with pytest.warns(DeprecationWarning, match="export_encoder"):
+            load_model(path)

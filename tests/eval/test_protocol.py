@@ -1,0 +1,108 @@
+"""TimedCurve / CurvePoint semantics (the Fig. 3 series container).
+
+``TimedCurve.time_to_reach`` feeds the "time to reach X% accuracy"
+comparisons, so its edge semantics — first crossing, exact threshold,
+empty/non-monotone curves — are pinned here.
+"""
+
+import math
+
+import numpy as np
+
+from repro.eval import CurvePoint, TimedCurve, TimedEvaluator
+
+
+def make_curve(pairs, label="e2gcl"):
+    return TimedCurve(label=label, points=[
+        CurvePoint(epoch=i * 5, seconds=s, accuracy=a)
+        for i, (s, a) in enumerate(pairs)
+    ])
+
+
+class TestTimeToReach:
+    def test_first_crossing_wins(self):
+        curve = make_curve([(1.0, 0.50), (2.0, 0.70), (3.0, 0.72)])
+        assert curve.time_to_reach(0.60) == 2.0
+
+    def test_exact_threshold_counts(self):
+        curve = make_curve([(1.0, 0.50), (2.0, 0.70)])
+        assert curve.time_to_reach(0.70) == 2.0
+
+    def test_unreached_is_none(self):
+        curve = make_curve([(1.0, 0.50), (2.0, 0.70)])
+        assert curve.time_to_reach(0.71) is None
+
+    def test_empty_curve_is_none(self):
+        assert make_curve([]).time_to_reach(0.1) is None
+
+    def test_first_point_can_cross(self):
+        curve = make_curve([(0.5, 0.90), (1.0, 0.95)])
+        assert curve.time_to_reach(0.80) == 0.5
+
+    def test_non_monotone_curve_uses_first_touch(self):
+        """Accuracy dipping below the threshold later must not matter."""
+        curve = make_curve([(1.0, 0.40), (2.0, 0.75), (3.0, 0.60), (4.0, 0.80)])
+        assert curve.time_to_reach(0.70) == 2.0
+
+    def test_zero_threshold_returns_first_point(self):
+        curve = make_curve([(1.5, 0.10), (2.5, 0.90)])
+        assert curve.time_to_reach(0.0) == 1.5
+
+
+class TestCurveSummaries:
+    def test_best_and_final(self):
+        curve = make_curve([(1.0, 0.60), (2.0, 0.80), (3.0, 0.75)])
+        assert curve.best_accuracy() == 0.80
+        assert curve.final_accuracy() == 0.75
+
+    def test_empty_curve_summaries_are_nan(self):
+        curve = make_curve([])
+        assert math.isnan(curve.best_accuracy())
+        assert math.isnan(curve.final_accuracy())
+
+    def test_single_point(self):
+        curve = make_curve([(1.0, 0.42)])
+        assert curve.best_accuracy() == 0.42
+        assert curve.final_accuracy() == 0.42
+        assert curve.time_to_reach(0.42) == 1.0
+
+
+class TestTimedEvaluator:
+    def test_records_on_interval_only(self, tiny_cora):
+        rng = np.random.default_rng(0)
+        embeddings = rng.normal(size=(tiny_cora.num_nodes, 8))
+        evaluator = TimedEvaluator(
+            tiny_cora, lambda: embeddings, label="rand",
+            every=2, eval_trials=1, decoder_epochs=5).start()
+        for epoch in range(4):
+            evaluator(epoch)
+        assert [p.epoch for p in evaluator.curve.points] == [0, 2]
+
+    def test_eval_overhead_excluded_from_clock(self, tiny_cora):
+        """Each point's seconds must exclude earlier probes' cost: the
+        recorded clock can only advance by (wall time minus probe time)."""
+        import time
+
+        rng = np.random.default_rng(0)
+        embeddings = rng.normal(size=(tiny_cora.num_nodes, 8))
+        evaluator = TimedEvaluator(
+            tiny_cora, lambda: embeddings, label="rand",
+            every=1, eval_trials=1, decoder_epochs=30).start()
+        start = time.perf_counter()
+        for epoch in range(3):
+            evaluator(epoch)
+        wall = time.perf_counter() - start
+        points = evaluator.curve.points
+        assert len(points) == 3
+        assert points[-1].seconds <= wall
+        assert points[-1].seconds <= wall - evaluator._eval_overhead + 0.05
+
+    def test_extra_seconds_shifts_curve(self, tiny_cora):
+        rng = np.random.default_rng(0)
+        embeddings = rng.normal(size=(tiny_cora.num_nodes, 8))
+        evaluator = TimedEvaluator(
+            tiny_cora, lambda: embeddings, label="rand",
+            every=1, eval_trials=1, decoder_epochs=5).start()
+        evaluator.extra_seconds = 100.0
+        evaluator(0)
+        assert evaluator.curve.points[0].seconds >= 100.0

@@ -65,3 +65,100 @@ class TestSplitUnionEmbeddings:
         blocks = split_union_embeddings(np.arange(10).reshape(5, 2), np.array([0, 3, 5]))
         assert blocks[0].shape == (3, 2)
         assert blocks[1].shape == (2, 2)
+
+
+def _empty_graph(num_features=4):
+    return Graph.from_edge_list(0, [], features=np.zeros((0, num_features)),
+                                labels=np.zeros(0, dtype=np.int64))
+
+
+class TestEmptyGraphUnions:
+    """Regression tests: zero-node members and degenerate offsets.
+
+    The serving microbatcher block-diagonals ego subgraphs with the same
+    machinery, so silent mis-slicing here would cross-assign embeddings
+    between queries.
+    """
+
+    def test_empty_member_preserves_positions(self):
+        g1, g2 = make_graphs()
+        union, offsets = disjoint_union([g1, _empty_graph(), g2])
+        assert union.num_nodes == 5
+        np.testing.assert_array_equal(offsets, [0, 3, 3, 5])
+        blocks = split_union_embeddings(union.features, offsets)
+        assert [b.shape[0] for b in blocks] == [3, 0, 2]
+        np.testing.assert_array_equal(blocks[0], g1.features)
+        np.testing.assert_array_equal(blocks[2], g2.features)
+
+    def test_all_empty_union(self):
+        union, offsets = disjoint_union([_empty_graph(), _empty_graph()])
+        assert union.num_nodes == 0
+        assert union.adjacency.shape == (0, 0)
+        np.testing.assert_array_equal(offsets, [0, 0, 0])
+        blocks = split_union_embeddings(np.zeros((0, 7)), offsets)
+        assert [b.shape for b in blocks] == [(0, 7), (0, 7)]
+
+    def test_single_empty_union(self):
+        union, offsets = disjoint_union([_empty_graph()])
+        assert union.num_nodes == 0
+        np.testing.assert_array_equal(offsets, [0, 0])
+
+    def test_empty_member_forward_consistent(self):
+        g1, g2 = make_graphs()
+        union, offsets = disjoint_union([g1, _empty_graph(), g2])
+        encoder = GCN(4, 8, 4, seed=0)
+        blocks = split_union_embeddings(encoder.embed(union), offsets)
+        np.testing.assert_allclose(encoder.embed(g1), blocks[0], atol=1e-10)
+        assert blocks[1].shape == (0, 4)
+        np.testing.assert_allclose(encoder.embed(g2), blocks[2], atol=1e-10)
+
+
+class TestOffsetValidation:
+    """Malformed offsets must fail loudly, never mis-assign rows."""
+
+    def test_decreasing_offsets_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            split_union_embeddings(np.zeros((5, 2)), np.array([0, 4, 3, 5]))
+
+    def test_nonzero_start_rejected(self):
+        with pytest.raises(ValueError, match="start at 0"):
+            split_union_embeddings(np.zeros((5, 2)), np.array([1, 3, 5]))
+
+    def test_too_short_offsets_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            split_union_embeddings(np.zeros((5, 2)), np.array([5]))
+
+    def test_two_dimensional_offsets_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            split_union_embeddings(np.zeros((5, 2)), np.zeros((2, 2)))
+
+
+class TestEgoSubgraphEdgeCases:
+    """Ego extraction cases the inductive serving path leans on."""
+
+    def test_isolated_node_ego_is_singleton(self):
+        graph = Graph.from_edge_list(4, [(0, 1), (1, 2)],
+                                     features=np.eye(4))
+        ego, center = graph.ego_subgraph(3, hops=2)
+        assert ego.num_nodes == 1
+        assert center == 0
+        assert ego.num_edges == 0
+        np.testing.assert_array_equal(ego.features, graph.features[3:4])
+
+    def test_radius_larger_than_component_clamps(self):
+        graph = Graph.from_edge_list(6, [(0, 1), (1, 2), (3, 4)],
+                                     features=np.eye(6))
+        ego, center = graph.ego_subgraph(0, hops=10)
+        # Only the 3-node component, never the disconnected 3-4 pair.
+        assert ego.num_nodes == 3
+        assert center == 0
+
+    def test_ego_relabeling_preserves_edges(self):
+        graph = Graph.from_edge_list(5, [(0, 4), (4, 2), (2, 1)],
+                                     features=np.eye(5))
+        ego, center = graph.ego_subgraph(4, hops=1)
+        # nodes {0, 2, 4} relabeled to {0, 1, 2}; edges 0-4 and 4-2 survive.
+        assert ego.num_nodes == 3
+        assert center == 2
+        assert ego.has_edge(0, 2) and ego.has_edge(1, 2)
+        assert not ego.has_edge(0, 1)

@@ -1,0 +1,119 @@
+"""End-to-end: ``repro train --checkpoint`` then ``repro serve`` /
+``repro query`` answer over the in-process transport (the PR's CLI
+acceptance round-trip — no sockets involved)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import load_dataset
+
+DATASET_ARGS = ["--dataset", "cora", "--scale", "0.1", "--seed", "0"]
+
+
+@pytest.fixture(scope="module")
+def checkpoint_dir(tmp_path_factory):
+    """A directory holding one digest-valid engine checkpoint from the CLI."""
+    directory = tmp_path_factory.mktemp("serve-cli")
+    code = main([
+        "train", "--method", "grace", "--epochs", "2", "--trials", "1",
+        *DATASET_ARGS,
+        "--checkpoint", str(directory / "grace.npz"), "--checkpoint-every", "1",
+    ])
+    assert code == 0
+    assert (directory / "grace.npz").is_file()
+    return directory
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", seed=0, scale=0.1)
+
+
+class TestServeRequestsMode:
+    def test_jsonl_round_trip(self, checkpoint_dir, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("\n".join(json.dumps(payload) for payload in [
+            {"op": "embed", "node": 0},
+            {"op": "classify", "node": 1},
+            {"op": "models"},
+            {"op": "embed", "node": 10 ** 9},  # must answer, not crash
+        ]) + "\n")
+        code = main(["serve", "--checkpoint", str(checkpoint_dir),
+                     *DATASET_ARGS, "--requests", str(requests)])
+        out = capsys.readouterr().out.strip().splitlines()
+        assert code == 0
+        assert out[0].startswith("serving grace-")
+        replies = [json.loads(line) for line in out[1:]]
+        assert len(replies) == 4
+        assert replies[0]["ok"] and len(replies[0]["embedding"]) > 0
+        assert replies[1]["ok"] and "label" in replies[1]
+        assert replies[2]["models"][0]["method"] == "grace"
+        assert replies[3]["ok"] is False
+        assert replies[3]["error"]["code"] == "unknown_node"
+
+    def test_unparseable_line_gets_error_envelope(self, checkpoint_dir,
+                                                  tmp_path, capsys):
+        requests = tmp_path / "bad.jsonl"
+        requests.write_text('{"op": "embed", "node": 0}\n{not json\n')
+        assert main(["serve", "--checkpoint", str(checkpoint_dir),
+                     *DATASET_ARGS, "--requests", str(requests)]) == 0
+        replies = [json.loads(line) for line
+                   in capsys.readouterr().out.strip().splitlines()[1:]]
+        assert replies[0]["ok"]
+        assert replies[1]["ok"] is False
+        assert replies[1]["error"]["code"] == "malformed_query"
+
+
+class TestQuerySubcommand:
+    def run_query(self, checkpoint_dir, capsys, *extra):
+        code = main(["query", "--checkpoint", str(checkpoint_dir),
+                     *DATASET_ARGS, *extra])
+        return code, json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+
+    def test_embed_known_node(self, checkpoint_dir, capsys):
+        code, reply = self.run_query(checkpoint_dir, capsys,
+                                     "--op", "embed", "--node", "0")
+        assert code == 0
+        assert reply["ok"] and reply["version"].startswith("grace-")
+
+    def test_classify(self, checkpoint_dir, graph, capsys):
+        code, reply = self.run_query(checkpoint_dir, capsys,
+                                     "--op", "classify", "--node", "2")
+        assert code == 0
+        assert 0 <= reply["label"] < graph.num_classes
+
+    def test_embed_unseen_node(self, checkpoint_dir, graph, capsys):
+        features = json.dumps(graph.features[0].tolist())
+        code, reply = self.run_query(
+            checkpoint_dir, capsys, "--op", "embed",
+            "--features", features, "--neighbors", "[0, 1]")
+        assert code == 0
+        assert reply["ok"] and len(reply["embedding"]) > 0
+
+    def test_query_error_is_exit_code_one(self, checkpoint_dir, capsys):
+        code, reply = self.run_query(checkpoint_dir, capsys,
+                                     "--op", "embed", "--node", "999999")
+        assert code == 1
+        assert reply["error"]["code"] == "unknown_node"
+
+    def test_bad_features_json_is_usage_error(self, checkpoint_dir, capsys):
+        code = main(["query", "--checkpoint", str(checkpoint_dir),
+                     *DATASET_ARGS, "--op", "embed", "--features", "[1, 2"])
+        assert code == 2
+        assert "JSON array" in capsys.readouterr().err
+
+
+class TestLoadFailures:
+    def test_missing_checkpoint_dir(self, tmp_path, capsys):
+        assert main(["query", "--checkpoint", str(tmp_path / "none"),
+                     *DATASET_ARGS, "--op", "models"]) == 2
+        assert "cannot load model" in capsys.readouterr().err
+
+    def test_corrupt_checkpoint_file(self, checkpoint_dir, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.npz"
+        corrupt.write_bytes((checkpoint_dir / "grace.npz").read_bytes()[:100])
+        assert main(["serve", "--checkpoint", str(corrupt), *DATASET_ARGS,
+                     "--requests", "/dev/null"]) == 2
+        assert "cannot load model" in capsys.readouterr().err

@@ -1,0 +1,36 @@
+"""Serving fixtures: one trained checkpoint shared across the package."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import get_method
+from repro.engine import PeriodicCheckpoint
+from repro.serve import ModelRegistry
+
+
+@pytest.fixture(scope="session")
+def grace_fitted(tiny_cora, tmp_path_factory):
+    """(checkpoint path, fitted method) for a tiny GRACE run."""
+    path = tmp_path_factory.mktemp("serve-ckpt") / "grace.npz"
+    method = get_method("grace", epochs=2, seed=0)
+    method.fit(tiny_cora, hooks=[PeriodicCheckpoint(str(path), every=1)])
+    return path, method
+
+
+@pytest.fixture(scope="session")
+def grace_checkpoint(grace_fitted):
+    return grace_fitted[0]
+
+
+@pytest.fixture(scope="session")
+def offline_embeddings(grace_fitted, tiny_cora):
+    """The offline ``embed`` output every served path must reproduce."""
+    _, method = grace_fitted
+    return np.asarray(method.embed(tiny_cora))
+
+
+@pytest.fixture
+def registry(grace_checkpoint):
+    reg = ModelRegistry()
+    reg.load(grace_checkpoint)
+    return reg

@@ -1,0 +1,120 @@
+"""MicroBatcher: coalescing, watermarks, failure isolation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import MicroBatcher, ServeMetrics
+
+
+def _echo_handler(items):
+    return [item * 2 for item in items]
+
+
+class TestCoalescing:
+    def test_results_in_submission_order(self):
+        with MicroBatcher(_echo_handler, max_batch=4, max_wait_ms=5) as batcher:
+            futures = [batcher.submit(i) for i in range(10)]
+            assert [f.result(timeout=5) for f in futures] == [i * 2 for i in range(10)]
+
+    def test_concurrent_submits_coalesce(self):
+        """Requests arriving together must share forward passes."""
+        metrics = ServeMetrics()
+        release = threading.Event()
+
+        def slow_handler(items):
+            release.wait(5)
+            return list(items)
+
+        with MicroBatcher(slow_handler, max_batch=32, max_wait_ms=20,
+                          metrics=metrics) as batcher:
+            futures = [batcher.submit(i) for i in range(16)]
+            # First request is already in a batch; the other 15 coalesce
+            # while the (blocked) first batch occupies the worker.
+            release.set()
+            for future in futures:
+                future.result(timeout=5)
+        assert metrics.batches < 16
+        assert metrics.batched_requests == 16
+        assert metrics.mean_batch_occupancy > 1.0
+
+    def test_size_watermark_bounds_batches(self):
+        metrics = ServeMetrics()
+        seen = []
+
+        def recording_handler(items):
+            seen.append(len(items))
+            time.sleep(0.005)
+            return list(items)
+
+        with MicroBatcher(recording_handler, max_batch=3, max_wait_ms=50,
+                          metrics=metrics) as batcher:
+            futures = [batcher.submit(i) for i in range(9)]
+            for future in futures:
+                future.result(timeout=5)
+        assert max(seen) <= 3
+
+    def test_time_watermark_dispatches_singletons(self):
+        with MicroBatcher(_echo_handler, max_batch=64, max_wait_ms=1) as batcher:
+            start = time.perf_counter()
+            assert batcher.submit(21).result(timeout=5) == 42
+            # One request must not wait for 63 friends that never come.
+            assert time.perf_counter() - start < 1.0
+
+
+class TestFailureIsolation:
+    def test_exception_slot_fails_only_that_item(self):
+        def partial_handler(items):
+            return [ValueError(f"bad {item}") if item == 2 else item
+                    for item in items]
+
+        with MicroBatcher(partial_handler, max_batch=8, max_wait_ms=5) as batcher:
+            futures = [batcher.submit(i) for i in range(4)]
+            results = []
+            for i, future in enumerate(futures):
+                if i == 2:
+                    with pytest.raises(ValueError, match="bad 2"):
+                        future.result(timeout=5)
+                else:
+                    results.append(future.result(timeout=5))
+            assert results == [0, 1, 3]
+
+    def test_raising_handler_fails_batch_but_not_worker(self):
+        calls = []
+
+        def flaky_handler(items):
+            calls.append(list(items))
+            if len(calls) == 1:
+                raise RuntimeError("boom")
+            return list(items)
+
+        with MicroBatcher(flaky_handler, max_batch=1, max_wait_ms=1) as batcher:
+            with pytest.raises(RuntimeError, match="boom"):
+                batcher.submit("a").result(timeout=5)
+            # Worker survived: next request is served normally.
+            assert batcher.submit("b").result(timeout=5) == "b"
+
+    def test_result_count_mismatch_detected(self):
+        with MicroBatcher(lambda items: [], max_batch=1, max_wait_ms=1) as batcher:
+            with pytest.raises(RuntimeError, match="results"):
+                batcher.submit(1).result(timeout=5)
+
+
+class TestLifecycle:
+    def test_submit_after_close_rejected(self):
+        batcher = MicroBatcher(_echo_handler)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(1)
+
+    def test_close_drains_pending(self):
+        with MicroBatcher(_echo_handler, max_batch=4, max_wait_ms=5) as batcher:
+            futures = [batcher.submit(i) for i in range(8)]
+        assert [f.result(timeout=5) for f in futures] == [i * 2 for i in range(8)]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(_echo_handler, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(_echo_handler, max_wait_ms=-1)

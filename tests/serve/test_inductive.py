@@ -1,0 +1,139 @@
+"""InductiveEncoder: degree-corrected ego inference and unseen-node splices.
+
+The exactness claims matter: a plain ``ego_subgraph`` + ``embed`` would be
+wrong at the boundary (truncated degrees), so these tests compare against
+the *full-graph* offline embeddings, not against a subgraph oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.serialization import EncoderArtifact
+from repro.nn import GCN
+from repro.serve import (
+    EgoQuery,
+    InductiveEncoder,
+    MalformedQueryError,
+    UnknownNodeError,
+)
+
+
+@pytest.fixture
+def encoder(registry, tiny_cora):
+    return InductiveEncoder(registry.get().artifact, tiny_cora)
+
+
+class TestKnownNodes:
+    def test_matches_full_graph_embedding(self, encoder, offline_embeddings):
+        for node in [0, 7, offline_embeddings.shape[0] - 1]:
+            np.testing.assert_allclose(
+                encoder.encode_node(node), offline_embeddings[node],
+                rtol=0, atol=1e-12)
+
+    def test_every_node_matches(self, encoder, offline_embeddings, tiny_cora):
+        served = np.stack([encoder.encode_node(v)
+                           for v in range(tiny_cora.num_nodes)])
+        np.testing.assert_allclose(served, offline_embeddings,
+                                   rtol=0, atol=1e-12)
+
+    def test_isolated_node(self, isolated_node_graph):
+        """A 0-degree query node must encode without dividing by zero."""
+        artifact = EncoderArtifact.from_encoder(GCN(3, 4, 2, seed=0))
+        enc = InductiveEncoder(artifact, isolated_node_graph)
+        offline = artifact.embed(isolated_node_graph)
+        np.testing.assert_allclose(enc.encode_node(3), offline[3],
+                                   rtol=0, atol=1e-12)
+
+    def test_radius_larger_than_component(self, path_graph):
+        """Ego radius exceeding the component must clamp, not wrap or fail."""
+        artifact = EncoderArtifact.from_encoder(
+            GCN(5, 4, 2, num_layers=6, seed=0))
+        enc = InductiveEncoder(artifact, path_graph)
+        assert enc.radius == 6
+        offline = artifact.embed(path_graph)
+        np.testing.assert_allclose(enc.encode_node(2), offline[2],
+                                   rtol=0, atol=1e-12)
+
+    def test_unknown_node_rejected(self, encoder, tiny_cora):
+        with pytest.raises(UnknownNodeError):
+            encoder.encode_node(tiny_cora.num_nodes)
+        with pytest.raises(UnknownNodeError):
+            encoder.encode_node(-3)
+
+    def test_transductive_artifact_rejected(self, tiny_cora):
+        table = EncoderArtifact(
+            kind="table", step_class="DeepWalk", fingerprint="x",
+            table=np.zeros((tiny_cora.num_nodes, 4)),
+            fitted_nodes=tiny_cora.num_nodes)
+        with pytest.raises(ValueError, match="transductive"):
+            InductiveEncoder(table, tiny_cora)
+
+
+class TestUnseenNodes:
+    def _query(self, graph, neighbors, seed=0):
+        rng = np.random.default_rng(seed)
+        return EgoQuery(features=rng.normal(size=graph.num_features),
+                        neighbors=neighbors)
+
+    def test_matches_spliced_graph_oracle(self, encoder, registry, tiny_cora):
+        query = self._query(tiny_cora, [3, 9, 14])
+        served = encoder.encode_unseen(query)
+        spliced, new_id = encoder.spliced_graph(query)
+        oracle = registry.get().artifact.embed(spliced)[new_id]
+        np.testing.assert_allclose(served, oracle, rtol=0, atol=1e-10)
+
+    def test_neighborless_query_is_legal(self, encoder, registry):
+        query = EgoQuery(
+            features=np.ones(encoder.artifact.in_features), neighbors=[])
+        served = encoder.encode_unseen(query)
+        spliced, new_id = encoder.spliced_graph(query)
+        oracle = registry.get().artifact.embed(spliced)[new_id]
+        np.testing.assert_allclose(served, oracle, rtol=0, atol=1e-10)
+
+    def test_splice_does_not_mutate_base_graph(self, encoder, tiny_cora):
+        nnz_before = tiny_cora.adjacency.nnz
+        encoder.encode_unseen(self._query(tiny_cora, [0, 1]))
+        assert tiny_cora.adjacency.nnz == nnz_before
+
+    def test_bad_feature_shape(self, encoder):
+        with pytest.raises(MalformedQueryError):
+            encoder.encode_unseen(EgoQuery(features=np.ones(3), neighbors=[0]))
+
+    def test_non_finite_features(self, encoder):
+        features = np.ones(encoder.artifact.in_features)
+        features[0] = np.nan
+        with pytest.raises(MalformedQueryError):
+            encoder.encode_unseen(EgoQuery(features=features, neighbors=[0]))
+
+    def test_duplicate_neighbors(self, encoder):
+        with pytest.raises(MalformedQueryError):
+            encoder.encode_unseen(EgoQuery(
+                features=np.ones(encoder.artifact.in_features),
+                neighbors=[1, 1]))
+
+    def test_out_of_range_neighbors(self, encoder, tiny_cora):
+        with pytest.raises(UnknownNodeError):
+            encoder.encode_unseen(EgoQuery(
+                features=np.ones(encoder.artifact.in_features),
+                neighbors=[tiny_cora.num_nodes]))
+
+
+class TestBatchedEncoding:
+    def test_mixed_batch_matches_singles(self, encoder, tiny_cora):
+        rng = np.random.default_rng(3)
+        query = EgoQuery(features=rng.normal(size=tiny_cora.num_features),
+                         neighbors=[2, 5])
+        batch = encoder.encode_batch([0, query, 11])
+        np.testing.assert_allclose(batch[0], encoder.encode_node(0),
+                                   rtol=0, atol=1e-12)
+        np.testing.assert_allclose(batch[1], encoder.encode_unseen(query),
+                                   rtol=0, atol=1e-12)
+        np.testing.assert_allclose(batch[2], encoder.encode_node(11),
+                                   rtol=0, atol=1e-12)
+
+    def test_empty_batch(self, encoder):
+        assert encoder.encode_batch([]) == []
+
+    def test_batch_validates_before_encoding(self, encoder, tiny_cora):
+        with pytest.raises(UnknownNodeError):
+            encoder.encode_batch([0, tiny_cora.num_nodes + 5])

@@ -1,0 +1,105 @@
+"""Serving metrics: histograms, counters, obs integration."""
+
+import json
+import math
+import threading
+
+import numpy as np
+
+from repro.obs import Tracer
+from repro.serve import LatencyHistogram, ServeMetrics
+
+
+class TestLatencyHistogram:
+    def test_percentiles_match_numpy(self):
+        hist = LatencyHistogram("embed")
+        samples = np.random.default_rng(0).exponential(0.01, size=1000)
+        for s in samples:
+            hist.record(float(s))
+        for q in (50, 95, 99):
+            assert hist.percentile(q) == float(np.percentile(samples, q))
+
+    def test_empty_is_nan_not_crash(self):
+        hist = LatencyHistogram("embed")
+        assert math.isnan(hist.percentile(99))
+        summary = hist.summary()
+        assert summary["count"] == 0
+        assert math.isnan(summary["p99_s"])
+
+    def test_summary_fields(self):
+        hist = LatencyHistogram("embed")
+        for value in [0.001, 0.002, 0.003]:
+            hist.record(value)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["mean_s"] == (0.001 + 0.002 + 0.003) / 3
+        assert summary["p50_s"] == 0.002
+
+    def test_reservoir_caps_memory(self):
+        from repro.serve.metrics import _MAX_SAMPLES
+
+        hist = LatencyHistogram("embed")
+        for i in range(_MAX_SAMPLES + 10):
+            hist.record(float(i))
+        assert len(hist._samples) <= _MAX_SAMPLES
+        assert hist.count == _MAX_SAMPLES + 10
+
+    def test_thread_safety_counts(self):
+        hist = LatencyHistogram("embed")
+
+        def worker():
+            for _ in range(500):
+                hist.record(0.001)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == 2000
+
+
+class TestServeMetrics:
+    def test_cache_hit_rate(self):
+        metrics = ServeMetrics()
+        assert metrics.cache_hit_rate is None
+        metrics.observe_cache(True)
+        metrics.observe_cache(False)
+        metrics.observe_cache(False)
+        assert metrics.cache_hit_rate == 1 / 3
+
+    def test_batch_occupancy(self):
+        metrics = ServeMetrics()
+        assert metrics.mean_batch_occupancy is None
+        metrics.observe_batch(4)
+        metrics.observe_batch(2)
+        assert metrics.mean_batch_occupancy == 3.0
+
+    def test_snapshot_is_json_ready(self):
+        metrics = ServeMetrics()
+        metrics.observe("embed", 0.001)
+        metrics.observe_cache(True)
+        metrics.observe_batch(3)
+        metrics.observe_error("unknown_node")
+        snapshot = metrics.snapshot()
+        json.dumps(snapshot)
+        assert snapshot["latency"]["embed"]["count"] == 1
+        assert snapshot["errors"]["unknown_node"] == 1
+
+    def test_metrics_reach_active_tracer(self, tmp_path):
+        """Latency/cache/batch series land in the obs trace as metrics."""
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(str(path))
+        tracer.activate()
+        try:
+            metrics = ServeMetrics()
+            metrics.observe("embed", 0.005)
+            metrics.observe_cache(True)
+            metrics.observe_batch(7)
+        finally:
+            tracer.close()
+        names = [json.loads(line).get("name")
+                 for line in path.read_text().splitlines()]
+        assert "serve.latency" in names
+        assert "serve.cache" in names
+        assert "serve.batch_size" in names

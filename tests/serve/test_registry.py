@@ -1,0 +1,115 @@
+"""ModelRegistry: content-addressed versions, validation, staleness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import get_method
+from repro.engine import PeriodicCheckpoint, checkpoint_digest
+from repro.core.serialization import EncoderArtifact
+from repro.nn import GCN
+from repro.resilience import FaultPlan
+from repro.serve import (
+    ModelNotFoundError,
+    ModelRegistry,
+    StaleVersionError,
+    method_for_step_class,
+)
+
+
+class TestLoad:
+    def test_version_id_is_content_addressed(self, registry, grace_checkpoint):
+        digest = checkpoint_digest(grace_checkpoint)
+        (version_id,) = registry.versions()
+        assert version_id == f"grace-{digest[:12]}"
+
+    def test_reload_same_file_same_version(self, registry, grace_checkpoint):
+        before = registry.versions()
+        registry.load(grace_checkpoint)
+        assert registry.versions() == before
+
+    def test_method_resolved_from_step_class(self, registry):
+        version = registry.get()
+        assert version.method == "grace"
+        assert version.step_class == "GRACE"
+        assert version.inductive
+
+    def test_directory_resolves_newest_valid(self, tiny_cora, tmp_path):
+        method = get_method("grace", epochs=2, seed=0)
+        ckpt_dir = tmp_path / "ckpts"
+        ckpt_dir.mkdir()
+        method.fit(tiny_cora, hooks=[
+            PeriodicCheckpoint(str(ckpt_dir / "ck.npz"), every=1)])
+        version = ModelRegistry().load(ckpt_dir)
+        assert version.path == ckpt_dir / "ck.npz"
+
+    def test_missing_path_is_structured_error(self, tmp_path):
+        with pytest.raises(ModelNotFoundError):
+            ModelRegistry().load(tmp_path / "missing.npz")
+
+    def test_empty_directory_is_structured_error(self, tmp_path):
+        with pytest.raises(ModelNotFoundError):
+            ModelRegistry().load(tmp_path)
+
+    def test_corrupt_checkpoint_rejected(self, grace_checkpoint, tmp_path):
+        corrupt = tmp_path / "corrupt.npz"
+        corrupt.write_bytes(grace_checkpoint.read_bytes())
+        FaultPlan(seed=0).flip_bytes(corrupt, count=16)
+        with pytest.raises(ModelNotFoundError):
+            ModelRegistry().load(corrupt)
+
+    def test_table_method_registers_as_transductive(self, tiny_cora, tmp_path):
+        method = get_method("deepwalk", epochs=1, seed=0)
+        path = tmp_path / "dw.npz"
+        method.fit(tiny_cora, hooks=[PeriodicCheckpoint(str(path), every=1)])
+        version = ModelRegistry().load(path)
+        assert version.method == "deepwalk"
+        assert not version.inductive
+        assert np.array_equal(version.artifact.embed(tiny_cora),
+                              method.embed(tiny_cora))
+
+
+class TestVersionResolution:
+    def test_latest_wins_by_default(self, registry):
+        extra = EncoderArtifact.from_encoder(GCN(4, 8, 3, seed=1))
+        newer = registry.register_artifact(extra)
+        assert registry.get().version_id == newer.version_id
+        assert len(registry) == 2
+
+    def test_pinned_version_still_served(self, registry):
+        pinned = registry.get().version_id
+        registry.register_artifact(EncoderArtifact.from_encoder(GCN(4, 8, 3, seed=1)))
+        assert registry.get(pinned).version_id == pinned
+
+    def test_unknown_version_is_stale(self, registry):
+        with pytest.raises(StaleVersionError):
+            registry.get("grace-000000000000")
+
+    def test_unregistered_version_becomes_stale(self, registry):
+        version_id = registry.get().version_id
+        registry.unregister(version_id)
+        with pytest.raises(StaleVersionError):
+            registry.get(version_id)
+
+    def test_empty_registry_is_stale(self):
+        with pytest.raises(StaleVersionError):
+            ModelRegistry().get()
+
+    def test_describe_is_json_ready(self, registry):
+        import json
+
+        (entry,) = registry.describe()
+        json.dumps(entry)
+        assert entry["method"] == "grace"
+        assert entry["embedding_dim"] == 32
+
+
+class TestStepClassMap:
+    def test_baselines_map_to_themselves(self):
+        assert method_for_step_class("GRACE") == "grace"
+        assert method_for_step_class("DeepWalk") == "deepwalk"
+
+    def test_e2gcl_trainer_special_case(self):
+        assert method_for_step_class("E2GCLTrainer") == "e2gcl"
+
+    def test_unknown_step_class_is_none(self):
+        assert method_for_step_class("SomethingElse") is None

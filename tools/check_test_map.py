@@ -44,11 +44,13 @@ COVERED_BY: Dict[str, str] = {
     "src/repro/engine/hooks.py": "tests/engine/test_loop.py",
     "src/repro/engine/rng.py": "tests/engine/test_checkpoint.py",
     "src/repro/engine/step.py": "tests/engine/test_loop.py",
-    # Evaluation protocols share one suite.
+    # Evaluation protocols share one suite (the timed-curve container has
+    # its own conventional file, tests/eval/test_protocol.py).
     "src/repro/eval/graph_classification.py": "tests/eval/test_protocols.py",
     "src/repro/eval/link_prediction.py": "tests/eval/test_protocols.py",
     "src/repro/eval/node_classification.py": "tests/eval/test_protocols.py",
-    "src/repro/eval/protocol.py": "tests/eval/test_protocols.py",
+    # The serve error taxonomy is pinned by the server's envelope table.
+    "src/repro/serve/errors.py": "tests/serve/test_server.py",
     # Initializers are exercised through module construction.
     "src/repro/autograd/init.py": "tests/autograd/test_module.py",
     # The E2GCL facade is covered by its save/load round-trip suite.

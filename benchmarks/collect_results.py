@@ -24,6 +24,7 @@ RESULTS = ROOT / "benchmarks" / "results"
 EXPERIMENTS = ROOT / "EXPERIMENTS.md"
 HOTPATHS_JSON = ROOT / "BENCH_hotpaths.json"
 SERVE_JSON = ROOT / "BENCH_serve.json"
+AUTOGRAD_JSON = ROOT / "BENCH_autograd.json"
 
 
 def aggregate_hotpaths() -> bool:
@@ -107,6 +108,67 @@ def aggregate_serve() -> bool:
     return True
 
 
+def aggregate_autograd() -> bool:
+    """Render ``BENCH_autograd.json`` into ``results/autograd.txt``.
+
+    Standalone (no ``repro`` import), mirroring :func:`aggregate_hotpaths`.
+    Returns False when the JSON has not been generated yet.
+    """
+    if not AUTOGRAD_JSON.exists():
+        return False
+    data = json.loads(AUTOGRAD_JSON.read_text())
+    lines = [f"=== Autograd per-op benchmarks (best of {data['trials']}) ==="]
+    header = ("op                   | tier      | seed (ms) | unfused (ms) | "
+              "fused (ms) | vs seed | vs unfused")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in data["fused"]:
+        seed_ms = ("%9.3f" % (row["seed_seconds"] * 1e3)
+                   if "seed_seconds" in row else "        -")
+        vs_seed = ("%.2fx" % row["speedup_vs_seed"]
+                   if "speedup_vs_seed" in row else "-")
+        lines.append(
+            "%-20s | %-9s | %s | %12.3f | %10.3f | %7s | %.2fx" % (
+                row["op"], row["label"], seed_ms,
+                row["unfused_seconds"] * 1e3, row["fused_seconds"] * 1e3,
+                vs_seed, row["speedup"],
+            )
+        )
+    lines.append("")
+    lines.append("dtype (fused spmm_bias_act) | f64 (ms) | f32 (ms) | speedup")
+    for row in data["dtype"]:
+        label = "%s (n=%d, d=%d)" % (row["label"], row["nodes"], row["dim"])
+        lines.append("%-27s | %8.3f | %8.3f | %.2fx" % (
+            label, row["float64_seconds"] * 1e3, row["float32_seconds"] * 1e3,
+            row["speedup"],
+        ))
+    a = data["arena"]
+    lines.append("")
+    lines.append("arena (%s, %d steps):" % (a["graph"], a["steps"]))
+    lines.append("  per-step: %.3f ms off, %.3f ms on (%.2fx)" % (
+        a["no_arena_seconds_per_step"] * 1e3,
+        a["arena_seconds_per_step"] * 1e3, a["speedup"],
+    ))
+    lines.append(
+        "  transient peak per step (tracemalloc): %.2f MB off, %.2f MB on "
+        "(%.0f%% less)" % (
+            a["transient_peak_bytes_no_arena"] / 1e6,
+            a["transient_peak_bytes_arena"] / 1e6,
+            a["transient_peak_reduction"] * 100,
+        )
+    )
+    lines.append(
+        "  grad-buffer requests served from pool: %d/%d (%.0f%% hit rate; "
+        "%d allocations)" % (
+            a["pool_stats"]["hits"], a["grad_buffer_requests"],
+            a["grad_buffer_hit_rate"] * 100, a["grad_buffer_allocations"],
+        )
+    )
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "autograd.txt").write_text("\n".join(lines) + "\n")
+    return True
+
+
 BLOCK_TEMPLATE = "<!-- MEASURED:{key} -->\n```text\n{body}\n```\n<!-- /MEASURED:{key} -->"
 PATTERN = re.compile(
     r"<!-- MEASURED:(?P<key>[\w]+) -->(?:\n```text\n.*?\n```\n<!-- /MEASURED:(?P=key) -->)?",
@@ -119,6 +181,8 @@ def main() -> int:
         print("aggregated BENCH_hotpaths.json -> results/hotpaths.txt")
     if aggregate_serve():
         print("aggregated BENCH_serve.json -> results/serve.txt")
+    if aggregate_autograd():
+        print("aggregated BENCH_autograd.json -> results/autograd.txt")
     text = EXPERIMENTS.read_text()
     missing = []
 

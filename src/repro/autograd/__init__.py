@@ -6,15 +6,28 @@ Public surface::
     from repro.autograd.optim import Adam, SGD
 """
 
-from . import functional, init, ops
+from . import arena, functional, init, ops
+from .arena import GradArena, active_arena
 from .gradcheck import GradcheckResult, gradcheck
 from .module import Module, Parameter, Sequential
 from .optim import SGD, Adam, AdamW, CosineAnnealingLR, ExponentialLR, global_grad_norm
-from .tensor import Tensor, ensure_tensor
+from .tensor import (
+    Tensor,
+    default_dtype,
+    ensure_tensor,
+    get_default_dtype,
+    set_default_dtype,
+)
 
 __all__ = [
     "Tensor",
     "ensure_tensor",
+    "arena",
+    "GradArena",
+    "active_arena",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
     "gradcheck",
     "GradcheckResult",
     "Parameter",

@@ -88,17 +88,20 @@ def rowwise_sq_euclidean(a: Tensor, b: Tensor) -> Tensor:
 
 
 def cosine_similarity_matrix(a: Tensor, b: Tensor) -> Tensor:
-    """All-pairs cosine similarity between rows of ``a`` and rows of ``b``."""
-    a_n = ops.l2_normalize_rows(a)
-    b_n = ops.l2_normalize_rows(b)
-    return ops.matmul(a_n, ops.transpose(b_n))
+    """All-pairs cosine similarity between rows of ``a`` and rows of ``b``.
+
+    Runs as the fused normalize-and-multiply kernel (bit-identical to the
+    ``l2_normalize_rows``/``matmul``/``transpose`` chain it replaces).
+    """
+    return ops.normalize_cosine_sim(a, b)
 
 
 def rowwise_cosine_similarity(a: Tensor, b: Tensor) -> Tensor:
-    """Cosine similarity between corresponding rows of ``a`` and ``b``."""
-    a_n = ops.l2_normalize_rows(a)
-    b_n = ops.l2_normalize_rows(b)
-    return ops.sum(ops.mul(a_n, b_n), axis=1)
+    """Cosine similarity between corresponding rows of ``a`` and ``b``.
+
+    Fused: one graph node instead of the normalize/mul/sum chain.
+    """
+    return ops.normalize_cosine_rowwise(a, b)
 
 
 def bootstrap_cosine_loss(online: Tensor, target: Tensor) -> Tensor:

@@ -4,6 +4,10 @@ The paper's encoders are Glorot-initialized GCNs (the Kipf & Welling
 default); uniform/normal variants are provided for the other baselines.
 Every initializer takes an explicit ``np.random.Generator`` so experiments
 are reproducible end to end.
+
+Weights are drawn in float64 — so the random stream is identical whatever
+the configured precision — and then cast to the process default dtype
+(:func:`repro.autograd.tensor.get_default_dtype`).
 """
 
 from __future__ import annotations
@@ -12,31 +16,37 @@ from typing import Tuple
 
 import numpy as np
 
+from .tensor import get_default_dtype
+
+
+def _cast(array: np.ndarray) -> np.ndarray:
+    return array.astype(get_default_dtype(), copy=False)
+
 
 def glorot_uniform(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     """Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
     fan_in, fan_out = shape[0], shape[-1]
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return _cast(rng.uniform(-limit, limit, size=shape))
 
 
 def glorot_normal(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     """Xavier/Glorot normal: N(0, 2 / (fan_in + fan_out))."""
     fan_in, fan_out = shape[0], shape[-1]
     std = np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape))
 
 
 def he_uniform(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     """Kaiming/He uniform, appropriate for ReLU layers."""
     fan_in = shape[0]
     limit = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-limit, limit, size=shape)
+    return _cast(rng.uniform(-limit, limit, size=shape))
 
 
 def zeros(shape) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def uniform(shape, rng: np.random.Generator, low: float = -0.05, high: float = 0.05) -> np.ndarray:
-    return rng.uniform(low, high, size=shape)
+    return _cast(rng.uniform(low, high, size=shape))

@@ -18,7 +18,9 @@ class Parameter(Tensor):
     """A tensor that is registered as trainable state of a :class:`Module`."""
 
     def __init__(self, data, name: str = "") -> None:
-        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+        # Tensor.__init__ coerces to the configured default dtype, so
+        # parameters follow set_default_dtype like every other tensor.
+        super().__init__(data, requires_grad=True, name=name)
 
 
 class Module:

@@ -8,19 +8,57 @@ output gradient back into the inputs.
 The operation set is exactly what the reproduced models need: elementwise
 arithmetic, dense and sparse matmul, activations, softmax/log-softmax,
 reductions, row indexing/gathering, concatenation, row normalization, and
-dropout.
+dropout — plus the fused hot-composition kernels (``spmm_bias_act``,
+``linear_act``, ``normalize_cosine_sim``/``normalize_cosine_rowwise``)
+that collapse the graph-convolution, dense-layer, and contrastive-
+similarity chains into one op each.  Every fused kernel computes the same
+floats in the same order as its unfused composition, so adopting one is
+bit-identical; the win is eliminated intermediate tensors, copies, and
+graph bookkeeping (see docs/PERFORMANCE.md).
+
+Backward closures donate freshly computed gradient arrays to
+``Tensor._accumulate_grad(..., donate=True)`` so first-touch accumulation
+takes ownership instead of copying, and — with the
+:mod:`repro.autograd.arena` enabled — intermediate gradient buffers are
+pooled across steps.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
+from . import arena as _arena
 from .tensor import Tensor, ensure_tensor
 
 ArrayOrTensor = Union[Tensor, np.ndarray, float, int]
+
+#: Attribute under which a sparse matrix caches its CSR transpose (the
+#: structure ``spmm``'s backward multiplies by).  Stored on the matrix
+#: object itself so the cache's lifetime is exactly the matrix's — no
+#: id()-keyed registry that could alias a freed matrix's reused address.
+_TRANSPOSE_ATTR = "_repro_csr_transpose"
+
+
+def _csr_transpose(csr: sp.csr_matrix) -> sp.csr_matrix:
+    """The cached CSR transpose of ``csr`` (derived once per matrix).
+
+    Graph adjacencies are constants that feed thousands of backward calls
+    per run; re-deriving ``csr.T.tocsr()`` (a full structure conversion)
+    on every one of them dominated ``spmm``'s backward cost.  Callers must
+    treat cached matrices as immutable — every adjacency in this codebase
+    is built once and never mutated in place.
+    """
+    cached = getattr(csr, _TRANSPOSE_ATTR, None)
+    if cached is None:
+        cached = csr.T.tocsr()
+        try:
+            setattr(csr, _TRANSPOSE_ATTR, cached)
+        except AttributeError:  # sparse classes with __slots__: skip caching
+            pass
+    return cached
 
 
 def _make(
@@ -32,6 +70,40 @@ def _make(
     if not requires:
         return Tensor(data)
     return Tensor(data, requires_grad=True, parents=parents, backward_fn=backward_fn)
+
+
+def _mul_into(parent: Tensor, x, y) -> np.ndarray:
+    """``x * y`` destined for ``parent``'s gradient.
+
+    With the arena active the product is written straight into a pooled
+    buffer (``out=``), so steady-state backward passes recycle the same
+    arrays instead of allocating fresh ones.  Only intermediate parents
+    whose gradient needs no un-broadcast reduction qualify — leaf
+    (parameter) gradients outlive the pass and must never hold pooled
+    memory.  Values are bit-identical either way (same ufunc).
+    """
+    pool = _arena.current()
+    if pool is not None and parent._backward_fn is not None:
+        shape = np.broadcast_shapes(np.shape(x), np.shape(y))
+        if shape == parent.data.shape:
+            return np.multiply(x, y, out=pool.acquire(shape, parent.data.dtype))
+    return x * y
+
+
+def _matmul_into(parent: Tensor, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``x @ y`` destined for ``parent``'s gradient; pooled like :func:`_mul_into`."""
+    pool = _arena.current()
+    if (
+        pool is not None
+        and parent._backward_fn is not None
+        and x.ndim == 2
+        and y.ndim == 2
+        and (x.shape[0], y.shape[1]) == parent.data.shape
+        and x.dtype == y.dtype == parent.data.dtype
+    ):
+        out = pool.acquire(parent.data.shape, parent.data.dtype)
+        return np.matmul(x, y, out=out)
+    return x @ y
 
 
 # ----------------------------------------------------------------------
@@ -58,7 +130,7 @@ def sub(a: ArrayOrTensor, b: ArrayOrTensor) -> Tensor:
         if a.requires_grad:
             a._accumulate_grad(grad)
         if b.requires_grad:
-            b._accumulate_grad(-grad)
+            b._accumulate_grad(-grad, donate=True)
 
     return _make(out_data, (a, b), backward)
 
@@ -69,9 +141,9 @@ def mul(a: ArrayOrTensor, b: ArrayOrTensor) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate_grad(grad * b.data)
+            a._accumulate_grad(_mul_into(a, grad, b.data), donate=True)
         if b.requires_grad:
-            b._accumulate_grad(grad * a.data)
+            b._accumulate_grad(_mul_into(b, grad, a.data), donate=True)
 
     return _make(out_data, (a, b), backward)
 
@@ -82,9 +154,9 @@ def div(a: ArrayOrTensor, b: ArrayOrTensor) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate_grad(grad / b.data)
+            a._accumulate_grad(grad / b.data, donate=True)
         if b.requires_grad:
-            b._accumulate_grad(-grad * a.data / (b.data ** 2))
+            b._accumulate_grad(-grad * a.data / (b.data ** 2), donate=True)
 
     return _make(out_data, (a, b), backward)
 
@@ -94,7 +166,7 @@ def neg(a: ArrayOrTensor) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate_grad(-grad)
+            a._accumulate_grad(-grad, donate=True)
 
     return _make(-a.data, (a,), backward)
 
@@ -105,7 +177,7 @@ def power(a: ArrayOrTensor, exponent: float) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate_grad(grad * exponent * a.data ** (exponent - 1))
+            a._accumulate_grad(grad * exponent * a.data ** (exponent - 1), donate=True)
 
     return _make(out_data, (a,), backward)
 
@@ -116,7 +188,7 @@ def exp(a: ArrayOrTensor) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate_grad(grad * out_data)
+            a._accumulate_grad(_mul_into(a, grad, out_data), donate=True)
 
     return _make(out_data, (a,), backward)
 
@@ -129,7 +201,7 @@ def log(a: ArrayOrTensor, eps: float = 0.0) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate_grad(grad / safe)
+            a._accumulate_grad(grad / safe, donate=True)
 
     return _make(out_data, (a,), backward)
 
@@ -144,7 +216,7 @@ def abs(a: ArrayOrTensor) -> Tensor:  # noqa: A001 - mirrors numpy naming
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate_grad(grad * np.sign(a.data))
+            a._accumulate_grad(grad * np.sign(a.data), donate=True)
 
     return _make(out_data, (a,), backward)
 
@@ -159,7 +231,7 @@ def relu(a: ArrayOrTensor) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate_grad(grad * mask)
+            a._accumulate_grad(_mul_into(a, grad, mask), donate=True)
 
     return _make(out_data, (a,), backward)
 
@@ -171,7 +243,9 @@ def leaky_relu(a: ArrayOrTensor, negative_slope: float = 0.01) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate_grad(grad * np.where(mask, 1.0, negative_slope))
+            a._accumulate_grad(
+                _mul_into(a, grad, np.where(mask, 1.0, negative_slope)), donate=True
+            )
 
     return _make(out_data, (a,), backward)
 
@@ -187,7 +261,9 @@ def sigmoid(a: ArrayOrTensor) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate_grad(grad * out_data * (1.0 - out_data))
+            a._accumulate_grad(
+                _mul_into(a, grad * out_data, 1.0 - out_data), donate=True
+            )
 
     return _make(out_data, (a,), backward)
 
@@ -198,7 +274,7 @@ def tanh(a: ArrayOrTensor) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate_grad(grad * (1.0 - out_data ** 2))
+            a._accumulate_grad(_mul_into(a, grad, 1.0 - out_data ** 2), donate=True)
 
     return _make(out_data, (a,), backward)
 
@@ -211,7 +287,9 @@ def elu(a: ArrayOrTensor, alpha: float = 1.0) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate_grad(grad * np.where(mask, 1.0, expm1 + alpha))
+            a._accumulate_grad(
+                _mul_into(a, grad, np.where(mask, 1.0, expm1 + alpha)), donate=True
+            )
 
     return _make(out_data, (a,), backward)
 
@@ -225,7 +303,7 @@ def softmax(a: ArrayOrTensor, axis: int = -1) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
             dot = (grad * out_data).sum(axis=axis, keepdims=True)
-            a._accumulate_grad(out_data * (grad - dot))
+            a._accumulate_grad(_mul_into(a, out_data, grad - dot), donate=True)
 
     return _make(out_data, (a,), backward)
 
@@ -239,7 +317,7 @@ def log_softmax(a: ArrayOrTensor, axis: int = -1) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate_grad(grad - soft * grad.sum(axis=axis, keepdims=True))
+            a._accumulate_grad(grad - soft * grad.sum(axis=axis, keepdims=True), donate=True)
 
     return _make(out_data, (a,), backward)
 
@@ -253,9 +331,9 @@ def matmul(a: ArrayOrTensor, b: ArrayOrTensor) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate_grad(grad @ b.data.T)
+            a._accumulate_grad(_matmul_into(a, grad, b.data.T), donate=True)
         if b.requires_grad:
-            b._accumulate_grad(a.data.T @ grad)
+            b._accumulate_grad(_matmul_into(b, a.data.T, grad), donate=True)
 
     return _make(out_data, (a, b), backward)
 
@@ -269,11 +347,10 @@ def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
     dense = ensure_tensor(dense)
     csr = matrix.tocsr()
     out_data = csr @ dense.data
-    csr_t = csr.T.tocsr()
 
     def backward(grad: np.ndarray) -> None:
         if dense.requires_grad:
-            dense._accumulate_grad(csr_t @ grad)
+            dense._accumulate_grad(_csr_transpose(csr) @ grad, donate=True)
 
     return _make(np.asarray(out_data), (dense,), backward)
 
@@ -343,9 +420,13 @@ def index(a: ArrayOrTensor, idx) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            full = np.zeros_like(a.data)
+            pool = _arena.current()
+            if pool is not None:
+                full = pool.acquire(a.data.shape, a.data.dtype, zero=True)
+            else:
+                full = np.zeros_like(a.data)
             np.add.at(full, idx, grad)
-            a._accumulate_grad(full)
+            a._accumulate_grad(full, donate=True)
 
     return _make(out_data, (a,), backward)
 
@@ -397,7 +478,7 @@ def l2_normalize_rows(a: ArrayOrTensor, eps: float = 1e-12) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
             dot = (grad * out_data).sum(axis=1, keepdims=True)
-            a._accumulate_grad((grad - out_data * dot) / norms)
+            a._accumulate_grad((grad - out_data * dot) / norms, donate=True)
 
     return _make(out_data, (a,), backward)
 
@@ -415,7 +496,7 @@ def dropout(a: ArrayOrTensor, rate: float, rng: np.random.Generator, training: b
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate_grad(grad * mask)
+            a._accumulate_grad(_mul_into(a, grad, mask), donate=True)
 
     return _make(out_data, (a,), backward)
 
@@ -427,6 +508,211 @@ def row_norms(a: ArrayOrTensor, eps: float = 1e-12) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate_grad(a.data * (grad / norms)[:, None])
+            a._accumulate_grad(a.data * (grad / norms)[:, None], donate=True)
 
     return _make(norms, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Fused kernels
+# ----------------------------------------------------------------------
+# Each fused op replaces a hot multi-op chain with a single graph node.
+# The arithmetic — expression by expression, in the same order — matches
+# the unfused composition exactly, so results are bit-identical; the
+# saving is the intermediate Tensors, their gradient buffers, and the
+# per-op closure dispatch the chain used to pay for.
+
+_FUSED_ACTIVATIONS = (None, "relu", "leaky_relu", "elu", "tanh", "sigmoid")
+
+
+def _activation_forward(pre: np.ndarray, activation, negative_slope: float, alpha: float):
+    """Apply ``activation`` to ``pre``; returns ``(out, ctx)``.
+
+    **Takes ownership of ``pre``**: the caller passes a freshly allocated
+    product it will never read again, so the activation is applied in
+    place (same ufunc, ``out=pre``) instead of allocating a new array —
+    this is where the fused kernels beat the unfused chains.  ``ctx``
+    carries exactly what :func:`_activation_backward` needs.  The
+    expressions match the standalone activation ops above ufunc-for-ufunc
+    so a fused chain reproduces their floats bit-for-bit.
+    """
+    if activation is None:
+        return pre, None
+    if activation == "relu":
+        mask = pre > 0
+        np.multiply(pre, mask, out=pre)
+        return pre, ("relu", mask)
+    if activation == "leaky_relu":
+        mask = pre > 0
+        out = negative_slope * pre
+        np.copyto(out, pre, where=mask)
+        return out, ("leaky_relu", mask)
+    if activation == "elu":
+        mask = pre > 0
+        expm1 = np.minimum(pre, 0.0)
+        np.expm1(expm1, out=expm1)
+        np.multiply(expm1, alpha, out=expm1)
+        return np.where(mask, pre, expm1), ("elu", mask, expm1)
+    if activation == "tanh":
+        out = np.tanh(pre, out=pre)
+        return out, ("tanh", out)
+    if activation == "sigmoid":
+        out = np.where(
+            pre >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(pre, -500, 500))),
+            np.exp(np.clip(pre, -500, 500)) / (1.0 + np.exp(np.clip(pre, -500, 500))),
+        )
+        return out, ("sigmoid", out)
+    raise ValueError(
+        f"unsupported fused activation {activation!r}; pick one of {_FUSED_ACTIVATIONS}"
+    )
+
+
+def _activation_backward(grad: np.ndarray, ctx, negative_slope: float, alpha: float) -> np.ndarray:
+    """Gradient through the activation recorded by :func:`_activation_forward`."""
+    if ctx is None:
+        return grad
+    kind = ctx[0]
+    if kind == "relu":
+        return grad * ctx[1]
+    if kind == "leaky_relu":
+        return grad * np.where(ctx[1], 1.0, negative_slope)
+    if kind == "elu":
+        return grad * np.where(ctx[1], 1.0, ctx[2] + alpha)
+    if kind == "tanh":
+        return grad * (1.0 - ctx[1] ** 2)
+    return grad * ctx[1] * (1.0 - ctx[1])  # sigmoid
+
+
+def spmm_bias_act(
+    matrix: sp.spmatrix,
+    dense: ArrayOrTensor,
+    bias: Optional[ArrayOrTensor] = None,
+    activation: Optional[str] = None,
+    negative_slope: float = 0.2,
+    alpha: float = 1.0,
+) -> Tensor:
+    """Fused ``activation(spmm(matrix, dense) + bias)`` — the GCN propagate kernel.
+
+    One graph node instead of three (``spmm``/``add``/activation): a full
+    GCN layer's propagation allocates one output array and one gradient
+    buffer per parent rather than materializing two intermediate tensors
+    and their gradients per layer per step.  Bit-identical to the unfused
+    chain.  ``bias`` broadcasts like :func:`add`; ``activation`` is one of
+    ``None``/``relu``/``leaky_relu``/``elu``/``tanh``/``sigmoid``.
+    """
+    dense = ensure_tensor(dense)
+    bias_t = ensure_tensor(bias) if bias is not None else None
+    csr = matrix.tocsr()
+    pre = np.asarray(csr @ dense.data)
+    if bias_t is not None:
+        # ``pre`` is a fresh product; adding in place (same ufunc as
+        # ``pre + bias``) skips the intermediate the unfused chain allocates.
+        np.add(pre, bias_t.data, out=pre)
+    out_data, ctx = _activation_forward(pre, activation, negative_slope, alpha)
+
+    parents = (dense,) if bias_t is None else (dense, bias_t)
+
+    def backward(grad: np.ndarray) -> None:
+        g = _activation_backward(grad, ctx, negative_slope, alpha)
+        if bias_t is not None and bias_t.requires_grad:
+            bias_t._accumulate_grad(g)
+        if dense.requires_grad:
+            dense._accumulate_grad(_csr_transpose(csr) @ g, donate=True)
+
+    return _make(out_data, parents, backward)
+
+
+def linear_act(
+    x: ArrayOrTensor,
+    weight: ArrayOrTensor,
+    bias: Optional[ArrayOrTensor] = None,
+    activation: Optional[str] = None,
+    negative_slope: float = 0.2,
+    alpha: float = 1.0,
+) -> Tensor:
+    """Fused ``activation(x @ weight + bias)`` — the dense-layer kernel.
+
+    Collapses the ``matmul``/``add``/activation chain every MLP and
+    projection-head layer issues into a single node.  Bit-identical to
+    the unfused composition.
+    """
+    x = ensure_tensor(x)
+    weight = ensure_tensor(weight)
+    bias_t = ensure_tensor(bias) if bias is not None else None
+    pre = x.data @ weight.data
+    if bias_t is not None:
+        np.add(pre, bias_t.data, out=pre)
+    out_data, ctx = _activation_forward(pre, activation, negative_slope, alpha)
+
+    parents = (x, weight) if bias_t is None else (x, weight, bias_t)
+
+    def backward(grad: np.ndarray) -> None:
+        g = _activation_backward(grad, ctx, negative_slope, alpha)
+        if bias_t is not None and bias_t.requires_grad:
+            bias_t._accumulate_grad(g)
+        if x.requires_grad:
+            x._accumulate_grad(_matmul_into(x, g, weight.data.T), donate=True)
+        if weight.requires_grad:
+            weight._accumulate_grad(_matmul_into(weight, x.data.T, g), donate=True)
+
+    return _make(out_data, parents, backward)
+
+
+def normalize_cosine_sim(a: ArrayOrTensor, b: ArrayOrTensor, eps: float = 1e-12) -> Tensor:
+    """Fused row-normalize + pairwise cosine similarity ``a_n @ b_n.T``.
+
+    Replaces ``matmul(l2_normalize_rows(a), transpose(l2_normalize_rows(b)))``
+    — the kernel under every contrastive similarity matrix — with one node,
+    skipping two normalized intermediates and their ``(n, d)`` gradient
+    buffers.  Bit-identical to the unfused chain.
+    """
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    a_norms = np.maximum(np.linalg.norm(a.data, axis=1, keepdims=True), eps)
+    a_n = a.data / a_norms
+    b_norms = np.maximum(np.linalg.norm(b.data, axis=1, keepdims=True), eps)
+    b_n = b.data / b_norms
+    out_data = a_n @ b_n.T
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            g_an = grad @ b_n
+            dot = (g_an * a_n).sum(axis=1, keepdims=True)
+            a._accumulate_grad((g_an - a_n * dot) / a_norms, donate=True)
+        if b.requires_grad:
+            # The C-contiguous copy mirrors the unfused transpose
+            # backward's accumulation, keeping the row reduction below
+            # bit-identical to the chained version.
+            g_bn = (a_n.T @ grad).T.copy()
+            dot = (g_bn * b_n).sum(axis=1, keepdims=True)
+            b._accumulate_grad((g_bn - b_n * dot) / b_norms, donate=True)
+
+    return _make(out_data, (a, b), backward)
+
+
+def normalize_cosine_rowwise(a: ArrayOrTensor, b: ArrayOrTensor, eps: float = 1e-12) -> Tensor:
+    """Fused row-normalize + per-row cosine similarity (1-D output).
+
+    Replaces ``sum(mul(l2_normalize_rows(a), l2_normalize_rows(b)), axis=1)``
+    — the BGRL bootstrap-loss kernel — with one node.  Bit-identical to
+    the unfused chain.
+    """
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    a_norms = np.maximum(np.linalg.norm(a.data, axis=1, keepdims=True), eps)
+    a_n = a.data / a_norms
+    b_norms = np.maximum(np.linalg.norm(b.data, axis=1, keepdims=True), eps)
+    b_n = b.data / b_norms
+    out_data = (a_n * b_n).sum(axis=1)
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.expand_dims(grad, axis=1)
+        if a.requires_grad:
+            g_an = g * b_n
+            dot = (g_an * a_n).sum(axis=1, keepdims=True)
+            a._accumulate_grad((g_an - a_n * dot) / a_norms, donate=True)
+        if b.requires_grad:
+            g_bn = g * a_n
+            dot = (g_bn * b_n).sum(axis=1, keepdims=True)
+            b._accumulate_grad((g_bn - b_n * dot) / b_norms, donate=True)
+
+    return _make(out_data, (a, b), backward)

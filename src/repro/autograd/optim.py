@@ -68,13 +68,19 @@ class Optimizer:
             raise ValueError(f"unexpected optimizer state keys: {sorted(state)}")
 
     def _check_slots(self, arrays, label: str) -> List[np.ndarray]:
-        """Validate per-parameter slot arrays against the parameter list."""
-        arrays = [np.asarray(a, dtype=np.float64) for a in arrays]
+        """Validate per-parameter slot arrays against the parameter list.
+
+        Slots are cast to each parameter's own dtype so restoring a
+        checkpoint into a float32 run keeps the whole update float32.
+        """
         if len(arrays) != len(self.parameters):
             raise ValueError(
                 f"optimizer state mismatch: {len(arrays)} {label} buffers for "
                 f"{len(self.parameters)} parameters"
             )
+        arrays = [
+            np.asarray(a, dtype=p.data.dtype) for a, p in zip(arrays, self.parameters)
+        ]
         for array, param in zip(arrays, self.parameters):
             if array.shape != param.data.shape:
                 raise ValueError(

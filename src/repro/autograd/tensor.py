@@ -25,15 +25,66 @@ tracking, none of which are needed by the models reproduced here.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import arena as _arena
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
+#: Process-wide dtype every tensor is coerced to.  float64 is the historical
+#: (and test-locked) default; float32 halves memory traffic end-to-end and is
+#: selected per run via :func:`set_default_dtype` / :func:`default_dtype`.
+_DEFAULT_DTYPE = np.dtype(np.float64)
 
-def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
-    """Coerce ``value`` to a float numpy array without copying when possible."""
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the process-wide tensor dtype (``float32`` or ``float64``).
+
+    Everything downstream follows: tensor coercion, parameter
+    initialization, optimizer slot buffers, and (through them) checkpoint
+    and serving artifacts.  Training at float32 halves the memory traffic
+    of every kernel; see docs/PERFORMANCE.md for the accuracy tolerances
+    measured against float64.
+    """
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported default dtype {dtype!r}; pick float32 or float64"
+        )
+    _DEFAULT_DTYPE = resolved
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors are coerced to (float64 unless configured)."""
+    return _DEFAULT_DTYPE
+
+
+@contextmanager
+def default_dtype(dtype) -> Iterator[np.dtype]:
+    """Scoped :func:`set_default_dtype`; restores the previous dtype on exit."""
+    previous = _DEFAULT_DTYPE
+    set_default_dtype(dtype)
+    try:
+        yield _DEFAULT_DTYPE
+    finally:
+        set_default_dtype(previous)
+
+
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    """Coerce ``value`` to a float numpy array without copying when possible.
+
+    ``dtype=None`` (the usual case) resolves to the configured default
+    dtype, so one :func:`set_default_dtype` call re-types every tensor the
+    process creates from then on.
+    """
+    if dtype is None:
+        dtype = _DEFAULT_DTYPE
     if isinstance(value, np.ndarray):
         if value.dtype == dtype:
             return value
@@ -145,12 +196,34 @@ class Tensor:
     # ------------------------------------------------------------------
     # Backward pass
     # ------------------------------------------------------------------
-    def _accumulate_grad(self, grad: np.ndarray) -> None:
+    def _accumulate_grad(self, grad: np.ndarray, donate: bool = False) -> None:
+        """Add ``grad`` into :attr:`grad` (allocating it on first touch).
+
+        ``donate=True`` promises the caller computed ``grad`` as a fresh
+        temporary it will never touch again, letting the first
+        accumulation take ownership instead of copying — the zero-copy
+        path every fused kernel and hot backward closure uses.
+        """
         grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
+            if donate and grad.base is None and grad.flags.writeable:
+                self.grad = grad
+                return
+            pool = _arena.current()
+            if pool is not None and self._backward_fn is not None:
+                buffer = pool.acquire(grad.shape, grad.dtype)
+                np.copyto(buffer, grad)
+                self.grad = buffer
+            else:
+                self.grad = grad.copy()
         else:
             self.grad += grad
+            if donate:
+                # The donated temporary was consumed by the in-place add;
+                # hand it to the pool instead of dropping it on the floor.
+                pool = _arena.current()
+                if pool is not None:
+                    pool.release(grad)
 
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
         """Backpropagate from this tensor through the recorded graph.
@@ -167,14 +240,30 @@ class Tensor:
                     "backward() without an explicit gradient requires a scalar "
                     f"tensor; got shape {self.shape}"
                 )
-            grad = np.ones_like(self.data)
-        grad = _as_array(grad, dtype=self.data.dtype)
+            # The seed is freshly built, so the root can take ownership
+            # outright (donate) instead of round-tripping the arena — the
+            # root's grad outlives the pass, so pooling it would leak one
+            # buffer per step.
+            seed = np.ones_like(self.data)
+        else:
+            # Private copy (first-touch accumulation always copied anyway)
+            # so the root can own it without aliasing the caller's array.
+            seed = np.array(grad, dtype=self.data.dtype)
 
         order = self._topological_order()
-        self._accumulate_grad(grad)
+        self._accumulate_grad(seed, donate=True)
+        pool = _arena.current()
         for node in reversed(order):
             if node._backward_fn is not None and node.grad is not None:
                 node._backward_fn(node.grad)
+                # Reverse topological order guarantees every consumer of
+                # this node has already contributed to its grad, and the
+                # closure above was its only reader — the buffer can go
+                # straight back to the pool.  The root keeps its grad
+                # (callers inspect ``loss.grad`` after ``backward``).
+                if pool is not None and node is not self:
+                    pool.release(node.grad)
+                    node.grad = None
 
     def _topological_order(self) -> List["Tensor"]:
         """Iterative post-order DFS (avoids recursion limits on deep graphs)."""

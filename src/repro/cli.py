@@ -332,6 +332,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--trials", type=int, default=3)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--scale", type=float, default=1.0)
+    train.add_argument("--dtype", choices=["float32", "float64"], default="float64",
+                       help="process-wide tensor precision (float32 halves "
+                            "memory traffic; see docs/PERFORMANCE.md)")
     train.add_argument("--save", default=None, help="write an .npz checkpoint (e2gcl only)")
     train.add_argument("--checkpoint", default=None,
                        help="write a resumable engine checkpoint (.npz, any method)")
@@ -396,6 +399,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    dtype = getattr(args, "dtype", None)
+    if dtype is not None:
+        from .autograd import set_default_dtype
+
+        set_default_dtype(dtype)
     return args.func(args)
 
 

@@ -123,6 +123,8 @@ def save_checkpoint(loop, path: Union[str, Path]) -> Path:
             else:
                 optimizer_scalars[key] = value
 
+    from ..autograd import get_default_dtype
+
     meta = {
         "version": CHECKPOINT_VERSION,
         "step_class": type(loop.step).__name__,
@@ -134,6 +136,10 @@ def save_checkpoint(loop, path: Union[str, Path]) -> Path:
         "rng": loop.rngs.state(),
         "optimizer": optimizer_scalars,
         "step": loop.step.state_json(),
+        # Provenance: the precision the run trained at.  State arrays carry
+        # their own dtypes; this records the process-wide policy so tooling
+        # can tell a float32 run from a float64 one without sniffing arrays.
+        "dtype": get_default_dtype().name,
     }
     payload["meta/engine"] = pack_json(meta)
     payload["meta/version"] = np.array([CHECKPOINT_VERSION])
@@ -186,6 +192,7 @@ def read_checkpoint(path: Union[str, Path]) -> Tuple[dict, Dict[str, np.ndarray]
         )
     meta = unpack_json(contents["meta/engine"])
     meta.setdefault("recoveries", [])
+    meta.setdefault("dtype", "float64")  # pre-dtype checkpoints trained at f64
     arrays = {
         key[len(_STATE_PREFIX):]: value
         for key, value in contents.items()

@@ -74,12 +74,8 @@ class GATLayer(Module):
             (np.ones(dst.shape[0]), (dst, np.arange(dst.shape[0]))),
             shape=(num_nodes, dst.shape[0]),
         )
-        out = ops.spmm(scatter, messages)
-        if self.activation == "elu":
-            out = ops.elu(out)
-        elif self.activation == "relu":
-            out = ops.relu(out)
-        return out
+        act = self.activation if self.activation in ("elu", "relu") else None
+        return ops.spmm_bias_act(scatter, messages, activation=act)
 
 
 class GAT(Module):

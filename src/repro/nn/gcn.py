@@ -53,20 +53,17 @@ class GCNLayer(Module):
 
         Split out so serving can feed a precomputed feature transform
         (``XW`` is input-independent, hence cacheable per graph) and pay
-        only the aggregation per request.
+        only the aggregation per request.  The whole aggregation runs as
+        one fused kernel (bit-identical to the spmm/add/activation chain
+        it replaces).
         """
-        out = ops.spmm(a_n, transformed)
-        if self.bias is not None:
-            out = ops.add(out, self.bias)
-        if self.activation == "relu":
-            out = ops.relu(out)
-        elif self.activation == "leaky_relu":
-            out = ops.leaky_relu(out, 0.2)
-        elif self.activation == "tanh":
-            out = ops.tanh(out)
-        elif self.activation == "elu":
-            out = ops.elu(out)
-        return out
+        return ops.spmm_bias_act(
+            a_n,
+            transformed,
+            bias=self.bias,
+            activation=self.activation,
+            negative_slope=0.2,
+        )
 
 
 class GCN(Module):
@@ -109,7 +106,15 @@ class GCN(Module):
 
     def _normalized(self, graph: Graph) -> sp.csr_matrix:
         if self._cache_key is not graph.adjacency:
-            self._cached_a_n = normalized_adjacency(graph.adjacency)
+            from ..autograd import get_default_dtype
+
+            a_n = normalized_adjacency(graph.adjacency)
+            # Match the process precision once at cache time; otherwise a
+            # float64 adjacency would silently promote every float32
+            # propagation back to float64.
+            if a_n.dtype != get_default_dtype():
+                a_n = a_n.astype(get_default_dtype())
+            self._cached_a_n = a_n
             self._cache_key = graph.adjacency
         return self._cached_a_n
 

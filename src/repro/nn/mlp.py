@@ -15,18 +15,20 @@ from ..autograd import Module, Parameter, Tensor, init, ops
 
 
 class Linear(Module):
-    """Affine map ``x W + b``."""
+    """Affine map ``x W + b``, with an optionally fused activation.
+
+    ``forward(x, activation="relu")`` runs the whole
+    ``activation(x W + b)`` chain as one :func:`~repro.autograd.ops.linear_act`
+    kernel — one graph node instead of three, bit-identical results.
+    """
 
     def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True) -> None:
         super().__init__()
         self.weight = Parameter(init.glorot_uniform((in_features, out_features), rng), name="W")
         self.bias = Parameter(np.zeros(out_features), name="b") if bias else None
 
-    def forward(self, x: Tensor) -> Tensor:
-        out = ops.matmul(x, self.weight)
-        if self.bias is not None:
-            out = ops.add(out, self.bias)
-        return out
+    def forward(self, x: Tensor, activation: str = None) -> Tensor:
+        return ops.linear_act(x, self.weight, bias=self.bias, activation=activation)
 
 
 class MLP(Module):
@@ -62,22 +64,14 @@ class MLP(Module):
         self.dropout = dropout
         self._dropout_rng = np.random.default_rng(seed + 17)
 
-    def _activate(self, x: Tensor) -> Tensor:
-        if self.activation == "relu":
-            return ops.relu(x)
-        if self.activation == "tanh":
-            return ops.tanh(x)
-        return ops.elu(x)
-
     def forward(self, x: Tensor) -> Tensor:
         if not isinstance(x, Tensor):
             x = Tensor(x)
         for i, layer in enumerate(self.linears):
-            x = layer(x)
-            if i < len(self.linears) - 1:
-                x = self._activate(x)
-                if self.dropout and self.training:
-                    x = ops.dropout(x, self.dropout, self._dropout_rng, training=True)
+            last = i == len(self.linears) - 1
+            x = layer(x, activation=None if last else self.activation)
+            if not last and self.dropout and self.training:
+                x = ops.dropout(x, self.dropout, self._dropout_rng, training=True)
         return x
 
 
@@ -91,4 +85,4 @@ class ProjectionHead(Module):
         self.fc2 = Linear(hidden_features, out_features, rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        return self.fc2(ops.elu(self.fc1(x)))
+        return self.fc2(self.fc1(x, activation="elu"))

@@ -10,11 +10,14 @@ from .counters import (
     allocation_tracking_enabled,
     disable_allocation_tracking,
     enable_allocation_tracking,
+    gauges,
     get_counter,
+    get_gauge,
     profiled,
     record,
     report,
     reset,
+    set_gauge,
     summary,
 )
 
@@ -23,10 +26,13 @@ __all__ = [
     "allocation_tracking_enabled",
     "disable_allocation_tracking",
     "enable_allocation_tracking",
+    "gauges",
     "get_counter",
+    "get_gauge",
     "profiled",
     "record",
     "report",
     "reset",
+    "set_gauge",
     "summary",
 ]

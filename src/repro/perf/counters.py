@@ -48,6 +48,7 @@ class Counter:
 
 _lock = threading.Lock()
 _counters: Dict[str, Counter] = {}
+_gauges: Dict[str, float] = {}
 _allocation_tracking = False
 # When a repro.obs tracer is active it registers itself here, and every
 # recorded scope is mirrored into the trace as a named span.  The tracer
@@ -69,9 +70,34 @@ def trace_sink():
 
 
 def reset() -> None:
-    """Drop all accumulated counters (keeps the tracking mode)."""
+    """Drop all accumulated counters and gauges (keeps the tracking mode)."""
     with _lock:
         _counters.clear()
+        _gauges.clear()
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Record a point-in-time value (latest write wins, unlike counters).
+
+    Gauges carry state snapshots that don't accumulate — pool sizes,
+    buffer-arena hit counts, bytes held — published by subsystems like
+    :mod:`repro.autograd.arena` and picked up by benchmarks and traces
+    alongside the wall-clock counters.
+    """
+    with _lock:
+        _gauges[name] = value
+
+
+def get_gauge(name: str) -> Optional[float]:
+    """The latest value written for ``name`` (None if never set)."""
+    with _lock:
+        return _gauges.get(name)
+
+
+def gauges() -> Dict[str, float]:
+    """Snapshot of every gauge (JSON-serializable)."""
+    with _lock:
+        return dict(_gauges)
 
 
 def enable_allocation_tracking() -> None:

@@ -127,6 +127,11 @@ class EmbeddingStore:
                 "version": version.version_id,
                 "fingerprint": version.artifact.fingerprint,
                 "num_nodes": int(embeddings.shape[0]),
+                # Serving precision: snapshots written by a float32 process
+                # reload as float32 even in a float64 reader (and vice
+                # versa), keeping cached and recomputed embeddings
+                # byte-comparable per version.
+                "dtype": str(embeddings.dtype),
             }),
         }
         payload["meta/digest"] = np.frombuffer(
@@ -164,7 +169,11 @@ class EmbeddingStore:
             emit_event("serve.snapshot_rejected", version=version.version_id,
                        path=str(path), reason="fingerprint mismatch")
             return None
-        return np.asarray(contents["embeddings"])
+        embeddings = np.asarray(contents["embeddings"])
+        recorded = meta.get("dtype")
+        if recorded is not None and str(embeddings.dtype) != recorded:
+            embeddings = embeddings.astype(recorded)
+        return embeddings
 
     def verify_snapshot_file(self, path: Union[str, Path]) -> bool:
         """Whether a snapshot file is readable and digest-valid."""

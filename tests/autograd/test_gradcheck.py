@@ -37,6 +37,8 @@ LABELS = np.array([0, 2, 1])
 TARGETS01 = RNG.uniform(0.05, 0.95, size=(3, 4))
 SPARSE = sp.random(3, 3, density=0.6, random_state=7, format="csr")
 IDX = np.array([0, 2, 1, 2])
+BIAS3 = RNG.uniform(0.1, 0.6, size=3)
+ZEROS = np.zeros((3, 4))
 
 
 # Each case: (name, fn, inputs).  ``name`` doubles as the coverage key —
@@ -53,6 +55,9 @@ OP_CASES = [
     ("exp", lambda a: ops.exp(a), [A]),
     ("log", lambda a: ops.log(a), [POS]),
     ("log/eps", lambda a: ops.log(a, eps=0.1), [POS]),
+    # Boundary regression: at a == 0 the eps-clamped backward must return
+    # the finite 1/eps, not divide by the raw (zero) input.
+    ("log/boundary-eps", lambda a: ops.log(a, eps=0.5), [ZEROS]),
     ("sqrt", lambda a: ops.sqrt(a), [POS]),
     ("abs", lambda a: ops.abs(a), [KINKED]),
     ("relu", lambda a: ops.relu(a), [KINKED]),
@@ -82,6 +87,29 @@ OP_CASES = [
     # finite-difference evaluation sees the identical dropout mask.
     ("dropout", lambda a: ops.dropout(a, 0.4, np.random.default_rng(7)), [A]),
     ("row_norms", lambda a: ops.row_norms(a), [NONZERO_ROWS]),
+    # Fused kernels: every activation branch plus the bias/no-bias paths.
+    ("spmm_bias_act",
+     lambda d, b: ops.spmm_bias_act(SPARSE, d, bias=b, activation="tanh"), [SQUARE, BIAS3]),
+    ("spmm_bias_act/relu",
+     lambda d, b: ops.spmm_bias_act(SPARSE, d, bias=b, activation="relu"), [SQUARE, BIAS3]),
+    ("spmm_bias_act/leaky",
+     lambda d: ops.spmm_bias_act(SPARSE, d, activation="leaky_relu", negative_slope=0.2),
+     [SQUARE]),
+    ("spmm_bias_act/elu",
+     lambda d: ops.spmm_bias_act(SPARSE, d, activation="elu", alpha=1.3), [SQUARE]),
+    ("spmm_bias_act/plain", lambda d: ops.spmm_bias_act(SPARSE, d), [SQUARE]),
+    ("linear_act",
+     lambda x, w, b: ops.linear_act(x, w, bias=b, activation="elu"), [A, B.T.copy(), BIAS3]),
+    ("linear_act/sigmoid",
+     lambda x, w: ops.linear_act(x, w, activation="sigmoid"), [A, B.T.copy()]),
+    ("linear_act/relu",
+     lambda x, w, b: ops.linear_act(x, w, bias=b, activation="relu"), [A, B.T.copy(), BIAS3]),
+    ("linear_act/plain",
+     lambda x, w, b: ops.linear_act(x, w, bias=b), [A, B.T.copy(), BIAS3]),
+    ("normalize_cosine_sim",
+     lambda a, b: ops.normalize_cosine_sim(a, b), [NONZERO_ROWS, POS]),
+    ("normalize_cosine_rowwise",
+     lambda a, b: ops.normalize_cosine_rowwise(a, b), [NONZERO_ROWS, POS]),
 ]
 
 FUNCTIONAL_CASES = [

@@ -112,6 +112,38 @@ class TestSparse:
         expected = a.T @ np.ones((5, 3))
         np.testing.assert_allclose(t.grad, np.asarray(expected), atol=1e-10)
 
+    def test_spmm_transpose_cached_on_matrix(self):
+        """The backward pass computes ``A.T`` once and pins it on the CSR
+        object; repeated backwards reuse the cached transpose."""
+        a = sp.random(6, 6, density=0.3, random_state=3, format="csr")
+        assert not hasattr(a, "_repro_csr_transpose")
+        t = Tensor(RNG.normal(size=(6, 4)), requires_grad=True)
+        ops.sum(ops.spmm(a, t)).backward()
+        cached = a._repro_csr_transpose
+        assert sp.issparse(cached) and cached.format == "csr"
+        ops.sum(ops.spmm(a, t)).backward()
+        assert a._repro_csr_transpose is cached, "transpose must be computed once"
+
+    def test_spmm_gradient_bit_identical_to_fresh_transpose(self):
+        """Cached-transpose backward must equal ``A.T.tocsr() @ g`` bitwise —
+        the cache is a pure memoization, not a numerical shortcut."""
+        a = sp.random(8, 8, density=0.35, random_state=4, format="csr")
+        x = RNG.normal(size=(8, 5))
+        seed = RNG.normal(size=(8, 5))
+
+        t = Tensor(x.copy(), requires_grad=True)
+        out = ops.spmm(a, t)
+        out.backward(seed)
+        first = t.grad.copy()
+
+        # Second backward goes through the now-cached transpose.
+        t2 = Tensor(x.copy(), requires_grad=True)
+        ops.spmm(a, t2).backward(seed)
+
+        reference = np.asarray(a.T.tocsr() @ seed)
+        np.testing.assert_array_equal(first, reference)
+        np.testing.assert_array_equal(t2.grad, reference)
+
 
 class TestGatherConcat:
     def test_index_duplicate_rows_accumulate(self):

@@ -1,0 +1,251 @@
+"""Contrast-layer benchmarks: negative-count sweep, alignment, step cost.
+
+Measures the three acceptance properties of the composable contrast layer
+(``repro.contrast``) introduced with the O(n·k) subsampled InfoNCE path:
+
+* **sweep** — accuracy vs wall-clock for k ∈ {16, 64, 256, all} uniform
+  negatives across the InfoNCE methods (e2gcl, grace, gca) on the bench
+  cora slice: subsampling must trade at most a little accuracy;
+* **alignment** — embeddings trained with k=64 subsampled negatives on
+  full-scale cora must reach a mean per-node cosine >= 0.99 against the
+  all-pairs embeddings of the same seed.  Negative draws come from a
+  dedicated RNG stream (common random numbers), so both runs consume
+  identical augmentation randomness and the estimator noise is the only
+  difference;
+* **step speedup** — one loss step (forward + backward) of subsampled
+  InfoNCE at k=64 on a 10k-node synthetic embedding pair must run >= 3x
+  faster than the dense all-pairs step.
+
+Writes ``BENCH_contrast.json`` at the repo root and
+``benchmarks/results/contrast.txt`` (the table
+``benchmarks/collect_results.py`` injects into EXPERIMENTS.md).  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_contrast.py
+
+``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_EPOCHS`` / ``REPRO_BENCH_TRIALS``
+shrink the sweep for smoke runs; the alignment probe always uses
+full-scale cora and the step probe always uses >= 10k nodes, because the
+acceptance thresholds are calibrated there.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.baselines import get_method
+from repro.bench import bench_epochs, bench_scale, bench_trials
+from repro.contrast import L2LContrast, UniformK, get_objective
+from repro.eval import evaluate_embeddings
+from repro.graphs import load_dataset
+
+ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_contrast.json"
+TXT_PATH = ROOT / "benchmarks" / "results" / "contrast.txt"
+
+DATASET, SEED = "cora", 0
+METHODS = ("e2gcl", "grace", "gca")
+SWEEP_KS = (16, 64, 256, "all")
+ALIGNMENT_K = 64
+STEP_NODES = 10_000     # acceptance floor: >= 10k synthetic nodes
+STEP_DIM = 64
+STEP_KS = (16, 64, 256)
+
+
+def _fit_embed(graph, name: str, epochs: int, k) -> tuple:
+    """Train ``name`` with ``k`` uniform negatives (``"all"`` = dense);
+    return (embeddings, fit_seconds, final_loss)."""
+    kwargs = dict(epochs=epochs, seed=SEED)
+    if k != "all":
+        kwargs.update(negatives="uniform", neg_k=int(k))
+    method = get_method(name, **kwargs)
+    start = time.perf_counter()
+    method.fit(graph)
+    seconds = time.perf_counter() - start
+    return method.embed(graph), seconds, float(method.info.losses[-1])
+
+
+def run_sweep(epochs: int, trials: int) -> dict:
+    """Accuracy vs wall-clock for each method × negative budget."""
+    scale = bench_scale()
+    graph = load_dataset(DATASET, seed=SEED, scale=scale)
+    rows: List[dict] = []
+    for name in METHODS:
+        for k in SWEEP_KS:
+            embeddings, seconds, final_loss = _fit_embed(graph, name, epochs, k)
+            result = evaluate_embeddings(graph, embeddings, seed=SEED, trials=trials)
+            rows.append({
+                "method": name,
+                "k": k,
+                "test_acc": result.test_accuracy.mean,
+                "test_std": result.test_accuracy.std,
+                "fit_seconds": seconds,
+                "final_loss": final_loss,
+            })
+            print(f"  sweep {name} k={k}: acc={result.test_accuracy.mean:.4f} "
+                  f"fit={seconds:.1f}s")
+    return {
+        "dataset": {"name": DATASET, "scale": scale,
+                    "num_nodes": graph.num_nodes, "num_edges": graph.num_edges},
+        "epochs": epochs,
+        "rows": rows,
+    }
+
+
+def mean_cosine(a: np.ndarray, b: np.ndarray) -> float:
+    a = a / np.linalg.norm(a, axis=1, keepdims=True)
+    b = b / np.linalg.norm(b, axis=1, keepdims=True)
+    return float((a * b).sum(axis=1).mean())
+
+
+def run_alignment(epochs: int) -> dict:
+    """k=64 vs all-pairs embedding cosine on full-scale cora, per method."""
+    graph = load_dataset(DATASET, seed=SEED, scale=1.0)
+    methods: Dict[str, float] = {}
+    for name in METHODS:
+        dense, _, _ = _fit_embed(graph, name, epochs, "all")
+        sampled, _, _ = _fit_embed(graph, name, epochs, ALIGNMENT_K)
+        methods[name] = mean_cosine(dense, sampled)
+        print(f"  alignment {name} k={ALIGNMENT_K}: "
+              f"mean_cos={methods[name]:.4f}")
+    return {
+        "dataset": {"name": DATASET, "scale": 1.0,
+                    "num_nodes": graph.num_nodes, "num_edges": graph.num_edges},
+        "k": ALIGNMENT_K,
+        "epochs": epochs,
+        "methods": methods,
+        "min_mean_cosine": min(methods.values()),
+    }
+
+
+def _time_step(contrast: L2LContrast, z1_data, z2_data, rng_seed: int) -> float:
+    """One full loss step: fresh leaf tensors, forward, backward."""
+    z1 = Tensor(z1_data, requires_grad=True)
+    z2 = Tensor(z2_data, requires_grad=True)
+    rng = np.random.default_rng(rng_seed)
+    start = time.perf_counter()
+    loss = contrast.loss(z1, z2, rng=rng)
+    loss.backward()
+    return time.perf_counter() - start
+
+
+def run_step_speedup(trials: int) -> dict:
+    """Dense vs O(n·k) subsampled InfoNCE at STEP_NODES synthetic nodes."""
+    rng = np.random.default_rng(SEED)
+    z1 = rng.normal(size=(STEP_NODES, STEP_DIM))
+    z2 = z1 + 0.1 * rng.normal(size=(STEP_NODES, STEP_DIM))
+    objective = get_objective("infonce", temperature=0.5)
+
+    dense = min(
+        _time_step(L2LContrast(objective), z1, z2, SEED + t)
+        for t in range(max(1, trials))
+    )
+    print(f"  step dense n={STEP_NODES}: {dense:.2f}s")
+    sampled = []
+    for k in STEP_KS:
+        contrast = L2LContrast(objective, UniformK(k=k))
+        seconds = min(
+            _time_step(contrast, z1, z2, SEED + t) for t in range(max(1, trials))
+        )
+        sampled.append({"k": k, "seconds": seconds, "speedup": dense / seconds})
+        print(f"  step k={k}: {seconds:.3f}s ({dense / seconds:.0f}x)")
+    by_k = {row["k"]: row for row in sampled}
+    return {
+        "num_nodes": STEP_NODES,
+        "dim": STEP_DIM,
+        "temperature": 0.5,
+        "dense_seconds": dense,
+        "sampled": sampled,
+        "speedup_k64": by_k[64]["speedup"],
+    }
+
+
+def run_contrast_bench() -> dict:
+    epochs = bench_epochs()
+    trials = bench_trials(default=3)
+    print("negative-count sweep:")
+    sweep = run_sweep(epochs, trials)
+    print("embedding alignment (full-scale cora):")
+    alignment = run_alignment(epochs)
+    print("single-step cost (synthetic):")
+    step = run_step_speedup(trials)
+    return {
+        "benchmark": "contrast",
+        "trials": trials,
+        "python": platform.python_version(),
+        "sweep": sweep,
+        "alignment": alignment,
+        "step_speedup": step,
+    }
+
+
+def render_contrast(results: dict) -> str:
+    sweep = results["sweep"]
+    dataset = sweep["dataset"]
+    lines = [
+        f"=== Contrast layer: negative-count sweep "
+        f"({dataset['name']} x{dataset['scale']}, n={dataset['num_nodes']}, "
+        f"{sweep['epochs']} epochs) ==="
+    ]
+    header = "method | k    | test acc        | fit (s)"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in sweep["rows"]:
+        lines.append("%-6s | %-4s | %.4f +- %.4f | %7.2f" % (
+            row["method"], row["k"], row["test_acc"], row["test_std"],
+            row["fit_seconds"],
+        ))
+    alignment = results["alignment"]
+    lines.append("")
+    lines.append(
+        f"k={alignment['k']} vs all-pairs mean embedding cosine "
+        f"({alignment['dataset']['name']} x{alignment['dataset']['scale']}, "
+        f"n={alignment['dataset']['num_nodes']}):"
+    )
+    for name, value in alignment["methods"].items():
+        lines.append(f"  {name}: {value:.4f}")
+    step = results["step_speedup"]
+    lines.append("")
+    lines.append(
+        f"single InfoNCE step at n={step['num_nodes']}, d={step['dim']} "
+        f"(forward+backward, best of {results['trials']}):"
+    )
+    lines.append(f"  dense all-pairs: {step['dense_seconds']:.3f}s")
+    for row in step["sampled"]:
+        lines.append(f"  uniform k={row['k']}: {row['seconds']:.3f}s "
+                     f"({row['speedup']:.0f}x)")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    results = run_contrast_bench()
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    text = render_contrast(results)
+    TXT_PATH.parent.mkdir(exist_ok=True)
+    TXT_PATH.write_text(text + "\n")
+    print(text)
+    print(f"wrote {JSON_PATH.relative_to(ROOT)} and {TXT_PATH.relative_to(ROOT)}")
+
+    alignment = results["alignment"]["min_mean_cosine"]
+    speedup = results["step_speedup"]["speedup_k64"]
+    checks = [
+        (alignment >= 0.99,
+         f"k={ALIGNMENT_K} embeddings reach {alignment:.4f} mean cosine vs "
+         f"all-pairs on cora (need >= 0.99)"),
+        (speedup >= 3.0,
+         f"subsampled k=64 step {speedup:.0f}x faster than dense at "
+         f"n={STEP_NODES} (need >= 3x)"),
+    ]
+    for ok, message in checks:
+        print(("[OK ] " if ok else "[MISS] ") + message)
+    return 0 if all(ok for ok, _ in checks) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,7 @@ EXPERIMENTS = ROOT / "EXPERIMENTS.md"
 HOTPATHS_JSON = ROOT / "BENCH_hotpaths.json"
 SERVE_JSON = ROOT / "BENCH_serve.json"
 AUTOGRAD_JSON = ROOT / "BENCH_autograd.json"
+CONTRAST_JSON = ROOT / "BENCH_contrast.json"
 
 
 def aggregate_hotpaths() -> bool:
@@ -169,6 +170,54 @@ def aggregate_autograd() -> bool:
     return True
 
 
+def aggregate_contrast() -> bool:
+    """Render ``BENCH_contrast.json`` into ``results/contrast.txt``.
+
+    Standalone (no ``repro`` import), mirroring :func:`aggregate_hotpaths`.
+    Returns False when the JSON has not been generated yet.
+    """
+    if not CONTRAST_JSON.exists():
+        return False
+    data = json.loads(CONTRAST_JSON.read_text())
+    sweep = data["sweep"]
+    dataset = sweep["dataset"]
+    lines = [
+        f"=== Contrast layer: negative-count sweep "
+        f"({dataset['name']} x{dataset['scale']}, n={dataset['num_nodes']}, "
+        f"{sweep['epochs']} epochs) ==="
+    ]
+    header = "method | k    | test acc        | fit (s)"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in sweep["rows"]:
+        lines.append("%-6s | %-4s | %.4f +- %.4f | %7.2f" % (
+            row["method"], row["k"], row["test_acc"], row["test_std"],
+            row["fit_seconds"],
+        ))
+    alignment = data["alignment"]
+    lines.append("")
+    lines.append(
+        f"k={alignment['k']} vs all-pairs mean embedding cosine "
+        f"({alignment['dataset']['name']} x{alignment['dataset']['scale']}, "
+        f"n={alignment['dataset']['num_nodes']}):"
+    )
+    for name, value in alignment["methods"].items():
+        lines.append(f"  {name}: {value:.4f}")
+    step = data["step_speedup"]
+    lines.append("")
+    lines.append(
+        f"single InfoNCE step at n={step['num_nodes']}, d={step['dim']} "
+        f"(forward+backward, best of {data['trials']}):"
+    )
+    lines.append(f"  dense all-pairs: {step['dense_seconds']:.3f}s")
+    for row in step["sampled"]:
+        lines.append(f"  uniform k={row['k']}: {row['seconds']:.3f}s "
+                     f"({row['speedup']:.0f}x)")
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "contrast.txt").write_text("\n".join(lines) + "\n")
+    return True
+
+
 BLOCK_TEMPLATE = "<!-- MEASURED:{key} -->\n```text\n{body}\n```\n<!-- /MEASURED:{key} -->"
 PATTERN = re.compile(
     r"<!-- MEASURED:(?P<key>[\w]+) -->(?:\n```text\n.*?\n```\n<!-- /MEASURED:(?P=key) -->)?",
@@ -183,6 +232,8 @@ def main() -> int:
         print("aggregated BENCH_serve.json -> results/serve.txt")
     if aggregate_autograd():
         print("aggregated BENCH_autograd.json -> results/autograd.txt")
+    if aggregate_contrast():
+        print("aggregated BENCH_contrast.json -> results/contrast.txt")
     text = EXPERIMENTS.read_text()
     missing = []
 

@@ -690,6 +690,56 @@ def normalize_cosine_sim(a: ArrayOrTensor, b: ArrayOrTensor, eps: float = 1e-12)
     return _make(out_data, (a, b), backward)
 
 
+def normalize_cosine_sim_gather(
+    a: ArrayOrTensor,
+    b: ArrayOrTensor,
+    cols: np.ndarray,
+    eps: float = 1e-12,
+) -> Tensor:
+    """Fused row-normalize + rows-vs-sampled-columns cosine similarity.
+
+    ``out[i, j] = cos(a[i], b[cols[i, j]])`` for an ``(m, k)`` integer
+    index matrix ``cols`` — the O(n·k) kernel under every *subsampled*
+    contrastive objective.  Equivalent to gathering ``k`` rows of the full
+    ``normalize_cosine_sim(a, b)`` matrix per anchor without ever
+    materializing the O(n²) similarities: forward work and every gradient
+    buffer are O(m·k·d).  Duplicate column indices accumulate gradients,
+    matching :func:`gather_rows` semantics.
+    """
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    cols = np.asarray(cols)
+    if cols.ndim != 2 or cols.shape[0] != a.data.shape[0]:
+        raise ValueError("cols must be (num_rows_of_a, k)")
+    a_norms = np.maximum(np.linalg.norm(a.data, axis=1, keepdims=True), eps)
+    a_n = a.data / a_norms
+    b_norms = np.maximum(np.linalg.norm(b.data, axis=1, keepdims=True), eps)
+    b_n = b.data / b_norms
+    gathered = b_n[cols]                             # (m, k, d)
+    out_data = np.einsum("md,mkd->mk", a_n, gathered)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            g_an = np.einsum("mk,mkd->md", grad, gathered)
+            dot = (g_an * a_n).sum(axis=1, keepdims=True)
+            a._accumulate_grad((g_an - a_n * dot) / a_norms, donate=True)
+        if b.requires_grad:
+            pool = _arena.current()
+            if pool is not None and b._backward_fn is not None:
+                g_bn = pool.acquire(b.data.shape, b.data.dtype, zero=True)
+            else:
+                g_bn = np.zeros_like(b.data)
+            contrib = grad[:, :, None] * a_n[:, None, :]          # (m, k, d)
+            np.add.at(g_bn, cols.reshape(-1), contrib.reshape(-1, a_n.shape[1]))
+            dot = (g_bn * b_n).sum(axis=1, keepdims=True)
+            # Finish in place so the (possibly pooled) scatter buffer is the
+            # array donated to the accumulator — same ufuncs, same floats.
+            np.subtract(g_bn, b_n * dot, out=g_bn)
+            np.divide(g_bn, b_norms, out=g_bn)
+            b._accumulate_grad(g_bn, donate=True)
+
+    return _make(out_data, (a, b), backward)
+
+
 def normalize_cosine_rowwise(a: ArrayOrTensor, b: ArrayOrTensor, eps: float = 1e-12) -> Tensor:
     """Fused row-normalize + per-row cosine similarity (1-D output).
 

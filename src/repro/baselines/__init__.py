@@ -8,6 +8,7 @@ from .base import (
     FM,
     FP,
     ContrastiveMethod,
+    MethodConfig,
     TwoViewContrastiveMethod,
     available_methods,
     get_method,
@@ -36,6 +37,7 @@ from .supervised import SupervisedGCN, SupervisedMLP
 
 __all__ = [
     "ContrastiveMethod",
+    "MethodConfig",
     "TwoViewContrastiveMethod",
     "register",
     "get_method",

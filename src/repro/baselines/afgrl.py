@@ -14,7 +14,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..autograd import Tensor, functional
+from ..autograd import Tensor
 from ..graphs import Graph
 from ..nn import GCN, MLP
 from .base import ContrastiveMethod, register
@@ -22,9 +22,14 @@ from .base import ContrastiveMethod, register
 
 @register
 class AFGRL(ContrastiveMethod):
-    """Augmentation-free BYOL on graphs with kNN∩neighborhood positives."""
+    """Augmentation-free BYOL on graphs with kNN∩neighborhood positives.
+
+    L2L contrast under the negative-free ``bootstrap`` objective: the
+    online view regresses onto discovered positive targets.
+    """
 
     name = "afgrl"
+    default_objective = "bootstrap"
 
     def __init__(
         self,
@@ -40,6 +45,7 @@ class AFGRL(ContrastiveMethod):
         self.target_encoder: Optional[GCN] = None
         self.predictor: Optional[MLP] = None
         self._positive_targets: Optional[np.ndarray] = None
+        self._contrast = self._build_contrast()
 
     # ------------------------------------------------------------------
     def _ema_update(self) -> None:
@@ -105,7 +111,7 @@ class AFGRL(ContrastiveMethod):
         if epoch % self.refresh_positives_every == 0:
             self._positive_targets = self._discover_positives(graph)
         online = self.predictor(self.encoder(graph))
-        return functional.bootstrap_cosine_loss(online, Tensor(self._positive_targets))
+        return self._contrast.loss(online, Tensor(self._positive_targets), rng=self._neg_rng)
 
     def finish_epoch(self, loop, epoch: int) -> None:
         """EMA update after the optimizer step."""

@@ -23,12 +23,19 @@ Fig. 2 "operation upgrade" experiment varies (e.g. GRACE's original
 
 from __future__ import annotations
 
+from dataclasses import dataclass, fields as dataclass_fields
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
 from ..autograd import Tensor
+from ..contrast import (
+    L2LContrast,
+    available_negative_samplers,
+    get_negative_sampler,
+    get_objective,
+)
 from ..core.augmentations import (
     add_edges,
     drop_edges,
@@ -36,7 +43,6 @@ from ..core.augmentations import (
     mask_features,
     perturb_features,
 )
-from ..core.losses import infonce_loss
 from ..engine import (
     CallbackHook,
     RngStreams,
@@ -56,6 +62,39 @@ FP = "FP"  # feature perturbation
 FD = "FD"  # feature dropping
 
 _OPERATION_NAMES = (ED, EA, FM, FP, FD)
+
+
+@dataclass
+class MethodConfig:
+    """Shared hyperparameters every :class:`ContrastiveMethod` accepts.
+
+    Bundles the common constructor kwargs (encoder shape, schedule, seed)
+    with the contrast-layer selection (``objective`` × ``negatives`` ×
+    ``neg_k``) so callers — the CLI in particular — can build one config
+    and fan it out to any registered method via :meth:`method_kwargs`.
+
+    ``objective=None`` keeps each method's paper default (InfoNCE for the
+    GRACE family, JSD for DGI/MVGRL, bootstrap for BGRL/AFGRL).
+    """
+
+    embedding_dim: int = 32
+    hidden_dim: int = 64
+    num_layers: int = 2
+    epochs: int = 60
+    lr: float = 0.01
+    weight_decay: float = 1e-5
+    seed: int = 0
+    objective: Optional[str] = None
+    negatives: str = "all"
+    neg_k: int = 64
+
+    def method_kwargs(self) -> Dict[str, object]:
+        """Constructor kwargs for ``get_method``; ``objective=None`` is
+        omitted so methods fall back to their paper default."""
+        kwargs = {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+        if kwargs["objective"] is None:
+            del kwargs["objective"]
+        return kwargs
 
 
 class FitInfo:
@@ -83,9 +122,18 @@ class FitInfo:
 
 
 class ContrastiveMethod(TrainStep):
-    """Interface all pre-training methods share (a ``TrainStep`` plugin)."""
+    """Interface all pre-training methods share (a ``TrainStep`` plugin).
+
+    Every method's loss is composed from the contrast layer
+    (:mod:`repro.contrast`): ``objective`` overrides the method's paper
+    default (``default_objective``), and ``negatives``/``neg_k`` select
+    the negative sampler for node-to-node losses (``all`` keeps the dense
+    historical behavior; ``uniform``/``hard`` make the loss O(n·k)).
+    """
 
     name = "base"
+    #: The objective composed when ``objective`` is not given.
+    default_objective: str = "infonce"
 
     def __init__(
         self,
@@ -96,6 +144,9 @@ class ContrastiveMethod(TrainStep):
         lr: float = 0.01,
         weight_decay: float = 1e-5,
         seed: int = 0,
+        objective: Optional[str] = None,
+        negatives: str = "all",
+        neg_k: int = 64,
     ) -> None:
         self.embedding_dim = embedding_dim
         self.hidden_dim = hidden_dim
@@ -104,12 +155,38 @@ class ContrastiveMethod(TrainStep):
         self.lr = lr
         self.weight_decay = weight_decay
         self.seed = seed
+        self.objective = objective
+        if negatives not in available_negative_samplers():
+            raise ValueError(
+                f"unknown negative sampler {negatives!r}; "
+                f"available: {available_negative_samplers()}"
+            )
+        self.negatives = negatives
+        self.neg_k = neg_k
         self.encoder: Optional[GCN] = None
         self.info = FitInfo()
         self.rngs = RngStreams(seed)
         self._rng = self.rngs.main
+        # Negative subsampling draws from its own engine stream so that a
+        # sampled run consumes the *same* augmentation randomness as the
+        # dense run (common random numbers): embeddings stay comparable
+        # across k, and the estimator noise is the only difference.
+        self._neg_rng = self.rngs.stream("negatives", offset=104729)
         self._graph: Optional[Graph] = None
         self.last_loop: Optional[TrainLoop] = None
+
+    # ------------------------------------------------------------------
+    def _objective_kwargs(self) -> Dict[str, object]:
+        """Hyperparameters forwarded to the objective constructor."""
+        return {}
+
+    def _build_contrast(self) -> L2LContrast:
+        """Compose the method's objective with its negative sampler."""
+        objective = get_objective(
+            self.objective or self.default_objective, **self._objective_kwargs()
+        )
+        sampler = get_negative_sampler(self.negatives, k=self.neg_k)
+        return L2LContrast(objective, sampler)
 
     # ------------------------------------------------------------------
     def _build_encoder(self, graph: Graph) -> GCN:
@@ -202,7 +279,8 @@ class ContrastiveMethod(TrainStep):
 
 
 class TwoViewContrastiveMethod(ContrastiveMethod):
-    """Two uniformly augmented views + InfoNCE — the GRACE-family template.
+    """Two uniformly augmented views through the L2L contrast layer — the
+    GRACE-family template (paper default: symmetric NT-Xent, all pairs).
 
     Parameters
     ----------
@@ -215,6 +293,7 @@ class TwoViewContrastiveMethod(ContrastiveMethod):
 
     name = "two-view"
     default_operations: Tuple[str, ...] = (ED, FM)
+    default_objective = "infonce"
 
     def __init__(
         self,
@@ -239,6 +318,11 @@ class TwoViewContrastiveMethod(ContrastiveMethod):
         self.temperature = temperature
         self.projection_dim = projection_dim
         self.projector: Optional[ProjectionHead] = None
+        self._contrast = self._build_contrast()
+
+    def _objective_kwargs(self) -> Dict[str, object]:
+        """NT-Xent temperature (ignored by temperature-free objectives)."""
+        return {"temperature": self.temperature}
 
     # ------------------------------------------------------------------
     def _augment(self, graph: Graph, rates: Dict[str, float]) -> Graph:
@@ -281,11 +365,17 @@ class TwoViewContrastiveMethod(ContrastiveMethod):
         return {"encoder": self.encoder, "projector": self.projector}
 
     def compute_loss(self, loop, epoch: int) -> Tensor:
-        """Two augmented views → shared encoder → symmetric NT-Xent."""
+        """Two augmented views → shared encoder → composed contrast loss.
+
+        The ``all`` sampler consumes no randomness, so the default
+        composition is seed-for-seed identical to the historical inline
+        NT-Xent; subsampling strategies draw from the dedicated
+        ``negatives`` stream, leaving the augmentation stream untouched.
+        """
         view1, view2 = self._views(self._graph)
         z1 = self._project(self.encoder(view1))
         z2 = self._project(self.encoder(view2))
-        return infonce_loss(z1, z2, temperature=self.temperature)
+        return self._contrast.loss(z1, z2, rng=self._neg_rng)
 
 
 # ----------------------------------------------------------------------

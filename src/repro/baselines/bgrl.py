@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..autograd import Tensor, functional, ops
+from ..autograd import Tensor, ops
 from ..core.augmentations import drop_edges, mask_features
 from ..graphs import Graph
 from ..nn import GCN, MLP
@@ -19,9 +19,14 @@ from .base import ContrastiveMethod, register
 
 @register
 class BGRL(ContrastiveMethod):
-    """Bootstrapped representation learning on graphs."""
+    """Bootstrapped representation learning on graphs.
+
+    L2L contrast under the negative-free ``bootstrap`` objective — no
+    sampler draws, so the RNG stream matches the historical inline loss.
+    """
 
     name = "bgrl"
+    default_objective = "bootstrap"
 
     def __init__(
         self,
@@ -38,6 +43,7 @@ class BGRL(ContrastiveMethod):
         self.feature_mask_rates = feature_mask_rates
         self.target_encoder: Optional[GCN] = None
         self.predictor: Optional[MLP] = None
+        self._contrast = self._build_contrast()
 
     # ------------------------------------------------------------------
     def _augment(self, graph: Graph, edge_rate: float, mask_rate: float) -> Graph:
@@ -87,8 +93,8 @@ class BGRL(ContrastiveMethod):
         target2 = Tensor(self.target_encoder.embed(view2))
         return ops.mul(
             ops.add(
-                functional.bootstrap_cosine_loss(online1, target2),
-                functional.bootstrap_cosine_loss(online2, target1),
+                self._contrast.loss(online1, target2, rng=self._neg_rng),
+                self._contrast.loss(online2, target1, rng=self._neg_rng),
             ),
             0.5,
         )

@@ -12,35 +12,34 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..autograd import Parameter, Tensor, functional, init, ops
+from ..autograd import Parameter, Tensor, init
+from ..contrast import G2LContrast, bilinear_scores, get_objective, graph_summary
 from ..graphs import Graph
 from .base import ContrastiveMethod, register
 
 
 @register
 class DGI(ContrastiveMethod):
-    """Deep Graph Infomax with feature-shuffling corruption."""
+    """Deep Graph Infomax with feature-shuffling corruption.
+
+    G2L contrast: real/corrupted node scores against the graph summary,
+    under the ``jsd`` objective (= BCE discriminator, the paper's loss).
+    """
 
     name = "dgi"
+    default_objective = "jsd"
 
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
         self.discriminator_weight: Optional[Parameter] = None
-        self._targets: Optional[np.ndarray] = None
+        self._contrast = G2LContrast(
+            get_objective(self.objective or self.default_objective)
+        )
 
     def _corrupt(self, graph: Graph) -> Graph:
         """The canonical DGI corruption: permute feature rows, keep edges."""
         perm = self._rng.permutation(graph.num_nodes)
         return graph.with_features(graph.features[perm])
-
-    def _summary(self, h: Tensor) -> Tensor:
-        """Sigmoid of the mean node representation."""
-        return ops.sigmoid(ops.mean(h, axis=0, keepdims=True))
-
-    def _scores(self, h: Tensor, summary: Tensor) -> Tensor:
-        """Bilinear discriminator ``h W s^T`` per node."""
-        projected = ops.matmul(h, self.discriminator_weight)       # (n, d)
-        return ops.reshape(ops.matmul(projected, ops.transpose(summary)), (h.shape[0],))
 
     # ------------------------------------------------------------------
     # TrainStep plugin surface
@@ -51,10 +50,6 @@ class DGI(ContrastiveMethod):
             init.glorot_uniform((self.embedding_dim, self.embedding_dim), rng), name="disc"
         )
 
-    def _prepare_impl(self, graph: Graph) -> None:
-        n = graph.num_nodes
-        self._targets = np.concatenate([np.ones(n), np.zeros(n)])
-
     def trainable_parameters(self):
         """Encoder plus the bilinear discriminator."""
         return self.encoder.parameters() + [self.discriminator_weight]
@@ -64,12 +59,12 @@ class DGI(ContrastiveMethod):
         return {"encoder": self.encoder, "discriminator_weight": self.discriminator_weight}
 
     def compute_loss(self, loop, epoch: int) -> Tensor:
-        """Real vs corrupted (node, summary) pairs under BCE."""
+        """Real vs corrupted (node, summary) pairs through the G2L mode."""
         graph = self._graph
         corrupted = self._corrupt(graph)
         h_real = self.encoder(graph)
         h_fake = self.encoder(corrupted)
-        summary = self._summary(h_real)
-        logits = ops.concat([self._scores(h_real, summary),
-                             self._scores(h_fake, summary)], axis=0)
-        return functional.binary_cross_entropy_with_logits(logits, self._targets)
+        summary = graph_summary(h_real)
+        pos = bilinear_scores(h_real, self.discriminator_weight, summary)
+        neg = bilinear_scores(h_fake, self.discriminator_weight, summary)
+        return self._contrast.loss(pos, neg)

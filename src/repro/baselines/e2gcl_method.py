@@ -27,7 +27,8 @@ class E2GCLMethod(ContrastiveMethod):
     def __init__(self, config: Optional[E2GCLConfig] = None, selector=None, **kwargs) -> None:
         cfg = config or E2GCLConfig()
         mapped = {}
-        # Route the shared ContrastiveMethod kwargs into the config.
+        # Route the shared ContrastiveMethod kwargs into the config (the
+        # shared "objective" selection is E2GCL's "loss" field).
         for shared, conf in (
             ("embedding_dim", "embedding_dim"),
             ("hidden_dim", "hidden_dim"),
@@ -36,6 +37,9 @@ class E2GCLMethod(ContrastiveMethod):
             ("lr", "lr"),
             ("weight_decay", "weight_decay"),
             ("seed", "seed"),
+            ("objective", "loss"),
+            ("negatives", "negatives"),
+            ("neg_k", "neg_k"),
         ):
             if shared in kwargs:
                 mapped[conf] = kwargs.pop(shared)
@@ -50,6 +54,9 @@ class E2GCLMethod(ContrastiveMethod):
             lr=cfg.lr,
             weight_decay=cfg.weight_decay,
             seed=cfg.seed,
+            objective=cfg.loss,
+            negatives=cfg.negatives,
+            neg_k=cfg.neg_k,
         )
         self.config = cfg
         self.selector = selector

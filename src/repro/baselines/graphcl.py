@@ -21,7 +21,6 @@ import numpy as np
 
 from ..autograd import Tensor
 from ..core.augmentations import add_edges, drop_edges, drop_features, mask_features, perturb_features
-from ..core.losses import infonce_loss
 from ..graphs import Graph
 from .base import EA, ED, FM, FP, TwoViewContrastiveMethod, register
 
@@ -82,10 +81,13 @@ class ADGCL(TwoViewContrastiveMethod):
         return view1, view2
 
     def compute_loss(self, loop, epoch: int) -> Tensor:
-        """Adversary step (rate grid) every 5 epochs, then NT-Xent."""
+        """Adversary step (rate grid) every 5 epochs, then the composed
+        contrast loss (paper default: NT-Xent, all pairs)."""
         graph = self._graph
         # Adversary step: pick the drop rate the encoder currently finds
-        # hardest (max loss), evaluated without gradients.
+        # hardest (max loss), evaluated without gradients.  The probe uses
+        # the same objective but always the dense path: the grid argmax
+        # must compare rates under one deterministic loss surface.
         if epoch % 5 == 0:
             worst_rate, worst_loss = self.current_rate, -np.inf
             base = self.encoder.embed(self._apply_upgrades(graph))
@@ -93,7 +95,7 @@ class ADGCL(TwoViewContrastiveMethod):
                 probe_view = drop_edges(graph, rate, self._rng)
                 probe = self.encoder.embed(probe_view)
                 loss_val = float(
-                    infonce_loss(Tensor(base), Tensor(probe), temperature=self.temperature).item()
+                    self._contrast.objective.pair_loss(Tensor(base), Tensor(probe)).item()
                 )
                 if loss_val > worst_loss:
                     worst_loss, worst_rate = loss_val, rate
@@ -102,7 +104,7 @@ class ADGCL(TwoViewContrastiveMethod):
         view1, view2 = self._views(graph)
         z1 = self._project(self.encoder(view1))
         z2 = self._project(self.encoder(view2))
-        return infonce_loss(z1, z2, temperature=self.temperature)
+        return self._contrast.loss(z1, z2, rng=self._neg_rng)
 
     def state_json(self) -> dict:
         """The adversary's currently selected drop rate."""

@@ -17,7 +17,8 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..autograd import Parameter, Tensor, functional, init, ops
+from ..autograd import Parameter, Tensor, init, ops
+from ..contrast import G2LContrast, bilinear_scores, get_objective, graph_summary
 from ..core.augmentations import perturb_features
 from ..graphs import Graph, ppr_diffusion_graph
 from ..nn import GCN
@@ -26,11 +27,16 @@ from .base import ContrastiveMethod, FP, register
 
 @register
 class MVGRL(ContrastiveMethod):
-    """MVGRL with PPR diffusion as the second view."""
+    """MVGRL with PPR diffusion as the second view.
+
+    Cross-view G2L contrast under the ``jsd`` objective (= the DGI-style
+    BCE discriminator of the paper).
+    """
 
     name = "mvgrl"
     default_operations: Tuple[str, ...] = ()
     upgraded_operations: Tuple[str, ...] = (FP,)
+    default_objective = "jsd"
 
     def __init__(
         self,
@@ -48,16 +54,11 @@ class MVGRL(ContrastiveMethod):
         self.diffusion_encoder: Optional[GCN] = None
         self.discriminator_weight: Optional[Parameter] = None
         self._diffusion_graph: Optional[Graph] = None
-        self._targets: Optional[np.ndarray] = None
+        self._contrast = G2LContrast(
+            get_objective(self.objective or self.default_objective)
+        )
 
     # ------------------------------------------------------------------
-    def _summary(self, h: Tensor) -> Tensor:
-        return ops.sigmoid(ops.mean(h, axis=0, keepdims=True))
-
-    def _scores(self, h: Tensor, summary: Tensor) -> Tensor:
-        projected = ops.matmul(h, self.discriminator_weight)
-        return ops.reshape(ops.matmul(projected, ops.transpose(summary)), (h.shape[0],))
-
     def _maybe_perturb(self, graph: Graph) -> Graph:
         if FP in self.operations and self.feature_perturb_rate > 0:
             return perturb_features(graph, self.feature_perturb_rate, self._rng)
@@ -83,8 +84,6 @@ class MVGRL(ContrastiveMethod):
         self._diffusion_graph = ppr_diffusion_graph(
             graph, alpha=self.ppr_alpha, top_k=self.ppr_top_k
         )
-        n = graph.num_nodes
-        self._targets = np.concatenate([np.ones(2 * n), np.zeros(2 * n)])
 
     def trainable_parameters(self):
         """Both encoders plus the bilinear discriminator."""
@@ -103,7 +102,7 @@ class MVGRL(ContrastiveMethod):
         }
 
     def compute_loss(self, loop, epoch: int) -> Tensor:
-        """Cross-view DGI objective: adjacency nodes vs diffusion summary
+        """Cross-view G2L contrast: adjacency nodes vs diffusion summary
         (and vice versa), against row-shuffled corruptions."""
         graph = self._graph
         n = graph.num_nodes
@@ -117,15 +116,18 @@ class MVGRL(ContrastiveMethod):
         h_diff = self.diffusion_encoder(diff_view)
         h_adj_neg = self.encoder(adj_corrupt)
         h_diff_neg = self.diffusion_encoder(diff_corrupt)
-        s_adj = self._summary(h_adj)
-        s_diff = self._summary(h_diff)
-        logits = ops.concat([
-            self._scores(h_adj, s_diff),
-            self._scores(h_diff, s_adj),
-            self._scores(h_adj_neg, s_diff),
-            self._scores(h_diff_neg, s_adj),
+        s_adj = graph_summary(h_adj)
+        s_diff = graph_summary(h_diff)
+        weight = self.discriminator_weight
+        pos = ops.concat([
+            bilinear_scores(h_adj, weight, s_diff),
+            bilinear_scores(h_diff, weight, s_adj),
         ], axis=0)
-        return functional.binary_cross_entropy_with_logits(logits, self._targets)
+        neg = ops.concat([
+            bilinear_scores(h_adj_neg, weight, s_diff),
+            bilinear_scores(h_diff_neg, weight, s_adj),
+        ], axis=0)
+        return self._contrast.loss(pos, neg)
 
     def embed(self, graph: Graph) -> np.ndarray:
         """MVGRL's final representation: sum of both views' encoders."""

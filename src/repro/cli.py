@@ -58,14 +58,21 @@ def _cmd_list_experiments(_args) -> int:
 
 
 def _cmd_train(args) -> int:
-    from .baselines import get_method
+    from .baselines import MethodConfig, get_method
     from .engine import EarlyStopping, PeriodicCheckpoint
     from .eval import evaluate_embeddings
     from .graphs import load_dataset
 
     graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
     print(f"dataset: {graph}")
-    method = get_method(args.method, epochs=args.epochs, seed=args.seed)
+    config = MethodConfig(
+        epochs=args.epochs,
+        seed=args.seed,
+        objective=args.objective,
+        negatives=args.negatives,
+        neg_k=args.neg_k,
+    )
+    method = get_method(args.method, **config.method_kwargs())
     hooks = []
     recovering = args.guard == "recover"
     if args.guard != "off":
@@ -335,6 +342,17 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--dtype", choices=["float32", "float64"], default="float64",
                        help="process-wide tensor precision (float32 halves "
                             "memory traffic; see docs/PERFORMANCE.md)")
+    train.add_argument("--objective", default=None,
+                       choices=["infonce", "jsd", "barlow", "bootstrap",
+                                "margin", "euclidean"],
+                       help="contrast objective (default: the method's paper "
+                            "objective; see docs/CONTRAST.md)")
+    train.add_argument("--negatives", default="all",
+                       choices=["all", "uniform", "hard"],
+                       help="negative sampler: all pairs (dense), uniform-k "
+                            "subsampling (O(n*k)), or top-k hard mining")
+    train.add_argument("--neg-k", type=int, default=64,
+                       help="negatives per anchor for --negatives uniform/hard")
     train.add_argument("--save", default=None, help="write an .npz checkpoint (e2gcl only)")
     train.add_argument("--checkpoint", default=None,
                        help="write a resumable engine checkpoint (.npz, any method)")

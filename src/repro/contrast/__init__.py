@@ -1,0 +1,75 @@
+"""Composable contrast layer: objective × mode × negative sampler.
+
+Every contrastive loss in the repo decomposes into three orthogonal
+choices, each with its own registry:
+
+* **Objective** (:mod:`repro.contrast.objectives`) — how pairs are
+  scored: ``infonce``, ``jsd``, ``barlow``, ``bootstrap``, ``margin``,
+  ``euclidean``.
+* **Mode** (:mod:`repro.contrast.modes`) — what is contrasted:
+  :class:`L2LContrast` (node-to-node) or :class:`G2LContrast`
+  (node-to-summary, DGI-style).
+* **NegativeSampler** (:mod:`repro.contrast.negatives`) — who each
+  anchor repels: ``all`` (dense O(n²)), ``uniform`` (O(n·k)
+  subsampling), ``hard`` (top-k hardest mining).
+
+Quick start::
+
+    from repro.contrast import L2LContrast, get_objective, get_negative_sampler
+
+    contrast = L2LContrast(
+        get_objective("infonce", temperature=0.5),
+        get_negative_sampler("uniform", k=64),
+    )
+    loss = contrast.loss(z1, z2, rng=rng)          # O(n·k), not O(n²)
+
+The default composition (each objective with ``all``) is float-for-float
+identical to the pre-refactor per-method losses — pinned by
+``tests/contrast/test_equivalence.py``.  See ``docs/CONTRAST.md`` for the
+component matrix and how to add a new objective.
+"""
+
+from .modes import G2LContrast, L2LContrast, bilinear_scores, graph_summary
+from .negatives import (
+    AllPairs,
+    HardTopK,
+    NegativeSampler,
+    UniformK,
+    available_negative_samplers,
+    get_negative_sampler,
+    sample_negative_indices,
+)
+from .objectives import (
+    BarlowTwins,
+    BootstrapCosine,
+    Euclidean,
+    InfoNCE,
+    JSD,
+    MarginMining,
+    Objective,
+    available_objectives,
+    get_objective,
+)
+
+__all__ = [
+    "Objective",
+    "InfoNCE",
+    "JSD",
+    "BarlowTwins",
+    "BootstrapCosine",
+    "MarginMining",
+    "Euclidean",
+    "get_objective",
+    "available_objectives",
+    "NegativeSampler",
+    "AllPairs",
+    "UniformK",
+    "HardTopK",
+    "sample_negative_indices",
+    "get_negative_sampler",
+    "available_negative_samplers",
+    "L2LContrast",
+    "G2LContrast",
+    "graph_summary",
+    "bilinear_scores",
+]

@@ -1,0 +1,96 @@
+"""Contrasting modes: *what* is contrasted against what.
+
+The second axis of the composable contrast layer (objective × mode ×
+negative sampler):
+
+* :class:`L2LContrast` — local-to-local (node-to-node): row ``i`` of two
+  augmented views forms the positive pair (GRACE/GCA/GraphCL/BGRL/E2GCL).
+  Owns a :class:`~repro.contrast.negatives.NegativeSampler` and threads
+  its ``(m, k)`` index matrix (or ``None`` = all pairs) into the
+  objective's ``pair_loss``.
+* :class:`G2LContrast` — global-to-local (node-to-summary): a
+  discriminator scores each node against a graph-level summary and the
+  objective consumes positive/negative score vectors (DGI/MVGRL).
+
+The module-level helpers :func:`graph_summary` and :func:`bilinear_scores`
+are the canonical G2L discriminator pieces, float-identical to the
+historical DGI/MVGRL private methods they replace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor, ops
+from .negatives import AllPairs, NegativeSampler
+from .objectives import Objective
+
+__all__ = ["L2LContrast", "G2LContrast", "graph_summary", "bilinear_scores"]
+
+
+def graph_summary(h: Tensor) -> Tensor:
+    """DGI's readout: sigmoid of the mean node representation, ``(1, d)``."""
+    return ops.sigmoid(ops.mean(h, axis=0, keepdims=True))
+
+
+def bilinear_scores(h: Tensor, weight: Tensor, summary: Tensor) -> Tensor:
+    """Bilinear discriminator ``h W s^T`` per node, ``(n,)``."""
+    projected = ops.matmul(h, weight)                          # (n, d)
+    return ops.reshape(ops.matmul(projected, ops.transpose(summary)), (h.shape[0],))
+
+
+class L2LContrast:
+    """Node-to-node contrast: positives are aligned rows of two views.
+
+    Composes an :class:`~repro.contrast.objectives.Objective` with a
+    :class:`~repro.contrast.negatives.NegativeSampler`.  Negative-free
+    objectives (``uses_negatives = False``) skip sampling entirely, and
+    :class:`AllPairs` consumes no randomness, so the default composition
+    is RNG-neutral — seed-for-seed equivalent to the pre-refactor losses.
+    """
+
+    def __init__(
+        self, objective: Objective, sampler: Optional[NegativeSampler] = None
+    ) -> None:
+        self.objective = objective
+        self.sampler = sampler if sampler is not None else AllPairs()
+
+    def loss(
+        self,
+        z1: Tensor,
+        z2: Tensor,
+        rng: Optional[np.random.Generator] = None,
+        weights: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Contrastive loss over two aligned ``(m, d)`` views."""
+        negatives = None
+        if self.objective.uses_negatives:
+            negatives = self.sampler.sample(
+                z1.shape[0], rng=rng, z1=z1.data, z2=z2.data
+            )
+        return self.objective.pair_loss(z1, z2, negatives=negatives, weights=weights)
+
+
+class G2LContrast:
+    """Node-to-summary contrast over discriminator scores.
+
+    The caller produces positive scores (real nodes vs summary) and
+    negative scores (corrupted nodes vs summary) — typically via
+    :func:`graph_summary` + :func:`bilinear_scores` — and the objective
+    turns them into a loss.  With :class:`~repro.contrast.objectives.JSD`
+    this is float-identical to the historical DGI/MVGRL BCE loss.
+    """
+
+    def __init__(self, objective: Objective) -> None:
+        self.objective = objective
+
+    def loss(
+        self,
+        pos_scores: Tensor,
+        neg_scores: Tensor,
+        weights: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Loss from positive/negative discriminator score vectors."""
+        return self.objective.score_loss(pos_scores, neg_scores, weights=weights)

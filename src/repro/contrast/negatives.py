@@ -1,0 +1,183 @@
+"""Negative samplers: who each anchor is contrasted *against*.
+
+The third axis of the composable contrast layer (objective × mode ×
+negative sampler).  A sampler decides which rows of the opposite view act
+as ``Neg_v`` for each anchor:
+
+* :class:`AllPairs` — every other row (the classic O(n²) denominator);
+* :class:`UniformK` — ``k`` uniformly drawn other rows, turning the
+  InfoNCE/JSD/margin denominators into O(n·k) work (the single biggest
+  training-speed lever at scale; see *Does GCL Need a Large Number of
+  Negative Samples?*);
+* :class:`HardTopK` — the ``k`` most similar non-positive rows (hard
+  negative mining).  Selection is a no-gradient numpy scan; only the
+  selected pairs enter the differentiable loss, so the backward cost is
+  O(n·k) like :class:`UniformK`.
+
+Samplers return an ``(m, k)`` integer index matrix, or ``None`` meaning
+"use every pair" — objectives interpret ``None`` as the dense path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+__all__ = [
+    "NegativeSampler",
+    "AllPairs",
+    "UniformK",
+    "HardTopK",
+    "sample_negative_indices",
+    "get_negative_sampler",
+    "available_negative_samplers",
+]
+
+
+def sample_negative_indices(
+    num_anchors: int,
+    num_negatives: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Random ``Neg_v``: for each anchor, ``num_negatives`` *other* batch rows.
+
+    Rejection-free construction: draw from ``0..m-2`` and shift indices ≥ the
+    anchor by one, guaranteeing ``neg != anchor`` in a single vectorized pass.
+    The shifted draw is exactly uniform over the ``m-1`` non-anchor rows
+    (pinned by the chi-square test in ``tests/contrast/test_negatives.py``).
+    """
+    if num_anchors < 2:
+        raise ValueError("need at least 2 anchors to sample negatives")
+    if num_negatives < 1:
+        raise ValueError("num_negatives must be >= 1")
+    draws = rng.integers(0, num_anchors - 1, size=(num_anchors, num_negatives))
+    anchors = np.arange(num_anchors)[:, None]
+    return draws + (draws >= anchors)
+
+
+class NegativeSampler:
+    """Interface: map ``(num_anchors, rng, embeddings)`` to negative rows."""
+
+    name = "base"
+
+    def sample(
+        self,
+        num_anchors: int,
+        rng: Optional[np.random.Generator] = None,
+        z1: Optional[np.ndarray] = None,
+        z2: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        """Return ``(num_anchors, k)`` indices, or ``None`` for all pairs.
+
+        ``z1``/``z2`` are the current (raw, no-gradient) embedding arrays;
+        only similarity-aware samplers read them.
+        """
+        raise NotImplementedError
+
+
+class AllPairs(NegativeSampler):
+    """Every other row is a negative — the dense O(n²) default.
+
+    Consumes no randomness, so composing an objective with ``AllPairs``
+    leaves the method's RNG stream untouched (seed-for-seed equivalence
+    with the pre-refactor dense losses depends on this).
+    """
+
+    name = "all"
+
+    def sample(self, num_anchors, rng=None, z1=None, z2=None):
+        return None
+
+
+class UniformK(NegativeSampler):
+    """``k`` negatives per anchor, uniform over the other rows (O(n·k))."""
+
+    name = "uniform"
+
+    def __init__(self, k: int = 64) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def sample(self, num_anchors, rng=None, z1=None, z2=None):
+        if rng is None:
+            raise ValueError("UniformK needs an rng")
+        if num_anchors < 2:
+            raise ValueError("need at least 2 anchors to sample negatives")
+        k = min(self.k, num_anchors - 1)
+        return sample_negative_indices(num_anchors, k, rng)
+
+
+class HardTopK(NegativeSampler):
+    """The ``k`` hardest (most similar) non-positive rows per anchor.
+
+    Hardness is cosine similarity between the anchor's ``z1`` row and every
+    ``z2`` row, computed without gradients in row chunks; the positive
+    (same-index) pair is excluded.  The selection scan is O(n²/chunk) numpy
+    work but only the selected pairs enter the autograd graph, so the
+    differentiable part of the loss stays O(n·k).
+    """
+
+    name = "hard"
+
+    def __init__(self, k: int = 64, chunk_rows: int = 2048) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.chunk_rows = max(1, chunk_rows)
+
+    def sample(self, num_anchors, rng=None, z1=None, z2=None):
+        if z1 is None or z2 is None:
+            raise ValueError("HardTopK needs the current embeddings (z1, z2)")
+        z1 = np.asarray(z1)
+        z2 = np.asarray(z2)
+        if z1.shape[0] != num_anchors or z2.shape[0] != num_anchors:
+            raise ValueError("embeddings must have one row per anchor")
+        if num_anchors < 2:
+            raise ValueError("need at least 2 anchors to sample negatives")
+        k = min(self.k, num_anchors - 1)
+        a = z1 / np.maximum(np.linalg.norm(z1, axis=1, keepdims=True), 1e-12)
+        b = z2 / np.maximum(np.linalg.norm(z2, axis=1, keepdims=True), 1e-12)
+        out = np.empty((num_anchors, k), dtype=np.int64)
+        for start in range(0, num_anchors, self.chunk_rows):
+            stop = min(start + self.chunk_rows, num_anchors)
+            sims = a[start:stop] @ b.T
+            rows = np.arange(start, stop)
+            sims[rows - start, rows] = -np.inf  # exclude the positive pair
+            top = np.argpartition(sims, -k, axis=1)[:, -k:]
+            # Order hardest-first so truncating k later keeps the hardest.
+            order = np.argsort(
+                np.take_along_axis(sims, top, axis=1), axis=1
+            )[:, ::-1]
+            out[start:stop] = np.take_along_axis(top, order, axis=1)
+        return out
+
+
+_SAMPLERS: Dict[str, Type[NegativeSampler]] = {
+    AllPairs.name: AllPairs,
+    UniformK.name: UniformK,
+    HardTopK.name: HardTopK,
+}
+
+
+def get_negative_sampler(name: str, k: Optional[int] = None) -> NegativeSampler:
+    """Instantiate a sampler by registry name (``all``/``uniform``/``hard``).
+
+    ``k`` is forwarded to the subsampling strategies and ignored by
+    ``all`` (which has no per-anchor budget).
+    """
+    key = name.lower()
+    if key not in _SAMPLERS:
+        raise KeyError(
+            f"unknown negative sampler {name!r}; available: {available_negative_samplers()}"
+        )
+    cls = _SAMPLERS[key]
+    if cls is AllPairs:
+        return cls()
+    return cls(k=k) if k is not None else cls()
+
+
+def available_negative_samplers():
+    """Registered sampler names, sorted."""
+    return sorted(_SAMPLERS)

@@ -44,9 +44,17 @@ class E2GCLConfig:
     hidden_dim, embedding_dim, num_layers:
         GCN shape (paper: 2-layer GCN; ``num_layers`` doubles as ``L``).
     loss:
-        ``"euclidean"`` (Eq. 5) or ``"infonce"``.
+        Any registered contrast objective (``"euclidean"`` = Eq. 5,
+        ``"infonce"``, ``"jsd"``, ``"barlow"``, ``"bootstrap"``,
+        ``"margin"``).
     num_negatives:
-        ``|Neg_v|`` for the euclidean loss.
+        ``|Neg_v|`` for the euclidean loss (its legacy per-anchor budget).
+    negatives:
+        Negative sampler for the contrast layer: ``"all"`` (dense,
+        historical default), ``"uniform"`` (O(n·k) subsampling), or
+        ``"hard"`` (top-k mining).
+    neg_k:
+        Per-anchor negative budget for the subsampling strategies.
     temperature:
         InfoNCE temperature.
     epochs, lr, weight_decay:
@@ -91,6 +99,8 @@ class E2GCLConfig:
     # spreads classes reliably.  Both accept the coreset λ weights.
     loss: str = "infonce"
     num_negatives: int = 8
+    negatives: str = "all"
+    neg_k: int = 64
     temperature: float = 0.5
     # InfoNCE is computed on a 2-layer projection of the embeddings (as in
     # GRACE); the projection head is discarded after pre-training.  The
@@ -103,10 +113,21 @@ class E2GCLConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        from ..contrast import available_negative_samplers, available_objectives
+
         if not 0 < self.node_ratio <= 1:
             raise ValueError("node_ratio must be in (0, 1]")
-        if self.loss not in ("euclidean", "infonce"):
-            raise ValueError(f"unknown loss {self.loss!r}")
+        if self.loss not in available_objectives():
+            raise ValueError(
+                f"unknown loss {self.loss!r}; available: {available_objectives()}"
+            )
+        if self.negatives not in available_negative_samplers():
+            raise ValueError(
+                f"unknown negative sampler {self.negatives!r}; "
+                f"available: {available_negative_samplers()}"
+            )
+        if self.neg_k < 1:
+            raise ValueError("neg_k must be >= 1")
         if self.num_layers < 1:
             raise ValueError("num_layers must be >= 1")
         if self.epochs < 1:

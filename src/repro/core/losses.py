@@ -1,17 +1,13 @@
-"""Contrastive losses: Eq. 5 (euclidean) and InfoNCE.
+"""Contrastive losses — compatibility shim over :mod:`repro.contrast`.
 
-Eq. 5 per anchor ``v``::
+The loss implementations moved into the composable contrast layer
+(objective × mode × negative sampler); this module keeps the historical
+function-style entry points alive for existing callers and checkpoints.
+New code should compose :class:`repro.contrast.L2LContrast` directly.
 
-    l(v) = ||ĥ_v − h̃_v||² − (1 / 2|Neg_v|) Σ_{h' ∈ {ĥ_v, h̃_v}} Σ_{u ∈ Neg_v} ||h'_v − h_u||²
-
-As written the loss is unbounded below (pushing negatives to infinity keeps
-decreasing it), so — as every practical implementation of Hadsell-style
-losses does — the embeddings are l2-normalized inside the loss, which caps
-every pairwise squared distance at 4 and makes the objective well-posed
-without changing its minimizer structure.
-
-Both losses accept per-anchor weights (the coreset λ_u of Alg. 2 line 10),
-which is exactly how the coreset re-weights the gradient sum of Eq. 8.
+Float behavior is unchanged: each wrapper instantiates the corresponding
+objective and runs its all-pairs (or explicit-negatives) path, which is
+the verbatim pre-refactor code (pinned by ``tests/contrast/``).
 """
 
 from __future__ import annotations
@@ -20,19 +16,11 @@ from typing import Optional
 
 import numpy as np
 
-from ..autograd import Tensor, functional, ops
+from ..autograd import Tensor
+from ..contrast.negatives import sample_negative_indices  # noqa: F401  (re-export)
+from ..contrast.objectives import Euclidean, InfoNCE
 
-
-def _normalize_weights(weights, count: int) -> np.ndarray:
-    if weights is None:
-        return np.full(count, 1.0 / count)
-    weights = np.asarray(weights, dtype=np.float64)
-    if weights.shape[0] != count:
-        raise ValueError(f"expected {count} weights, got {weights.shape[0]}")
-    total = weights.sum()
-    if total <= 0:
-        raise ValueError("weights must have positive sum")
-    return weights / total
+__all__ = ["euclidean_contrastive_loss", "infonce_loss", "sample_negative_indices"]
 
 
 def euclidean_contrastive_loss(
@@ -41,7 +29,7 @@ def euclidean_contrastive_loss(
     negatives: np.ndarray,
     weights: Optional[np.ndarray] = None,
 ) -> Tensor:
-    """Eq. 5 over a batch of anchors.
+    """Eq. 5 over a batch of anchors (see :class:`repro.contrast.Euclidean`).
 
     Parameters
     ----------
@@ -50,40 +38,11 @@ def euclidean_contrastive_loss(
         (row ``i`` of both corresponds to the same anchor).
     negatives:
         ``(m, q)`` integer matrix: row ``i`` lists the *batch rows* serving
-        as ``Neg_v`` for anchor ``i`` (negatives are other anchors, as in
-        the paper's random negative sampling).
+        as ``Neg_v`` for anchor ``i``.
     weights:
         Optional per-anchor λ weights; normalized internally.
     """
-    negatives = np.asarray(negatives)
-    m = h_hat.shape[0]
-    if negatives.ndim != 2 or negatives.shape[0] != m:
-        raise ValueError("negatives must be (num_anchors, num_negatives)")
-    q = negatives.shape[1]
-    w = _normalize_weights(weights, m)
-
-    z_hat = ops.l2_normalize_rows(h_hat)
-    z_tilde = ops.l2_normalize_rows(h_tilde)
-
-    positive = functional.rowwise_sq_euclidean(z_hat, z_tilde)      # (m,)
-
-    flat = negatives.reshape(-1)
-    anchor_rows = np.repeat(np.arange(m), q)
-    # Negatives for the hat view come from the tilde view and vice versa
-    # (cross-view negatives, the standard instantiation of Neg_v).
-    hat_anchor = ops.index(z_hat, anchor_rows)
-    tilde_neg = ops.index(z_tilde, flat)
-    term_hat = functional.rowwise_sq_euclidean(hat_anchor, tilde_neg)
-    tilde_anchor = ops.index(z_tilde, anchor_rows)
-    hat_neg = ops.index(z_hat, flat)
-    term_tilde = functional.rowwise_sq_euclidean(tilde_anchor, hat_neg)
-
-    neg_sum = ops.add(
-        ops.reshape(term_hat, (m, q)).sum(axis=1),
-        ops.reshape(term_tilde, (m, q)).sum(axis=1),
-    )
-    per_anchor = ops.sub(positive, ops.mul(neg_sum, 1.0 / (2.0 * q)))
-    return ops.sum(ops.mul(per_anchor, w))
+    return Euclidean().pair_loss(h_hat, h_tilde, negatives=negatives, weights=weights)
 
 
 def infonce_loss(
@@ -93,59 +52,10 @@ def infonce_loss(
     weights: Optional[np.ndarray] = None,
     symmetric: bool = True,
 ) -> Tensor:
-    """GRACE-style NT-Xent: anchors attract their cross-view twin and repel
-    every other node in both views.
+    """GRACE-style NT-Xent (see :class:`repro.contrast.InfoNCE`).
 
-    Used (a) as an alternative E2GCL objective and (b) by the GRACE/GCA
-    baselines.  ``weights`` re-weights per-anchor terms like Eq. 5 does.
+    All-pairs denominator; ``weights`` re-weights per-anchor terms like
+    Eq. 5 does.
     """
-    if temperature <= 0:
-        raise ValueError("temperature must be positive")
-    m = h_hat.shape[0]
-    w = _normalize_weights(weights, m)
-
-    z1 = ops.l2_normalize_rows(h_hat)
-    z2 = ops.l2_normalize_rows(h_tilde)
-
-    def one_direction(a: Tensor, b: Tensor) -> Tensor:
-        cross = ops.mul(ops.matmul(a, ops.transpose(b)), 1.0 / temperature)  # (m, m)
-        intra = ops.mul(ops.matmul(a, ops.transpose(a)), 1.0 / temperature)  # (m, m)
-        diag = np.arange(m)
-        pos = ops.index(cross, (diag, diag))                                  # (m,)
-        # Denominator: all cross-view pairs plus intra-view non-self pairs.
-        # logsumexp over the concatenation of [cross_row, intra_row \ self].
-        both = ops.concat([cross, intra], axis=1)                             # (m, 2m)
-        max_row = both.data.max(axis=1, keepdims=True)
-        shifted = ops.sub(both, max_row)
-        exp_row = ops.exp(shifted)
-        # Remove the intra-view self term exp(1/t - max) from the sum.
-        self_term = np.exp(intra.data[diag, diag][:, None] - max_row)
-        total = ops.sub(exp_row.sum(axis=1, keepdims=True), self_term)
-        log_denominator = ops.add(ops.log(ops.reshape(total, (m,)), eps=1e-12),
-                                  max_row.ravel())
-        return ops.sub(log_denominator, pos)                                  # (m,)
-
-    loss12 = one_direction(z1, z2)
-    if not symmetric:
-        return ops.sum(ops.mul(loss12, w))
-    loss21 = one_direction(z2, z1)
-    return ops.mul(ops.add(ops.sum(ops.mul(loss12, w)), ops.sum(ops.mul(loss21, w))), 0.5)
-
-
-def sample_negative_indices(
-    num_anchors: int,
-    num_negatives: int,
-    rng: np.random.Generator,
-) -> np.ndarray:
-    """Random ``Neg_v``: for each anchor, ``num_negatives`` *other* batch rows.
-
-    Rejection-free construction: draw from ``0..m-2`` and shift indices ≥ the
-    anchor by one, guaranteeing ``neg != anchor`` in a single vectorized pass.
-    """
-    if num_anchors < 2:
-        raise ValueError("need at least 2 anchors to sample negatives")
-    if num_negatives < 1:
-        raise ValueError("num_negatives must be >= 1")
-    draws = rng.integers(0, num_anchors - 1, size=(num_anchors, num_negatives))
-    anchors = np.arange(num_anchors)[:, None]
-    return draws + (draws >= anchors)
+    objective = InfoNCE(temperature=temperature, symmetric=symmetric)
+    return objective.pair_loss(h_hat, h_tilde, weights=weights)

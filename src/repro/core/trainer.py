@@ -21,12 +21,12 @@ from typing import Callable, List, Optional, Sequence, Union
 import numpy as np
 
 from ..autograd import Tensor, ops
+from ..contrast import L2LContrast, UniformK, get_negative_sampler, get_objective
 from ..engine import CallbackHook, EpochRecord, RngStreams, RunHistory, TrainLoop, TrainStep
 from ..graphs import Graph
 from ..nn import GCN, ProjectionHead
 from ..perf import record
 from .config import E2GCLConfig
-from .losses import euclidean_contrastive_loss, infonce_loss, sample_negative_indices
 from .node_selector import CoresetResult, select_coreset
 from .scores import compute_edge_scores, compute_feature_scores
 from .view_generator import generate_global_view_pair
@@ -96,13 +96,25 @@ class E2GCLTrainer(TrainStep):
         )
         self.rngs = RngStreams(config.seed)
         self._rng = self.rngs.main
+        # Subsampled negatives draw from a dedicated stream so the view
+        # generator sees the same randomness as a dense run (common random
+        # numbers).  The legacy Eq. 5 configuration keeps the main stream:
+        # its reference trajectories interleave negative draws with view
+        # generation, and that bit-exact behavior is pinned by tests.
+        if config.loss == "euclidean" and config.negatives == "all":
+            self._neg_rng = self._rng
+        else:
+            self._neg_rng = self.rngs.stream("negatives", offset=104729)
         self.selector = selector
         self.projector: Optional[ProjectionHead] = None
-        if config.loss == "infonce":
+        if config.loss != "euclidean":
+            # Similarity objectives act on a 2-layer projection of the
+            # embeddings (as in GRACE); Eq. 5 acts on them directly.
             self.projector = ProjectionHead(
                 config.embedding_dim, config.hidden_dim, config.projection_dim,
                 seed=config.seed + 101,
             )
+        self._contrast = self._build_contrast(config)
         self.coreset: Optional[CoresetResult] = None
         self._anchors: Optional[np.ndarray] = None
         self._weights: Optional[np.ndarray] = None
@@ -175,23 +187,34 @@ class E2GCLTrainer(TrainStep):
                 eta_tilde=cfg.eta_tilde,
             )
 
+    @staticmethod
+    def _build_contrast(cfg: E2GCLConfig) -> L2LContrast:
+        """Compose the config's objective × negative sampler.
+
+        The euclidean objective always needs sampled negatives, so its
+        legacy configuration (``negatives="all"``) maps to uniform
+        sampling with the historical ``num_negatives`` budget — the same
+        RNG draw as the pre-refactor inline sampling.
+        """
+        objective = get_objective(cfg.loss, temperature=cfg.temperature)
+        if cfg.loss == "euclidean" and cfg.negatives == "all":
+            sampler = UniformK(k=cfg.num_negatives)
+        else:
+            sampler = get_negative_sampler(cfg.negatives, k=cfg.neg_k)
+        return L2LContrast(objective, sampler)
+
     def _loss(self, h_hat: Tensor, h_tilde: Tensor) -> Tensor:
-        cfg = self.config
-        if cfg.loss == "euclidean":
-            if self._anchors.size < 2:
-                raise ValueError(
-                    f"euclidean contrastive loss needs at least 2 coreset anchors "
-                    f"to sample negatives, got {self._anchors.size}; increase "
-                    f"node_ratio (or the selector budget) or switch to the "
-                    f"infonce loss"
-                )
-            negatives = sample_negative_indices(
-                self._anchors.size, min(cfg.num_negatives, self._anchors.size - 1), self._rng
+        if self._contrast.objective.name == "euclidean" and self._anchors.size < 2:
+            raise ValueError(
+                f"euclidean contrastive loss needs at least 2 coreset anchors "
+                f"to sample negatives, got {self._anchors.size}; increase "
+                f"node_ratio (or the selector budget) or switch to the "
+                f"infonce loss"
             )
-            return euclidean_contrastive_loss(h_hat, h_tilde, negatives, weights=self._weights)
-        z_hat = self.projector(h_hat)
-        z_tilde = self.projector(h_tilde)
-        return infonce_loss(z_hat, z_tilde, temperature=cfg.temperature, weights=self._weights)
+        if self.projector is not None:
+            h_hat = self.projector(h_hat)
+            h_tilde = self.projector(h_tilde)
+        return self._contrast.loss(h_hat, h_tilde, rng=self._neg_rng, weights=self._weights)
 
     # ------------------------------------------------------------------
     # TrainStep plugin surface

@@ -178,6 +178,81 @@ class TestTrainingEquivalence:
         np.testing.assert_array_equal(first[1], second[1])
 
 
+class TestContrastObjectiveDtype:
+    """Every contrast objective computes a float32 loss within 1e-3
+    relative of its float64 value (the documented precision bound)."""
+
+    def _pair_inputs(self, dtype):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(24, 8))
+        z1 = (base + 0.1 * rng.normal(size=(24, 8))).astype(dtype)
+        z2 = (base + 0.1 * rng.normal(size=(24, 8))).astype(dtype)
+        return Tensor(z1, requires_grad=True), Tensor(z2, requires_grad=True)
+
+    def _loss(self, name, dtype, negatives=None):
+        from repro.contrast import get_objective
+
+        with default_dtype(dtype):
+            z1, z2 = self._pair_inputs(dtype)
+            obj = get_objective(name)
+            loss = obj.pair_loss(z1, z2, negatives=negatives)
+            loss.backward()
+            assert z1.grad.dtype == dtype
+            return float(loss.item())
+
+    @pytest.mark.parametrize("name", ["infonce", "jsd", "barlow", "bootstrap",
+                                      "margin"])
+    def test_pair_loss_float32_tracks_float64(self, name):
+        f64 = self._loss(name, np.float64)
+        f32 = self._loss(name, np.float32)
+        np.testing.assert_allclose(f32, f64, rtol=1e-3)
+
+    @pytest.mark.parametrize("name", ["infonce", "jsd", "margin", "euclidean"])
+    def test_sampled_pair_loss_float32_tracks_float64(self, name):
+        from repro.contrast import sample_negative_indices
+
+        negs = sample_negative_indices(24, 6, np.random.default_rng(1))
+        f64 = self._loss(name, np.float64, negatives=negs)
+        f32 = self._loss(name, np.float32, negatives=negs)
+        np.testing.assert_allclose(f32, f64, rtol=1e-3)
+
+    @pytest.mark.parametrize("name", ["infonce", "jsd", "barlow", "bootstrap",
+                                      "margin", "euclidean"])
+    def test_score_loss_float32_tracks_float64(self, name):
+        from repro.contrast import get_objective
+
+        rng = np.random.default_rng(2)
+        pos64 = rng.normal(size=10)
+        neg64 = rng.normal(size=14)
+        obj = get_objective(name)
+        f64 = float(obj.score_loss(Tensor(pos64), Tensor(neg64)).item())
+        with default_dtype(np.float32):
+            f32 = float(
+                obj.score_loss(
+                    Tensor(pos64.astype(np.float32)),
+                    Tensor(neg64.astype(np.float32)),
+                ).item()
+            )
+        np.testing.assert_allclose(f32, f64, rtol=1e-3)
+
+    def test_gather_kernel_float32(self):
+        """The fused gather-similarity kernel stays in float32 end to end."""
+        from repro.autograd import ops as _ops
+
+        with default_dtype(np.float32):
+            rng = np.random.default_rng(3)
+            a = Tensor(rng.normal(size=(6, 4)).astype(np.float32),
+                       requires_grad=True)
+            b = Tensor(rng.normal(size=(6, 4)).astype(np.float32),
+                       requires_grad=True)
+            cols = np.array([[1, 2], [0, 2], [0, 1], [4, 5], [3, 5], [3, 4]])
+            out = _ops.normalize_cosine_sim_gather(a, b, cols)
+            _ops.sum(out).backward()
+            assert out.data.dtype == np.float32
+            assert a.grad.dtype == np.float32
+            assert b.grad.dtype == np.float32
+
+
 class TestCheckpointDtype:
     def test_checkpoint_records_dtype(self, tmp_path, tiny_cora):
         from repro.engine.checkpoint import read_checkpoint

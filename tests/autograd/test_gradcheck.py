@@ -39,6 +39,12 @@ SPARSE = sp.random(3, 3, density=0.6, random_state=7, format="csr")
 IDX = np.array([0, 2, 1, 2])
 BIAS3 = RNG.uniform(0.1, 0.6, size=3)
 ZEROS = np.zeros((3, 4))
+# (3, 2) negative-index matrix for the gather kernel and the sampled
+# objective paths; column 2 repeats across rows to exercise scatter-add.
+NEGS = np.array([[1, 2], [0, 2], [0, 1]])
+POS_SCORES = RNG.uniform(-1.5, 1.5, size=3)
+NEG_SCORES = RNG.uniform(-1.5, 1.5, size=5)
+WEIGHTS3 = np.array([1.0, 3.0, 2.0])
 
 
 # Each case: (name, fn, inputs).  ``name`` doubles as the coverage key —
@@ -110,6 +116,13 @@ OP_CASES = [
      lambda a, b: ops.normalize_cosine_sim(a, b), [NONZERO_ROWS, POS]),
     ("normalize_cosine_rowwise",
      lambda a, b: ops.normalize_cosine_rowwise(a, b), [NONZERO_ROWS, POS]),
+    # Gathered similarity: rows of ``a`` against sampled columns of ``b``
+    # (the O(n·k) subsampled-negatives kernel).  NEGS repeats column 2 so
+    # the scatter-add path in the b-gradient is exercised.
+    ("normalize_cosine_sim_gather",
+     lambda a, b: ops.normalize_cosine_sim_gather(a, b, NEGS), [NONZERO_ROWS, POS]),
+    ("normalize_cosine_sim_gather/self",
+     lambda a: ops.normalize_cosine_sim_gather(a, a, NEGS), [NONZERO_ROWS]),
 ]
 
 FUNCTIONAL_CASES = [
@@ -131,7 +144,68 @@ FUNCTIONAL_CASES = [
      lambda a, b: F.bootstrap_cosine_loss(a, b), [NONZERO_ROWS, POS]),
 ]
 
-ALL_CASES = OP_CASES + FUNCTIONAL_CASES
+# ----------------------------------------------------------------------
+# Contrast layer: every objective × mode pair gets a finite-difference
+# case.  Names follow "contrast:<objective>/<mode>[-variant]"; the
+# coverage meta-test below walks the objective registry so a new
+# objective without gradcheck cases for both modes fails the suite.
+# ----------------------------------------------------------------------
+from repro.contrast import get_objective  # noqa: E402
+
+
+def _pair(name, **kwargs):
+    obj = get_objective(name, **kwargs)
+    return lambda a, b: obj.pair_loss(a, b)
+
+
+def _pair_sampled(name, **kwargs):
+    obj = get_objective(name, **kwargs)
+    return lambda a, b: obj.pair_loss(a, b, negatives=NEGS)
+
+
+def _score(name, **kwargs):
+    obj = get_objective(name, **kwargs)
+    return lambda p, n: obj.score_loss(p, n)
+
+
+CONTRAST_CASES = [
+    ("contrast:infonce/l2l", _pair("infonce", temperature=0.6), [NONZERO_ROWS, POS]),
+    ("contrast:infonce/l2l-sampled",
+     _pair_sampled("infonce", temperature=0.6), [NONZERO_ROWS, POS]),
+    ("contrast:infonce/l2l-weighted",
+     (lambda a, b: get_objective("infonce").pair_loss(a, b, weights=WEIGHTS3)),
+     [NONZERO_ROWS, POS]),
+    ("contrast:infonce/g2l", _score("infonce", temperature=0.6),
+     [POS_SCORES, NEG_SCORES]),
+    ("contrast:jsd/l2l", _pair("jsd"), [NONZERO_ROWS, POS]),
+    ("contrast:jsd/l2l-sampled", _pair_sampled("jsd"), [NONZERO_ROWS, POS]),
+    ("contrast:jsd/g2l", _score("jsd"), [POS_SCORES, NEG_SCORES]),
+    ("contrast:jsd/g2l-weighted",
+     (lambda p, n: get_objective("jsd").score_loss(p, n, weights=WEIGHTS3)),
+     [POS_SCORES, NEG_SCORES]),
+    ("contrast:barlow/l2l", _pair("barlow"), [A, B]),
+    ("contrast:barlow/g2l", _score("barlow"), [POS_SCORES, NEG_SCORES]),
+    ("contrast:bootstrap/l2l", _pair("bootstrap"), [NONZERO_ROWS, POS]),
+    ("contrast:bootstrap/l2l-weighted",
+     (lambda a, b: get_objective("bootstrap").pair_loss(a, b, weights=WEIGHTS3)),
+     [NONZERO_ROWS, POS]),
+    ("contrast:bootstrap/g2l", _score("bootstrap"), [POS_SCORES, NEG_SCORES]),
+    ("contrast:margin/l2l", _pair("margin", margin=0.4), [NONZERO_ROWS, POS]),
+    ("contrast:margin/l2l-sampled",
+     _pair_sampled("margin", margin=0.4), [NONZERO_ROWS, POS]),
+    ("contrast:margin/g2l", _score("margin", margin=0.4),
+     [POS_SCORES, NEG_SCORES]),
+    # Euclidean always needs sampled negatives in pair form (Eq. 5).
+    ("contrast:euclidean/l2l-sampled",
+     _pair_sampled("euclidean"), [NONZERO_ROWS, POS]),
+    ("contrast:euclidean/l2l-weighted",
+     (lambda a, b: get_objective("euclidean").pair_loss(
+         a, b, negatives=NEGS, weights=WEIGHTS3)),
+     [NONZERO_ROWS, POS]),
+    ("contrast:euclidean/g2l", _score("euclidean"), [POS_SCORES, NEG_SCORES]),
+]
+
+ALL_CASES = OP_CASES + FUNCTIONAL_CASES + CONTRAST_CASES
 
 
 @pytest.mark.parametrize(
@@ -161,6 +235,24 @@ def test_every_op_has_a_gradcheck_case():
     missing_fn = _public_functions(F) - covered
     assert not missing_ops, f"ops without a gradcheck case: {sorted(missing_ops)}"
     assert not missing_fn, f"functional without a gradcheck case: {sorted(missing_fn)}"
+
+
+def test_every_objective_mode_pair_has_a_gradcheck_case():
+    """Walk the objective registry: each objective needs an L2L (pair_loss)
+    and a G2L (score_loss) gradcheck case, so new objectives can't land
+    without finite-difference coverage of both modes."""
+    from repro.contrast import available_objectives
+
+    covered = set()
+    for case in CONTRAST_CASES:
+        objective, mode = case[0].split(":", 1)[1].split("/", 1)
+        covered.add((objective, mode.split("-")[0]))
+    missing = []
+    for objective in available_objectives():
+        for mode in ("l2l", "g2l"):
+            if (objective, mode) not in covered:
+                missing.append(f"{objective}/{mode}")
+    assert not missing, f"objective×mode without a gradcheck case: {missing}"
 
 
 def test_gradcheck_catches_wrong_backward():

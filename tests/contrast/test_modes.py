@@ -1,0 +1,122 @@
+"""Modes: L2L sampler threading + RNG discipline, G2L helpers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, ops
+from repro.contrast import (
+    G2LContrast,
+    L2LContrast,
+    UniformK,
+    bilinear_scores,
+    get_negative_sampler,
+    get_objective,
+    graph_summary,
+)
+
+
+def _views(m=12, d=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        Tensor(rng.normal(size=(m, d)), requires_grad=True),
+        Tensor(rng.normal(size=(m, d)), requires_grad=True),
+    )
+
+
+class TestL2LContrast:
+    def test_default_sampler_is_all_pairs(self):
+        contrast = L2LContrast(get_objective("infonce"))
+        assert contrast.sampler.name == "all"
+
+    def test_all_pairs_composition_consumes_no_rng(self):
+        """Composing with the dense sampler must leave the RNG untouched —
+        the seed-equivalence contract of the refactor."""
+        z1, z2 = _views()
+        rng = np.random.default_rng(5)
+        before = rng.bit_generator.state
+        L2LContrast(get_objective("infonce")).loss(z1, z2, rng=rng)
+        assert rng.bit_generator.state == before
+
+    def test_negative_free_objective_skips_sampling_entirely(self):
+        """A bootstrap loss with a uniform sampler still draws nothing:
+        uses_negatives gates the sampler call."""
+        z1, z2 = _views()
+        rng = np.random.default_rng(6)
+        before = rng.bit_generator.state
+        contrast = L2LContrast(get_objective("bootstrap"), UniformK(k=4))
+        contrast.loss(z1, z2, rng=rng)
+        assert rng.bit_generator.state == before
+
+    def test_uniform_sampler_draws_once_per_loss(self):
+        z1, z2 = _views()
+        rng = np.random.default_rng(7)
+        contrast = L2LContrast(get_objective("infonce"), UniformK(k=4))
+        before = rng.bit_generator.state
+        contrast.loss(z1, z2, rng=rng)
+        assert rng.bit_generator.state != before
+
+    def test_sampled_loss_differs_from_dense(self):
+        z1, z2 = _views()
+        dense = float(L2LContrast(get_objective("infonce")).loss(z1, z2).item())
+        sampled = float(
+            L2LContrast(get_objective("infonce"), UniformK(k=3))
+            .loss(z1, z2, rng=np.random.default_rng(0))
+            .item()
+        )
+        assert dense != sampled
+
+    def test_hard_sampler_reads_embeddings(self):
+        z1, z2 = _views()
+        contrast = L2LContrast(
+            get_objective("margin"), get_negative_sampler("hard", k=3)
+        )
+        loss = contrast.loss(z1, z2)
+        loss.backward()
+        assert z1.grad is not None and np.isfinite(float(loss.item()))
+
+    def test_weights_forwarded(self):
+        z1, z2 = _views(m=8)
+        contrast = L2LContrast(get_objective("infonce"))
+        uniform = float(contrast.loss(z1, z2).item())
+        skewed = float(
+            contrast.loss(z1, z2, weights=np.linspace(1, 9, 8)).item()
+        )
+        assert uniform != skewed
+
+
+class TestG2LContrast:
+    def test_routes_to_score_loss(self):
+        rng = np.random.default_rng(1)
+        pos = Tensor(rng.normal(size=6))
+        neg = Tensor(rng.normal(size=6))
+        obj = get_objective("jsd")
+        got = G2LContrast(obj).loss(pos, neg)
+        want = obj.score_loss(pos, neg)
+        assert float(got.item()) == float(want.item())
+
+
+class TestHelpers:
+    def test_graph_summary_shape_and_range(self):
+        h = Tensor(np.random.default_rng(2).normal(size=(10, 4)))
+        s = graph_summary(h)
+        assert s.shape == (1, 4)
+        assert np.all(s.data > 0) and np.all(s.data < 1)
+
+    def test_bilinear_scores_matches_manual(self):
+        rng = np.random.default_rng(3)
+        h = Tensor(rng.normal(size=(7, 4)))
+        w = Tensor(rng.normal(size=(4, 4)))
+        s = graph_summary(h)
+        scores = bilinear_scores(h, w, s)
+        assert scores.shape == (7,)
+        manual = (h.data @ w.data) @ s.data.T
+        np.testing.assert_allclose(scores.data, manual.ravel(), rtol=1e-12)
+
+    def test_bilinear_scores_differentiable(self):
+        rng = np.random.default_rng(4)
+        h = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        s = graph_summary(h)
+        loss = ops.sum(bilinear_scores(h, w, s))
+        loss.backward()
+        assert h.grad is not None and w.grad is not None

@@ -1,0 +1,172 @@
+"""Negative samplers: invariants, RNG discipline, and uniformity.
+
+The chi-square test pins the statistical contract of the shifted-draw
+construction in ``sample_negative_indices``: conditioned on the anchor,
+draws are exactly uniform over the ``m-1`` non-anchor rows.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.contrast import (
+    AllPairs,
+    HardTopK,
+    UniformK,
+    available_negative_samplers,
+    get_negative_sampler,
+    sample_negative_indices,
+)
+
+
+class TestSampleNegativeIndices:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        negs = sample_negative_indices(10, 4, rng)
+        assert negs.shape == (10, 4)
+
+    def test_never_returns_the_anchor(self):
+        """The shifted-draw construction guarantees neg != anchor."""
+        rng = np.random.default_rng(1)
+        for m in (2, 3, 7, 50):
+            negs = sample_negative_indices(m, 6, rng)
+            anchors = np.arange(m)[:, None]
+            assert np.all(negs != anchors)
+            assert negs.min() >= 0 and negs.max() < m
+
+    def test_rejects_degenerate_inputs(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            sample_negative_indices(1, 3, rng)
+        with pytest.raises(ValueError):
+            sample_negative_indices(5, 0, rng)
+
+    def test_uniform_over_non_anchor_rows_chi_square(self):
+        """Conditioned on the anchor, the draw is uniform over the other
+        m-1 rows: a chi-square goodness-of-fit test on pooled per-anchor
+        histograms must not reject at the 1% level."""
+        m, k, rounds = 8, 16, 400
+        rng = np.random.default_rng(12345)
+        counts = np.zeros((m, m), dtype=np.int64)
+        for _ in range(rounds):
+            negs = sample_negative_indices(m, k, rng)
+            for anchor in range(m):
+                counts[anchor] += np.bincount(negs[anchor], minlength=m)
+        assert np.all(np.diag(counts) == 0)
+        # Per anchor: k*rounds draws over m-1 equiprobable cells.
+        expected = k * rounds / (m - 1)
+        off_diag = counts[~np.eye(m, dtype=bool)].reshape(m, m - 1)
+        chi2_stat = ((off_diag - expected) ** 2 / expected).sum()
+        dof = m * (m - 2)  # m anchors × (m-1 cells − 1) each
+        critical = stats.chi2.ppf(0.99, dof)
+        assert chi2_stat < critical, (
+            f"chi2={chi2_stat:.1f} exceeds the 1% critical value "
+            f"{critical:.1f} (dof={dof}): draws are not uniform"
+        )
+
+    def test_boundary_shift_is_not_biased(self):
+        """Regression for the >= shift: the cell just above the anchor must
+        not be double-weighted (a strict > would fold two draws into it)."""
+        m, k, rounds = 4, 32, 500
+        rng = np.random.default_rng(7)
+        counts = np.zeros(m, dtype=np.int64)
+        for _ in range(rounds):
+            negs = sample_negative_indices(m, k, rng)
+            counts += np.bincount(negs[0], minlength=m)
+        # Anchor 0: cells 1, 2, 3 each expect k*rounds/3.
+        expected = k * rounds / (m - 1)
+        assert counts[0] == 0
+        assert np.all(np.abs(counts[1:] - expected) < 6 * np.sqrt(expected))
+
+
+class TestAllPairs:
+    def test_returns_none_and_consumes_no_rng(self):
+        """Load-bearing for seed equivalence: the dense default must leave
+        the method RNG stream untouched."""
+        rng = np.random.default_rng(3)
+        before = rng.bit_generator.state
+        assert AllPairs().sample(10, rng=rng) is None
+        assert rng.bit_generator.state == before
+
+    def test_works_without_rng(self):
+        assert AllPairs().sample(5) is None
+
+
+class TestUniformK:
+    def test_caps_k_at_m_minus_one(self):
+        rng = np.random.default_rng(4)
+        negs = UniformK(k=64).sample(5, rng=rng)
+        assert negs.shape == (5, 4)
+
+    def test_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            UniformK(k=2).sample(5)
+
+    def test_matches_legacy_draw(self):
+        """UniformK is the packaged form of the historical inline sampling:
+        same RNG, same k-capping, same draws."""
+        negs_a = UniformK(k=8).sample(6, rng=np.random.default_rng(9))
+        negs_b = sample_negative_indices(6, min(8, 6 - 1), np.random.default_rng(9))
+        np.testing.assert_array_equal(negs_a, negs_b)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            UniformK(k=0)
+
+
+class TestHardTopK:
+    def _embeddings(self, m=20, d=6, seed=11):
+        rng = np.random.default_rng(seed)
+        return rng.normal(size=(m, d)), rng.normal(size=(m, d))
+
+    def test_selects_most_similar_non_positive(self):
+        z1, z2 = self._embeddings()
+        k = 4
+        negs = HardTopK(k=k).sample(20, z1=z1, z2=z2)
+        a = z1 / np.linalg.norm(z1, axis=1, keepdims=True)
+        b = z2 / np.linalg.norm(z2, axis=1, keepdims=True)
+        sims = a @ b.T
+        np.fill_diagonal(sims, -np.inf)
+        for row in range(20):
+            expected = set(np.argsort(sims[row])[-k:])
+            assert set(negs[row]) == expected
+            assert row not in negs[row]
+
+    def test_hardest_first_ordering(self):
+        z1, z2 = self._embeddings(seed=13)
+        negs = HardTopK(k=5).sample(20, z1=z1, z2=z2)
+        a = z1 / np.linalg.norm(z1, axis=1, keepdims=True)
+        b = z2 / np.linalg.norm(z2, axis=1, keepdims=True)
+        sims = a @ b.T
+        row_sims = np.take_along_axis(sims, negs, axis=1)
+        assert np.all(np.diff(row_sims, axis=1) <= 1e-12)
+
+    def test_chunked_scan_matches_single_chunk(self):
+        z1, z2 = self._embeddings(m=30, seed=17)
+        full = HardTopK(k=3, chunk_rows=4096).sample(30, z1=z1, z2=z2)
+        chunked = HardTopK(k=3, chunk_rows=7).sample(30, z1=z1, z2=z2)
+        np.testing.assert_array_equal(full, chunked)
+
+    def test_requires_embeddings(self):
+        with pytest.raises(ValueError, match="embeddings"):
+            HardTopK(k=2).sample(5, rng=np.random.default_rng(0))
+
+
+class TestRegistry:
+    def test_available(self):
+        assert available_negative_samplers() == ["all", "hard", "uniform"]
+
+    def test_get_by_name(self):
+        assert isinstance(get_negative_sampler("all"), AllPairs)
+        assert isinstance(get_negative_sampler("ALL", k=9), AllPairs)
+        sampler = get_negative_sampler("uniform", k=9)
+        assert isinstance(sampler, UniformK) and sampler.k == 9
+        hard = get_negative_sampler("hard", k=3)
+        assert isinstance(hard, HardTopK) and hard.k == 3
+
+    def test_defaults_without_k(self):
+        assert get_negative_sampler("uniform").k == 64
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown negative sampler"):
+            get_negative_sampler("nope")

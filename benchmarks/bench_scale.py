@@ -1,0 +1,206 @@
+"""Scale-layer benchmarks: the 50x-past-dense acceptance run.
+
+Exercises ``repro.scale`` end to end on a synthetic chord-ring graph far
+beyond the dense path's ~10^4-node practical limit:
+
+* **partition** — BFS-grow sharding of the full graph: seconds, edge-cut
+  fraction, balance factor;
+* **propagate** — out-of-core ``A^2 X`` under two chunk budgets, with the
+  tracemalloc transient peak proving the budget actually bounds resident
+  growth (the full product would be ``n x d`` resident);
+* **train** — ``repro train e2gcl --sampled`` semantics (local views,
+  uniform anchors, fanout-sampled mini-batches) for a few epochs, with
+  per-epoch seconds and the training-loop transient peak;
+* **fallback** — the oracle the test tier pins, re-measured here: the
+  default-config sampled step's loss trajectory vs the dense trainer on
+  small cora (must be bit-identical, i.e. max |diff| == 0.0).
+
+Writes ``BENCH_scale.json`` at the repo root and
+``benchmarks/results/scale.txt`` (injected into EXPERIMENTS.md by
+``benchmarks/collect_results.py``).  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py
+
+Environment knobs: ``REPRO_BENCH_SCALE_NODES`` (synthetic graph size,
+default 500_000 — 50x the dense limit), ``REPRO_BENCH_SCALE_EPOCHS``
+(sampled training epochs, default 3).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import get_method
+from repro.core import E2GCLConfig, E2GCLTrainer
+from repro.graphs import chord_ring_graph, load_dataset
+from repro.scale import (
+    SampledTrainStep,
+    bfs_partition,
+    blockwise_propagated_features,
+    rows_per_chunk,
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_scale.json"
+TXT_PATH = ROOT / "benchmarks" / "results" / "scale.txt"
+
+#: Where the dense path stops being practical (full-graph views are O(n^2)
+#: in edge candidates and every epoch touches all n rows).
+DENSE_LIMIT_NODES = 10_000
+
+NUM_NODES = int(os.environ.get("REPRO_BENCH_SCALE_NODES", 500_000))
+EPOCHS = int(os.environ.get("REPRO_BENCH_SCALE_EPOCHS", 3))
+CHORDS = 2.0
+FEATURES = 16
+HOPS = 2
+PARTS = 16
+BATCH_SIZE = 512   # InfoNCE similarity buffers are O(batch^2) — keep local
+ANCHOR_BUDGET = 8192
+FANOUTS = [10, 5]
+
+
+def timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def peak_traced(fn):
+    """(result, seconds, tracemalloc peak bytes) for one call."""
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    start = time.perf_counter()
+    out = fn()
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return out, seconds, peak
+
+
+def bench_partition(graph) -> dict:
+    part, seconds = timed(lambda: bfs_partition(graph.adjacency, PARTS))
+    print(f"partition: {PARTS} parts in {seconds:.2f}s, "
+          f"edge_cut={part.edge_cut:.3f}, balance={part.balance:.3f}")
+    return {
+        "parts": PARTS,
+        "seconds": seconds,
+        "edge_cut": part.edge_cut,
+        "balance": part.balance,
+    }
+
+
+def bench_propagate(graph, workdir: Path) -> dict:
+    """A^L X under two chunk budgets; the peak must track the budget."""
+    runs = []
+    for budget_mb in (8, 64):
+        budget = budget_mb * 1024 * 1024
+        out_dir = workdir / f"prop_{budget_mb}mb"
+        out_dir.mkdir()
+        _, seconds, peak = peak_traced(lambda: blockwise_propagated_features(
+            graph.adjacency, graph.features, HOPS,
+            chunk_budget_bytes=budget, out_dir=out_dir))
+        chunk_rows = rows_per_chunk(graph.num_features, 8, budget)
+        print(f"propagate A^{HOPS} X @ {budget_mb} MB budget: {seconds:.2f}s, "
+              f"transient peak {peak / 1e6:.1f} MB, {chunk_rows} rows/chunk")
+        runs.append({
+            "budget_mb": budget_mb,
+            "seconds": seconds,
+            "transient_peak_mb": peak / 1e6,
+            "rows_per_chunk": chunk_rows,
+        })
+    return {"hops": HOPS, "runs": runs}
+
+
+def bench_training(graph) -> dict:
+    """The acceptance run: sampled E2GCL at 50x the dense limit."""
+    method = get_method(
+        "e2gcl", sampled=True, epochs=EPOCHS, embedding_dim=8, hidden_dim=16,
+        seed=0, batch_size=BATCH_SIZE, fanouts=FANOUTS, view_mode="local",
+        anchor_mode="uniform", anchor_budget=ANCHOR_BUDGET)
+    _, seconds, peak = peak_traced(lambda: method.fit(graph))
+    losses = method.info.losses
+    assert np.isfinite(losses).all(), "sampled training diverged"
+    per_epoch = seconds / EPOCHS
+    print(f"sampled training: {EPOCHS} epochs in {seconds:.2f}s "
+          f"({per_epoch:.2f}s/epoch), transient peak {peak / 1e6:.1f} MB, "
+          f"final loss {losses[-1]:.4f}")
+    return {
+        "epochs": EPOCHS,
+        "batch_size": BATCH_SIZE,
+        "fanouts": FANOUTS,
+        "anchor_budget": ANCHOR_BUDGET,
+        "view_mode": "local",
+        "total_seconds": seconds,
+        "seconds_per_epoch": per_epoch,
+        "transient_peak_mb": peak / 1e6,
+        "final_loss": float(losses[-1]),
+        "scale_factor": graph.num_nodes / DENSE_LIMIT_NODES,
+    }
+
+
+def bench_fallback() -> dict:
+    """Dense-vs-fallback trajectory diff on small cora (must be 0.0)."""
+    graph = load_dataset("cora", seed=3, scale=0.25)
+    cfg = E2GCLConfig(epochs=4, embedding_dim=8, hidden_dim=16, seed=0)
+    dense = E2GCLTrainer(graph, cfg).train()
+    sampled = SampledTrainStep(graph, cfg).train()
+    dense_losses = np.array([r.loss for r in dense.history])
+    sampled_losses = np.array([r.loss for r in sampled.history])
+    diff = float(np.max(np.abs(dense_losses - sampled_losses)))
+    print(f"fallback equivalence on cora x0.25: max |loss diff| = {diff}")
+    return {
+        "dataset": "cora x0.25",
+        "epochs": 4,
+        "max_abs_loss_diff": diff,
+        "bit_identical": bool(diff == 0.0),
+    }
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        graph, gen_seconds = timed(lambda: chord_ring_graph(
+            NUM_NODES, CHORDS, seed=0, num_features=FEATURES,
+            feature_dir=str(workdir / "feats")))
+        print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges "
+              f"(built in {gen_seconds:.2f}s, features memmapped)")
+        payload = {
+            "benchmark": "scale",
+            "python": platform.python_version(),
+            "graph": {
+                "name": "chord_ring",
+                "num_nodes": int(graph.num_nodes),
+                "num_edges": int(graph.num_edges),
+                "chords_per_node": CHORDS,
+                "num_features": FEATURES,
+                "build_seconds": gen_seconds,
+            },
+            "dense_limit_nodes": DENSE_LIMIT_NODES,
+            "partition": bench_partition(graph),
+            "propagate": bench_propagate(graph, workdir),
+            "training": bench_training(graph),
+            "fallback": bench_fallback(),
+        }
+    JSON_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"wrote {JSON_PATH}")
+    # Render the EXPERIMENTS.md artifact through the shared aggregator.
+    import importlib.util
+    spec = importlib.util.spec_from_file_location(
+        "collect_results", ROOT / "benchmarks" / "collect_results.py")
+    collect = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(collect)
+    collect.aggregate_scale()
+    print(f"wrote {TXT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

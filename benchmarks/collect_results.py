@@ -26,6 +26,7 @@ HOTPATHS_JSON = ROOT / "BENCH_hotpaths.json"
 SERVE_JSON = ROOT / "BENCH_serve.json"
 AUTOGRAD_JSON = ROOT / "BENCH_autograd.json"
 CONTRAST_JSON = ROOT / "BENCH_contrast.json"
+SCALE_JSON = ROOT / "BENCH_scale.json"
 
 
 def aggregate_hotpaths() -> bool:
@@ -218,6 +219,49 @@ def aggregate_contrast() -> bool:
     return True
 
 
+def aggregate_scale() -> bool:
+    """Render ``BENCH_scale.json`` into ``results/scale.txt``.
+
+    Standalone (no ``repro`` import), mirroring :func:`aggregate_hotpaths`.
+    Returns False when the JSON has not been generated yet.
+    """
+    if not SCALE_JSON.exists():
+        return False
+    data = json.loads(SCALE_JSON.read_text())
+    graph = data["graph"]
+    part = data["partition"]
+    train = data["training"]
+    fallback = data["fallback"]
+    lines = [
+        f"=== Scale layer: sampled training at "
+        f"{train['scale_factor']:.0f}x the dense limit ===",
+        f"graph: {graph['name']} n={graph['num_nodes']:,} "
+        f"m={graph['num_edges']:,} (built in {graph['build_seconds']:.2f}s)",
+        f"partition ({part['parts']} parts): {part['seconds']:.2f}s, "
+        f"edge_cut={part['edge_cut']:.3f}, balance={part['balance']:.3f}",
+    ]
+    for run in data["propagate"]["runs"]:
+        lines.append(
+            f"A^{data['propagate']['hops']} X @ {run['budget_mb']} MB chunk "
+            f"budget: {run['seconds']:.2f}s, transient peak "
+            f"{run['transient_peak_mb']:.1f} MB "
+            f"({run['rows_per_chunk']:,} rows/chunk)")
+    lines.append(
+        f"sampled e2gcl ({train['epochs']} epochs, batch={train['batch_size']},"
+        f" fanouts={train['fanouts']}, {train['view_mode']} views, "
+        f"{train['anchor_budget']:,} anchors): "
+        f"{train['seconds_per_epoch']:.2f}s/epoch, transient peak "
+        f"{train['transient_peak_mb']:.1f} MB, "
+        f"final loss {train['final_loss']:.4f}")
+    lines.append(
+        f"dense-fallback trajectory diff ({fallback['dataset']}, "
+        f"{fallback['epochs']} epochs): {fallback['max_abs_loss_diff']} "
+        + ("(bit-identical)" if fallback["bit_identical"] else "(MISMATCH)"))
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "scale.txt").write_text("\n".join(lines) + "\n")
+    return True
+
+
 BLOCK_TEMPLATE = "<!-- MEASURED:{key} -->\n```text\n{body}\n```\n<!-- /MEASURED:{key} -->"
 PATTERN = re.compile(
     r"<!-- MEASURED:(?P<key>[\w]+) -->(?:\n```text\n.*?\n```\n<!-- /MEASURED:(?P=key) -->)?",
@@ -234,6 +278,8 @@ def main() -> int:
         print("aggregated BENCH_autograd.json -> results/autograd.txt")
     if aggregate_contrast():
         print("aggregated BENCH_contrast.json -> results/contrast.txt")
+    if aggregate_scale():
+        print("aggregated BENCH_scale.json -> results/scale.txt")
     text = EXPERIMENTS.read_text()
     missing = []
 

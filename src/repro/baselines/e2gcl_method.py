@@ -24,8 +24,24 @@ class E2GCLMethod(ContrastiveMethod):
 
     name = "e2gcl"
 
+    #: kwargs routed into :class:`repro.scale.ScaleConfig` when sampled.
+    _SCALE_KEYS = (
+        "batch_size", "fanouts", "view_mode", "anchor_mode", "anchor_budget",
+        "partition_parts", "local_edge_drop", "local_feature_mask",
+        "chunk_budget_bytes", "feature_dir",
+    )
+
     def __init__(self, config: Optional[E2GCLConfig] = None, selector=None, **kwargs) -> None:
         cfg = config or E2GCLConfig()
+        # The sampled mini-batch engine (repro.scale) is opted into with
+        # sampled=True; its knobs ride along as ScaleConfig fields.
+        self.sampled = bool(kwargs.pop("sampled", False))
+        self._scale_kwargs = {
+            key: kwargs.pop(key) for key in self._SCALE_KEYS if key in kwargs
+        }
+        if self._scale_kwargs and not self.sampled:
+            raise ValueError(
+                f"scale kwargs {sorted(self._scale_kwargs)} need sampled=True")
         mapped = {}
         # Route the shared ContrastiveMethod kwargs into the config (the
         # shared "objective" selection is E2GCL's "loss" field).
@@ -66,6 +82,19 @@ class E2GCLMethod(ContrastiveMethod):
     def _build_encoder(self, graph: Graph):
         return None  # the trainer owns encoder construction
 
+    def _build_trainer(self, graph: Graph) -> E2GCLTrainer:
+        """Dense :class:`E2GCLTrainer`, or the mini-batched
+        :class:`repro.scale.SampledTrainStep` when ``sampled=True`` (the
+        checkpoint ``step_class`` then differs, so dense and sampled runs
+        never resume into each other)."""
+        if not self.sampled:
+            return E2GCLTrainer(graph, self.config, selector=self.selector)
+        from ..scale import SampledTrainStep, ScaleConfig
+
+        return SampledTrainStep(
+            graph, self.config, selector=self.selector,
+            scale=ScaleConfig(**self._scale_kwargs))
+
     def fit(
         self,
         graph: Graph,
@@ -76,7 +105,7 @@ class E2GCLMethod(ContrastiveMethod):
     ) -> "E2GCLMethod":
         """Delegate to the E2GCL trainer (itself an engine plugin)."""
         self._graph = graph
-        self.trainer = E2GCLTrainer(graph, self.config, selector=self.selector)
+        self.trainer = self._build_trainer(graph)
         # Expose the encoder before training so per-epoch callbacks (e.g.
         # the Fig. 3 timed evaluator) can embed mid-run.
         self.encoder = self.trainer.encoder
@@ -93,11 +122,13 @@ class E2GCLMethod(ContrastiveMethod):
     def load_checkpoint(self, path: Union[str, Path], graph: Graph) -> "E2GCLMethod":
         """Rehydrate from an engine checkpoint written during ``fit``.
 
-        The checkpoint's step class is :class:`E2GCLTrainer` (the actual
-        engine plugin), so a fresh trainer is built and its arrays restored.
+        The checkpoint's step class is :class:`E2GCLTrainer` (or
+        :class:`~repro.scale.SampledTrainStep` for sampled runs — the
+        engine validates the class name), so a matching fresh trainer is
+        built and its arrays restored.
         """
         self._graph = graph
-        self.trainer = E2GCLTrainer(graph, self.config, selector=self.selector)
+        self.trainer = self._build_trainer(graph)
         load_step_state(self.trainer, path)
         self.encoder = self.trainer.encoder
         return self

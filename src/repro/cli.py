@@ -72,7 +72,26 @@ def _cmd_train(args) -> int:
         negatives=args.negatives,
         neg_k=args.neg_k,
     )
-    method = get_method(args.method, **config.method_kwargs())
+    scale_kwargs = {}
+    if getattr(args, "sampled", False):
+        if args.method != "e2gcl":
+            print("--sampled only supports the e2gcl method", file=sys.stderr)
+            return 2
+        scale_kwargs["sampled"] = True
+        if args.batch_size is not None:
+            scale_kwargs["batch_size"] = args.batch_size
+        if args.fanouts:
+            scale_kwargs["fanouts"] = [
+                None if tok in ("none", "full") else int(tok)
+                for tok in args.fanouts.lower().split(",")
+            ]
+        if args.local_views:
+            scale_kwargs["view_mode"] = "local"
+        if args.anchors != "coreset":
+            scale_kwargs["anchor_mode"] = args.anchors
+        if args.partition_parts is not None:
+            scale_kwargs["partition_parts"] = args.partition_parts
+    method = get_method(args.method, **config.method_kwargs(), **scale_kwargs)
     hooks = []
     recovering = args.guard == "recover"
     if args.guard != "off":
@@ -353,6 +372,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "subsampling (O(n*k)), or top-k hard mining")
     train.add_argument("--neg-k", type=int, default=64,
                        help="negatives per anchor for --negatives uniform/hard")
+    train.add_argument("--sampled", action="store_true",
+                       help="train e2gcl on neighbor-sampled mini-batches "
+                            "(repro.scale; see docs/SCALE.md)")
+    train.add_argument("--batch-size", type=int, default=None,
+                       help="anchors per mini-batch for --sampled "
+                            "(default: all anchors in one batch)")
+    train.add_argument("--fanouts", default=None,
+                       help="comma list of per-hop neighbor budgets for "
+                            "--sampled, outermost first (e.g. '10,5'; "
+                            "'full' keeps a hop exact)")
+    train.add_argument("--local-views", action="store_true",
+                       help="per-block view corruption instead of global "
+                            "Alg. 3 views (--sampled; sublinear per epoch)")
+    train.add_argument("--anchors", choices=["coreset", "uniform", "all"],
+                       default="coreset",
+                       help="anchor selection for --sampled (default coreset)")
+    train.add_argument("--partition-parts", type=int, default=None,
+                       help="batch anchors by BFS partition part "
+                            "(--sampled; Cluster-GCN-style locality)")
     train.add_argument("--save", default=None, help="write an .npz checkpoint (e2gcl only)")
     train.add_argument("--checkpoint", default=None,
                        help="write a resumable engine checkpoint (.npz, any method)")

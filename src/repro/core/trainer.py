@@ -129,6 +129,20 @@ class E2GCLTrainer(TrainStep):
     # ------------------------------------------------------------------
     def setup(self) -> "E2GCLTrainer":
         """Run Alg. 2 (if enabled) and precompute the Alg. 3 score tables."""
+        self._run_selection()
+        self._build_score_tables()
+        return self
+
+    def _propagated_r(self):
+        """Optional precomputed ``R = A_n^L X`` for Alg. 2.
+
+        ``None`` lets :func:`select_coreset` derive it densely; the
+        sampled trainer overrides this with the blockwise out-of-core
+        aggregation (see :mod:`repro.scale.feature_store`)."""
+        return None
+
+    def _run_selection(self) -> None:
+        """Alg. 2: pick the coreset anchors and their λ weights."""
         cfg = self.config
         if cfg.use_coreset and self.selector is not None:
             start = time.perf_counter()
@@ -147,6 +161,7 @@ class E2GCLTrainer(TrainStep):
                     sample_size=cfg.sample_size,
                     hops=cfg.num_layers,
                     rng=self._rng,
+                    r=self._propagated_r(),
                 )
             self._anchors = self.coreset.selected
             self._weights = self.coreset.weights
@@ -156,6 +171,9 @@ class E2GCLTrainer(TrainStep):
             self._weights = np.ones(self.graph.num_nodes)
             self._selection_seconds = 0.0
 
+    def _build_score_tables(self) -> None:
+        """Precompute the Alg. 3 edge/feature score tables."""
+        cfg = self.config
         self._edge_table = compute_edge_scores(
             self.graph,
             beta=cfg.beta,
@@ -170,7 +188,6 @@ class E2GCLTrainer(TrainStep):
             uniform=not cfg.feature_aware,
             centrality_method=cfg.centrality_method,
         )
-        return self
 
     # ------------------------------------------------------------------
     def _views(self):
@@ -203,7 +220,7 @@ class E2GCLTrainer(TrainStep):
             sampler = get_negative_sampler(cfg.negatives, k=cfg.neg_k)
         return L2LContrast(objective, sampler)
 
-    def _loss(self, h_hat: Tensor, h_tilde: Tensor) -> Tensor:
+    def _loss(self, h_hat: Tensor, h_tilde: Tensor, weights=None) -> Tensor:
         if self._contrast.objective.name == "euclidean" and self._anchors.size < 2:
             raise ValueError(
                 f"euclidean contrastive loss needs at least 2 coreset anchors "
@@ -214,7 +231,9 @@ class E2GCLTrainer(TrainStep):
         if self.projector is not None:
             h_hat = self.projector(h_hat)
             h_tilde = self.projector(h_tilde)
-        return self._contrast.loss(h_hat, h_tilde, rng=self._neg_rng, weights=self._weights)
+        if weights is None:
+            weights = self._weights
+        return self._contrast.loss(h_hat, h_tilde, rng=self._neg_rng, weights=weights)
 
     # ------------------------------------------------------------------
     # TrainStep plugin surface
@@ -235,10 +254,10 @@ class E2GCLTrainer(TrainStep):
         """Encoder (and projector when the loss uses one)."""
         return {"encoder": self.encoder, "projector": self.projector}
 
-    def run_epoch(self, loop, epoch: int) -> float:
-        """Refresh views on schedule, then one optimization step."""
-        cfg = self.config
-        interval = max(cfg.view_refresh_interval, 1)
+    def _epoch_views(self, epoch: int):
+        """The (view_hat, view_tilde) pair for ``epoch``, refreshed on the
+        configured interval, with mid-interval resumes replayed bit-for-bit."""
+        interval = max(self.config.view_refresh_interval, 1)
         if self._replay_view_state is not None and epoch % interval != 0:
             # Resuming mid-refresh-interval: regenerate the cached views by
             # replaying the RNG from the state saved at the last refresh,
@@ -251,7 +270,11 @@ class E2GCLTrainer(TrainStep):
             self._view_rng_state = self._rng.bit_generator.state
             self._views_cache = self._views()
         self._replay_view_state = None
-        view_hat, view_tilde = self._views_cache
+        return self._views_cache
+
+    def run_epoch(self, loop, epoch: int) -> float:
+        """Refresh views on schedule, then one optimization step."""
+        view_hat, view_tilde = self._epoch_views(epoch)
 
         optimizer = loop.optimizer
         optimizer.zero_grad()

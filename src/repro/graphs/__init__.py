@@ -21,7 +21,13 @@ from .datasets import (
     get_spec,
     load_dataset,
 )
-from .generators import FeatureModel, attributed_graph, degree_corrected_sbm, random_graph
+from .generators import (
+    FeatureModel,
+    attributed_graph,
+    chord_ring_graph,
+    degree_corrected_sbm,
+    random_graph,
+)
 from .graph import Graph
 from .ppr import ppr_diffusion_graph, ppr_matrix, topk_sparsify
 from .random_walk import node2vec_walks, skip_gram_pairs, uniform_random_walks
@@ -65,6 +71,7 @@ __all__ = [
     "load_dataset",
     "FeatureModel",
     "attributed_graph",
+    "chord_ring_graph",
     "degree_corrected_sbm",
     "random_graph",
     "ppr_matrix",

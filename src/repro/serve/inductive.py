@@ -48,6 +48,7 @@ from ..core.serialization import EncoderArtifact
 from ..graphs import Graph
 from ..graphs.batch import split_union_embeddings
 from ..obs import span
+from ..scale import blocks as _blocks
 from .errors import MalformedQueryError, UnknownNodeError
 
 #: (rows, cols, data) of a normalized ego block, its local h0 rows, and the
@@ -124,46 +125,21 @@ class InductiveEncoder:
         return features @ self.artifact.encoder.layers[0].weight.data
 
     # ------------------------------------------------------------------
-    # Vectorized CSR gathers
+    # Vectorized CSR gathers — shared kernels live in repro.scale.blocks
+    # (promoted from here in the scale-layer PR); these thin wrappers bind
+    # the served graph so the call sites below read as before.
     # ------------------------------------------------------------------
     def _gather_rows(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(local rows, global cols, values) of the parent rows ``nodes``."""
-        adjacency = self.graph.adjacency
-        starts = adjacency.indptr[nodes]
-        counts = adjacency.indptr[nodes + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
-            return (np.empty(0, dtype=np.int64),
-                    np.empty(0, dtype=np.int64), np.empty(0))
-        shift = np.concatenate(([0], np.cumsum(counts[:-1])))
-        source = np.repeat(starts - shift, counts) + np.arange(total)
-        rows = np.repeat(np.arange(nodes.size, dtype=np.int64), counts)
-        return rows, adjacency.indices[source], adjacency.data[source]
+        return _blocks.gather_rows(self.graph.adjacency, nodes)
 
     def _ego_nodes(self, seeds: np.ndarray, hops: int) -> np.ndarray:
         """Sorted ids within ``hops`` of any seed (vectorized BFS)."""
-        nodes = np.unique(np.asarray(seeds, dtype=np.int64))
-        for _ in range(hops):
-            _, cols, _ = self._gather_rows(nodes)
-            grown = np.union1d(nodes, cols)
-            if grown.size == nodes.size:
-                break
-            nodes = grown
-        return nodes
+        return _blocks.grow_ego(self.graph.adjacency, seeds, hops)
 
     def _sub_triplets(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """COO triplets of ``A[nodes][:, nodes]`` with the diagonal dropped.
-
-        Column order inside each row stays ascending (the parent CSR is
-        canonical and ``nodes`` is sorted), so the downstream CSR build
-        reproduces the full-graph summation order bit for bit.  Diagonal
-        entries are dropped to mirror ``add_self_loops`` forcing them to 1.
-        """
-        rows, cols, vals = self._gather_rows(nodes)
-        pos = np.searchsorted(nodes, cols)
-        clipped = np.minimum(pos, nodes.size - 1)
-        keep = (nodes[clipped] == cols) & (cols != nodes[rows])
-        return rows[keep], pos[keep], vals[keep]
+        """COO triplets of ``A[nodes][:, nodes]`` with the diagonal dropped."""
+        return _blocks.sub_triplets(self.graph.adjacency, nodes)
 
     def _normalized_block(
         self,
@@ -172,23 +148,8 @@ class InductiveEncoder:
         vals: np.ndarray,
         true_degrees: np.ndarray,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Degree-corrected ``D̃^{-1/2}(A+I)D̃^{-1/2}`` as COO triplets.
-
-        Same arithmetic as :func:`repro.graphs.adjacency.normalized_adjacency`
-        restricted to the block — ``D̃`` from *parent* degrees (+1 for the
-        renormalization self-loop), scale rows then columns — so every
-        entry equals the corresponding full-graph float exactly.
-        """
-        n = true_degrees.shape[0]
-        degrees = true_degrees + 1.0
-        with np.errstate(divide="ignore"):
-            inv_sqrt = np.where(degrees > 0, degrees ** -0.5, 0.0)
-        diag = np.arange(n, dtype=np.int64)
-        out_rows = np.concatenate([rows, diag])
-        out_cols = np.concatenate([cols, diag])
-        out_vals = np.concatenate([vals, np.ones(n)])
-        out_vals = (out_vals * inv_sqrt[out_rows]) * inv_sqrt[out_cols]
-        return out_rows, out_cols, out_vals
+        """Degree-corrected ``D̃^{-1/2}(A+I)D̃^{-1/2}`` as COO triplets."""
+        return _blocks.normalized_block(rows, cols, vals, true_degrees)
 
     def _forward(self, a_n: sp.csr_matrix, h0: np.ndarray) -> np.ndarray:
         """Drive the frozen layers with a precomputed ``A_n`` and ``H0``.
@@ -336,43 +297,19 @@ class InductiveEncoder:
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Vectorized multi-source ego extraction for a batch of known nodes.
 
-        Every node is tagged with its block id (``key = block * N + node``,
-        strictly increasing by construction), so one BFS, one row gather,
-        and one ``searchsorted`` against the key array produce the entire
-        batch's *block-diagonal* normalized adjacency directly — the
-        amortization unbatched requests structurally cannot have.  Returns
+        The kernel (``key = block * N + node`` tagging, one BFS, one row
+        gather, one ``searchsorted``) lives in
+        :func:`repro.scale.blocks.fused_ego_blocks`; this wrapper slices
+        the served ``H0`` cache for the block's global node ids.  Returns
         ``(rows, cols, vals, h0, offsets, centers_local)`` where offsets
         are the block boundaries in the concatenated node order.
         """
-        n_graph = self.graph.num_nodes
-        k = centers.shape[0]
-        keys = np.arange(k, dtype=np.int64) * n_graph + centers
-        for _ in range(self.radius):
-            rows, cols, _ = self._gather_rows(keys % n_graph)
-            if cols.size == 0:
-                break
-            grown = np.union1d(
-                keys, (keys[rows] // n_graph) * n_graph + cols)
-            if grown.size == keys.size:
-                break
-            keys = grown
-        all_nodes = keys % n_graph
-        all_blocks = keys // n_graph
-        rows, cols, vals = self._gather_rows(all_nodes)
-        col_keys = all_blocks[rows] * n_graph + cols
-        pos = np.searchsorted(keys, col_keys)
-        clipped = np.minimum(pos, keys.size - 1)
-        keep = (keys[clipped] == col_keys) & (cols != all_nodes[rows])
-        rows, cols, vals = self._normalized_block(
-            rows[keep], pos[keep], vals[keep],
-            self._true_degrees()[all_nodes])
-        offsets = np.searchsorted(all_blocks, np.arange(k + 1))
-        centers_local = (
-            np.searchsorted(
-                keys, np.arange(k, dtype=np.int64) * n_graph + centers)
-            - offsets[:-1]
-        )
-        return rows, cols, vals, self._layer0_transform()[all_nodes], offsets, centers_local
+        fused = _blocks.fused_ego_blocks(
+            self.graph.adjacency, centers, self.radius,
+            degrees=self._true_degrees())
+        return (fused.rows, fused.cols, fused.vals,
+                self._layer0_transform()[fused.nodes],
+                fused.offsets, fused.centers)
 
     def encode_batch(
         self, items: Sequence[Union[int, np.integer, EgoQuery]]

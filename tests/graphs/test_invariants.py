@@ -1,0 +1,153 @@
+"""Property-based invariants over adversarial graph shapes.
+
+Hypothesis drives the scale-layer kernels (partitioning, block
+extraction, normalization, chunked propagation) through arbitrary random
+graphs plus the named pathological shapes — empty, single node, star,
+disconnected — asserting the structural invariants the oracle tier pins
+pointwise: CSR round-trips, exactly-once assignment, self-loops on every
+normalized row, and chunk-size independence of ``A^L X``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, normalized_adjacency
+from repro.graphs.adjacency import propagated_features
+from repro.scale import (
+    bfs_partition,
+    blockwise_propagated_features,
+    gather_rows,
+    grow_ego,
+    true_degrees,
+)
+
+pytestmark = pytest.mark.scale
+
+
+def random_edge_graph(n, num_edges, seed, num_features=3):
+    rng = np.random.default_rng(seed)
+    edges = [(int(rng.integers(n)), int(rng.integers(n)))
+             for _ in range(num_edges)]
+    edges = [(u, v) for u, v in edges if u != v]
+    return Graph.from_edge_list(
+        n, edges, features=rng.normal(size=(n, num_features)))
+
+
+graph_params = st.tuples(
+    st.integers(1, 15), st.integers(0, 40), st.integers(0, 10_000))
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_params)
+def test_normalized_rows_keep_self_loops(params):
+    """Every row of A_n has a strictly positive diagonal (no dead rows)."""
+    g = random_edge_graph(*params)
+    a_n = normalized_adjacency(g.adjacency)
+    assert np.all(a_n.diagonal() > 0.0)
+    # Symmetric normalization of a symmetric graph stays symmetric.
+    assert (a_n != a_n.T).nnz == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_params, st.integers(1, 4))
+def test_partition_exactly_once(params, num_parts):
+    g = random_edge_graph(*params)
+    part = bfs_partition(g.adjacency, num_parts)
+    counts = np.bincount(part.assignment, minlength=part.num_parts)
+    assert counts.sum() == g.num_nodes
+    all_nodes = np.concatenate(part.parts) if part.parts else np.empty(0)
+    np.testing.assert_array_equal(np.sort(all_nodes), np.arange(g.num_nodes))
+    assert 0.0 <= part.edge_cut <= 1.0
+    assert part.balance >= 1.0 or g.num_nodes < part.num_parts
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_params, st.integers(1, 4))
+def test_partition_reassembles_csr(params, num_parts):
+    g = random_edge_graph(*params)
+    part = bfs_partition(g.adjacency, num_parts)
+    assert (part.reassemble(g.adjacency) != g.adjacency).nnz == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_params)
+def test_gather_rows_covers_every_entry(params):
+    g = random_edge_graph(*params)
+    nodes = np.arange(g.num_nodes, dtype=np.int64)
+    rows, cols, vals = gather_rows(g.adjacency, nodes)
+    assert rows.size == g.adjacency.nnz
+    rebuilt = np.zeros((g.num_nodes, g.num_nodes))
+    rebuilt[rows, cols] = vals
+    np.testing.assert_array_equal(rebuilt, g.adjacency.toarray())
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_params, st.integers(0, 3))
+def test_grow_ego_monotone_and_sorted(params, hops):
+    g = random_edge_graph(*params)
+    seeds = np.array([0], dtype=np.int64)
+    smaller = grow_ego(g.adjacency, seeds, hops)
+    larger = grow_ego(g.adjacency, seeds, hops + 1)
+    np.testing.assert_array_equal(smaller, np.sort(smaller))
+    assert set(smaller.tolist()) <= set(larger.tolist())
+    assert 0 in smaller
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph_params, st.integers(0, 3), st.integers(1, 9))
+def test_blockwise_propagation_chunk_independent(params, hops, chunk_rows):
+    """A^L X is bit-identical to dense for any chunk size on any graph."""
+    g = random_edge_graph(*params)
+    dense = propagated_features(g, hops)
+    row_bytes = g.features.shape[1] * 8
+    blockwise = blockwise_propagated_features(
+        g.adjacency, g.features, hops,
+        chunk_budget_bytes=chunk_rows * row_bytes)
+    assert np.array_equal(blockwise, dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_params)
+def test_true_degrees_match_graph_degrees(params):
+    g = random_edge_graph(*params)
+    np.testing.assert_array_equal(true_degrees(g.adjacency), g.degrees)
+
+
+class TestNamedAdversarialShapes:
+    """The shapes random generation rarely hits, pinned explicitly."""
+
+    def shapes(self):
+        rng = np.random.default_rng(0)
+        single = Graph.from_edge_list(
+            1, [], features=rng.normal(size=(1, 3)))
+        edgeless = Graph.from_edge_list(
+            5, [], features=rng.normal(size=(5, 3)))
+        star = Graph.from_edge_list(
+            7, [(0, i) for i in range(1, 7)],
+            features=rng.normal(size=(7, 3)))
+        disconnected = Graph.from_edge_list(
+            6, [(0, 1), (1, 2), (3, 4)], features=rng.normal(size=(6, 3)))
+        return [single, edgeless, star, disconnected]
+
+    def test_partition_handles_all(self):
+        for g in self.shapes():
+            part = bfs_partition(g.adjacency, min(2, g.num_nodes))
+            assert int(np.sum(part.sizes())) == g.num_nodes
+            assert (part.reassemble(g.adjacency) != g.adjacency).nnz == 0
+
+    def test_propagation_handles_all(self):
+        for g in self.shapes():
+            dense = propagated_features(g, 2)
+            blockwise = blockwise_propagated_features(
+                g.adjacency, g.features, 2, chunk_budget_bytes=24)
+            assert np.array_equal(blockwise, dense)
+
+    def test_sampler_handles_all(self):
+        from repro.scale import NeighborSampler
+        for g in self.shapes():
+            block = NeighborSampler(g.adjacency, num_hops=2).sample(
+                np.array([0]))
+            np.testing.assert_array_equal(
+                block.nodes, np.sort(g.ego_nodes(0, 2)))

@@ -99,6 +99,70 @@ class TestCrashResume:
         )
 
 
+def make_sampled():
+    """E2GCL on the repro.scale mini-batch path, batched so the sampler,
+    batch shuffle, and local-view RNG streams are all genuinely live."""
+    return get_method(
+        "e2gcl", sampled=True, batch_size=16, fanouts=[10, 5],
+        view_mode="local", **KWARGS)
+
+
+@pytest.mark.scale
+class TestSampledChaos:
+    """The recovery paths must survive the sampled engine's extra RNG
+    streams (batches, sampler, local_views, anchors) — a resume that
+    dropped any of them would diverge from the uninterrupted run."""
+
+    def test_nan_rollback_on_sampled_path(self, tiny_cora, tmp_path):
+        plan = FaultPlan(seed=7).nan_gradients(epoch=4)
+        guard = HealthGuard(policy="recover", spike_factor=None)
+        recovery = AutoRecovery(
+            CheckpointManager(tmp_path / "ckpts", keep=3), max_retries=2)
+        method = make_sampled()
+        method.fit(tiny_cora, hooks=[plan.hook(), guard, recovery])
+        losses = method.info.losses
+        assert len(losses) == EPOCHS
+        assert np.isfinite(losses).all()
+        assert recovery.retries == 1
+        entry = recovery.recoveries[0]
+        assert entry["failed_epoch"] == 4
+        assert entry["resume_epoch"] == 4
+
+    def test_kill_then_resume_is_bit_identical(self, tiny_cora, tmp_path):
+        baseline = make_sampled()
+        baseline.fit(tiny_cora)
+
+        ckpt_dir = tmp_path / "ckpts"
+        crashed = make_sampled()
+        with pytest.raises(SimulatedCrash):
+            crashed.fit(tiny_cora, hooks=[
+                FaultPlan(seed=1).crash(epoch=5).hook(),
+                AutoRecovery(CheckpointManager(ckpt_dir, keep=3)),
+            ])
+
+        target = find_latest_valid(ckpt_dir)
+        assert target is not None
+        assert read_checkpoint(target)[0]["epoch_next"] == 5
+
+        resumed = make_sampled()
+        resumed.fit(tiny_cora, resume_from=target)
+        np.testing.assert_array_equal(
+            resumed.info.losses, baseline.info.losses)
+        np.testing.assert_array_equal(
+            resumed.embed(tiny_cora), baseline.embed(tiny_cora))
+
+    def test_dense_checkpoint_rejected_by_sampled_run(self, tiny_cora, tmp_path):
+        """step_class validation: dense and sampled runs never cross-resume."""
+        ckpt_dir = tmp_path / "ckpts"
+        dense = get_method("e2gcl", **KWARGS)
+        dense.fit(tiny_cora, hooks=[
+            AutoRecovery(CheckpointManager(ckpt_dir, keep=3))])
+        target = find_latest_valid(ckpt_dir)
+        assert target is not None
+        with pytest.raises(ValueError, match="step"):
+            make_sampled().fit(tiny_cora, resume_from=target)
+
+
 class TestCorruptSkip:
     def test_resume_skips_damaged_checkpoints(self, tiny_cora, tmp_path):
         ckpt_dir = tmp_path / "ckpts"

@@ -1,0 +1,135 @@
+"""FeatureStore and out-of-core ``A^L X``: bit-identity with the dense path.
+
+The headline oracle: ``blockwise_propagated_features`` must equal
+:func:`repro.graphs.adjacency.propagated_features` via ``np.array_equal``
+— not allclose — for every chunk size and for the memmap path, because
+scipy's CSR row-slice matmul runs the exact per-row kernel of the full
+product.  Training correctness downstream (coreset selection consumes R)
+depends on this being exact, not approximate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.adjacency import propagated_features
+from repro.scale import (
+    DEFAULT_CHUNK_BUDGET,
+    FeatureStore,
+    blockwise_propagated_features,
+    rows_per_chunk,
+)
+
+pytestmark = pytest.mark.scale
+
+
+@pytest.fixture()
+def graph(small_er_graph):
+    return small_er_graph
+
+
+class TestRowsPerChunk:
+    def test_basic_division(self):
+        assert rows_per_chunk(16, 8, 1024) == 8
+
+    def test_at_least_one_row(self):
+        assert rows_per_chunk(10_000, 8, 16) == 1
+
+    def test_zero_features_does_not_divide_by_zero(self):
+        assert rows_per_chunk(0, 8, 1024) >= 1
+
+
+class TestFeatureStore:
+    def test_gather_matches_fancy_indexing(self, graph):
+        store = FeatureStore(graph.features)
+        idx = np.array([5, 0, 5, 29])
+        np.testing.assert_array_equal(
+            store.gather(idx), graph.features[idx])
+        assert not store.on_disk
+
+    def test_chunk_and_as_array(self, graph):
+        store = FeatureStore(graph.features)
+        np.testing.assert_array_equal(
+            store.chunk(3, 9), graph.features[3:9])
+        np.testing.assert_array_equal(store.as_array(), graph.features)
+        assert store.shape == graph.features.shape
+        assert store.num_rows == graph.num_nodes
+        assert store.num_features == graph.features.shape[1]
+
+    def test_memmapped_round_trip(self, graph, tmp_path):
+        store = FeatureStore.memmapped(graph.features, tmp_path)
+        assert store.on_disk
+        assert (tmp_path / "features.npy").exists()
+        np.testing.assert_array_equal(store.as_array(), graph.features)
+        idx = np.array([1, 17, 2])
+        np.testing.assert_array_equal(store.gather(idx), graph.features[idx])
+
+    def test_from_path(self, graph, tmp_path):
+        path = tmp_path / "x.npy"
+        np.save(path, graph.features)
+        store = FeatureStore(path)
+        assert store.on_disk
+        np.testing.assert_array_equal(store.as_array(), graph.features)
+
+    def test_rejects_bad_shapes_and_budgets(self, graph):
+        with pytest.raises(ValueError):
+            FeatureStore(graph.features.ravel())
+        with pytest.raises(ValueError):
+            FeatureStore(graph.features, chunk_budget_bytes=0)
+
+    def test_rows_per_chunk_respects_budget(self, graph):
+        row_bytes = graph.features.shape[1] * graph.features.dtype.itemsize
+        store = FeatureStore(graph.features, chunk_budget_bytes=4 * row_bytes)
+        assert store.rows_per_chunk() == 4
+
+
+class TestBlockwisePropagation:
+    @pytest.mark.parametrize("hops", [0, 1, 2, 3])
+    def test_bit_identical_to_dense(self, graph, hops):
+        dense = propagated_features(graph, hops)
+        blockwise = blockwise_propagated_features(
+            graph.adjacency, graph.features, hops)
+        assert np.array_equal(blockwise, dense)
+
+    @pytest.mark.parametrize("rows", [1, 3, 7, 1000])
+    def test_every_chunk_size_is_exact(self, graph, rows):
+        """Chunk boundaries must never change a single output bit."""
+        dense = propagated_features(graph, 2)
+        row_bytes = graph.features.shape[1] * 8
+        blockwise = blockwise_propagated_features(
+            graph.adjacency, graph.features, 2,
+            chunk_budget_bytes=rows * row_bytes)
+        assert np.array_equal(blockwise, dense)
+
+    def test_memmap_path_is_exact(self, graph, tmp_path):
+        dense = propagated_features(graph, 3)
+        blockwise = blockwise_propagated_features(
+            graph.adjacency, graph.features, 3, out_dir=tmp_path)
+        assert isinstance(blockwise, np.memmap)
+        assert np.array_equal(np.asarray(blockwise), dense)
+        assert (tmp_path / "propagate_ping.npy").exists()
+
+    def test_accepts_feature_store_input(self, graph, tmp_path):
+        dense = propagated_features(graph, 2)
+        store = FeatureStore.memmapped(graph.features, tmp_path)
+        blockwise = blockwise_propagated_features(
+            graph.adjacency, store, 2)
+        assert np.array_equal(np.asarray(blockwise), dense)
+
+    def test_row_normalization_method(self, graph):
+        dense = propagated_features(graph, 2, method="row")
+        blockwise = blockwise_propagated_features(
+            graph.adjacency, graph.features, 2, method="row")
+        assert np.array_equal(blockwise, dense)
+
+    def test_rejects_negative_hops(self, graph):
+        with pytest.raises(ValueError):
+            blockwise_propagated_features(graph.adjacency, graph.features, -1)
+
+    def test_isolated_nodes(self, isolated_node_graph):
+        g = isolated_node_graph
+        dense = propagated_features(g, 2)
+        blockwise = blockwise_propagated_features(g.adjacency, g.features, 2)
+        assert np.array_equal(blockwise, dense)
+
+    def test_default_budget_constant_sane(self):
+        assert DEFAULT_CHUNK_BUDGET == 64 * 1024 * 1024

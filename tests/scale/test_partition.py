@@ -1,0 +1,125 @@
+"""Partition invariants for the BFS-grow sharder.
+
+The contract: every node lands in exactly one part, every edge is
+accounted for (intra-part or counted in the edge cut), and re-emitting
+the per-part row gathers reassembles the original CSR bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import random_graph
+from repro.scale import GraphPartition, bfs_partition
+
+pytestmark = pytest.mark.scale
+
+
+@pytest.fixture()
+def graph(small_er_graph):
+    return small_er_graph
+
+
+class TestAssignment:
+    @pytest.mark.parametrize("num_parts", [1, 2, 3, 5])
+    def test_every_node_assigned_exactly_once(self, graph, num_parts):
+        part = bfs_partition(graph.adjacency, num_parts)
+        assert part.assignment.shape == (graph.num_nodes,)
+        assert part.assignment.min() >= 0
+        assert part.assignment.max() < num_parts
+        # parts are disjoint and cover everything
+        all_nodes = np.concatenate(part.parts)
+        np.testing.assert_array_equal(
+            np.sort(all_nodes), np.arange(graph.num_nodes))
+        for pid, nodes in enumerate(part.parts):
+            np.testing.assert_array_equal(part.assignment[nodes], pid)
+
+    def test_sizes_sum_to_num_nodes(self, graph):
+        part = bfs_partition(graph.adjacency, 4)
+        assert int(np.sum(part.sizes())) == graph.num_nodes
+
+    def test_deterministic(self, graph):
+        a = bfs_partition(graph.adjacency, 3)
+        b = bfs_partition(graph.adjacency, 3)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_more_parts_than_nodes_clamps(self, triangle_graph):
+        part = bfs_partition(triangle_graph.adjacency, 4)
+        assert part.num_parts == 3
+        np.testing.assert_array_equal(np.sort(part.sizes()), [1, 1, 1])
+
+    def test_zero_parts_rejected(self, triangle_graph):
+        with pytest.raises(ValueError):
+            bfs_partition(triangle_graph.adjacency, 0)
+
+
+class TestEdgeAccounting:
+    def test_edge_cut_in_unit_interval(self, graph):
+        part = bfs_partition(graph.adjacency, 3)
+        assert 0.0 <= part.edge_cut <= 1.0
+
+    def test_single_part_has_zero_cut_and_perfect_balance(self, graph):
+        part = bfs_partition(graph.adjacency, 1)
+        assert part.edge_cut == 0.0
+        assert part.balance == 1.0
+
+    def test_intra_plus_cut_edges_cover_all(self, graph):
+        """Every undirected edge is either intra-part or cut — no third bin."""
+        part = bfs_partition(graph.adjacency, 3)
+        coo = graph.adjacency.tocoo()
+        upper = coo.row < coo.col
+        rows, cols = coo.row[upper], coo.col[upper]
+        cut = np.sum(part.assignment[rows] != part.assignment[cols])
+        intra = np.sum(part.assignment[rows] == part.assignment[cols])
+        assert cut + intra == rows.size
+        assert part.edge_cut == pytest.approx(cut / max(rows.size, 1))
+
+    def test_balance_matches_max_over_ideal(self, graph):
+        part = bfs_partition(graph.adjacency, 3)
+        ideal = graph.num_nodes / 3
+        assert part.balance == pytest.approx(part.sizes().max() / ideal)
+        assert part.balance >= 1.0
+
+
+class TestReassemble:
+    @pytest.mark.parametrize("num_parts", [1, 2, 4])
+    def test_round_trips_csr_bit_for_bit(self, graph, num_parts):
+        part = bfs_partition(graph.adjacency, num_parts)
+        rebuilt = part.reassemble(graph.adjacency)
+        assert (rebuilt != graph.adjacency).nnz == 0
+        np.testing.assert_array_equal(
+            rebuilt.indptr, graph.adjacency.indptr)
+        np.testing.assert_array_equal(
+            rebuilt.indices, graph.adjacency.indices)
+        np.testing.assert_array_equal(rebuilt.data, graph.adjacency.data)
+
+    def test_round_trip_large(self):
+        big = random_graph(400, edge_prob=0.02, seed=11, num_features=4)
+        part = bfs_partition(big.adjacency, 8)
+        rebuilt = part.reassemble(big.adjacency)
+        assert (rebuilt != big.adjacency).nnz == 0
+
+
+class TestAdversarialShapes:
+    def test_disconnected_components(self, isolated_node_graph):
+        part = bfs_partition(isolated_node_graph.adjacency, 2)
+        all_nodes = np.concatenate(part.parts)
+        np.testing.assert_array_equal(np.sort(all_nodes), np.arange(4))
+
+    def test_star(self, star_graph):
+        part = bfs_partition(star_graph.adjacency, 2)
+        assert int(np.sum(part.sizes())) == star_graph.num_nodes
+        assert 0.0 <= part.edge_cut <= 1.0
+
+    def test_path(self, path_graph):
+        """A path should shard into contiguous runs with a small cut."""
+        part = bfs_partition(path_graph.adjacency, 2)
+        assert part.edge_cut <= 0.5
+
+    def test_single_node(self):
+        from repro.graphs import Graph
+        g = Graph.from_edge_list(1, [], features=np.ones((1, 2)),
+                                 labels=np.zeros(1, dtype=int))
+        part = bfs_partition(g.adjacency, 1)
+        assert isinstance(part, GraphPartition)
+        np.testing.assert_array_equal(part.assignment, [0])
+        assert part.edge_cut == 0.0

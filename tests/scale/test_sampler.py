@@ -1,0 +1,191 @@
+"""NeighborSampler oracles: exactness, unbiasedness, RNG discipline.
+
+Three claims are locked down here.  (1) The full-fanout sampler is not
+approximately right, it is *bit-identical* to dense propagation at the
+seed rows.  (2) With a fanout, per-neighbor inclusion is uniform
+(chi-square) and the deg/fanout rescale makes aggregation unbiased.
+(3) The exact sampler consumes zero randomness — the property the
+full-graph training fallback's seed-for-seed equivalence rests on.
+"""
+
+import numpy as np
+import pytest
+from scipy.stats import chisquare
+
+from repro.graphs import normalized_adjacency
+from repro.scale import NeighborSampler, SampledBlock
+
+pytestmark = pytest.mark.scale
+
+
+@pytest.fixture()
+def graph(small_er_graph):
+    return small_er_graph
+
+
+def block_propagate(block, features, hops):
+    """L propagations over the block, returning the seed rows."""
+    h = features[block.nodes]
+    for _ in range(hops):
+        h = block.a_n @ h
+    return h[block.seeds_local]
+
+
+class TestExactSampler:
+    @pytest.mark.parametrize("hops", [1, 2, 3])
+    def test_seed_rows_bit_identical_to_dense(self, graph, hops):
+        a_n = normalized_adjacency(graph.adjacency)
+        dense = graph.features.copy()
+        for _ in range(hops):
+            dense = a_n @ dense
+        sampler = NeighborSampler(graph.adjacency, num_hops=hops)
+        assert sampler.exact
+        seeds = np.array([0, 4, 11], dtype=np.int64)
+        block = sampler.sample(seeds)
+        np.testing.assert_array_equal(
+            block_propagate(block, graph.features, hops), dense[seeds])
+
+    def test_matches_spliced_subgraph_oracle(self, graph):
+        """Union block == the L-hop induced subgraph with parent degrees."""
+        hops = 2
+        seeds = np.array([3, 17], dtype=np.int64)
+        block = NeighborSampler(graph.adjacency, num_hops=hops).sample(seeds)
+        ego = np.union1d(graph.ego_nodes(3, hops), graph.ego_nodes(17, hops))
+        np.testing.assert_array_equal(block.nodes, ego)
+        np.testing.assert_array_equal(block.nodes[block.seeds_local], seeds)
+        # Interior rows carry the exact full-graph normalized entries.
+        a_n = normalized_adjacency(graph.adjacency).toarray()
+        interior = np.union1d(
+            graph.ego_nodes(3, hops - 1), graph.ego_nodes(17, hops - 1))
+        dense_block = block.a_n.toarray()
+        for v in interior:
+            local = int(np.searchsorted(block.nodes, v))
+            np.testing.assert_array_equal(
+                dense_block[local], a_n[v, block.nodes])
+
+    def test_fringe_rows_are_self_loop_only(self, graph):
+        hops = 1
+        block = NeighborSampler(graph.adjacency, num_hops=hops).sample(
+            np.array([0]))
+        fringe = np.setdiff1d(block.nodes, graph.ego_nodes(0, 0))
+        dense = block.a_n.toarray()
+        for v in fringe:
+            local = int(np.searchsorted(block.nodes, v))
+            row = dense[local]
+            assert np.count_nonzero(row) == 1
+            assert row[local] > 0
+
+    def test_consumes_no_rng(self, graph):
+        rng = np.random.default_rng(123)
+        before = rng.bit_generator.state
+        NeighborSampler(graph.adjacency, num_hops=2).sample(
+            np.array([0, 1]), rng=rng)
+        assert rng.bit_generator.state == before
+
+    def test_isolated_seed(self, isolated_node_graph):
+        block = NeighborSampler(
+            isolated_node_graph.adjacency, num_hops=2).sample(np.array([3]))
+        np.testing.assert_array_equal(block.nodes, [3])
+        np.testing.assert_array_equal(block.a_n.toarray(), [[1.0]])
+
+
+class TestSubsampling:
+    def test_requires_rng(self, graph):
+        sampler = NeighborSampler(graph.adjacency, fanouts=[2])
+        with pytest.raises(ValueError, match="rng"):
+            sampler.sample(np.array([0]))
+
+    def test_fanout_bounds_kept_neighbors(self, star_graph):
+        rng = np.random.default_rng(0)
+        block = NeighborSampler(star_graph.adjacency, fanouts=[2]).sample(
+            np.array([0]), rng=rng)
+        # Hub keeps exactly 2 of its 5 neighbors (plus the self-loop).
+        hub_local = int(block.seeds_local[0])
+        row = block.a_n[hub_local].toarray().ravel()
+        assert np.count_nonzero(row) == 3
+
+    def test_rescale_exactly_deg_over_fanout(self, star_graph):
+        """Kept hub entries carry the full-graph float times deg/fanout."""
+        fanout = 2
+        a_n = normalized_adjacency(star_graph.adjacency).toarray()
+        rng = np.random.default_rng(1)
+        block = NeighborSampler(
+            star_graph.adjacency, fanouts=[fanout]).sample(
+                np.array([0]), rng=rng)
+        hub_local = int(block.seeds_local[0])
+        row = block.a_n[hub_local].toarray().ravel()
+        deg = 5.0
+        for local, value in enumerate(row):
+            if local == hub_local or value == 0.0:
+                continue
+            full = a_n[0, block.nodes[local]]
+            assert value == full * (deg / fanout)
+
+    def test_aggregation_unbiased(self, star_graph):
+        """E[sampled hub row sum] == full hub row sum (GraphSAGE estimator)."""
+        a_n = normalized_adjacency(star_graph.adjacency).toarray()
+        full_sum = a_n[0].sum()
+        rng = np.random.default_rng(7)
+        sampler = NeighborSampler(star_graph.adjacency, fanouts=[2])
+        trials = 2000
+        total = 0.0
+        for _ in range(trials):
+            block = sampler.sample(np.array([0]), rng=rng)
+            total += block.a_n[int(block.seeds_local[0])].sum()
+        assert total / trials == pytest.approx(full_sum, rel=0.02)
+
+    def test_chi_square_neighbor_uniformity(self, star_graph):
+        """Each of the hub's 5 neighbors is kept with equal probability."""
+        rng = np.random.default_rng(42)
+        sampler = NeighborSampler(star_graph.adjacency, fanouts=[2])
+        counts = np.zeros(6)
+        trials = 3000
+        for _ in range(trials):
+            block = sampler.sample(np.array([0]), rng=rng)
+            hub_local = int(block.seeds_local[0])
+            row = block.a_n[hub_local].toarray().ravel()
+            kept = block.nodes[np.flatnonzero(row)]
+            counts[kept[kept != 0]] += 1
+        observed = counts[1:]
+        assert observed.sum() == trials * 2
+        _, p_value = chisquare(observed)
+        assert p_value > 0.01
+
+    def test_seed_determinism(self, graph):
+        sampler = NeighborSampler(graph.adjacency, fanouts=[3, 2])
+        a = sampler.sample(np.arange(5), rng=np.random.default_rng(9))
+        b = sampler.sample(np.arange(5), rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(a.nodes, b.nodes)
+        np.testing.assert_array_equal(a.a_n.toarray(), b.a_n.toarray())
+        assert a.num_edges == b.num_edges
+
+    def test_small_degree_rows_not_rescaled(self, path_graph):
+        """deg <= fanout rows keep full, unscaled neighborhoods."""
+        rng = np.random.default_rng(3)
+        block = NeighborSampler(path_graph.adjacency, fanouts=[5]).sample(
+            np.array([2]), rng=rng)
+        a_n = normalized_adjacency(path_graph.adjacency).toarray()
+        local = int(block.seeds_local[0])
+        np.testing.assert_array_equal(
+            block.a_n[local].toarray().ravel(), a_n[2, block.nodes])
+
+
+class TestValidation:
+    def test_needs_fanouts_or_hops(self, graph):
+        with pytest.raises(ValueError):
+            NeighborSampler(graph.adjacency)
+
+    def test_rejects_zero_fanout(self, graph):
+        with pytest.raises(ValueError):
+            NeighborSampler(graph.adjacency, fanouts=[0])
+
+    def test_rejects_empty_seeds(self, graph):
+        sampler = NeighborSampler(graph.adjacency, num_hops=1)
+        with pytest.raises(ValueError):
+            sampler.sample(np.empty(0, dtype=np.int64))
+
+    def test_returns_sampled_block(self, graph):
+        block = NeighborSampler(graph.adjacency, num_hops=1).sample(
+            np.array([0]))
+        assert isinstance(block, SampledBlock)
+        assert block.num_edges >= 0

@@ -1,0 +1,179 @@
+"""SampledTrainStep: the full-graph fallback oracle and the scaling knobs.
+
+The anchor test is seed-for-seed equivalence: a SampledTrainStep left at
+its defaults (no fanouts, no batching, global views) must retrace the
+dense ``E2GCLTrainer`` loss trajectory *bit for bit* and land on the same
+embeddings.  Every scaling knob — mini-batching, fanouts, local views,
+uniform anchors, partition batching — is then exercised on top of that
+anchor point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import E2GCLConfig, E2GCLTrainer
+from repro.scale import SampledTrainStep, ScaleConfig
+
+pytestmark = pytest.mark.scale
+
+CFG = dict(epochs=4, embedding_dim=8, hidden_dim=16, seed=0)
+
+
+def losses(result):
+    return np.array([rec.loss for rec in result.history])
+
+
+class TestDenseFallback:
+    def test_loss_trajectory_bit_identical(self, tiny_cora):
+        dense = E2GCLTrainer(tiny_cora, E2GCLConfig(**CFG))
+        dense_result = dense.train()
+        sampled = SampledTrainStep(tiny_cora, E2GCLConfig(**CFG))
+        assert sampled._base_sampler.exact
+        sampled_result = sampled.train()
+        np.testing.assert_array_equal(
+            losses(sampled_result), losses(dense_result))
+        np.testing.assert_array_equal(
+            sampled.embed(tiny_cora), dense.embed(tiny_cora))
+
+    def test_fallback_matches_with_infonce(self, tiny_cora):
+        cfg = E2GCLConfig(loss="infonce", **CFG)
+        dense_result = E2GCLTrainer(tiny_cora, cfg).train()
+        sampled_result = SampledTrainStep(tiny_cora, cfg).train()
+        np.testing.assert_array_equal(
+            losses(sampled_result), losses(dense_result))
+
+    def test_coreset_selection_identical_from_blockwise_r(self, tiny_cora):
+        """Alg. 2 fed the out-of-core R picks the same anchors/weights."""
+        dense = E2GCLTrainer(tiny_cora, E2GCLConfig(**CFG)).setup()
+        sampled = SampledTrainStep(tiny_cora, E2GCLConfig(**CFG)).setup()
+        np.testing.assert_array_equal(sampled._anchors, dense._anchors)
+        np.testing.assert_array_equal(sampled._weights, dense._weights)
+
+
+class TestBatchedTraining:
+    def test_mini_batches_run_and_are_deterministic(self, tiny_cora):
+        def run():
+            step = SampledTrainStep(
+                tiny_cora, E2GCLConfig(**CFG),
+                scale=ScaleConfig(batch_size=16))
+            result = step.train()
+            return losses(result), step.embed(tiny_cora)
+
+        loss_a, emb_a = run()
+        loss_b, emb_b = run()
+        assert np.all(np.isfinite(loss_a))
+        np.testing.assert_array_equal(loss_a, loss_b)
+        np.testing.assert_array_equal(emb_a, emb_b)
+
+    def test_fanouts_run(self, tiny_cora):
+        step = SampledTrainStep(
+            tiny_cora, E2GCLConfig(**CFG),
+            scale=ScaleConfig(batch_size=16, fanouts=[10, 5]))
+        result = step.train()
+        assert not step._base_sampler.exact
+        assert np.all(np.isfinite(losses(result)))
+
+    def test_batch_losses_differ_from_dense(self, tiny_cora):
+        """Mini-batching is actually on: trajectory departs from dense."""
+        dense_result = E2GCLTrainer(tiny_cora, E2GCLConfig(**CFG)).train()
+        step = SampledTrainStep(
+            tiny_cora, E2GCLConfig(**CFG), scale=ScaleConfig(batch_size=8))
+        assert not np.array_equal(losses(step.train()), losses(dense_result))
+
+
+class TestLocalViews:
+    def test_local_mode_skips_score_tables(self, tiny_cora):
+        step = SampledTrainStep(
+            tiny_cora, E2GCLConfig(**CFG),
+            scale=ScaleConfig(view_mode="local", batch_size=16))
+        result = step.train()
+        assert step._edge_table is None
+        assert step._feature_table is None
+        assert np.all(np.isfinite(losses(result)))
+
+    def test_local_mode_deterministic(self, tiny_cora):
+        def run():
+            step = SampledTrainStep(
+                tiny_cora, E2GCLConfig(**CFG),
+                scale=ScaleConfig(view_mode="local", batch_size=16,
+                                  fanouts=[5, 3]))
+            return losses(step.train())
+
+        np.testing.assert_array_equal(run(), run())
+
+
+class TestAnchorModes:
+    def test_uniform_budget(self, tiny_cora):
+        step = SampledTrainStep(
+            tiny_cora, E2GCLConfig(**CFG),
+            scale=ScaleConfig(anchor_mode="uniform", anchor_budget=32))
+        step.setup()
+        assert step._anchors.size == 32
+        assert np.unique(step._anchors).size == 32
+        np.testing.assert_array_equal(step._anchors, np.sort(step._anchors))
+        np.testing.assert_array_equal(step._weights, np.ones(32))
+
+    def test_all_anchors(self, tiny_cora):
+        step = SampledTrainStep(
+            tiny_cora, E2GCLConfig(**CFG),
+            scale=ScaleConfig(anchor_mode="all"))
+        step.setup()
+        assert step._anchors.size == tiny_cora.num_nodes
+
+    def test_weight_map_zero_off_anchor(self, tiny_cora):
+        step = SampledTrainStep(tiny_cora, E2GCLConfig(**CFG))
+        step.setup()
+        off_anchor = np.setdiff1d(
+            np.arange(tiny_cora.num_nodes), step._anchors)
+        assert np.all(step._weight_by_node[off_anchor] == 0.0)
+        np.testing.assert_array_equal(
+            step._weight_by_node[step._anchors], step._weights)
+
+
+class TestPartitionBatching:
+    def test_partition_built_and_respected(self, tiny_cora):
+        parts = 4
+        step = SampledTrainStep(
+            tiny_cora, E2GCLConfig(**CFG),
+            scale=ScaleConfig(partition_parts=parts, view_mode="local"))
+        result = step.train()
+        assert step.partition is not None
+        assert step.partition.num_parts == parts
+        assert np.all(np.isfinite(losses(result)))
+        # Each epoch batch stays within one part (modulo singleton merges).
+        batches = step._epoch_batches()
+        assignment = step.partition.assignment
+        whole = sum(np.unique(assignment[b]).size == 1 for b in batches)
+        assert whole >= len(batches) - 1
+
+
+class TestValidation:
+    def test_fanout_arity_must_match_depth(self, tiny_cora):
+        with pytest.raises(ValueError, match="fanouts"):
+            SampledTrainStep(
+                tiny_cora, E2GCLConfig(**CFG),
+                scale=ScaleConfig(fanouts=[5]))
+
+    def test_scale_config_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ScaleConfig(view_mode="nope")
+        with pytest.raises(ValueError):
+            ScaleConfig(anchor_mode="nope")
+        with pytest.raises(ValueError):
+            ScaleConfig(batch_size=1)
+        with pytest.raises(ValueError):
+            ScaleConfig(local_edge_drop=1.0)
+        with pytest.raises(ValueError):
+            ScaleConfig(local_feature_mask=-0.1)
+
+    def test_method_wrapper_requires_sampled_flag(self):
+        from repro.baselines import get_method
+        with pytest.raises(ValueError, match="sampled"):
+            get_method("e2gcl", batch_size=16)
+
+    def test_method_wrapper_builds_sampled_step(self, tiny_cora):
+        from repro.baselines import get_method
+        method = get_method("e2gcl", sampled=True, batch_size=16, **CFG)
+        method.fit(tiny_cora)
+        assert isinstance(method.trainer, SampledTrainStep)
+        assert np.all(np.isfinite(method.embed(tiny_cora)))

@@ -66,6 +66,36 @@ class TestTrain:
         assert code == 2
 
 
+class TestSampledFlags:
+    def test_sampled_parses(self):
+        args = build_parser().parse_args(
+            ["train", "--sampled", "--batch-size", "64", "--fanouts", "10,5",
+             "--local-views", "--anchors", "uniform",
+             "--partition-parts", "4"])
+        assert args.sampled
+        assert args.batch_size == 64
+        assert args.fanouts == "10,5"
+        assert args.local_views
+        assert args.anchors == "uniform"
+        assert args.partition_parts == 4
+
+    @pytest.mark.scale
+    def test_sampled_train_runs(self, capsys):
+        code = main(["train", "--dataset", "cora", "--scale", "0.1",
+                     "--epochs", "2", "--trials", "1", "--sampled",
+                     "--batch-size", "16", "--fanouts", "10,5",
+                     "--local-views"])
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_sampled_rejected_for_baselines(self, capsys):
+        code = main(["train", "--dataset", "cora", "--scale", "0.1",
+                     "--epochs", "1", "--trials", "1", "--method", "grace",
+                     "--sampled"])
+        assert code == 2
+        assert "e2gcl" in capsys.readouterr().err
+
+
 class TestResilienceFlags:
     def test_guard_defaults_off(self):
         args = build_parser().parse_args(["train"])

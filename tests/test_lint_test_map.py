@@ -34,6 +34,22 @@ def test_covered_by_targets_exist():
         assert (ROOT / target).is_file(), f"missing COVERED_BY target: {target}"
 
 
+def test_scale_package_has_no_exemptions():
+    """Every repro.scale module maps to its conventional tests/scale file —
+    the oracle tier is first-class, never routed through COVERED_BY or the
+    allowlist."""
+    exempt = set(check_test_map.COVERED_BY) | check_test_map.ALLOWLIST
+    scale_modules = sorted(
+        (check_test_map.SRC / "scale").glob("*.py"))
+    assert scale_modules, "repro.scale has gone missing"
+    for module in scale_modules:
+        if module.name == "__init__.py":
+            continue
+        rel = module.relative_to(ROOT).as_posix()
+        assert rel not in exempt, f"{rel} must use the default convention"
+        assert check_test_map.expected_test_path(module).is_file()
+
+
 def test_allowlist_is_short_and_real():
     assert len(check_test_map.ALLOWLIST) <= 3, "keep the allowlist short"
     for rel in check_test_map.ALLOWLIST:

@@ -85,9 +85,11 @@ def _subsample_rows(
     rank = np.arange(rows.size) - row_start
     keep = order[rank < fanout]
     keep.sort()
+    # degrees_of_rows is per-entry (aligned with rows/cols/vals), so the
+    # kept entries' parent degrees are selected by position, not row id.
+    degs = degrees_of_rows[keep]
     rows, cols, vals = rows[keep], cols[keep], vals[keep].astype(np.float64)
-    truncated = degrees_of_rows[rows] > fanout
-    scale = np.where(truncated, degrees_of_rows[rows] / float(fanout), 1.0)
+    scale = np.where(degs > fanout, degs / float(fanout), 1.0)
     return rows, cols, vals * scale
 
 

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 from scipy.stats import chisquare
 
-from repro.graphs import normalized_adjacency
+from repro.graphs import Graph, normalized_adjacency
 from repro.scale import NeighborSampler, SampledBlock
 
 pytestmark = pytest.mark.scale
@@ -158,6 +158,50 @@ class TestSubsampling:
         np.testing.assert_array_equal(a.nodes, b.nodes)
         np.testing.assert_array_equal(a.a_n.toarray(), b.a_n.toarray())
         assert a.num_edges == b.num_edges
+
+    def test_multi_seed_heterogeneous_degrees(self, star_graph):
+        """A deg<=fanout seed sampled alongside a hub keeps its exact row.
+
+        Regression: the deg/fanout rescale used to index the per-entry
+        degree array with local row ids, so a low-degree seed batched with
+        a hub inherited the hub's degree and its row was scaled by
+        hub_deg/fanout instead of staying exact.
+        """
+        fanout = 2
+        a_n = normalized_adjacency(star_graph.adjacency).toarray()
+        sampler = NeighborSampler(star_graph.adjacency, fanouts=[fanout])
+        hub_deg = 5.0
+        for trial in range(20):
+            block = sampler.sample(
+                np.array([0, 1]), rng=np.random.default_rng(trial))
+            # Leaf seed (deg 1 <= fanout): exact full-graph row, unscaled.
+            leaf_local = int(block.seeds_local[1])
+            np.testing.assert_array_equal(
+                block.a_n[leaf_local].toarray().ravel(), a_n[1, block.nodes])
+            # Hub seed (deg 5 > fanout): kept entries carry deg/fanout.
+            hub_local = int(block.seeds_local[0])
+            hub_row = block.a_n[hub_local].toarray().ravel()
+            for local, value in enumerate(hub_row):
+                if local == hub_local or value == 0.0:
+                    continue
+                assert value == a_n[0, block.nodes[local]] * (hub_deg / fanout)
+
+    def test_isolated_seeds_with_fanout(self):
+        """Zero-degree seeds in the frontier must not break the rescale.
+
+        Regression: row-id indexing raised IndexError once isolated seeds
+        pushed a connected row's local id past the entry count.
+        """
+        graph = Graph.from_edge_list(
+            5, [(3, 4)], features=np.eye(5),
+            labels=np.zeros(5, dtype=int), name="mostly-isolated")
+        a_n = normalized_adjacency(graph.adjacency).toarray()
+        block = NeighborSampler(graph.adjacency, fanouts=[1]).sample(
+            np.array([0, 1, 2, 3]), rng=np.random.default_rng(0))
+        dense = block.a_n.toarray()
+        for seed, local in zip((0, 1, 2, 3), block.seeds_local):
+            np.testing.assert_array_equal(
+                dense[int(local)], a_n[seed, block.nodes])
 
     def test_small_degree_rows_not_rescaled(self, path_graph):
         """deg <= fanout rows keep full, unscaled neighborhoods."""

@@ -10,7 +10,12 @@ freshly trained GRACE checkpoint:
 * **latency** — warm-cache embed p99 (LRU + snapshot front) vs the cold
   per-request inductive-encode p99; the cache must be >= 10x lower;
 * **consistency** — embeddings answered by the server must be
-  *bit-identical* to the offline ``artifact.embed(graph)`` rows.
+  *bit-identical* to the offline ``artifact.embed(graph)`` rows;
+* **overload** — open-loop offered load at ~2x measured capacity against
+  an admission-controlled server: the excess must be *shed* with
+  structured ``overloaded`` envelopes while goodput (successful req/s)
+  stays within 20% of the goodput the same harness measures at
+  saturation (1x capacity) — load shedding, not queue collapse.
 
 Writes ``BENCH_serve.json`` at the repo root and
 ``benchmarks/results/serve.txt`` (the table
@@ -28,6 +33,7 @@ import platform
 import tempfile
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import List, Tuple
 
@@ -49,6 +55,9 @@ CONCURRENCY = 32
 PER_WORKER = 4          # closed-loop requests per worker thread
 OPEN_LOOP_BURST = 256   # one-shot submit count for the occupancy probe
 WARM_QUERIES = 256
+OVERLOAD_FACTOR = 2.0   # offered load as a multiple of measured capacity
+OVERLOAD_SECONDS = 2.0  # paced-arrival window per open-loop run
+OVERLOAD_SCALE = 1.0    # overload graph: forwards must dominate shed cost
 
 
 def build_registry(graph) -> ModelRegistry:
@@ -104,6 +113,56 @@ def open_loop_burst(server: EmbeddingServer, num_nodes: int) -> float:
         return OPEN_LOOP_BURST / (time.perf_counter() - start)
 
 
+def overload_open_loop(server: EmbeddingServer, num_nodes: int,
+                       offered_rps: float) -> dict:
+    """Pace arrivals at ``offered_rps`` (open loop) for OVERLOAD_SECONDS.
+
+    Arrivals do not wait for responses — a pool far wider than the
+    server's inflight watermark fires them on a fixed clock, so when the
+    server saturates the excess hits admission control instead of piling
+    into an unbounded queue.  Returns shed/goodput/latency tallies.
+    """
+    interval = 1.0 / offered_rps
+
+    def call(client: InProcessClient, node: int) -> Tuple[dict, float]:
+        start = time.perf_counter()
+        response = client.request({"op": "embed", "node": node})
+        return response, time.perf_counter() - start
+
+    with InProcessClient(server) as client, \
+            ThreadPoolExecutor(max_workers=2 * CONCURRENCY) as pool:
+        futures = []
+        start = time.perf_counter()
+        target = start
+        while time.perf_counter() - start < OVERLOAD_SECONDS:
+            now = time.perf_counter()
+            if now < target:
+                time.sleep(target - now)
+            futures.append(pool.submit(call, client, len(futures) % num_nodes))
+            target += interval
+        window = time.perf_counter() - start
+        outcomes = [future.result(timeout=120) for future in futures]
+        elapsed = time.perf_counter() - start  # includes the drain tail
+
+    accepted = [latency for response, latency in outcomes if response["ok"]]
+    shed = sum(1 for response, _ in outcomes
+               if not response["ok"]
+               and response["error"]["code"] == "overloaded")
+    other = len(outcomes) - len(accepted) - shed
+    return {
+        "requests_offered": len(outcomes),
+        "offered_actual_rps": len(outcomes) / window,
+        "accepted": len(accepted),
+        "shed": shed,
+        "other_errors": other,
+        "shed_rate": shed / max(len(outcomes), 1),
+        "goodput_rps": len(accepted) / elapsed,
+        "p99_ms_under_overload": (
+            float(np.percentile(np.asarray(accepted) * 1e3, 99))
+            if accepted else float("nan")),
+    }
+
+
 def percentiles_ms(latencies: List[float]) -> dict:
     array = np.asarray(latencies) * 1e3
     return {
@@ -141,6 +200,54 @@ def run_serve_bench() -> dict:
             unbatched_rps = max(unbatched_rps, rps)
             if len(lats) > len(cold_latencies):
                 cold_latencies = lats
+
+    # Overload: open-loop arrivals against an admission-controlled server
+    # (inflight watermark = concurrency), once at 1x measured capacity
+    # (saturation baseline) and once at OVERLOAD_FACTOR x.  Comparing the
+    # two goodputs *within the same harness* isolates what overload costs
+    # from what the harness costs.  Runs on its own OVERLOAD_SCALE graph:
+    # retention is about admission control only when the per-request
+    # forward dominates the cost of minting an ``overloaded`` envelope
+    # (on the tiny x0.5 graph the two are comparable and shed churn, not
+    # queueing, sets the number).
+    overload_graph = load_dataset(DATASET, seed=SEED, scale=OVERLOAD_SCALE)
+    overload_registry = build_registry(overload_graph)
+
+    def guarded_server() -> EmbeddingServer:
+        return EmbeddingServer(overload_registry, overload_graph,
+                               use_cache=False, use_batching=True,
+                               max_batch=CONCURRENCY, max_wait_ms=2.0,
+                               max_inflight=CONCURRENCY, retry_after_ms=5.0)
+
+    capacity_rps = 0.0
+    for _ in range(trials):
+        with guarded_server() as guarded:
+            capacity_rps = max(
+                capacity_rps, closed_loop(guarded, overload_graph.num_nodes)[0])
+    best = {"saturated": None, "overloaded": None}
+    for _ in range(trials):
+        for slot, factor in (("saturated", 1.0),
+                             ("overloaded", OVERLOAD_FACTOR)):
+            with guarded_server() as guarded:
+                guarded.warmup()
+                run = overload_open_loop(guarded, overload_graph.num_nodes,
+                                         factor * capacity_rps)
+            if (best[slot] is None
+                    or run["goodput_rps"] > best[slot]["goodput_rps"]):
+                best[slot] = run
+    overload = {
+        "dataset": {"name": DATASET, "scale": OVERLOAD_SCALE,
+                    "num_nodes": overload_graph.num_nodes},
+        "max_inflight": CONCURRENCY,
+        "duration_s": OVERLOAD_SECONDS,
+        "overload_factor": OVERLOAD_FACTOR,
+        "capacity_rps": capacity_rps,
+        "saturated": best["saturated"],
+        "overloaded": best["overloaded"],
+        "goodput_over_saturated": (
+            best["overloaded"]["goodput_rps"]
+            / max(best["saturated"]["goodput_rps"], 1e-12)),
+    }
 
     # Latency: warm LRU-fronted snapshot reads, single-threaded so the
     # numbers are pure per-request cost (no queueing).
@@ -190,12 +297,14 @@ def run_serve_bench() -> dict:
             "bit_identical": bool(identical),
             "nodes_checked": len(list(checked)),
         },
+        "overload": overload,
     }
 
 
 def render_serve(results: dict) -> str:
     throughput = results["throughput"]
     latency = results["latency"]
+    overload = results["overload"]
     rows = {
         "batched (req/s)": [f"{throughput['batched_rps']:.0f}"],
         "unbatched (req/s)": [f"{throughput['unbatched_rps']:.0f}"],
@@ -209,6 +318,20 @@ def render_serve(results: dict) -> str:
         "cold/warm p99 ratio": [f"{latency['warm_cold_p99_ratio']:.0f}x"],
         "served == offline": ["bit-identical" if results["consistency"]["bit_identical"]
                               else "MISMATCH"],
+        "overload graph": [
+            f"{overload['dataset']['name']} x{overload['dataset']['scale']} "
+            f"(n={overload['dataset']['num_nodes']})"],
+        "saturated goodput (req/s)": [
+            f"{overload['saturated']['goodput_rps']:.0f}"],
+        "overload offered (req/s)": [
+            f"{overload['overloaded']['offered_actual_rps']:.0f}"],
+        "overload goodput (req/s)": [
+            f"{overload['overloaded']['goodput_rps']:.0f}"],
+        "overload shed rate": [
+            f"{100 * overload['overloaded']['shed_rate']:.0f}%"],
+        "overload p99 (ms)": [
+            f"{overload['overloaded']['p99_ms_under_overload']:.1f}"],
+        "goodput retained": [f"{100 * overload['goodput_over_saturated']:.0f}%"],
     }
     dataset = results["dataset"]
     column = (f"{dataset['name']} x{dataset['scale']} "
@@ -229,6 +352,8 @@ def main() -> int:
     speedup = results["throughput"]["batching_speedup"]
     ratio = results["latency"]["warm_cold_p99_ratio"]
     identical = results["consistency"]["bit_identical"]
+    overloaded = results["overload"]["overloaded"]
+    retained = results["overload"]["goodput_over_saturated"]
     checks = [
         (speedup >= 3.0,
          f"microbatching {speedup:.1f}x vs unbatched at concurrency {CONCURRENCY} (need >= 3x)"),
@@ -237,6 +362,13 @@ def main() -> int:
         (identical,
          f"served embeddings bit-identical to offline "
          f"({results['consistency']['nodes_checked']} nodes)"),
+        (overloaded["shed"] > 0 and overloaded["other_errors"] == 0,
+         f"{OVERLOAD_FACTOR:.0f}x-capacity load shed {overloaded['shed']} of "
+         f"{overloaded['requests_offered']} requests with structured "
+         f"'overloaded' envelopes (and nothing else failed)"),
+        (retained >= 0.8,
+         f"goodput under {OVERLOAD_FACTOR:.0f}x overload "
+         f"{100 * retained:.0f}% of goodput at saturation (need >= 80%)"),
     ]
     for ok, message in checks:
         print(("[OK ] " if ok else "[MISS] ") + message)

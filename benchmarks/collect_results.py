@@ -98,6 +98,22 @@ def aggregate_serve() -> bool:
         ("served == offline", "bit-identical"
          if data["consistency"]["bit_identical"] else "MISMATCH"),
     ]
+    overload = data.get("overload")  # absent in pre-resilience JSON
+    if overload:
+        hot = overload["overloaded"]
+        over_ds = overload["dataset"]
+        rows += [
+            ("overload graph", "%s x%s (n=%d)" % (
+                over_ds["name"], over_ds["scale"], over_ds["num_nodes"])),
+            ("saturated goodput (req/s)",
+             "%.0f" % overload["saturated"]["goodput_rps"]),
+            ("overload offered (req/s)", "%.0f" % hot["offered_actual_rps"]),
+            ("overload goodput (req/s)", "%.0f" % hot["goodput_rps"]),
+            ("overload shed rate", "%.0f%%" % (100 * hot["shed_rate"])),
+            ("overload p99 (ms)", "%.1f" % hot["p99_ms_under_overload"]),
+            ("goodput retained",
+             "%.0f%%" % (100 * overload["goodput_over_saturated"])),
+        ]
     name_width = max(len("metric"), max(len(r[0]) for r in rows))
     cell_width = max(len(column), max(len(r[1]) for r in rows))
     lines = [f"=== Serving benchmarks (best of {data['trials']}) ==="]

@@ -216,8 +216,17 @@ def _build_server(args):
         snapshot_dir=args.snapshot_dir,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        rate_limit=args.rate_limit,
+        burst=args.burst,
+        max_inflight=args.max_inflight,
+        default_deadline_ms=args.deadline_ms,
     )
-    return graph, version, server, InProcessClient(server)
+    retry = None
+    if args.retries > 0:
+        from .serve import RetryPolicy
+
+        retry = RetryPolicy(max_retries=args.retries, seed=args.seed)
+    return graph, version, server, InProcessClient(server, retry=retry)
 
 
 def _cmd_serve(args) -> int:
@@ -229,6 +238,18 @@ def _cmd_serve(args) -> int:
     graph, version, server, client = built
     print(f"serving {version.version_id} ({version.step_class}) over {graph}")
     try:
+        server.warmup()
+        if args.rollout:
+            from .serve import RolloutError
+
+            try:
+                rollout = server.start_rollout(args.rollout)
+            except RolloutError as exc:
+                print(f"rollout rejected: {exc}", file=sys.stderr)
+                return 2
+            print(f"rollout: shadowing {rollout.candidate_id} against "
+                  f"{rollout.active_id} "
+                  f"(promote after {rollout.min_shadow} healthy reads)")
         if args.requests:
             # In-process transport: one JSON request per line, answers on
             # stdout — the socket-free path the integration tests drive.
@@ -309,6 +330,19 @@ def _add_serve_common(parser) -> None:
                         help="disable request microbatching")
     parser.add_argument("--max-batch", type=int, default=32)
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--rate-limit", type=float, default=None,
+                        help="admission: shed workload ops beyond this req/s")
+    parser.add_argument("--burst", type=float, default=None,
+                        help="admission: token-bucket burst headroom")
+    parser.add_argument("--max-inflight", type=int, default=None,
+                        help="admission: concurrent-request watermark; "
+                             "requests beyond it are shed, not queued")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="default per-request latency budget; expired "
+                             "work is dropped, never computed")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="client-side retries (capped backoff + jitter) "
+                             "for shed idempotent requests")
 
 
 def _cmd_trace(args) -> int:
@@ -419,6 +453,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--requests", default=None,
                        help="answer JSONL requests from this file in-process "
                             "(one JSON object per line) instead of binding HTTP")
+    serve.add_argument("--rollout", default=None,
+                       help="candidate checkpoint to roll out blue/green "
+                            "next to the active model (shadow traffic, "
+                            "auto-promote/auto-rollback)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8071,
                        help="HTTP port (0 picks an ephemeral port)")

@@ -13,13 +13,22 @@ written checkpoints directly, simulating torn writes and bit rot that no
 in-process hook could produce.  Each scheduled fault fires once by
 default (``once=False`` re-arms it every epoch), so a recovered run does
 not immediately re-fail on the same injection.
+
+Serving attacks (the ``tests/serve`` chaos tier) target a live
+:class:`~repro.serve.EmbeddingServer`: :meth:`slow_encode` stretches
+forward passes so deadlines lapse in the queue, :meth:`corrupt_snapshot`
+bit-rots a persisted embedding snapshot under a running store,
+:meth:`digest_mismatch` rots a checkpoint so a blue/green candidate fails
+its digest check mid-swap, and :meth:`kill_batcher_worker` drops the
+microbatcher's drain thread mid-flight.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -115,6 +124,75 @@ class FaultPlan:
             data[int(offset)] ^= 0xFF
         path.write_bytes(bytes(data))
         return path
+
+    # ------------------------------------------------------------------
+    # Serving attacks (chaos tier for repro.serve)
+    # ------------------------------------------------------------------
+    def slow_encode(self, server, delay_ms: float = 50.0) -> "FaultPlan":
+        """Stretch every encode on ``server`` by ``delay_ms``.
+
+        Installed at the point the batcher (or, unbatched, the server's
+        inductive path) hands work to the encoder — exactly where a
+        saturated BLAS or a cold NUMA node would stall a real deployment.
+        Requests queue up behind the slowdown, which is how the chaos tier
+        forces deadlines to expire *in the queue* rather than in flight.
+        """
+        if delay_ms <= 0:
+            raise ValueError("delay_ms must be > 0")
+        delay = delay_ms / 1000.0
+        batcher = getattr(server, "_batcher", None)
+        if batcher is not None:
+            original = batcher.handler
+
+            def slowed_handler(items):
+                time.sleep(delay)
+                return original(items)
+
+            batcher.handler = slowed_handler
+        else:
+            original = server._inductive_embed
+
+            def slowed_embed(version, payload, deadline=None):
+                time.sleep(delay)
+                return original(version, payload, deadline)
+
+            server._inductive_embed = slowed_embed
+        return self
+
+    def corrupt_snapshot(self, store, version_id: Optional[str] = None,
+                         count: int = 8) -> Path:
+        """Bit-rot a persisted embedding snapshot under a live store.
+
+        Flips seeded-random bytes in the version's ``emb-*.npz`` so the
+        next load sees a digest mismatch (or an unreadable zip) — the
+        store must reject it structurally and recompute, never leak a raw
+        ``zlib.error`` to a client mid-read.
+        """
+        version = store.registry.get(version_id)
+        path = store._snapshot_path(version)
+        if path is None or not path.is_file():
+            raise ValueError(
+                f"no persisted snapshot for {version.version_id} to corrupt"
+            )
+        return self.flip_bytes(path, count=count)
+
+    def digest_mismatch(self, checkpoint: Union[str, Path],
+                        count: int = 8) -> Path:
+        """Rot a checkpoint so its recorded SHA-256 no longer matches.
+
+        The blue/green mid-swap attack: a candidate pointed at this file
+        must fail registration (structured ``rollout_failed``) and leave
+        the active version untouched.
+        """
+        return self.flip_bytes(checkpoint, count=count)
+
+    def kill_batcher_worker(self, batcher) -> "FaultPlan":
+        """Drop the microbatcher's drain thread at its current queue
+        position — from the outside, indistinguishable from an uncaught
+        error killing the worker.  The batcher must detect the corpse and
+        restart on the next submit (``ServeMetrics.worker_restarts``)."""
+        batcher._inject_worker_death()
+        return self
 
 
 class FaultInjectionHook(Hook):

@@ -16,24 +16,50 @@ Pieces: :class:`ModelRegistry` (content-addressed frozen models),
 offline ``embed``), :class:`InductiveEncoder` (degree-corrected L-hop ego
 inference, unseen-node splicing), :class:`MicroBatcher` (request
 coalescing), :class:`EmbeddingServer` + transports (in-process and stdlib
-HTTP).  See ``docs/SERVING.md`` for the architecture and consistency
-model.
+HTTP).  The resilience layer (:mod:`repro.serve.resilience`) adds
+admission control with load shedding, per-request deadlines, a
+warming/ready/degraded/draining health state machine, retrying clients,
+and health-gated blue/green rollouts (:class:`ModelRollout`).  See
+``docs/SERVING.md`` for the architecture, consistency model, and the
+operating-under-load runbook.
 """
 
 from .batcher import MicroBatcher
 from .errors import (
+    DeadlineExceededError,
     MalformedQueryError,
     ModelNotFoundError,
+    NotReadyError,
+    OverloadedError,
+    RolloutError,
     ServeError,
+    SnapshotError,
     StaleVersionError,
     UnknownNodeError,
     UnknownOpError,
     error_response,
+    internal_error,
 )
 from .inductive import EgoQuery, InductiveEncoder
 from .metrics import LatencyHistogram, ServeMetrics
 from .registry import ModelRegistry, ModelVersion, method_for_step_class
-from .server import EmbeddingServer, InProcessClient, build_http_server
+from .resilience import (
+    AdmissionController,
+    AdmissionTicket,
+    Deadline,
+    RetryPolicy,
+    ServerHealth,
+    TokenBucket,
+    request_with_retries,
+)
+from .rollout import ModelRollout
+from .server import (
+    IDEMPOTENT_OPS,
+    EmbeddingServer,
+    HttpClient,
+    InProcessClient,
+    build_http_server,
+)
 from .store import EmbeddingStore
 
 __all__ = [
@@ -43,7 +69,13 @@ __all__ = [
     "UnknownNodeError",
     "StaleVersionError",
     "ModelNotFoundError",
+    "OverloadedError",
+    "NotReadyError",
+    "DeadlineExceededError",
+    "SnapshotError",
+    "RolloutError",
     "error_response",
+    "internal_error",
     "LatencyHistogram",
     "ServeMetrics",
     "ModelRegistry",
@@ -53,7 +85,17 @@ __all__ = [
     "EgoQuery",
     "InductiveEncoder",
     "MicroBatcher",
+    "TokenBucket",
+    "AdmissionController",
+    "AdmissionTicket",
+    "Deadline",
+    "ServerHealth",
+    "RetryPolicy",
+    "request_with_retries",
+    "ModelRollout",
     "EmbeddingServer",
     "InProcessClient",
+    "HttpClient",
+    "IDEMPOTENT_OPS",
     "build_http_server",
 ]

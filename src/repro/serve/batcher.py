@@ -12,6 +12,23 @@ Failure isolation: the handler receives the whole batch and may return an
 ``Exception`` instance in any slot; only that request's future fails.  A
 handler that raises outright fails every request in the batch with the
 same exception — nothing is ever silently dropped.
+
+Resilience (the serving-resilience layer rides here):
+
+* a request submitted with a :class:`~repro.serve.resilience.Deadline`
+  is re-checked at *dequeue* — work whose budget expired while queued is
+  failed with a structured ``deadline_exceeded`` and never handed to the
+  handler (the pre-encode check inside the handler catches the rest);
+* :meth:`close` that cannot join the worker within its timeout marks the
+  metrics ``dirty_shutdown`` and raises instead of silently leaking a
+  thread;
+* a dead worker (chaos: :meth:`~repro.resilience.FaultPlan.
+  kill_batcher_worker`) is replaced immediately — the drain loop runs
+  under a supervisor that starts a fresh worker whenever the old one dies
+  with the batcher still open, so futures already queued behind the corpse
+  are never stranded.  :meth:`submit` re-checks liveness as a second line
+  of defense.  Every replacement is counted in
+  ``ServeMetrics.worker_restarts``.
 """
 
 from __future__ import annotations
@@ -22,9 +39,13 @@ import time
 from concurrent.futures import Future
 from typing import Callable, List, Optional, Sequence
 
+from ..obs import emit_event
+from .errors import DeadlineExceededError
 from .metrics import ServeMetrics
+from .resilience import Deadline
 
 _STOP = object()
+_KILL = object()   # fault injection: worker exits abruptly, queue survives
 
 
 class MicroBatcher:
@@ -60,27 +81,61 @@ class MicroBatcher:
         self.metrics = metrics or ServeMetrics()
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = False
-        self._worker = threading.Thread(
+        self._worker_lock = threading.Lock()
+        self._worker = self._start_worker()
+
+    def _start_worker(self) -> threading.Thread:
+        worker = threading.Thread(
             target=self._run, name="repro-serve-batcher", daemon=True
         )
-        self._worker.start()
+        worker.start()
+        return worker
 
     # ------------------------------------------------------------------
-    def submit(self, item: object) -> "Future":
-        """Enqueue one request; resolve/fail via the returned future."""
+    def submit(self, item: object,
+               deadline: Optional[Deadline] = None) -> "Future":
+        """Enqueue one request; resolve/fail via the returned future.
+
+        ``deadline`` (optional) is re-checked when the worker dequeues the
+        request: if the budget expired while queued, the future fails with
+        :class:`DeadlineExceededError` and the handler never sees the item.
+        """
         if self._closed:
             raise RuntimeError("batcher is closed")
+        with self._worker_lock:
+            if not self._worker.is_alive() and not self._closed:
+                # Normally the supervisor already replaced a dead worker;
+                # this is the backstop for a death it could not see.
+                self._restart_worker()
         future: "Future" = Future()
-        self._queue.put((item, future))
+        self._queue.put((item, future, deadline))
         return future
 
+    def _restart_worker(self) -> None:
+        """Replace a dead worker (caller holds ``_worker_lock``)."""
+        self.metrics.observe_worker_restart()
+        emit_event("serve.batcher_worker_restarted")
+        self._worker = self._start_worker()
+
     def close(self, timeout: float = 5.0) -> None:
-        """Drain outstanding requests, then stop the worker."""
+        """Drain outstanding requests, then stop the worker.
+
+        A worker that fails to join within ``timeout`` is a *dirty*
+        shutdown: the metrics are flagged and a ``RuntimeError`` raised so
+        the leak is loud, never silent.
+        """
         if self._closed:
             return
         self._closed = True
         self._queue.put(_STOP)
         self._worker.join(timeout)
+        if self._worker.is_alive():
+            self.metrics.mark_dirty_shutdown()
+            emit_event("serve.batcher_dirty_shutdown", timeout_s=float(timeout))
+            raise RuntimeError(
+                f"batcher worker failed to join within {timeout}s; "
+                "shutdown is dirty (a worker thread is still running)"
+            )
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -89,11 +144,54 @@ class MicroBatcher:
         self.close()
 
     # ------------------------------------------------------------------
+    def _inject_worker_death(self) -> None:
+        """Chaos hook (see :meth:`repro.resilience.FaultPlan.
+        kill_batcher_worker`): the worker exits abruptly at this queue
+        position without honoring ``_STOP`` semantics — exactly what an
+        uncaught error in the drain loop would look like from outside."""
+        self._queue.put(_KILL)
+
+    def _expire(self, entry: tuple) -> bool:
+        """Fail a dequeued entry whose deadline lapsed while queued."""
+        item, future, deadline = entry
+        if deadline is None or not deadline.expired:
+            return False
+        del item
+        self.metrics.observe_deadline_expired("dequeue")
+        future.set_exception(DeadlineExceededError(
+            f"deadline of {deadline.budget_ms:.0f}ms expired while queued",
+            stage="dequeue", budget_ms=deadline.budget_ms,
+        ))
+        return True
+
     def _run(self) -> None:
+        """Worker entry point: drain under a restart supervisor.
+
+        An abnormal exit (injected kill, or an uncaught bug in the drain
+        loop) with the batcher still open starts a replacement worker from
+        the dying thread itself — requests already sitting in the queue
+        behind the corpse resolve instead of hanging forever.  A normal
+        ``_STOP`` exit restarts nothing.
+        """
+        try:
+            clean = self._drain()
+        except Exception:  # noqa: BLE001 - a worker bug must not strand the queue
+            clean = False
+        if not clean and not self._closed:
+            with self._worker_lock:
+                if not self._closed:
+                    self._restart_worker()
+
+    def _drain(self) -> bool:
+        """The batching loop; True on a clean ``_STOP`` exit."""
         while True:
             first = self._queue.get()
             if first is _STOP:
-                return
+                return True
+            if first is _KILL:
+                return False  # injected death: abrupt exit, queue left as-is
+            if self._expire(first):
+                continue
             batch = [first]
             deadline = time.monotonic() + self.max_wait_ms / 1000.0
             stop_after = False
@@ -108,20 +206,25 @@ class MicroBatcher:
                 if entry is _STOP:
                     stop_after = True
                     break
+                if entry is _KILL:
+                    self._dispatch(batch)
+                    return False
+                if self._expire(entry):
+                    continue
                 batch.append(entry)
             self._dispatch(batch)
             if stop_after:
-                return
+                return True
 
     def _dispatch(self, batch: List[tuple]) -> None:
         self.metrics.observe_batch(len(batch))
-        items = [item for item, _ in batch]
+        items = [item for item, _, _ in batch]
         try:
             results = self.handler(items)
         except Exception as exc:  # noqa: BLE001 - forwarded, never swallowed
             # The future carries the failure to the blocked caller; the
             # worker itself must survive to serve the next batch.
-            for _, future in batch:
+            for _, future, _ in batch:
                 future.set_exception(exc)
             return
         if len(results) != len(batch):
@@ -129,10 +232,10 @@ class MicroBatcher:
                 f"batch handler returned {len(results)} results "
                 f"for {len(batch)} requests"
             )
-            for _, future in batch:
+            for _, future, _ in batch:
                 future.set_exception(mismatch)
             return
-        for (_, future), result in zip(batch, results):
+        for (_, future, _), result in zip(batch, results):
             if isinstance(result, Exception):
                 future.set_exception(result)
             else:

@@ -6,10 +6,16 @@ in-process client and the HTTP endpoint return the same error shape:
 
 ``{"ok": False, "error": {"code": ..., "message": ..., "details": {...}}}``
 
-The server front end catches exactly :class:`ServeError` — anything else
-is a server bug and propagates (tier-1 ``check_no_silent_except`` forbids
-broad swallowing), surfaced to remote callers as a 500 with the exception
-type but no traceback.
+The server front end maps :class:`ServeError` to its envelope directly;
+anything else is a server bug and is wrapped by :func:`internal_error`
+into a 500 envelope carrying the exception *type* but never a traceback —
+no raw stack ever crosses the transport (``tools/check_serve_envelopes.py``
+lints the op dispatchers for this).
+
+Overload and deadline failures are first-class: an ``overloaded`` envelope
+carries ``retry_after_ms`` so well-behaved clients back off instead of
+hammering a saturated server, and ``deadline_exceeded`` names the stage
+(``admission``/``dequeue``/``pre_encode``) where the budget ran out.
 """
 
 from __future__ import annotations
@@ -63,6 +69,58 @@ class ModelNotFoundError(ServeError):
     status = 404
 
 
+class OverloadedError(ServeError):
+    """Admission control shed this request (token bucket or queue gate).
+
+    ``details["retry_after_ms"]`` is the server's backoff suggestion;
+    retry-aware clients honor it before the next attempt.
+    """
+
+    code = "overloaded"
+    status = 503
+
+    def __init__(self, message: str, retry_after_ms: float = 50.0, **details):
+        super().__init__(message, retry_after_ms=float(retry_after_ms),
+                         **details)
+        self.retry_after_ms = float(retry_after_ms)
+
+
+class NotReadyError(ServeError):
+    """The server is not accepting work (warming up or draining)."""
+
+    code = "not_ready"
+    status = 503
+
+
+class DeadlineExceededError(ServeError):
+    """The request's ``deadline_ms`` budget expired before completion.
+
+    ``details["stage"]`` names where the budget ran out; expired work is
+    dropped at that stage, never computed.
+    """
+
+    code = "deadline_exceeded"
+    status = 504
+
+    def __init__(self, message: str, stage: str = "admission", **details):
+        super().__init__(message, stage=stage, **details)
+        self.stage = stage
+
+
+class SnapshotError(ServeError):
+    """An embedding snapshot could not be loaded *or* recomputed."""
+
+    code = "snapshot_failed"
+    status = 500
+
+
+class RolloutError(ServeError):
+    """A rollout operation is invalid in the current state (or failed)."""
+
+    code = "rollout_failed"
+    status = 409
+
+
 def error_response(exc: ServeError) -> dict:
     """The canonical JSON error envelope for a :class:`ServeError`."""
     return {
@@ -73,4 +131,22 @@ def error_response(exc: ServeError) -> dict:
             "details": exc.details,
         },
         "status": exc.status,
+    }
+
+
+def internal_error(exc: BaseException) -> dict:
+    """The 500 envelope for a non-:class:`ServeError` escaping an op.
+
+    Deliberately carries only the exception type and message — the
+    traceback stays server-side (in the obs event stream), never on the
+    wire.
+    """
+    return {
+        "ok": False,
+        "error": {
+            "code": "internal",
+            "message": f"internal server error ({type(exc).__name__})",
+            "details": {"type": type(exc).__name__},
+        },
+        "status": 500,
     }

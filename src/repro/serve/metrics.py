@@ -81,6 +81,14 @@ class ServeMetrics:
         self.batches = 0
         self.batched_requests = 0
         self.errors: Dict[str, int] = {}
+        # Resilience counters (admission control, deadlines, lifecycle).
+        self.admitted = 0
+        self.shed = 0
+        self.deadline_expired: Dict[str, int] = {}
+        self.encoded_requests = 0
+        self.snapshot_failures = 0
+        self.worker_restarts = 0
+        self.dirty_shutdown = False
 
     # ------------------------------------------------------------------
     def latency(self, op: str) -> LatencyHistogram:
@@ -113,11 +121,57 @@ class ServeMetrics:
             self.errors[code] = self.errors.get(code, 0) + 1
         emit_metric("serve.error", 1.0, code=code)
 
+    def observe_admission(self, admitted: bool) -> None:
+        """One admission decision: accepted into the server, or shed."""
+        with self._lock:
+            if admitted:
+                self.admitted += 1
+            else:
+                self.shed += 1
+        emit_metric("serve.shed" if not admitted else "serve.admitted", 1.0)
+
+    def observe_deadline_expired(self, stage: str) -> None:
+        """A request's deadline ran out at ``stage``; its work was dropped."""
+        with self._lock:
+            self.deadline_expired[stage] = self.deadline_expired.get(stage, 0) + 1
+        emit_metric("serve.deadline_expired", 1.0, stage=stage)
+
+    def observe_encoded(self, count: int = 1) -> None:
+        """``count`` requests actually reached the encoder forward pass."""
+        with self._lock:
+            self.encoded_requests += count
+
+    def observe_snapshot_failure(self) -> None:
+        with self._lock:
+            self.snapshot_failures += 1
+        emit_metric("serve.snapshot_failure", 1.0)
+
+    def observe_worker_restart(self) -> None:
+        with self._lock:
+            self.worker_restarts += 1
+        emit_metric("serve.worker_restart", 1.0)
+
+    def mark_dirty_shutdown(self) -> None:
+        """A shutdown left a worker thread behind (close join timed out)."""
+        with self._lock:
+            self.dirty_shutdown = True
+        emit_metric("serve.dirty_shutdown", 1.0)
+
     # ------------------------------------------------------------------
     @property
     def cache_hit_rate(self) -> Optional[float]:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else None
+
+    @property
+    def shed_rate(self) -> Optional[float]:
+        total = self.admitted + self.shed
+        return self.shed / total if total else None
+
+    @property
+    def deadline_expired_total(self) -> int:
+        with self._lock:
+            return sum(self.deadline_expired.values())
 
     @property
     def mean_batch_occupancy(self) -> Optional[float]:
@@ -128,6 +182,7 @@ class ServeMetrics:
         with self._lock:
             latency = {op: h.summary() for op, h in self._latency.items()}
             errors = dict(self.errors)
+            deadline_expired = dict(self.deadline_expired)
         return {
             "latency": latency,
             "cache": {
@@ -139,6 +194,21 @@ class ServeMetrics:
                 "batches": self.batches,
                 "batched_requests": self.batched_requests,
                 "mean_occupancy": self.mean_batch_occupancy,
+            },
+            "admission": {
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "shed_rate": self.shed_rate,
+            },
+            "deadlines": {
+                "expired": deadline_expired,
+                "expired_total": sum(deadline_expired.values()),
+                "encoded_requests": self.encoded_requests,
+            },
+            "lifecycle": {
+                "snapshot_failures": self.snapshot_failures,
+                "worker_restarts": self.worker_restarts,
+                "dirty_shutdown": self.dirty_shutdown,
             },
             "errors": errors,
         }

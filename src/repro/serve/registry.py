@@ -83,9 +83,16 @@ class ModelRegistry:
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
-    def load(self, path: Union[str, Path]) -> ModelVersion:
+    def load(self, path: Union[str, Path],
+             activate: bool = True) -> ModelVersion:
         """Register the checkpoint at ``path`` (file, or directory searched
-        for its newest digest-valid checkpoint)."""
+        for its newest digest-valid checkpoint).
+
+        ``activate=False`` registers the version *without* making it the
+        default target — the blue/green candidate path: it can be pinned
+        explicitly (shadow traffic) while the active version keeps
+        answering unpinned queries, then :meth:`promote` flips it atomically.
+        """
         target = Path(path)
         if target.is_dir():
             resolved = find_latest_valid(target)
@@ -113,10 +120,11 @@ class ModelRegistry:
             artifact=artifact,
             path=target,
         )
-        return self._register(version)
+        return self._register(version, activate=activate)
 
     def register_artifact(
-        self, artifact: EncoderArtifact, version_id: Optional[str] = None
+        self, artifact: EncoderArtifact, version_id: Optional[str] = None,
+        activate: bool = True,
     ) -> ModelVersion:
         """Register an in-memory artifact (tests, checkpoint-free serving)."""
         method = method_for_step_class(artifact.step_class)
@@ -129,15 +137,39 @@ class ModelRegistry:
             digest=artifact.fingerprint,
             artifact=artifact,
         )
-        return self._register(version)
+        return self._register(version, activate=activate)
 
-    def _register(self, version: ModelVersion) -> ModelVersion:
+    def _register(self, version: ModelVersion,
+                  activate: bool = True) -> ModelVersion:
         with self._lock:
             # Re-registering an id moves it to the end: it becomes latest.
             self._versions.pop(version.version_id, None)
             self._versions[version.version_id] = version
+            if not activate and len(self._versions) > 1:
+                # Park the candidate at the front so the previously-active
+                # version stays the default for unpinned queries.
+                self._versions.move_to_end(version.version_id, last=False)
         emit_event("serve.model_registered", version=version.version_id,
-                   method=version.method or version.step_class)
+                   method=version.method or version.step_class,
+                   activate=bool(activate))
+        return version
+
+    def promote(self, version_id: str) -> ModelVersion:
+        """Atomically make a registered version the default target.
+
+        One ``move_to_end`` under the registry lock — queries racing the
+        promotion see either the old default or the new one, never a
+        half-state.  Raises :class:`StaleVersionError` for unknown ids.
+        """
+        with self._lock:
+            if version_id not in self._versions:
+                raise StaleVersionError(
+                    f"model version {version_id!r} is not registered",
+                    requested=version_id, available=list(self._versions),
+                )
+            self._versions.move_to_end(version_id)
+            version = self._versions[version_id]
+        emit_event("serve.model_promoted", version=version_id)
         return version
 
     # ------------------------------------------------------------------

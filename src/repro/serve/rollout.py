@@ -1,0 +1,244 @@
+"""Blue/green model rollout with shadow-traffic health gating.
+
+A :class:`ModelRollout` loads a *candidate* model version alongside the
+active one (registered but not activated, so unpinned queries keep hitting
+the active version), materializes the candidate's full-graph snapshot as
+an up-front health gate, then mirrors a seeded fraction of known-node
+``embed`` reads as *shadow traffic*: each mirrored read compares the
+candidate's embedding row against the actively-served one by cosine.
+
+Terminal transitions are atomic and automatic:
+
+* **promote** — after ``min_shadow`` mirrored reads with every cosine at
+  or above ``cosine_threshold`` and the error rate at or below
+  ``max_error_rate``, the candidate becomes the registry default in one
+  locked ``move_to_end`` (queries racing the flip see old or new, never
+  half a swap);
+* **rollback** — on the first divergent read, on error-rate breach, or on
+  demand (the ``rollback`` op).  The candidate is unregistered and its
+  snapshot evicted; the active version was never touched, so its served
+  embeddings are bit-identical before, during, and after a failed rollout
+  (the chaos tier pins this).
+
+A candidate that cannot even load (digest mismatch mid-swap) or cannot
+materialize a snapshot never starts shadowing — the rollout fails with a
+structured ``rollout_failed`` envelope and the registry is left clean.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..obs import emit_event
+from .errors import RolloutError, ServeError
+
+#: Rollout lifecycle states.
+SHADOWING = "shadowing"
+PROMOTED = "promoted"
+ROLLED_BACK = "rolled_back"
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity, defining 0-vs-0 as identical (1.0)."""
+    na, nb = float(np.linalg.norm(a)), float(np.linalg.norm(b))
+    if na == 0.0 and nb == 0.0:
+        return 1.0
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))
+
+
+class ModelRollout:
+    """One in-flight blue/green rollout bound to an `EmbeddingServer`.
+
+    Parameters
+    ----------
+    server:
+        The serving front end whose embed path feeds :meth:`mirror`.
+    candidate:
+        A checkpoint path (loaded non-activated) or an already-registered
+        version id.
+    shadow_fraction:
+        Probability that a known-node embed read is mirrored (seeded RNG,
+        so a replayed request stream mirrors identically).
+    min_shadow:
+        Mirrored reads required before the candidate may promote.
+    cosine_threshold:
+        Minimum per-read cosine between candidate and active embeddings;
+        one read below it rolls the candidate back immediately.
+    max_error_rate:
+        Maximum fraction of mirrored reads whose candidate-side lookup
+        errored before the rollout rolls back.
+    """
+
+    def __init__(
+        self,
+        server,
+        candidate: Union[str, Path],
+        shadow_fraction: float = 0.25,
+        min_shadow: int = 32,
+        cosine_threshold: float = 0.999,
+        max_error_rate: float = 0.1,
+        seed: int = 0,
+    ):
+        if not 0.0 < shadow_fraction <= 1.0:
+            raise RolloutError("shadow_fraction must be in (0, 1]")
+        if min_shadow < 1:
+            raise RolloutError("min_shadow must be >= 1")
+        if not 0.0 <= max_error_rate < 1.0:
+            raise RolloutError("max_error_rate must be in [0, 1)")
+        self.server = server
+        self.shadow_fraction = float(shadow_fraction)
+        self.min_shadow = int(min_shadow)
+        self.cosine_threshold = float(cosine_threshold)
+        self.max_error_rate = float(max_error_rate)
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+        self.state = SHADOWING
+        self.reason: Optional[str] = None
+        self.shadow_count = 0
+        self.error_count = 0
+        self.min_cosine = float("inf")
+
+        registry = server.registry
+        self.active_id = registry.get().version_id
+        candidate = str(candidate)
+        if candidate in registry.versions():
+            self.candidate_id = candidate
+        else:
+            # Load path: a corrupt/digest-mismatched candidate fails here,
+            # before anything was registered — the registry stays clean.
+            try:
+                self.candidate_id = registry.load(
+                    candidate, activate=False).version_id
+            except ServeError as exc:
+                raise RolloutError(
+                    f"candidate cannot be loaded: {exc}", candidate=candidate,
+                ) from exc
+        if self.candidate_id == self.active_id:
+            raise RolloutError(
+                f"candidate {self.candidate_id} is already the active version",
+                candidate=self.candidate_id,
+            )
+        # Health gate: the candidate must materialize a snapshot before a
+        # single shadow read — a model that cannot embed the graph never
+        # sees traffic.  Failure unwinds the registration.
+        try:
+            server.store.snapshot(self.candidate_id)
+        except ServeError as exc:
+            registry.unregister(self.candidate_id)
+            raise RolloutError(
+                f"candidate {self.candidate_id} failed its snapshot health "
+                f"gate: {exc}", candidate=self.candidate_id,
+            ) from exc
+        emit_event("serve.rollout_started", candidate=self.candidate_id,
+                   active=self.active_id,
+                   shadow_fraction=self.shadow_fraction)
+
+    # ------------------------------------------------------------------
+    # Shadow traffic
+    # ------------------------------------------------------------------
+    def mirror(self, node: int, version_id: str,
+               active_row: np.ndarray) -> None:
+        """Maybe mirror one known-node read against the candidate.
+
+        Called by the server's embed path with the row it is about to
+        return.  Never raises: a shadow-side failure is a rollout signal,
+        not a client error.
+        """
+        with self._lock:
+            if self.state != SHADOWING or version_id != self.active_id:
+                return
+            if float(self._rng.random()) >= self.shadow_fraction:
+                return
+        try:
+            candidate_row = self.server.store.snapshot(self.candidate_id)[node]
+        except Exception as exc:  # noqa: BLE001 - shadow faults roll back
+            self._record(error=True, detail=str(exc))
+            return
+        self._record(cosine=_cosine(np.asarray(active_row),
+                                    np.asarray(candidate_row)))
+
+    def _record(self, cosine: Optional[float] = None, error: bool = False,
+                detail: Optional[str] = None) -> None:
+        with self._lock:
+            if self.state != SHADOWING:
+                return
+            self.shadow_count += 1
+            if error:
+                self.error_count += 1
+            elif cosine is not None:
+                self.min_cosine = min(self.min_cosine, cosine)
+            # Divergence and error-rate breaches roll back immediately;
+            # promotion waits for the full shadow quorum.
+            if cosine is not None and cosine < self.cosine_threshold:
+                self._finish(ROLLED_BACK,
+                             f"divergence: cosine {cosine:.6f} below "
+                             f"threshold {self.cosine_threshold}")
+                return
+            if self.error_count / self.shadow_count > self.max_error_rate:
+                self._finish(ROLLED_BACK,
+                             f"error rate {self.error_count}/"
+                             f"{self.shadow_count} above "
+                             f"{self.max_error_rate:.2f}"
+                             + (f" ({detail})" if detail else ""))
+                return
+            if self.shadow_count >= self.min_shadow:
+                self._finish(PROMOTED,
+                             f"{self.shadow_count} shadow reads healthy "
+                             f"(min cosine {self.min_cosine:.6f})")
+
+    # ------------------------------------------------------------------
+    # Terminal transitions (caller holds self._lock via _record, or not —
+    # _finish only mutates under the registry's own locks)
+    # ------------------------------------------------------------------
+    def _finish(self, state: str, reason: str) -> None:
+        self.state = state
+        self.reason = reason
+        if state == PROMOTED:
+            self.server.registry.promote(self.candidate_id)
+            emit_event("serve.rollout_promoted", candidate=self.candidate_id,
+                       reason=reason)
+        else:
+            self.server.registry.unregister(self.candidate_id)
+            self.server.store.evict_snapshot(self.candidate_id)
+            emit_event("serve.rollout_rolled_back",
+                       candidate=self.candidate_id, reason=reason)
+
+    def rollback(self, reason: str = "manual rollback") -> dict:
+        """Abort the rollout now (the ``rollback`` op); idempotent-safe.
+
+        Raises :class:`RolloutError` when the candidate already promoted —
+        rolling back a promoted version is a new rollout in the other
+        direction, not an abort.
+        """
+        with self._lock:
+            if self.state == PROMOTED:
+                raise RolloutError(
+                    f"candidate {self.candidate_id} was already promoted; "
+                    "start a new rollout to revert", candidate=self.candidate_id,
+                )
+            if self.state == SHADOWING:
+                self._finish(ROLLED_BACK, reason)
+        return self.status()
+
+    def status(self) -> dict:
+        """JSON-ready rollout report (the ``rollout_status`` op payload)."""
+        with self._lock:
+            return {
+                "state": self.state,
+                "candidate": self.candidate_id,
+                "active": self.active_id,
+                "shadow_count": self.shadow_count,
+                "min_shadow": self.min_shadow,
+                "shadow_fraction": self.shadow_fraction,
+                "error_count": self.error_count,
+                "min_cosine": None if self.min_cosine == float("inf")
+                else self.min_cosine,
+                "cosine_threshold": self.cosine_threshold,
+                "reason": self.reason,
+            }

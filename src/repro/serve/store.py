@@ -19,8 +19,10 @@ checkpoints).
 
 from __future__ import annotations
 
+import struct
 import threading
 import zipfile
+import zlib
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -35,11 +37,21 @@ from ..engine import (
 )
 from ..graphs import Graph
 from ..obs import emit_event, span
-from .errors import UnknownNodeError
+from .errors import SnapshotError, StaleVersionError, UnknownNodeError
 from .metrics import ServeMetrics
 from .registry import ModelRegistry, ModelVersion
 
 _SNAPSHOT_PREFIX = "emb-"
+
+#: Everything a corrupt ``.npz`` can raise mid-read: zip structure errors
+#: surface as ``BadZipFile``/``OSError``/``EOFError``/``struct.error``,
+#: flipped bytes in a compressed member as ``zlib.error``, and mangled
+#: array headers as ``ValueError``/``KeyError``.  A snapshot read must
+#: convert *all* of these into a structured rejection — under concurrent
+#: readers a half-written or bit-rotted file is an expected input, not an
+#: internal error.
+_CORRUPT_READ_ERRORS = (OSError, ValueError, KeyError, EOFError,
+                        zipfile.BadZipFile, zlib.error, struct.error)
 
 
 class EmbeddingStore:
@@ -58,6 +70,7 @@ class EmbeddingStore:
         cache_size: int = 4096,
         snapshot_dir: Optional[Union[str, Path]] = None,
         metrics: Optional[ServeMetrics] = None,
+        health=None,
     ):
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
@@ -66,6 +79,9 @@ class EmbeddingStore:
         self.cache_size = cache_size
         self.snapshot_dir = Path(snapshot_dir) if snapshot_dir else None
         self.metrics = metrics or ServeMetrics()
+        #: Optional :class:`~repro.serve.resilience.ServerHealth` fed by
+        #: snapshot rejections and failures (set by the server).
+        self.health = health
         self._snapshots: Dict[str, np.ndarray] = {}
         self._lru: "OrderedDict[Tuple[str, int], np.ndarray]" = OrderedDict()
         self._lock = threading.Lock()
@@ -100,12 +116,32 @@ class EmbeddingStore:
                 return cached
             loaded = self._load_snapshot(version)
             if loaded is None:
-                with span("serve.snapshot_compute", version=version.version_id):
-                    loaded = version.artifact.embed(self.graph)
+                try:
+                    with span("serve.snapshot_compute",
+                              version=version.version_id):
+                        loaded = version.artifact.embed(self.graph)
+                except Exception as exc:  # noqa: BLE001 - structured below
+                    # A model that cannot embed the served graph must fail
+                    # as a structured envelope, not a raw traceback across
+                    # the transport.
+                    self._note_failure(version, f"recompute failed: {exc}")
+                    raise SnapshotError(
+                        f"cannot materialize snapshot for "
+                        f"{version.version_id}: {exc}",
+                        version=version.version_id,
+                    ) from exc
                 self._persist_snapshot(version, loaded)
             with self._lock:
                 self._snapshots[version.version_id] = loaded
         return loaded
+
+    def _note_failure(self, version: ModelVersion, reason: str) -> None:
+        """Count a snapshot failure and degrade health (if attached)."""
+        self.metrics.observe_snapshot_failure()
+        if self.health is not None:
+            self.health.note_snapshot_failure()
+        emit_event("serve.snapshot_failed", version=version.version_id,
+                   reason=reason)
 
     def evict_snapshot(self, version_id: str) -> None:
         """Drop a version's in-memory matrix (LRU entries survive)."""
@@ -141,38 +177,56 @@ class EmbeddingStore:
         emit_event("serve.snapshot_written", version=version.version_id,
                    path=str(path))
 
+    def _reject(self, version: ModelVersion, path: Path,
+                reason: str) -> None:
+        """Record a rejected (corrupt/mismatched) snapshot file.
+
+        Rejection is recoverable — the caller recomputes — but it is a
+        health signal: bit rot under a live server degrades it until the
+        incident ages out of the health window.
+        """
+        emit_event("serve.snapshot_rejected", version=version.version_id,
+                   path=str(path), reason=reason)
+        self.metrics.observe_snapshot_failure()
+        if self.health is not None:
+            self.health.note_snapshot_failure()
+
     def _load_snapshot(self, version: ModelVersion) -> Optional[np.ndarray]:
-        """Digest-valid snapshot from disk, or None (corrupt files skipped)."""
+        """Digest-valid snapshot from disk, or None (corrupt files skipped).
+
+        The *entire* read — zip open, member decompression, digest check,
+        meta parse, dtype restore — sits under one corrupt-read guard:
+        a reader racing bit rot or a torn write gets a structured
+        rejection (and a recompute), never a raw ``zlib.error`` or
+        ``KeyError`` escaping to the client.
+        """
         path = self._snapshot_path(version)
         if path is None or not path.is_file():
             return None
         try:
             with np.load(path, allow_pickle=False) as data:
                 contents = {key: data[key] for key in data.files}
-        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
-            emit_event("serve.snapshot_rejected", version=version.version_id,
-                       path=str(path), reason=f"unreadable: {exc}")
+            if "meta/digest" not in contents:
+                self._reject(version, path, "missing digest")
+                return None
+            stored = bytes(contents["meta/digest"]).decode(errors="replace")
+            if stored != payload_digest(contents):
+                self._reject(version, path, "digest mismatch")
+                return None
+            meta = unpack_json(contents["meta/snapshot"])
+            if meta.get("fingerprint") != version.artifact.fingerprint:
+                # Same version id but different weights can only happen if
+                # the directory is shared across incompatible registries;
+                # refuse.
+                self._reject(version, path, "fingerprint mismatch")
+                return None
+            embeddings = np.asarray(contents["embeddings"])
+            recorded = meta.get("dtype")
+            if recorded is not None and str(embeddings.dtype) != recorded:
+                embeddings = embeddings.astype(recorded)
+        except _CORRUPT_READ_ERRORS as exc:
+            self._reject(version, path, f"unreadable: {exc}")
             return None
-        if "meta/digest" not in contents:
-            emit_event("serve.snapshot_rejected", version=version.version_id,
-                       path=str(path), reason="missing digest")
-            return None
-        stored = bytes(contents["meta/digest"]).decode(errors="replace")
-        if stored != payload_digest(contents):
-            emit_event("serve.snapshot_rejected", version=version.version_id,
-                       path=str(path), reason="digest mismatch")
-            return None
-        meta = unpack_json(contents["meta/snapshot"])
-        if meta.get("fingerprint") != version.artifact.fingerprint:
-            # Same version id but different weights can only happen if the
-            # directory is shared across incompatible registries; refuse.
-            emit_event("serve.snapshot_rejected", version=version.version_id,
-                       path=str(path), reason="fingerprint mismatch")
-            return None
-        embeddings = np.asarray(contents["embeddings"])
-        recorded = meta.get("dtype")
-        if recorded is not None and str(embeddings.dtype) != recorded:
-            embeddings = embeddings.astype(recorded)
         return embeddings
 
     def verify_snapshot_file(self, path: Union[str, Path]) -> bool:
@@ -181,12 +235,38 @@ class EmbeddingStore:
         try:
             with np.load(path, allow_pickle=False) as data:
                 contents = {key: data[key] for key in data.files}
-        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+        except _CORRUPT_READ_ERRORS:
             return False
         if "meta/digest" not in contents:
             return False
         stored = bytes(contents["meta/digest"]).decode(errors="replace")
         return stored == payload_digest(contents)
+
+    def persist_all(self) -> int:
+        """Write every in-memory snapshot that is not (validly) on disk.
+
+        The graceful-drain path: a server shutting down persists its
+        materialized snapshots so a restarted process serves identical
+        embeddings from disk instead of recomputing.  Returns the number
+        of files written; a no-op without a ``snapshot_dir``.
+        """
+        if self.snapshot_dir is None:
+            return 0
+        with self._lock:
+            resident = dict(self._snapshots)
+        written = 0
+        for version_id, embeddings in resident.items():
+            try:
+                version = self.registry.get(version_id)
+            except StaleVersionError:
+                continue  # e.g. a rolled-back candidate still resident
+            path = self._snapshot_path(version)
+            if path is not None and path.is_file() \
+                    and self.verify_snapshot_file(path):
+                continue
+            self._persist_snapshot(version, embeddings)
+            written += 1
+        return written
 
     # ------------------------------------------------------------------
     # Per-node reads (LRU front)

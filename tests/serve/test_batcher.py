@@ -1,11 +1,11 @@
-"""MicroBatcher: coalescing, watermarks, failure isolation."""
+"""MicroBatcher: coalescing, watermarks, failure isolation, resilience."""
 
 import threading
 import time
 
 import pytest
 
-from repro.serve import MicroBatcher, ServeMetrics
+from repro.serve import Deadline, DeadlineExceededError, MicroBatcher, ServeMetrics
 
 
 def _echo_handler(items):
@@ -118,3 +118,111 @@ class TestLifecycle:
             MicroBatcher(_echo_handler, max_batch=0)
         with pytest.raises(ValueError):
             MicroBatcher(_echo_handler, max_wait_ms=-1)
+
+    def test_close_leaves_no_thread_behind(self):
+        before = {t.ident for t in threading.enumerate()}
+        batcher = MicroBatcher(_echo_handler)
+        worker = batcher._worker
+        batcher.close()
+        assert not worker.is_alive()
+        leaked = [t for t in threading.enumerate()
+                  if t.ident not in before and t.name == "repro-serve-batcher"]
+        assert leaked == []
+
+    def test_close_join_timeout_is_loud_dirty_shutdown(self):
+        """A worker stuck past close(timeout) must flag + raise, not leak
+        silently (the bug this PR fixes)."""
+        release = threading.Event()
+        metrics = ServeMetrics()
+
+        def stuck_handler(items):
+            release.wait(10)
+            return list(items)
+
+        batcher = MicroBatcher(stuck_handler, max_batch=1, max_wait_ms=1,
+                               metrics=metrics)
+        future = batcher.submit("x")
+        time.sleep(0.05)  # let the worker enter the stuck handler
+        with pytest.raises(RuntimeError, match="dirty"):
+            batcher.close(timeout=0.05)
+        assert metrics.dirty_shutdown
+        assert metrics.snapshot()["lifecycle"]["dirty_shutdown"] is True
+        release.set()  # unstick so the thread exits before the test ends
+        assert future.result(timeout=5) == "x"
+        batcher._worker.join(timeout=5)
+
+
+class TestResilience:
+    def test_expired_deadline_fails_at_dequeue_without_handler(self):
+        """Work whose budget lapsed while queued must never reach the
+        handler."""
+        metrics = ServeMetrics()
+        handled = []
+        release = threading.Event()
+
+        def gated_handler(items):
+            release.wait(5)
+            handled.extend(items)
+            return list(items)
+
+        with MicroBatcher(gated_handler, max_batch=1, max_wait_ms=1,
+                          metrics=metrics) as batcher:
+            blocker = batcher.submit("slow")          # occupies the worker
+            time.sleep(0.02)
+            doomed = batcher.submit("doomed", deadline=Deadline(0.0))
+            fine = batcher.submit("fine")
+            release.set()
+            with pytest.raises(DeadlineExceededError) as caught:
+                doomed.result(timeout=5)
+            assert caught.value.stage == "dequeue"
+            assert blocker.result(timeout=5) == "slow"
+            assert fine.result(timeout=5) == "fine"
+        assert "doomed" not in handled
+        assert metrics.deadline_expired == {"dequeue": 1}
+
+    def test_unexpired_deadline_passes_through(self):
+        with MicroBatcher(_echo_handler, max_batch=4, max_wait_ms=1) as batcher:
+            future = batcher.submit(5, deadline=Deadline(60_000.0))
+            assert future.result(timeout=5) == 10
+
+    def test_killed_worker_is_replaced_and_counted(self):
+        metrics = ServeMetrics()
+        with MicroBatcher(_echo_handler, max_batch=4, max_wait_ms=1,
+                          metrics=metrics) as batcher:
+            first_worker = batcher._worker
+            assert batcher.submit(1).result(timeout=5) == 2
+            batcher._inject_worker_death()
+            # The supervisor replaces the corpse from the dying thread
+            # itself, so even a request racing the kill resolves.
+            assert batcher.submit(3).result(timeout=5) == 6
+            assert batcher._worker is not first_worker
+            assert batcher._worker.is_alive()
+        assert metrics.worker_restarts == 1
+
+    def test_submission_racing_the_kill_is_not_stranded(self):
+        """A request enqueued behind the kill sentinel, before anyone
+        notices the death, must still resolve (supervisor restart)."""
+        with MicroBatcher(_echo_handler, max_batch=4, max_wait_ms=1) as batcher:
+            batcher._inject_worker_death()
+            future = batcher.submit(4)  # may land before the kill is seen
+            assert future.result(timeout=5) == 8
+
+    def test_kill_mid_batch_does_not_strand_collected_requests(self):
+        release = threading.Event()
+
+        def gated_handler(items):
+            release.wait(5)
+            return list(items)
+
+        with MicroBatcher(gated_handler, max_batch=8,
+                          max_wait_ms=200) as batcher:
+            blocker = batcher.submit("a")   # batch 1: occupies the worker
+            time.sleep(0.02)
+            caught_mid = batcher.submit("b")  # batch 2, collecting...
+            time.sleep(0.02)
+            batcher._inject_worker_death()    # ...kill lands mid-collection
+            release.set()
+            assert blocker.result(timeout=5) == "a"
+            # The half-collected batch was dispatched before the worker
+            # died — nothing hangs forever.
+            assert caught_mid.result(timeout=5) == "b"

@@ -11,6 +11,7 @@ import pytest
 
 from repro.serve import (
     EmbeddingServer,
+    HttpClient,
     InProcessClient,
     build_http_server,
 )
@@ -210,6 +211,29 @@ class TestHttpTransport:
             health = json.loads(urllib.request.urlopen(
                 f"http://127.0.0.1:{port}/healthz").read())
             assert health["ok"] and len(health["models"]) == 1
+
+            ready = json.loads(urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/readyz").read())
+            assert ready["ready"] is True
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+
+    def test_http_client_envelopes_match_in_process(self, server):
+        """HttpClient must hand back the exact envelope InProcessClient
+        would — including ``status``, which the transport moves into the
+        HTTP status line and the client must restore."""
+        httpd = build_http_server(server)
+        port = httpd.server_address[1]
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            http = HttpClient(f"http://127.0.0.1:{port}")
+            for payload in ({"op": "embed", "node": 10 ** 9},
+                            {"op": "explode"},
+                            {"op": "rollback"},
+                            {"op": "embed", "node": 3}):
+                assert http.request(payload) == server.handle(payload)
         finally:
             httpd.shutdown()
             httpd.server_close()

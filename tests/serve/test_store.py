@@ -1,10 +1,18 @@
 """EmbeddingStore: bit-identity, LRU behavior, snapshot crash recovery."""
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 import pytest
 
 from repro.resilience import FaultPlan
-from repro.serve import EmbeddingStore, ServeMetrics, UnknownNodeError
+from repro.serve import (
+    EmbeddingStore,
+    ServeMetrics,
+    ServerHealth,
+    SnapshotError,
+    UnknownNodeError,
+)
 
 
 @pytest.fixture
@@ -111,3 +119,60 @@ class TestSnapshotPersistence:
         store.snapshot()
         store.evict_snapshot(version_id)
         assert np.array_equal(store.embedding(4), offline_embeddings[4])
+
+    def test_persist_all_writes_missing_and_skips_valid(self, registry,
+                                                        tiny_cora, tmp_path):
+        store = EmbeddingStore(registry, tiny_cora, snapshot_dir=tmp_path)
+        store.snapshot()
+        (snapshot_file,) = tmp_path.glob("emb-*.npz")
+        assert store.persist_all() == 0  # already digest-valid on disk
+        snapshot_file.unlink()
+        assert store.persist_all() == 1  # resident matrix rewritten
+        assert store.verify_snapshot_file(snapshot_file)
+        assert store.persist_all() == 0
+
+    def test_persist_all_without_dir_is_noop(self, registry, tiny_cora):
+        store = EmbeddingStore(registry, tiny_cora)
+        store.snapshot()
+        assert store.persist_all() == 0
+
+
+class TestConcurrentCorruptReads:
+    def test_corrupt_mid_read_yields_structured_recovery(
+            self, registry, tiny_cora, offline_embeddings, tmp_path):
+        """Many readers racing a snapshot that rots under them: every read
+        must come back correct (recomputed), never a raw zip/zlib error."""
+        metrics = ServeMetrics()
+        health = ServerHealth(metrics)
+        health.mark_ready()
+        seed_store = EmbeddingStore(registry, tiny_cora, snapshot_dir=tmp_path)
+        seed_store.snapshot()
+        (snapshot_file,) = tmp_path.glob("emb-*.npz")
+        FaultPlan(seed=11).flip_bytes(snapshot_file, count=16)
+
+        # Fresh store (nothing resident) pointed at the rotted file.
+        store = EmbeddingStore(registry, tiny_cora, snapshot_dir=tmp_path,
+                               metrics=metrics, health=health)
+        nodes = list(range(12)) * 4
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            rows = list(pool.map(store.embedding, nodes))
+        for node, row in zip(nodes, rows):
+            assert np.array_equal(row, offline_embeddings[node])
+        # The rot was observed as a structured rejection, exactly once
+        # (one materializer per version), and degraded health.
+        assert metrics.snapshot_failures == 1
+        assert health.state == "degraded"
+
+    def test_recompute_failure_is_a_serve_error(self, registry, tiny_cora):
+        """A model that cannot embed must fail as SnapshotError (mapped to
+        a 500 envelope by the server), not leak its raw exception."""
+        store = EmbeddingStore(registry, tiny_cora)
+        version = registry.get()
+
+        def _boom(graph):
+            raise RuntimeError("synthetic encoder failure")
+
+        version.artifact.embed = _boom
+        with pytest.raises(SnapshotError, match="cannot materialize"):
+            store.snapshot()
+        assert store.metrics.snapshot_failures == 1

@@ -1,0 +1,167 @@
+"""Envelope-discipline lint for the serving front end.
+
+The serving contract is that *every* client-visible failure is a
+structured envelope built from :mod:`repro.serve.errors` — a raw
+exception escaping an op dispatcher would either kill a transport thread
+or put a python traceback on the wire.  ``EmbeddingServer.handle`` has a
+last-resort ``internal`` envelope, but relying on it turns typed 4xx
+failures into anonymous 500s, so this AST lint holds the dispatch layer
+itself to the discipline:
+
+* every ``raise`` inside an op dispatcher (``_op_*``, plus the dispatch
+  helpers that run before them) must construct a class defined in
+  ``errors.py`` as a :class:`ServeError` subclass;
+* no bare ``raise`` (re-raising a non-ServeError preserves the raw type);
+* the ``OPS`` table and the ``_op_*`` methods must agree exactly — an op
+  with no method is a guaranteed ``internal`` 500, a method missing from
+  the table is dead code the envelope meta-test would never exercise.
+
+Run standalone (``python tools/check_serve_envelopes.py``) or via
+``tests/test_lint_serve_envelopes.py``; exits non-zero on violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List, Optional, Set
+
+ROOT = Path(__file__).resolve().parent.parent
+SERVER_PATH = ROOT / "src" / "repro" / "serve" / "server.py"
+ERRORS_PATH = ROOT / "src" / "repro" / "serve" / "errors.py"
+
+#: Methods that run between ``handle`` and the ``_op_*`` dispatchers —
+#: their raises are client-visible too, so they obey the same rule.
+HELPER_METHODS = ("_dispatch", "_parse_deadline", "_embedding_for")
+
+
+def serve_error_classes(errors_path: Path = ERRORS_PATH) -> Set[str]:
+    """Names of ``ServeError`` and every (transitive) subclass in errors.py."""
+    tree = ast.parse(errors_path.read_text(), filename=str(errors_path))
+    classes = [node for node in ast.walk(tree)
+               if isinstance(node, ast.ClassDef)]
+    known = {"ServeError"}
+    changed = True
+    while changed:
+        changed = False
+        for node in classes:
+            if node.name in known:
+                continue
+            for base in node.bases:
+                base_name = base.id if isinstance(base, ast.Name) \
+                    else getattr(base, "attr", None)
+                if base_name in known:
+                    known.add(node.name)
+                    changed = True
+                    break
+    return known
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    """Class name a ``raise`` constructs, ``None`` for a bare raise."""
+    exc = node.exc
+    if exc is None:
+        return None
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return "<expression>"
+
+
+def _ops_table(cls: ast.ClassDef) -> Optional[ast.Dict]:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            targets = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            targets = [stmt.target.id]
+        else:
+            continue
+        if "OPS" in targets and isinstance(stmt.value, ast.Dict):
+            return stmt.value
+    return None
+
+
+def check(server_path: Path = SERVER_PATH,
+          errors_path: Path = ERRORS_PATH) -> List[str]:
+    """Return ``"path:line: message"`` entries for each violation."""
+    allowed = serve_error_classes(errors_path)
+    tree = ast.parse(server_path.read_text(), filename=str(server_path))
+    try:
+        rel = server_path.relative_to(ROOT)
+    except ValueError:
+        rel = server_path
+    server_cls = next(
+        (node for node in ast.walk(tree)
+         if isinstance(node, ast.ClassDef) and node.name == "EmbeddingServer"),
+        None,
+    )
+    if server_cls is None:
+        return [f"{rel}:1: no EmbeddingServer class found"]
+    problems: List[str] = []
+
+    methods = {stmt.name: stmt for stmt in server_cls.body
+               if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))}
+    ops = _ops_table(server_cls)
+    if ops is None:
+        problems.append(
+            f"{rel}:{server_cls.lineno}: EmbeddingServer has no literal OPS "
+            "table (op -> method dict)")
+        mapped: Set[str] = set()
+    else:
+        mapped = set()
+        for key, value in zip(ops.keys, ops.values):
+            op = key.value if isinstance(key, ast.Constant) else None
+            target = value.value if isinstance(value, ast.Constant) else None
+            if not isinstance(op, str) or not isinstance(target, str):
+                problems.append(
+                    f"{rel}:{key.lineno}: OPS entries must be string literals")
+                continue
+            mapped.add(target)
+            if target not in methods:
+                problems.append(
+                    f"{rel}:{key.lineno}: op {op!r} maps to missing method "
+                    f"{target!r} — every request for it becomes an "
+                    "internal 500")
+
+    checked = [name for name in methods
+               if name.startswith("_op_") or name in HELPER_METHODS]
+    for name in sorted(methods):
+        if name.startswith("_op_") and name not in mapped:
+            problems.append(
+                f"{rel}:{methods[name].lineno}: dispatcher {name!r} is not in "
+                "the OPS table — unreachable and unlinted by the envelope "
+                "meta-test")
+
+    for name in sorted(checked):
+        for node in ast.walk(methods[name]):
+            if not isinstance(node, ast.Raise):
+                continue
+            raised = _raised_name(node)
+            if raised is None:
+                problems.append(
+                    f"{rel}:{node.lineno}: bare 'raise' in {name!r} re-raises "
+                    "an arbitrary exception across the dispatch layer")
+            elif raised not in allowed:
+                problems.append(
+                    f"{rel}:{node.lineno}: {name!r} raises {raised}, which is "
+                    "not a ServeError subclass from errors.py — clients "
+                    "would see an anonymous internal 500")
+    return problems
+
+
+def main(argv=None) -> int:
+    del argv
+    problems = check()
+    for line in problems:
+        print(line)
+    if problems:
+        print(f"{len(problems)} envelope violation(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:] or None))

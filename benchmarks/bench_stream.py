@@ -1,0 +1,279 @@
+"""Streaming benchmarks: delta throughput, invalidation precision, warm rows.
+
+Measures the acceptance properties of the ``repro.stream`` stack on a
+freshly trained GRACE checkpoint serving a mutating graph:
+
+* **throughput** — raw ``MutableGraph.apply`` deltas/s (CSR surgery only)
+  and end-to-end replay deltas/s (``replay_log`` driving a live
+  ``EmbeddingServer``: mutation + blast radius + invalidation + probes);
+* **invalidation precision** — of the rows the blast radius invalidates,
+  the fraction whose offline embedding actually changed; **recall is a
+  hard gate at 1.0** (a changed row outside the radius would mean stale
+  embeddings served as fresh — the correctness theorem, not a tunable);
+* **warm-row hit rate under churn** — after delta batches land, the
+  fraction of whole-graph reads still served from warm state (LRU or
+  resident snapshot rows) without recomputation.
+
+Writes ``BENCH_stream.json`` at the repo root and
+``benchmarks/results/stream.txt`` (the table
+``benchmarks/collect_results.py`` injects into EXPERIMENTS.md).  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py
+
+``REPRO_BENCH_TRIALS`` controls repetitions (best-of, default 3).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import get_method
+from repro.bench import bench_trials, render_table
+from repro.engine import PeriodicCheckpoint
+from repro.graphs.generators import attributed_graph
+from repro.serve import EmbeddingServer, ModelRegistry
+from repro.stream import (
+    DeltaGenerator,
+    DeltaLog,
+    MutableGraph,
+    StreamCoordinator,
+    blast_radius,
+    replay_log,
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_stream.json"
+TXT_PATH = ROOT / "benchmarks" / "results" / "stream.txt"
+
+# Locality needs room: on a few-hundred-node graph a single delta batch
+# blasts nearly everything, so the bench runs on a sparse dynamic-SBM
+# analogue large enough that 2-hop egos stay a small graph fraction.
+NUM_NODES, NUM_CLASSES, NUM_FEATURES, AVG_DEGREE = 2000, 8, 32, 4.0
+SEED = 0
+TRAIN_EPOCHS = 6
+RAW_DELTAS = 2000        # CSR-surgery-only throughput probe
+RAW_BATCH = 64
+REPLAY_DELTAS = 600      # end-to-end replay length
+REPLAY_BATCH = 50
+PRECISION_DELTAS = 16    # one coordinator batch for the precision probe
+CHURN_BATCHES = 4        # warm-row probe: batches landed before the read
+CHURN_BATCH = 10
+
+
+def build_registry(graph) -> ModelRegistry:
+    """Train GRACE briefly and register its checkpoint (the serve entry path)."""
+    registry = ModelRegistry()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "grace.npz"
+        method = get_method("grace", epochs=TRAIN_EPOCHS, seed=SEED)
+        method.fit(graph, hooks=[PeriodicCheckpoint(path, every=TRAIN_EPOCHS)])
+        registry.load(path)
+    return registry
+
+
+def raw_apply_rate(graph) -> float:
+    """Deltas/s through ``MutableGraph.apply`` alone, coordinator-sized batches."""
+    deltas = DeltaGenerator(graph, seed=SEED).generate(RAW_DELTAS)
+    mutable = MutableGraph(graph)
+    start = time.perf_counter()
+    applied = 0
+    for lo in range(0, len(deltas), RAW_BATCH):
+        applied += mutable.apply(deltas[lo:lo + RAW_BATCH]).applied
+    elapsed = time.perf_counter() - start
+    assert applied == RAW_DELTAS, "generator emitted a conflicting stream"
+    return RAW_DELTAS / elapsed
+
+
+def replay_rate(registry, graph, log_path) -> dict:
+    """End-to-end replay against a live server; returns the replay summary."""
+    with EmbeddingServer(registry, graph, use_batching=False) as server:
+        server.warmup()
+        return replay_log(server, log_path, batch_size=REPLAY_BATCH,
+                          probes_per_batch=4, seed=SEED)
+
+
+def invalidation_precision(registry, graph) -> dict:
+    """Changed-rows / invalidated-rows for one delta batch, plus recall.
+
+    ``blast_radius`` is a guaranteed superset of the changed rows (the
+    L-hop locality theorem), so recall must be exactly 1.0; precision
+    measures how much of the superset actually moved.
+    """
+    artifact = registry.get().artifact
+    hops = int(artifact.num_layers)
+    mutable = MutableGraph(graph)
+    old = mutable.as_graph()
+    result = mutable.apply(
+        DeltaGenerator(graph, seed=SEED + 1).generate(PRECISION_DELTAS))
+    new = mutable.as_graph()
+    radius = blast_radius(old.adjacency, new.adjacency, result.touched, hops)
+
+    before = artifact.embed(old)
+    after = artifact.embed(new)
+    shared = np.arange(old.num_nodes)
+    moved = shared[np.any(before != after[:old.num_nodes], axis=1)]
+    radius_set = set(radius.tolist())
+    # Added nodes have no "before" row: they are changed by definition and
+    # always inside the radius, so count them on both sides.
+    added = new.num_nodes - old.num_nodes
+    changed = moved.size + added
+    invalidated = len(radius_set)
+    escaped = [int(n) for n in moved if int(n) not in radius_set]
+    return {
+        "deltas": result.applied,
+        "invalidated_rows": invalidated,
+        "changed_rows": int(changed),
+        "precision": changed / max(invalidated, 1),
+        "recall": 1.0 if not escaped else
+        (changed - len(escaped)) / max(changed, 1),
+        "changed_outside_radius": escaped,  # must be empty
+        "graph_fraction_invalidated": invalidated / new.num_nodes,
+    }
+
+
+def warm_hit_rate(registry, graph) -> dict:
+    """Fraction of whole-graph reads served warm after churn batches land."""
+    with EmbeddingServer(registry, graph, use_batching=False,
+                         cache_size=4 * graph.num_nodes) as server:
+        server.warmup()
+        # drift_sample=0: drift probes would heal stale rows and flatter
+        # the hit rate; this probe isolates what invalidation preserves.
+        coordinator = StreamCoordinator(server, drift_sample=0, seed=0)
+        for node in range(graph.num_nodes):
+            server.store.embedding(node)  # prime LRU + snapshot
+        for batch in range(CHURN_BATCHES):
+            base = coordinator.mutable.as_graph()
+            coordinator.apply(DeltaGenerator(base, seed=100 + batch)
+                              .generate(CHURN_BATCH))
+        final = coordinator.mutable.as_graph()
+        hits_before = server.metrics.cache_hits
+        refreshes_before = (
+            server.metrics.snapshot()["streaming"]["stale_refreshes"])
+        for node in range(final.num_nodes):
+            server.store.embedding(node)
+        lru_hits = server.metrics.cache_hits - hits_before
+        refreshed = (server.metrics.snapshot()["streaming"]["stale_refreshes"]
+                     - refreshes_before)
+        reads = final.num_nodes
+        return {
+            "churn_deltas": CHURN_BATCHES * CHURN_BATCH,
+            "reads": reads,
+            "lru_hits": int(lru_hits),
+            "stale_refreshes": int(refreshed),
+            # Warm = anything answered without a recompute: LRU hits plus
+            # snapshot rows that were never invalidated.
+            "warm_hit_rate": (reads - refreshed) / reads,
+            "lru_hit_rate": lru_hits / reads,
+        }
+
+
+def run_stream_bench() -> dict:
+    trials = bench_trials(default=3)
+    graph = attributed_graph(num_nodes=NUM_NODES, num_classes=NUM_CLASSES,
+                             num_features=NUM_FEATURES, avg_degree=AVG_DEGREE,
+                             homophily=0.8, seed=SEED, name="stream-sbm")
+    registry = build_registry(graph)
+    version = registry.get()
+
+    raw_rps = 0.0
+    for _ in range(trials):
+        raw_rps = max(raw_rps, raw_apply_rate(graph))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        log_path = Path(tmp) / "deltas.jsonl"
+        with DeltaLog(log_path) as log:
+            log.extend(DeltaGenerator(graph, seed=SEED).generate(REPLAY_DELTAS))
+        replay = None
+        for _ in range(trials):
+            run = replay_rate(registry, graph, log_path)
+            if replay is None or run["deltas_per_s"] > replay["deltas_per_s"]:
+                replay = run
+    replay.pop("batches", None)
+
+    precision = invalidation_precision(registry, graph)
+    warm = warm_hit_rate(registry, graph)
+
+    return {
+        "benchmark": "stream",
+        "trials": trials,
+        "python": platform.python_version(),
+        "dataset": {"name": graph.name, "avg_degree": AVG_DEGREE,
+                    "num_nodes": graph.num_nodes,
+                    "num_edges": graph.num_edges},
+        "model": {"version": version.version_id, "method": version.method,
+                  "train_epochs": TRAIN_EPOCHS, "hops": version.artifact.num_layers},
+        "throughput": {
+            "raw_apply_deltas_per_s": raw_rps,
+            "raw_batch": RAW_BATCH,
+            "replay": replay,
+        },
+        "invalidation": precision,
+        "warm_rows": warm,
+    }
+
+
+def render_stream(results: dict) -> str:
+    throughput = results["throughput"]
+    replay = throughput["replay"]
+    precision = results["invalidation"]
+    warm = results["warm_rows"]
+    rows = {
+        "raw apply (deltas/s)": [f"{throughput['raw_apply_deltas_per_s']:.0f}"],
+        "e2e replay (deltas/s)": [f"{replay['deltas_per_s']:.0f}"],
+        "replay probes failed": [f"{replay['probe_failures']}"],
+        "invalidated rows/batch": [f"{precision['invalidated_rows']}"],
+        "invalidation precision": [f"{100 * precision['precision']:.0f}%"],
+        "invalidation recall": [f"{100 * precision['recall']:.0f}%"],
+        "graph invalidated/batch": [
+            f"{100 * precision['graph_fraction_invalidated']:.1f}%"],
+        "warm-row hit rate": [f"{100 * warm['warm_hit_rate']:.0f}%"],
+        "  of which LRU": [f"{100 * warm['lru_hit_rate']:.0f}%"],
+        "churn before read": [f"{warm['churn_deltas']} deltas"],
+    }
+    dataset = results["dataset"]
+    column = (f"{dataset['name']} (n={dataset['num_nodes']}, "
+              f"m={dataset['num_edges']}, L={results['model']['hops']})")
+    return render_table("Streaming benchmarks (best of %d)" % results["trials"],
+                        [column], rows)
+
+
+def main() -> int:
+    results = run_stream_bench()
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    text = render_stream(results)
+    TXT_PATH.parent.mkdir(exist_ok=True)
+    TXT_PATH.write_text(text + "\n")
+    print(text)
+    print(f"wrote {JSON_PATH.relative_to(ROOT)} and {TXT_PATH.relative_to(ROOT)}")
+
+    precision = results["invalidation"]
+    replay = results["throughput"]["replay"]
+    warm = results["warm_rows"]
+    checks = [
+        (precision["recall"] == 1.0 and not precision["changed_outside_radius"],
+         "every changed row inside the blast radius (recall 1.0 — hard gate)"),
+        (replay["probe_failures"] == 0,
+         f"all {replay['num_batches']} replay batches answered live probes"),
+        (replay["deltas_applied"] == REPLAY_DELTAS,
+         f"replay applied {replay['deltas_applied']}/{REPLAY_DELTAS} deltas "
+         "without conflicts"),
+        (precision["precision"] > 0.0,
+         f"invalidation precision {100 * precision['precision']:.0f}% "
+         "(changed rows / invalidated rows)"),
+        (warm["warm_hit_rate"] >= 0.3,
+         f"warm-row hit rate {100 * warm['warm_hit_rate']:.0f}% after "
+         f"{warm['churn_deltas']} churn deltas (need >= 30%)"),
+    ]
+    for ok, message in checks:
+        print(("[OK ] " if ok else "[MISS] ") + message)
+    return 0 if all(ok for ok, _ in checks) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

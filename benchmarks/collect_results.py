@@ -27,6 +27,7 @@ SERVE_JSON = ROOT / "BENCH_serve.json"
 AUTOGRAD_JSON = ROOT / "BENCH_autograd.json"
 CONTRAST_JSON = ROOT / "BENCH_contrast.json"
 SCALE_JSON = ROOT / "BENCH_scale.json"
+STREAM_JSON = ROOT / "BENCH_stream.json"
 
 
 def aggregate_hotpaths() -> bool:
@@ -278,6 +279,50 @@ def aggregate_scale() -> bool:
     return True
 
 
+def aggregate_stream() -> bool:
+    """Render ``BENCH_stream.json`` into ``results/stream.txt``.
+
+    Standalone (no ``repro`` import), mirroring :func:`aggregate_hotpaths`.
+    Returns False when the JSON has not been generated yet.
+    """
+    if not STREAM_JSON.exists():
+        return False
+    data = json.loads(STREAM_JSON.read_text())
+    throughput = data["throughput"]
+    replay = throughput["replay"]
+    precision = data["invalidation"]
+    warm = data["warm_rows"]
+    dataset = data["dataset"]
+    column = (f"{dataset['name']} (n={dataset['num_nodes']}, "
+              f"m={dataset['num_edges']}, L={data['model']['hops']})")
+    rows = [
+        ("raw apply (deltas/s)",
+         "%.0f" % throughput["raw_apply_deltas_per_s"]),
+        ("e2e replay (deltas/s)", "%.0f" % replay["deltas_per_s"]),
+        ("replay probes failed", "%d" % replay["probe_failures"]),
+        ("invalidated rows/batch", "%d" % precision["invalidated_rows"]),
+        ("invalidation precision", "%.0f%%" % (100 * precision["precision"])),
+        ("invalidation recall", "%.0f%%" % (100 * precision["recall"])),
+        ("graph invalidated/batch",
+         "%.1f%%" % (100 * precision["graph_fraction_invalidated"])),
+        ("warm-row hit rate", "%.0f%%" % (100 * warm["warm_hit_rate"])),
+        ("  of which LRU", "%.0f%%" % (100 * warm["lru_hit_rate"])),
+        ("churn before read", "%d deltas" % warm["churn_deltas"]),
+    ]
+    name_width = max(len("metric"), max(len(r[0]) for r in rows))
+    cell_width = max(len(column), max(len(r[1]) for r in rows))
+    lines = [f"=== Streaming benchmarks (best of {data['trials']}) ==="]
+    lines.append(
+        f"{'metric'.ljust(name_width)} | {column.ljust(cell_width)}".rstrip())
+    lines.append("-" * len(lines[-1]))
+    for name, cell in rows:
+        lines.append(
+            f"{name.ljust(name_width)} | {cell.ljust(cell_width)}".rstrip())
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "stream.txt").write_text("\n".join(lines) + "\n")
+    return True
+
+
 BLOCK_TEMPLATE = "<!-- MEASURED:{key} -->\n```text\n{body}\n```\n<!-- /MEASURED:{key} -->"
 PATTERN = re.compile(
     r"<!-- MEASURED:(?P<key>[\w]+) -->(?:\n```text\n.*?\n```\n<!-- /MEASURED:(?P=key) -->)?",
@@ -296,6 +341,8 @@ def main() -> int:
         print("aggregated BENCH_contrast.json -> results/contrast.txt")
     if aggregate_scale():
         print("aggregated BENCH_scale.json -> results/scale.txt")
+    if aggregate_stream():
+        print("aggregated BENCH_stream.json -> results/stream.txt")
     text = EXPERIMENTS.read_text()
     missing = []
 

@@ -9,6 +9,8 @@ Usage::
     python -m repro train --dataset cora --method e2gcl --trace run.jsonl
     python -m repro select --dataset computers --ratio 0.1
     python -m repro trace run.jsonl
+    python -m repro stream --generate 500 --out deltas.jsonl --dataset cora
+    python -m repro stream --replay deltas.jsonl --checkpoint ckpt.npz
 
 ``train`` pre-trains a method and reports linear-eval accuracy; ``select``
 runs Alg. 2 standalone and prints coreset statistics; ``trace`` summarizes
@@ -21,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -316,8 +319,61 @@ def _cmd_query(args) -> int:
     return 0 if response.get("ok") else 1
 
 
-def _add_serve_common(parser) -> None:
-    parser.add_argument("--checkpoint", required=True,
+def _cmd_stream(args) -> int:
+    import json
+
+    from .stream import DeltaGenerator, DeltaLog, replay_log
+
+    if args.generate is not None:
+        if args.out is None:
+            print("--generate needs --out <log.jsonl>", file=sys.stderr)
+            return 2
+        from .graphs import load_dataset
+
+        graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+        generator = DeltaGenerator(graph, seed=args.seed)
+        with DeltaLog(args.out) as log:
+            log.extend(generator.generate(args.generate))
+        print(f"wrote {log.written} deltas to {args.out} "
+              f"(dataset {graph.name}, {graph.num_nodes} nodes)")
+        return 0
+    if args.checkpoint is None:
+        print("--replay needs --checkpoint", file=sys.stderr)
+        return 2
+    built = _build_server(args)
+    if built is None:
+        return 2
+    graph, version, server, client = built
+    print(f"replaying {args.replay} against {version.version_id} "
+          f"({version.step_class}) over {graph}")
+    try:
+        server.warmup()
+        summary = replay_log(
+            server, args.replay,
+            batch_size=args.delta_batch,
+            probes_per_batch=args.probes,
+            checkpoint=version.path if args.finetune else None,
+            workdir=args.workdir if args.finetune else None,
+            extra_epochs=args.finetune_epochs,
+            drift_threshold=args.drift_threshold,
+            drift_min_samples=args.drift_min_samples,
+            start_seq=args.start_seq,
+            seed=args.seed,
+        )
+    finally:
+        client.close()
+        server.close()
+    if args.out:
+        Path(args.out).write_text(json.dumps(summary, indent=2))
+        print(f"summary written to {args.out}")
+    print(json.dumps({k: v for k, v in summary.items() if k != "batches"},
+                     indent=2))
+    return 1 if summary["probe_failures"] else 0
+
+
+def _add_serve_common(parser, require_checkpoint: bool = True) -> None:
+    parser.add_argument("--checkpoint", required=require_checkpoint,
+                        default=None,
                         help="engine checkpoint file, or a directory searched "
                              "for its newest digest-valid checkpoint")
     parser.add_argument("--dataset", default="cora")
@@ -473,6 +529,38 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--neighbors", default=None,
                        help="JSON array: unseen-node neighbor ids")
     query.set_defaults(func=_cmd_query)
+
+    stream = sub.add_parser(
+        "stream", help="generate a delta log, or replay one against a live "
+                       "server (incremental mutation + blast-radius "
+                       "invalidation + optional drift-triggered fine-tune)")
+    mode = stream.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--generate", type=int, metavar="N", default=None,
+                      help="generate N seeded dynamic-SBM deltas into --out")
+    mode.add_argument("--replay", metavar="LOG", default=None,
+                      help="JSONL delta log to replay against a live server")
+    _add_serve_common(stream, require_checkpoint=False)
+    stream.add_argument("--out", default=None,
+                        help="generate: the JSONL log to write; "
+                             "replay: also write the run summary JSON here")
+    stream.add_argument("--delta-batch", type=int, default=32,
+                        help="deltas applied per batch during replay")
+    stream.add_argument("--probes", type=int, default=4,
+                        help="embed probe requests issued after each batch")
+    stream.add_argument("--start-seq", type=int, default=None,
+                        help="skip log records below this seq (resume)")
+    stream.add_argument("--finetune", action="store_true",
+                        help="answer drift with an online fine-tune + "
+                             "blue/green rollout of the result")
+    stream.add_argument("--finetune-epochs", type=int, default=1,
+                        help="extra epochs per drift-triggered fine-tune")
+    stream.add_argument("--drift-threshold", type=float, default=0.9,
+                        help="window-mean cosine below which the stream "
+                             "counts as drifted")
+    stream.add_argument("--drift-min-samples", type=int, default=8)
+    stream.add_argument("--workdir", default="stream-finetune",
+                        help="where fine-tuned checkpoints land (--finetune)")
+    stream.set_defaults(func=_cmd_stream)
 
     trace = sub.add_parser("trace", help="summarize a JSONL trace from train --trace")
     trace.add_argument("path", help="trace file written by train --trace")

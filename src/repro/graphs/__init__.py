@@ -28,7 +28,7 @@ from .generators import (
     degree_corrected_sbm,
     random_graph,
 )
-from .graph import Graph
+from .graph import Graph, GraphConstructionError
 from .ppr import ppr_diffusion_graph, ppr_matrix, topk_sparsify
 from .random_walk import node2vec_walks, skip_gram_pairs, uniform_random_walks
 from .statistics import (
@@ -53,6 +53,7 @@ from .tu_datasets import load_tu_dataset, tu_dataset_names
 
 __all__ = [
     "Graph",
+    "GraphConstructionError",
     "disjoint_union",
     "split_union_embeddings",
     "normalized_adjacency",

@@ -19,6 +19,30 @@ import numpy as np
 import scipy.sparse as sp
 
 
+class GraphConstructionError(ValueError):
+    """Structured rejection of an invalid edge list.
+
+    Carries the offending pairs so callers (delta replay, validation
+    tooling) can report or skip them precisely instead of parsing the
+    message.  ``self_loops`` holds ``(u, u)`` pairs, ``duplicates`` holds
+    canonicalized ``(u, v)`` pairs (``u < v``) that appeared more than once
+    — including a reversed ``(v, u)`` restatement of an earlier edge, which
+    would otherwise be silently collapsed by symmetrization while a
+    *doubled* entry would poison degree normalization on mutated graphs.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        self_loops: Sequence[Tuple[int, int]] = (),
+        duplicates: Sequence[Tuple[int, int]] = (),
+    ) -> None:
+        super().__init__(message)
+        self.self_loops = [tuple(int(x) for x in e) for e in self_loops]
+        self.duplicates = [tuple(int(x) for x in e) for e in duplicates]
+
+
 class Graph:
     """An undirected attributed graph.
 
@@ -108,13 +132,35 @@ class Graph:
         labels: Optional[np.ndarray] = None,
         name: str = "graph",
     ) -> "Graph":
-        """Build a graph from (u, v) pairs; features default to identity rows."""
+        """Build a graph from (u, v) pairs; features default to identity rows.
+
+        Self-loops and duplicate edges (including ``(v, u)`` restatements of
+        an earlier ``(u, v)``) are rejected with a structured
+        :class:`GraphConstructionError` — the constructor would silently
+        canonicalize them away, hiding bugs in the edge source.
+        """
         edges = np.asarray(list(edges), dtype=np.int64)
         if edges.size == 0:
             adjacency = sp.csr_matrix((num_nodes, num_nodes))
         else:
             if edges.min() < 0 or edges.max() >= num_nodes:
                 raise ValueError("edge endpoint out of range")
+            loops = edges[edges[:, 0] == edges[:, 1]]
+            if loops.size:
+                raise GraphConstructionError(
+                    f"edge list of {name!r} contains {loops.shape[0]} "
+                    f"self-loop(s), e.g. {tuple(loops[0])}",
+                    self_loops=loops[:8].tolist(),
+                )
+            canon = np.sort(edges, axis=1)
+            uniq, counts = np.unique(canon, axis=0, return_counts=True)
+            if (counts > 1).any():
+                dups = uniq[counts > 1]
+                raise GraphConstructionError(
+                    f"edge list of {name!r} contains {dups.shape[0]} "
+                    f"duplicate undirected edge(s), e.g. {tuple(dups[0])}",
+                    duplicates=dups[:8].tolist(),
+                )
             rows = np.concatenate([edges[:, 0], edges[:, 1]])
             cols = np.concatenate([edges[:, 1], edges[:, 0]])
             data = np.ones(rows.shape[0])
@@ -122,6 +168,48 @@ class Graph:
         if features is None:
             features = np.eye(num_nodes)
         return cls(adjacency, features, labels=labels, name=name)
+
+    @classmethod
+    def from_canonical_csr(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        features: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        name: str = "graph",
+        validate: bool = False,
+    ) -> "Graph":
+        """Wrap already-canonical CSR arrays without re-canonicalizing.
+
+        The caller guarantees the arrays describe a symmetric binary
+        adjacency with no self-loops and sorted indices per row (the
+        invariants ``__init__`` enforces).  This is the fast path for
+        incremental mutation (``repro.stream.MutableGraph``), where the
+        arrays are maintained canonical by construction and a
+        ``maximum(A, A.T)`` round-trip per apply would dominate.  Pass
+        ``validate=True`` to pay for a full invariant check.
+        """
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        n = indptr.shape[0] - 1
+        adjacency = sp.csr_matrix(
+            (np.ones(indices.shape[0], dtype=np.float64), indices, indptr),
+            shape=(n, n),
+        )
+        adjacency.has_sorted_indices = True
+        graph = cls.__new__(cls)
+        graph.adjacency = adjacency
+        graph.features = np.asarray(features, dtype=np.float64)
+        if graph.features.ndim != 2 or graph.features.shape[0] != n:
+            raise ValueError(
+                f"features must be (n={n}, d); got {graph.features.shape}"
+            )
+        graph.labels = None if labels is None else np.asarray(labels)
+        graph.name = name
+        graph._degrees = None
+        if validate:
+            graph.validate()
+        return graph
 
     def copy(self) -> "Graph":
         """Deep copy (fresh adjacency, features, labels)."""
@@ -264,6 +352,10 @@ class Graph:
             raise AssertionError("adjacency has self loops")
         if adj.nnz and not np.all(adj.data == 1.0):
             raise AssertionError("adjacency is not binary")
+        for row in range(self.num_nodes):
+            seg = adj.indices[adj.indptr[row]:adj.indptr[row + 1]]
+            if seg.size > 1 and np.any(np.diff(seg) <= 0):
+                raise AssertionError(f"row {row} indices not strictly sorted")
         if self.features.shape[0] != self.num_nodes:
             raise AssertionError("feature row count mismatch")
 

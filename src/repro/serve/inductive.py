@@ -125,6 +125,46 @@ class InductiveEncoder:
         return features @ self.artifact.encoder.layers[0].weight.data
 
     # ------------------------------------------------------------------
+    # Streaming rebind
+    # ------------------------------------------------------------------
+    def rebind_graph(self, graph: Graph,
+                     refreshed_rows: Optional[np.ndarray] = None) -> None:
+        """Swap the base graph for a mutated successor.
+
+        Degrees re-derive lazily on next use; the ``H0 = X W_0`` cache is
+        patched incrementally instead of recomputed: rows whose features
+        did not change carry over (they *are* the old floats, and
+        ``(X W)[i]`` depends only on row ``i``), while added nodes and the
+        ``refreshed_rows`` whose features a delta batch rewrote get a
+        fresh row-wise transform.
+        """
+        if graph.num_features != self.artifact.in_features:
+            raise ValueError(
+                f"artifact expects {self.artifact.in_features} features, "
+                f"graph {graph.name!r} has {graph.num_features}"
+            )
+        refreshed = np.asarray(
+            [] if refreshed_rows is None else refreshed_rows,
+            dtype=np.int64).ravel()
+        with self._cache_lock:
+            old_h0 = self._h0
+            self.graph = graph
+            self._degrees = None
+            if old_h0 is None:
+                return
+            weight = self.artifact.encoder.layers[0].weight.data
+            n = graph.num_nodes
+            keep = min(old_h0.shape[0], n)
+            h0 = np.empty((n, old_h0.shape[1]), dtype=old_h0.dtype)
+            h0[:keep] = old_h0[:keep]
+            if n > keep:
+                h0[keep:] = graph.features[keep:] @ weight
+            stale = refreshed[refreshed < keep]
+            if stale.size:
+                h0[stale] = graph.features[stale] @ weight
+            self._h0 = np.ascontiguousarray(h0)
+
+    # ------------------------------------------------------------------
     # Vectorized CSR gathers — shared kernels live in repro.scale.blocks
     # (promoted from here in the scale-layer PR); these thin wrappers bind
     # the served graph so the call sites below read as before.

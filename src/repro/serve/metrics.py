@@ -89,6 +89,12 @@ class ServeMetrics:
         self.snapshot_failures = 0
         self.worker_restarts = 0
         self.dirty_shutdown = False
+        # Streaming counters (delta-aware invalidation, lazy refresh).
+        self.invalidations = 0
+        self.invalidated_rows = 0
+        self.preserved_rows = 0
+        self.stale_refreshes = 0
+        self.graph_rebinds = 0
 
     # ------------------------------------------------------------------
     def latency(self, op: str) -> LatencyHistogram:
@@ -151,6 +157,27 @@ class ServeMetrics:
             self.worker_restarts += 1
         emit_metric("serve.worker_restart", 1.0)
 
+    def observe_invalidation(self, invalidated: int, preserved: int) -> None:
+        """One blast-radius invalidation: rows dropped vs. rows kept warm."""
+        with self._lock:
+            self.invalidations += 1
+            self.invalidated_rows += invalidated
+            self.preserved_rows += preserved
+        emit_metric("serve.invalidated_rows", float(invalidated))
+        emit_metric("serve.preserved_rows", float(preserved))
+
+    def observe_stale_refresh(self, count: int = 1) -> None:
+        """``count`` stale rows were lazily recomputed on read."""
+        with self._lock:
+            self.stale_refreshes += count
+        emit_metric("serve.stale_refresh", float(count))
+
+    def observe_graph_rebind(self) -> None:
+        """The served graph was swapped for a mutated successor."""
+        with self._lock:
+            self.graph_rebinds += 1
+        emit_metric("serve.graph_rebind", 1.0)
+
     def mark_dirty_shutdown(self) -> None:
         """A shutdown left a worker thread behind (close join timed out)."""
         with self._lock:
@@ -209,6 +236,13 @@ class ServeMetrics:
                 "snapshot_failures": self.snapshot_failures,
                 "worker_restarts": self.worker_restarts,
                 "dirty_shutdown": self.dirty_shutdown,
+            },
+            "streaming": {
+                "invalidations": self.invalidations,
+                "invalidated_rows": self.invalidated_rows,
+                "preserved_rows": self.preserved_rows,
+                "stale_refreshes": self.stale_refreshes,
+                "graph_rebinds": self.graph_rebinds,
             },
             "errors": errors,
         }

@@ -171,6 +171,10 @@ class EmbeddingServer:
             snapshot_dir=snapshot_dir, metrics=self.metrics,
             health=self.health,
         )
+        # Stale rows invalidated by a graph mutation heal through the
+        # inductive ego path — exact at the center, so a lazily refreshed
+        # row equals a full offline embed of the mutated graph.
+        self.store.set_row_computer(self._compute_row)
         self.probe_epochs = probe_epochs
         self.probe_seed = probe_seed
         self._encoders: Dict[str, InductiveEncoder] = {}
@@ -198,6 +202,31 @@ class EmbeddingServer:
         if self.use_cache:
             self.store.snapshot(version_id)
         self.health.mark_ready()
+
+    def rebind_graph(self, graph: Graph,
+                     refreshed_nodes=None) -> None:
+        """Swap the served graph for a mutated successor (streaming path).
+
+        Rebinds the store (resident snapshots padded for added nodes, disk
+        snapshots disabled) and every cached inductive encoder (degrees
+        re-derive, ``H0`` patched incrementally; ``refreshed_nodes`` are
+        the rows whose features a delta batch rewrote).  Fitted probes
+        drop — they were trained on old-graph embeddings and refit lazily.
+        Warm store rows stay untouched: invalidating the blast radius is
+        the caller's job (see :mod:`repro.stream`).
+        """
+        self.graph = graph
+        self.store.rebind_graph(graph)
+        with self._lock:
+            encoders = list(self._encoders.values())
+            self._probes.clear()
+        for encoder in encoders:
+            encoder.rebind_graph(graph, refreshed_rows=refreshed_nodes)
+        emit_event("serve.server_rebind", num_nodes=graph.num_nodes)
+
+    def _compute_row(self, version_id: str, node: int) -> np.ndarray:
+        """Row computer installed into the store for stale-row refresh."""
+        return self._encoder(self.registry.get(version_id)).encode_node(node)
 
     def drain(self) -> dict:
         """Graceful shutdown: stop admitting, flush the batcher, persist.

@@ -25,7 +25,7 @@ import zipfile
 import zlib
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Set, Union
 
 import numpy as np
 
@@ -86,6 +86,13 @@ class EmbeddingStore:
         self._lru: "OrderedDict[Tuple[str, int], np.ndarray]" = OrderedDict()
         self._lock = threading.Lock()
         self._compute_locks: Dict[str, threading.Lock] = {}
+        # Streaming state: rows invalidated by a blast radius, per version;
+        # the per-row recompute path (the server installs its inductive
+        # encoder); and whether the served graph has mutated since start
+        # (which disables on-disk snapshots — they describe the old graph).
+        self._stale: Dict[str, Set[int]] = {}
+        self._row_computer: Optional[Callable[[str, int], np.ndarray]] = None
+        self._mutated = False
         if self.snapshot_dir is not None:
             self.snapshot_dir.mkdir(parents=True, exist_ok=True)
 
@@ -98,27 +105,45 @@ class EmbeddingStore:
         Resolution order: in-memory → digest-valid file in
         ``snapshot_dir`` → recompute (and persist).  The returned array is
         the live snapshot; callers must not mutate it.
+
+        Rows invalidated by a graph mutation (:meth:`invalidate`) are
+        repaired before the matrix is handed out: through the registered
+        per-row computer when one exists — warm rows stay untouched
+        bit-for-bit — or by a full recompute on the current graph
+        otherwise.
         """
         version = self.registry.get(version_id)
+        vid = version.version_id
         with self._lock:
-            cached = self._snapshots.get(version.version_id)
-            if cached is not None:
+            cached = self._snapshots.get(vid)
+            has_stale = bool(self._stale.get(vid))
+            if cached is not None and not has_stale:
                 return cached
             # One materializer per version: concurrent first-touch queries
             # would otherwise duplicate the full-graph forward and race the
             # same snapshot filename.
             compute_lock = self._compute_locks.setdefault(
-                version.version_id, threading.Lock())
+                vid, threading.Lock())
         with compute_lock:
             with self._lock:
-                cached = self._snapshots.get(version.version_id)
-            if cached is not None:
+                cached = self._snapshots.get(vid)
+                stale = sorted(self._stale.get(vid, ()))
+            if cached is not None and not stale:
+                return cached
+            if cached is not None and self._row_computer is not None:
+                # Lazy repair: recompute only the stale rows in place; every
+                # other row of the resident matrix is left untouched.
+                for node in stale:
+                    cached[node] = np.asarray(self._row_computer(vid, node))
+                with self._lock:
+                    self._stale.pop(vid, None)
+                self.metrics.observe_stale_refresh(len(stale))
                 return cached
             loaded = self._load_snapshot(version)
             if loaded is None:
                 try:
                     with span("serve.snapshot_compute",
-                              version=version.version_id):
+                              version=vid):
                         loaded = version.artifact.embed(self.graph)
                 except Exception as exc:  # noqa: BLE001 - structured below
                     # A model that cannot embed the served graph must fail
@@ -127,12 +152,15 @@ class EmbeddingStore:
                     self._note_failure(version, f"recompute failed: {exc}")
                     raise SnapshotError(
                         f"cannot materialize snapshot for "
-                        f"{version.version_id}: {exc}",
-                        version=version.version_id,
+                        f"{vid}: {exc}",
+                        version=vid,
                     ) from exc
                 self._persist_snapshot(version, loaded)
             with self._lock:
-                self._snapshots[version.version_id] = loaded
+                self._snapshots[vid] = loaded
+                # A full materialization ran on the *current* graph, so it
+                # is fresh by construction.
+                self._stale.pop(vid, None)
         return loaded
 
     def _note_failure(self, version: ModelVersion, reason: str) -> None:
@@ -155,7 +183,10 @@ class EmbeddingStore:
 
     def _persist_snapshot(self, version: ModelVersion, embeddings: np.ndarray) -> None:
         path = self._snapshot_path(version)
-        if path is None:
+        if path is None or self._mutated:
+            # After a graph mutation the on-disk layout describes a graph
+            # that no longer exists; never overwrite those files with
+            # mutated-graph matrices under the same name.
             return
         payload = {
             "embeddings": np.ascontiguousarray(embeddings),
@@ -201,7 +232,10 @@ class EmbeddingStore:
         ``KeyError`` escaping to the client.
         """
         path = self._snapshot_path(version)
-        if path is None or not path.is_file():
+        if path is None or not path.is_file() or self._mutated:
+            # A digest-valid file written before a graph mutation is
+            # perfectly healthy — and wrong: it was computed against the
+            # old graph.  Once mutated, disk snapshots are dead to us.
             return None
         try:
             with np.load(path, allow_pickle=False) as data:
@@ -250,7 +284,7 @@ class EmbeddingStore:
         embeddings from disk instead of recomputing.  Returns the number
         of files written; a no-op without a ``snapshot_dir``.
         """
-        if self.snapshot_dir is None:
+        if self.snapshot_dir is None or self._mutated:
             return 0
         with self._lock:
             resident = dict(self._snapshots)
@@ -269,22 +303,136 @@ class EmbeddingStore:
         return written
 
     # ------------------------------------------------------------------
+    # Streaming: blast-radius invalidation + lazy per-row refresh
+    # ------------------------------------------------------------------
+    def set_row_computer(
+        self, fn: Optional[Callable[[str, int], np.ndarray]]
+    ) -> None:
+        """Register the per-row recompute path for stale rows.
+
+        ``fn(version_id, node) -> row`` must return exactly what a full
+        offline embed of the *current* graph would put in that row — the
+        server installs its :class:`InductiveEncoder` here, whose ego
+        forward is bit-identical to the full forward at the center node.
+        """
+        self._row_computer = fn
+
+    def resident_snapshot(
+        self, version_id: Optional[str] = None
+    ) -> Optional[np.ndarray]:
+        """The in-memory matrix if materialized, else None (never computes)."""
+        version = self.registry.get(version_id)
+        with self._lock:
+            return self._snapshots.get(version.version_id)
+
+    def stale_rows(self, version_id: Optional[str] = None) -> list:
+        """Sorted node ids currently awaiting lazy refresh for a version."""
+        version = self.registry.get(version_id)
+        with self._lock:
+            return sorted(self._stale.get(version.version_id, ()))
+
+    def invalidate(self, version_id: Optional[str], node_ids) -> dict:
+        """Mark specific rows of a version stale: the blast-radius entry.
+
+        Invalidated rows are dropped from the LRU and recompute lazily on
+        their next read (through the registered row computer); every other
+        row — resident matrix and LRU alike — is left untouched.  Returns
+        a counts dict (``invalidated`` / ``preserved`` / total ``stale``)
+        and feeds the same numbers into the serving metrics.
+        """
+        version = self.registry.get(version_id)
+        vid = version.version_id
+        nodes = np.unique(np.asarray(node_ids, dtype=np.int64))
+        nodes = nodes[(nodes >= 0) & (nodes < self.graph.num_nodes)]
+        with self._lock:
+            resident = self._snapshots.get(vid)
+            total = resident.shape[0] if resident is not None \
+                else self.graph.num_nodes
+            stale = self._stale.setdefault(vid, set())
+            stale.update(int(x) for x in nodes)
+            for x in nodes:
+                self._lru.pop((vid, int(x)), None)
+            stale_now = len(stale)
+        invalidated = int(nodes.size)
+        preserved = max(int(total) - stale_now, 0)
+        self.metrics.observe_invalidation(invalidated, preserved)
+        emit_event("serve.rows_invalidated", version=vid,
+                   invalidated=invalidated, preserved=preserved)
+        return {"invalidated": invalidated, "preserved": preserved,
+                "stale": stale_now}
+
+    def rebind_graph(self, graph: Graph) -> None:
+        """Swap the served graph for a mutated successor.
+
+        Resident snapshot matrices are padded with zero rows for added
+        nodes — into a *new* array, so matrices handed out before the
+        mutation stay frozen — and the padded rows are marked stale.  From
+        here on disk snapshots are disabled (they describe the old graph)
+        and warm rows survive untouched until something invalidates them.
+        """
+        n = graph.num_nodes
+        with self._lock:
+            self.graph = graph
+            self._mutated = True
+            for vid, snap in list(self._snapshots.items()):
+                old_n = snap.shape[0]
+                if old_n < n:
+                    pad = np.zeros((n - old_n, snap.shape[1]),
+                                   dtype=snap.dtype)
+                    self._snapshots[vid] = np.vstack([snap, pad])
+                    self._stale.setdefault(vid, set()).update(
+                        range(old_n, n))
+        self.metrics.observe_graph_rebind()
+        emit_event("serve.graph_rebind", num_nodes=n)
+
+    def _refresh_row(self, version: ModelVersion, node: int) -> np.ndarray:
+        """Recompute one stale row (and heal the resident matrix)."""
+        vid = version.version_id
+        fn = self._row_computer
+        if fn is None:
+            # No per-row path registered: fall back to a full recompute on
+            # the current graph (standalone-store usage).
+            with self._lock:
+                self._snapshots.pop(vid, None)
+            return np.array(self.snapshot(vid)[node])
+        row = np.asarray(fn(vid, node))
+        with self._lock:
+            resident = self._snapshots.get(vid)
+            if resident is not None:
+                resident[node] = row
+            stale = self._stale.get(vid)
+            if stale is not None:
+                stale.discard(node)
+                if not stale:
+                    self._stale.pop(vid, None)
+        self.metrics.observe_stale_refresh()
+        return np.array(row)
+
+    # ------------------------------------------------------------------
     # Per-node reads (LRU front)
     # ------------------------------------------------------------------
     def embedding(self, node_id: int, version_id: Optional[str] = None) -> np.ndarray:
-        """One node's embedding under a version, through the LRU cache."""
+        """One node's embedding under a version, through the LRU cache.
+
+        Stale rows (see :meth:`invalidate`) bypass the LRU and recompute
+        through the registered row computer before being re-cached."""
         version = self.registry.get(version_id)
         node = self._check_node(node_id)
         key = (version.version_id, node)
         with self._lock:
-            hit = self._lru.get(key)
+            stale_set = self._stale.get(version.version_id)
+            is_stale = stale_set is not None and node in stale_set
+            hit = None if is_stale else self._lru.get(key)
             if hit is not None:
                 self._lru.move_to_end(key)
         if hit is not None:
             self.metrics.observe_cache(True)
             return hit
         self.metrics.observe_cache(False)
-        row = np.array(self.snapshot(version.version_id)[node])
+        if is_stale:
+            row = self._refresh_row(version, node)
+        else:
+            row = np.array(self.snapshot(version.version_id)[node])
         with self._lock:
             self._lru[key] = row
             self._lru.move_to_end(key)

@@ -1,0 +1,49 @@
+"""repro.stream: incremental graph updates end-to-end.
+
+The streaming layer turns the static pipeline into a living one:
+
+- :mod:`~repro.stream.deltas` — seeded dynamic-SBM delta generation and
+  a durable, replayable JSONL delta log;
+- :mod:`~repro.stream.mutable` — incremental CSR mutation that batches
+  deltas and provably matches a from-scratch rebuild;
+- :mod:`~repro.stream.blast` — exact L-hop blast radius of a batch;
+- :mod:`~repro.stream.drift` — cosine drift detection on served rows;
+- :mod:`~repro.stream.finetune` — online fine-tuning resumed from the
+  serving checkpoint, under the resilience hooks;
+- :mod:`~repro.stream.serving` — the coordinator binding all of it to a
+  live :class:`~repro.serve.EmbeddingServer`, plus the log replayer
+  behind ``repro stream --replay``.
+"""
+
+from .blast import blast_radius
+from .deltas import (
+    DELTA_OPS,
+    Delta,
+    DeltaError,
+    DeltaGenerator,
+    DeltaLog,
+    ReplayResult,
+    read_delta_log,
+)
+from .drift import DriftDetector
+from .finetune import FineTuneSession, method_from_checkpoint
+from .mutable import ApplyResult, MutableGraph
+from .serving import StreamCoordinator, replay_log
+
+__all__ = [
+    "DELTA_OPS",
+    "Delta",
+    "DeltaError",
+    "DeltaGenerator",
+    "DeltaLog",
+    "ReplayResult",
+    "read_delta_log",
+    "ApplyResult",
+    "MutableGraph",
+    "blast_radius",
+    "DriftDetector",
+    "FineTuneSession",
+    "method_from_checkpoint",
+    "StreamCoordinator",
+    "replay_log",
+]

@@ -1,0 +1,55 @@
+"""Exact L-hop blast radius of a delta batch.
+
+An L-layer GCN's output at node ``w`` depends only on the nodes within L
+hops of ``w`` and the degrees of the nodes inside that ego (the
+degree-corrected normalization — see ``repro/serve/inductive.py``).  A
+batch of mutations can therefore change ``w``'s embedding only if some
+mutated endpoint, feature-updated node, or added node lies within L hops
+of ``w`` — measured in the *old* structure (a removed edge still affected
+every node that used to reach it) **or** the *new* one (an added edge
+affects every node that now does).  The blast radius is the union of the
+seeds' L-hop egos in both structures, computed with the same vectorized
+BFS (:func:`repro.scale.blocks.grow_ego`) serving uses for ego
+extraction.
+
+Everything outside the radius is *provably* unchanged: its ego node set,
+every degree in it, and every feature row are identical before and after
+the batch, so the recomputation would retrace the exact same floats —
+which is why the serve layer can leave those snapshot rows untouched
+bit-for-bit and invalidate only the inside
+(``tests/stream/test_blast.py`` pins both directions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..scale.blocks import grow_ego
+
+
+def blast_radius(
+    old_adjacency: sp.csr_matrix,
+    new_adjacency: sp.csr_matrix,
+    seeds: np.ndarray,
+    hops: int,
+) -> np.ndarray:
+    """Sorted node ids whose L-hop ego could have changed.
+
+    ``seeds`` are the directly mutated nodes (an :class:`ApplyResult`'s
+    ``touched`` set); ids at or beyond a structure's node count (nodes
+    added by the batch, absent from the old CSR) simply contribute
+    nothing on that side.  ``hops`` is the deepest encoder's layer count.
+    """
+    seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+    if seeds.size == 0:
+        return seeds
+    if hops < 0:
+        raise ValueError(f"hops must be >= 0, got {hops}")
+    radius = grow_ego(new_adjacency, seeds[seeds < new_adjacency.shape[0]],
+                      hops)
+    old_seeds = seeds[seeds < old_adjacency.shape[0]]
+    if old_seeds.size:
+        radius = np.union1d(radius,
+                            grow_ego(old_adjacency, old_seeds, hops))
+    return radius

@@ -1,0 +1,353 @@
+"""Timestamped graph deltas: the wire format, the durable log, the generator.
+
+A :class:`Delta` is one atomic mutation of the served graph — an edge
+added or removed, a node appended, or a node's feature vector replaced.
+Deltas are plain JSON objects so the log is greppable and language-
+agnostic; :class:`DeltaLog` appends them as one JSON object per line with
+an ``fsync`` per batch, so a process killed mid-replay leaves a readable
+prefix and a resumed replay reconstructs the exact same graph
+(``tests/stream/test_chaos.py`` pins this).
+
+Reading is forgiving where writing is strict: :func:`read_delta_log`
+skips a corrupt record with a structured warning and an obs event instead
+of crashing — bit rot in a long-lived log must never take down a replay —
+while :class:`Delta` construction validates every field so an invalid
+mutation can never be *written*.
+
+:class:`DeltaGenerator` emits a seeded dynamic-SBM stream: it tracks the
+evolving edge set and label assignment internally, so the stream is
+always semantically valid under sequential application (no duplicate
+adds, no removals of absent edges, node ids assigned densely) and fully
+deterministic for a given seed — the property every oracle-equivalence
+test in ``tests/stream/`` leans on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from ..graphs import Graph
+from ..obs import emit_event
+
+#: The four mutation kinds, in wire order.
+DELTA_OPS = ("add_edge", "remove_edge", "add_node", "update_features")
+
+
+class DeltaError(ValueError):
+    """A delta record that cannot describe a valid mutation."""
+
+
+@dataclass
+class Delta:
+    """One atomic graph mutation.
+
+    ``add_edge``/``remove_edge`` carry endpoints ``u``/``v`` (undirected,
+    ``u != v``); ``add_node`` carries the assigned ``node`` id, its
+    ``features`` row and optional ``label``; ``update_features`` carries
+    ``node`` and the replacement ``features`` row.  ``ts`` is a logical
+    timestamp and ``seq`` the position in the emitting stream — replay
+    order is ``seq`` order, and a resumed replay starts from the first
+    unapplied ``seq``.
+    """
+
+    op: str
+    u: Optional[int] = None
+    v: Optional[int] = None
+    node: Optional[int] = None
+    features: Optional[List[float]] = None
+    label: Optional[int] = None
+    ts: float = 0.0
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in DELTA_OPS:
+            raise DeltaError(f"unknown delta op {self.op!r}; "
+                             f"expected one of {DELTA_OPS}")
+        if self.op in ("add_edge", "remove_edge"):
+            if self.u is None or self.v is None:
+                raise DeltaError(f"{self.op} needs endpoints 'u' and 'v'")
+            self.u, self.v = int(self.u), int(self.v)
+            if self.u == self.v:
+                raise DeltaError(f"{self.op} ({self.u}, {self.v}) is a "
+                                 "self-loop; the graph forbids them")
+            if self.u < 0 or self.v < 0:
+                raise DeltaError(f"{self.op} endpoints must be >= 0")
+        else:
+            if self.node is None:
+                raise DeltaError(f"{self.op} needs a 'node' id")
+            self.node = int(self.node)
+            if self.node < 0:
+                raise DeltaError("'node' must be >= 0")
+            if self.features is None:
+                raise DeltaError(f"{self.op} needs a 'features' row")
+            feats = np.asarray(self.features, dtype=np.float64)
+            if feats.ndim != 1 or not np.all(np.isfinite(feats)):
+                raise DeltaError(
+                    f"{self.op} features must be a finite 1-D vector")
+            self.features = [float(x) for x in feats]
+        if self.label is not None:
+            self.label = int(self.label)
+        self.ts = float(self.ts)
+        self.seq = int(self.seq)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """JSON-ready dict with ``None`` fields dropped."""
+        payload = {"op": self.op, "ts": self.ts, "seq": self.seq}
+        for key in ("u", "v", "node", "label"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        if self.features is not None:
+            payload["features"] = self.features
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: object) -> "Delta":
+        """Parse one wire record; any malformation raises :class:`DeltaError`."""
+        if not isinstance(payload, dict):
+            raise DeltaError(
+                f"delta record must be a JSON object, got "
+                f"{type(payload).__name__}")
+        op = payload.get("op")
+        if not isinstance(op, str):
+            raise DeltaError("delta record needs a string 'op'")
+        known = {"op", "u", "v", "node", "features", "label", "ts", "seq"}
+        fields = {k: payload[k] for k in known if k in payload}
+        try:
+            return cls(**fields)
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, DeltaError):
+                raise
+            raise DeltaError(f"cannot parse delta record: {exc}") from exc
+
+
+@dataclass
+class ReplayResult:
+    """What a log read produced: the valid deltas plus corruption stats."""
+
+    deltas: List[Delta] = field(default_factory=list)
+    skipped: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.deltas)
+
+
+class DeltaLog:
+    """Durable JSONL delta log (append-only writer).
+
+    Every :meth:`append`/:meth:`extend` flushes and ``fsync``\\ s, so a
+    record returned from here survives a process kill — the contract the
+    kill-mid-replay chaos test relies on.  Use as a context manager or
+    call :meth:`close`.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self.written = 0
+
+    def append(self, delta: Delta) -> None:
+        self.extend([delta])
+
+    def extend(self, deltas: Iterable[Delta]) -> int:
+        """Append a batch, then flush + fsync once for the whole batch."""
+        count = 0
+        for delta in deltas:
+            self._handle.write(json.dumps(delta.to_json()) + "\n")
+            count += 1
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.written += count
+        return count
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "DeltaLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_delta_log(path: Union[str, Path],
+                   start_seq: Optional[int] = None) -> ReplayResult:
+    """Read a JSONL delta log, skipping corrupt records with a warning.
+
+    A record that fails to parse (torn write, bit rot, hand-editing) is
+    counted in ``skipped``, reported once via ``warnings.warn`` and an
+    obs ``stream.delta_corrupt`` event, and the read continues — a replay
+    degrades, it never crashes.  ``start_seq`` drops records below it,
+    which is how a killed replay resumes from where it stopped.
+    """
+    result = ReplayResult()
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                delta = Delta.from_json(json.loads(line))
+            except (ValueError, DeltaError) as exc:
+                reason = f"{path.name}:{line_no}: {exc}"
+                result.skipped += 1
+                result.errors.append(reason)
+                emit_event("stream.delta_corrupt", path=str(path),
+                           line=line_no, reason=str(exc))
+                warnings.warn(f"skipping corrupt delta record {reason}",
+                              RuntimeWarning, stacklevel=2)
+                continue
+            if start_seq is not None and delta.seq < start_seq:
+                continue
+            result.deltas.append(delta)
+    return result
+
+
+class DeltaGenerator:
+    """Seeded dynamic-SBM mutation stream over an evolving graph.
+
+    Starting from a snapshot of ``graph``, each :meth:`generate` draw is
+    one of the four ops with the configured probabilities.  New edges are
+    homophilous (same-label endpoints with probability ``homophily``, the
+    SBM's in-block preference); new nodes draw a label uniformly and
+    features from the empirical class mean plus Gaussian noise; feature
+    updates re-draw from the node's own class model.  The generator
+    mirrors every mutation into its internal edge set and label list, so
+    the emitted stream applies conflict-free in ``seq`` order.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: int = 0,
+        homophily: float = 0.8,
+        p_add_edge: float = 0.5,
+        p_remove_edge: float = 0.2,
+        p_add_node: float = 0.1,
+        p_update_features: float = 0.2,
+        feature_noise: float = 0.1,
+        t0: float = 0.0,
+    ):
+        probs = np.array([p_add_edge, p_remove_edge, p_add_node,
+                          p_update_features], dtype=np.float64)
+        if (probs < 0).any() or probs.sum() <= 0:
+            raise ValueError("op probabilities must be non-negative and "
+                             "sum to a positive value")
+        self._probs = probs / probs.sum()
+        self._rng = np.random.default_rng(seed)
+        self.homophily = float(homophily)
+        self.feature_noise = float(feature_noise)
+        self.t0 = float(t0)
+        self._dim = graph.num_features
+        if graph.labels is not None:
+            self._labels: List[int] = [int(y) for y in graph.labels]
+            self._num_classes = int(graph.labels.max()) + 1 if len(
+                self._labels) else 1
+        else:
+            self._labels = [0] * graph.num_nodes
+            self._num_classes = 1
+        # Empirical per-class feature means drive add_node/update_features.
+        self._means = np.zeros((self._num_classes, self._dim))
+        for c in range(self._num_classes):
+            mask = np.asarray(self._labels) == c
+            if mask.any():
+                self._means[c] = graph.features[mask].mean(axis=0)
+        self._num_nodes = graph.num_nodes
+        edges = graph.edge_array()
+        self._edges: List[tuple] = [tuple(map(int, e)) for e in edges]
+        self._edge_set = set(self._edges)
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def generate(self, count: int) -> List[Delta]:
+        """The next ``count`` deltas of the stream (advances the state)."""
+        return [self._next() for _ in range(int(count))]
+
+    # ------------------------------------------------------------------
+    def _stamp(self, **fields) -> Delta:
+        delta = Delta(ts=self.t0 + self._seq, seq=self._seq, **fields)
+        self._seq += 1
+        return delta
+
+    def _next(self) -> Delta:
+        op = DELTA_OPS[int(self._rng.choice(len(DELTA_OPS), p=self._probs))]
+        if op == "add_edge":
+            return self._add_edge()
+        if op == "remove_edge":
+            return self._remove_edge()
+        if op == "add_node":
+            return self._add_node()
+        return self._update_features()
+
+    def _add_edge(self) -> Delta:
+        n = self._num_nodes
+        labels = self._labels
+        for _ in range(64):
+            u = int(self._rng.integers(n))
+            v = int(self._rng.integers(n))
+            if u == v:
+                continue
+            if self.homophily > 0 and self._num_classes > 1:
+                same = labels[u] == labels[v]
+                if float(self._rng.random()) < self.homophily and not same:
+                    continue
+            key = (min(u, v), max(u, v))
+            if key in self._edge_set:
+                continue
+            self._edge_set.add(key)
+            self._edges.append(key)
+            return self._stamp(op="add_edge", u=key[0], v=key[1])
+        # Dense or tiny graph: fall back to thinning it instead.
+        if self._edges:
+            return self._remove_edge()
+        return self._update_features()
+
+    def _remove_edge(self) -> Delta:
+        if not self._edges:
+            return self._add_edge()
+        idx = int(self._rng.integers(len(self._edges)))
+        key = self._edges[idx]
+        # Swap-pop keeps removal O(1) and the draw uniform.
+        self._edges[idx] = self._edges[-1]
+        self._edges.pop()
+        self._edge_set.discard(key)
+        return self._stamp(op="remove_edge", u=key[0], v=key[1])
+
+    def _draw_features(self, label: int) -> List[float]:
+        row = self._means[label] + self.feature_noise * self._rng.normal(
+            size=self._dim)
+        return [float(x) for x in row]
+
+    def _add_node(self) -> Delta:
+        label = int(self._rng.integers(self._num_classes))
+        node = self._num_nodes
+        self._num_nodes += 1
+        self._labels.append(label)
+        return self._stamp(op="add_node", node=node,
+                           features=self._draw_features(label), label=label)
+
+    def _update_features(self) -> Delta:
+        node = int(self._rng.integers(self._num_nodes))
+        label = self._labels[node]
+        return self._stamp(op="update_features", node=node,
+                           features=self._draw_features(label), label=label)

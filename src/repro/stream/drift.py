@@ -1,0 +1,115 @@
+"""Cosine drift detection between pre- and post-mutation embeddings.
+
+As deltas accumulate, the frozen encoder's embeddings inside each blast
+radius shift away from what it was trained on.  The
+:class:`DriftDetector` watches that shift directly: every observed node
+contributes the cosine between its pre-mutation snapshot row and its
+recomputed row, into a sliding window.  When the window mean drops below
+the threshold (with enough samples to matter), :attr:`drifted` flips and
+the coordinator triggers an online fine-tune + blue/green refresh
+(:mod:`repro.stream.finetune`).
+
+Every observation is surfaced through :mod:`repro.obs` as a
+``stream.drift_cosine`` metric, so a traced streaming run shows the
+drift trajectory with the same tooling as training losses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+
+from ..obs import emit_event, emit_metric
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity, defining 0-vs-0 as identical (1.0)."""
+    na, nb = float(np.linalg.norm(a)), float(np.linalg.norm(b))
+    if na == 0.0 and nb == 0.0:
+        return 1.0
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))
+
+
+class DriftDetector:
+    """Sliding-window mean-cosine drift monitor.
+
+    Parameters
+    ----------
+    threshold:
+        Window-mean cosine below which the stream counts as drifted.
+    window:
+        Observations retained (older ones age out, so a recovered stream
+        un-drifts).
+    min_samples:
+        Observations required before :attr:`drifted` may flip — a single
+        heavily-rewired node must not trigger a fleet-wide refresh.
+    """
+
+    def __init__(self, threshold: float = 0.9, window: int = 64,
+                 min_samples: int = 8):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if window < 1 or min_samples < 1:
+            raise ValueError("window and min_samples must be >= 1")
+        self.threshold = float(threshold)
+        self.window = int(window)
+        self.min_samples = int(min_samples)
+        self._cosines: Deque[float] = deque(maxlen=self.window)
+        self.observed = 0
+        self.triggers = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, node: int, before: np.ndarray,
+                after: np.ndarray) -> float:
+        """Record one pre/post embedding pair; returns the cosine."""
+        value = _cosine(np.asarray(before, dtype=np.float64).ravel(),
+                        np.asarray(after, dtype=np.float64).ravel())
+        self._cosines.append(value)
+        self.observed += 1
+        emit_metric("stream.drift_cosine", value, node=int(node))
+        return value
+
+    @property
+    def samples(self) -> int:
+        return len(self._cosines)
+
+    @property
+    def mean_cosine(self) -> Optional[float]:
+        if not self._cosines:
+            return None
+        return float(np.mean(self._cosines))
+
+    @property
+    def min_cosine(self) -> Optional[float]:
+        if not self._cosines:
+            return None
+        return float(min(self._cosines))
+
+    @property
+    def drifted(self) -> bool:
+        mean = self.mean_cosine
+        return (self.samples >= self.min_samples and mean is not None
+                and mean < self.threshold)
+
+    def mark_refreshed(self) -> None:
+        """Reset the window after a model refresh (the new encoder's
+        embeddings define a new baseline)."""
+        self.triggers += 1
+        self._cosines.clear()
+        emit_event("stream.drift_refresh", triggers=self.triggers)
+
+    def snapshot(self) -> dict:
+        """JSON-ready state (rides the coordinator's apply summaries)."""
+        return {
+            "observed": self.observed,
+            "samples": self.samples,
+            "mean_cosine": self.mean_cosine,
+            "min_cosine": self.min_cosine,
+            "threshold": self.threshold,
+            "drifted": self.drifted,
+            "triggers": self.triggers,
+        }

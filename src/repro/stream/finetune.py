@@ -1,0 +1,153 @@
+"""Online fine-tuning: resume a served checkpoint on the mutated graph.
+
+A drifted stream does not need a retrain-from-scratch — contrastive
+objectives are robust under moderate distribution shift (Zhu et al.'s
+empirical GCL study), so a few additional epochs *resumed from the
+serving checkpoint* on the current graph recover embedding quality at a
+fraction of the cost.  :class:`FineTuneSession` packages one such round:
+
+1. reconstruct a trainable method from the checkpoint itself — the
+   method name comes from the recorded ``step_class``
+   (:func:`repro.serve.registry.method_for_step_class`), the layer
+   widths from the exported encoder's weight shapes, so no out-of-band
+   config is needed;
+2. run ``method.fit(graph, resume_from=checkpoint)`` through the shared
+   :class:`repro.engine.TrainLoop` for ``extra_epochs`` more epochs,
+   under a :class:`~repro.resilience.HealthGuard` +
+   :class:`~repro.resilience.AutoRecovery` pair — an online session runs
+   unattended next to live traffic, so a NaN or loss spike must roll
+   back and retry, not kill the stream;
+3. write the result as a fresh v2 checkpoint, which the coordinator
+   hands to :meth:`EmbeddingServer.start_rollout` as a blue/green
+   candidate (shadow-gated, auto-rollback — never a hot swap).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from ..baselines import get_method
+from ..core.serialization import export_encoder
+from ..engine import read_checkpoint, save_checkpoint
+from ..graphs import Graph
+from ..obs import emit_metric, span
+from ..resilience import AutoRecovery, HealthGuard
+from ..serve.registry import method_for_step_class
+
+
+def method_from_checkpoint(checkpoint: Union[str, Path], **overrides):
+    """Rebuild a trainable method matching a v2 checkpoint's arrays.
+
+    Returns ``(method, meta)``.  Architecture hyperparameters
+    (``embedding_dim``, ``hidden_dim``, ``num_layers``) are read off the
+    exported encoder so the restored arrays fit; anything else keeps the
+    method's defaults unless overridden.  Raises :class:`ValueError` for
+    checkpoints whose step class maps to no registered method or whose
+    artifact is not a parametric encoder (embedding tables cannot be
+    fine-tuned against a mutated graph).
+    """
+    checkpoint = Path(checkpoint)
+    meta, _ = read_checkpoint(checkpoint)
+    step_class = meta["step_class"]
+    name = method_for_step_class(step_class)
+    if name is None:
+        raise ValueError(
+            f"checkpoint step class {step_class!r} maps to no registered "
+            "method; cannot fine-tune")
+    artifact = export_encoder(checkpoint)
+    if not artifact.inductive:
+        raise ValueError(
+            f"{step_class} produced a transductive {artifact.kind!r} "
+            "artifact; online fine-tuning needs a parametric encoder")
+    kwargs = {
+        "embedding_dim": int(artifact.embedding_dim),
+        "num_layers": int(artifact.num_layers),
+    }
+    if artifact.num_layers > 1:
+        kwargs["hidden_dim"] = int(
+            artifact.encoder.layers[0].weight.shape[1])
+    kwargs.update(overrides)
+    return get_method(name, **kwargs), meta
+
+
+class FineTuneSession:
+    """One resumable online fine-tuning round for a served checkpoint.
+
+    Parameters
+    ----------
+    checkpoint:
+        The v2 engine checkpoint currently being served.
+    workdir:
+        Where the recovery manager's rollback checkpoints and the
+        fine-tuned output land.
+    extra_epochs:
+        Epochs to train beyond the checkpoint's recorded budget.
+    guard_policy / max_retries:
+        Resilience knobs: the :class:`HealthGuard` policy (``"recover"``
+        pairs it with :class:`AutoRecovery` rollback) and the retry
+        budget per failure.
+    method_kwargs:
+        Extra constructor overrides for the reconstructed method (e.g.
+        a smaller ``lr`` for gentler fine-tuning).
+    """
+
+    def __init__(
+        self,
+        checkpoint: Union[str, Path],
+        workdir: Union[str, Path],
+        extra_epochs: int = 2,
+        guard_policy: str = "recover",
+        max_retries: int = 2,
+        method_kwargs: Optional[dict] = None,
+    ):
+        if extra_epochs < 1:
+            raise ValueError("extra_epochs must be >= 1")
+        self.checkpoint = Path(checkpoint)
+        self.workdir = Path(workdir)
+        self.extra_epochs = int(extra_epochs)
+        self.guard_policy = guard_policy
+        self.max_retries = int(max_retries)
+        self.method_kwargs = dict(method_kwargs or {})
+        self.method = None
+
+    def run(self, graph: Graph) -> Tuple[Path, dict]:
+        """Fine-tune on ``graph``; returns the new checkpoint path + info.
+
+        The run resumes bit-identically from the source checkpoint
+        (weights, optimizer slots, RNG streams) and continues for
+        ``extra_epochs`` epochs on the mutated graph.
+        """
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        method, meta = method_from_checkpoint(self.checkpoint,
+                                              **self.method_kwargs)
+        start_epoch = int(meta["epoch_next"])
+        method.epochs = max(int(meta["epochs"]), start_epoch) \
+            + self.extra_epochs
+        hooks = []
+        if self.guard_policy != "off":
+            # Guard before recovery: a failure signalled at epoch N must be
+            # seen before recovery decides whether to roll back.
+            hooks.append(HealthGuard(policy=self.guard_policy))
+        if self.guard_policy == "recover":
+            hooks.append(AutoRecovery(self.workdir / "recovery", every=1,
+                                      max_retries=self.max_retries))
+        with span("stream.finetune", checkpoint=str(self.checkpoint),
+                  extra_epochs=self.extra_epochs, graph_nodes=graph.num_nodes):
+            method.fit(graph, hooks=hooks, resume_from=self.checkpoint)
+            out = self.workdir / (
+                f"finetune-ep{method.epochs:04d}-{self.checkpoint.stem}.npz")
+            save_checkpoint(method.last_loop, out)
+        self.method = method
+        emit_metric("stream.finetune_epochs",
+                    float(method.epochs - start_epoch))
+        info = {
+            "checkpoint": str(out),
+            "resumed_from": str(self.checkpoint),
+            "start_epoch": start_epoch,
+            "end_epoch": int(method.epochs),
+            "losses": [float(x) for x in method.info.losses[-self.extra_epochs:]],
+            "recoveries": len(method.last_loop.history.recoveries)
+            if method.last_loop is not None else 0,
+        }
+        return out, info

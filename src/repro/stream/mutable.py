@@ -1,0 +1,279 @@
+"""Incremental CSR mutation: a living graph that batches deltas.
+
+:class:`MutableGraph` owns the canonical CSR arrays (``indptr``,
+``indices``, all-ones data) plus the feature/label arrays, and applies a
+batch of :class:`~repro.stream.deltas.Delta` records with vectorized
+surgery instead of rebuilding from scratch: removals become one keep-mask
+``compress`` over ``indices``, additions one ``np.insert`` at
+``searchsorted`` positions, and ``indptr`` is re-derived from per-row
+count shifts.  Because each edge touches exactly two sorted row segments,
+every apply preserves the :class:`~repro.graphs.Graph` invariants
+(symmetric, binary, no self-loops, strictly sorted rows) *by
+construction* — which is what makes the oracle-equivalence tests in
+``tests/stream/test_mutable.py`` meaningful: after any replayed log the
+arrays are ``np.array_equal`` to a from-scratch rebuild.
+
+Copy-on-write snapshots: :meth:`apply` never mutates an array in place
+that a previously returned :meth:`as_graph` view shares — surgery
+produces fresh ``indices``/``indptr`` and features are copied before the
+first in-place row write of a batch.  A graph handed out before an apply
+is therefore a frozen snapshot forever, exactly what the serve layer's
+bit-identity guarantees need.
+
+Semantic conflicts — adding an edge that already exists, removing one
+that does not, feature-updating an unknown node — are *data* problems of
+the delta stream, not programming errors: they are counted, surfaced as
+one aggregated warning per batch plus per-record obs events, and skipped.
+A replay degrades under a corrupt or duplicated stream; it never crashes
+and never corrupts the CSR.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs import Graph
+from ..obs import emit_event, emit_metric, span
+from .deltas import Delta
+
+
+@dataclass
+class ApplyResult:
+    """What one :meth:`MutableGraph.apply` did.
+
+    ``touched`` is the blast-radius seed set: every endpoint of a changed
+    edge, every feature-updated node, and every added node — the nodes
+    whose L-hop neighborhoods (old or new) may now embed differently.
+    """
+
+    touched: np.ndarray
+    added_nodes: np.ndarray
+    feature_updates: np.ndarray
+    edges_added: int = 0
+    edges_removed: int = 0
+    conflicts: int = 0
+    applied: int = 0
+    num_nodes: int = 0
+    conflict_reasons: List[str] = field(default_factory=list)
+
+
+class MutableGraph:
+    """A graph whose CSR arrays mutate incrementally under delta batches."""
+
+    def __init__(self, graph: Graph, name: Optional[str] = None):
+        adjacency = graph.adjacency.tocsr().copy()
+        adjacency.sort_indices()
+        self._indptr = np.asarray(adjacency.indptr, dtype=np.int64)
+        self._indices = np.asarray(adjacency.indices, dtype=np.int64)
+        self._features = np.array(graph.features, dtype=np.float64)
+        self._labels = None if graph.labels is None else np.array(graph.labels)
+        self.name = name or graph.name
+        self.applied_batches = 0
+        self.applied_deltas = 0
+        self.conflicts = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._indptr.shape[0] - 1
+
+    @property
+    def num_edges(self) -> int:
+        return int(self._indices.shape[0] // 2)
+
+    @property
+    def num_features(self) -> int:
+        return self._features.shape[1]
+
+    def as_graph(self, name: Optional[str] = None) -> Graph:
+        """A zero-copy :class:`Graph` snapshot of the current state.
+
+        Safe to hold across later applies: surgery replaces the arrays it
+        changes rather than mutating them, so this view is frozen.
+        """
+        return Graph.from_canonical_csr(
+            self._indptr, self._indices, self._features,
+            labels=self._labels, name=name or self.name,
+        )
+
+    def has_edge(self, u: int, v: int) -> bool:
+        lo, hi = self._indptr[u], self._indptr[u + 1]
+        pos = np.searchsorted(self._indices[lo:hi], v)
+        return bool(pos < hi - lo and self._indices[lo + pos] == v)
+
+    # ------------------------------------------------------------------
+    def apply(self, deltas: Sequence[Delta]) -> ApplyResult:
+        """Apply a batch of deltas in ``seq`` order; returns what changed."""
+        with span("stream.apply_batch", count=len(deltas)):
+            result = self._apply(list(deltas))
+        self.applied_batches += 1
+        self.applied_deltas += result.applied
+        self.conflicts += result.conflicts
+        emit_metric("stream.deltas_applied", float(result.applied))
+        if result.conflicts:
+            warnings.warn(
+                f"delta batch had {result.conflicts} semantic conflict(s) "
+                f"(skipped), e.g. {result.conflict_reasons[0]}",
+                RuntimeWarning, stacklevel=2,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    def _apply(self, deltas: List[Delta]) -> ApplyResult:
+        n_before = self.num_nodes
+        n_after = n_before
+        dim = self.num_features
+        new_rows: List[List[float]] = []
+        new_labels: List[int] = []
+        feature_writes: Dict[int, List[float]] = {}
+        # Net edge effect of the batch relative to the current CSR:
+        # ``origin`` freezes each pair's pre-batch presence, ``desired``
+        # tracks its in-batch state so add→remove→add sequences net out.
+        origin: Dict[Tuple[int, int], bool] = {}
+        desired: Dict[Tuple[int, int], bool] = {}
+        conflicts: List[str] = []
+        applied = 0
+
+        def conflict(reason: str, delta: Delta) -> None:
+            conflicts.append(reason)
+            emit_event("stream.delta_conflict", op=delta.op, seq=delta.seq,
+                       reason=reason)
+
+        for delta in deltas:
+            if delta.op == "add_node":
+                if delta.node != n_after:
+                    conflict(f"add_node expected id {n_after}, got "
+                             f"{delta.node}", delta)
+                    continue
+                if len(delta.features) != dim:
+                    conflict(f"add_node {delta.node} features have "
+                             f"{len(delta.features)} dims, graph has {dim}",
+                             delta)
+                    continue
+                new_rows.append(delta.features)
+                new_labels.append(0 if delta.label is None else delta.label)
+                n_after += 1
+                applied += 1
+            elif delta.op == "update_features":
+                if not 0 <= delta.node < n_after:
+                    conflict(f"update_features for unknown node {delta.node}",
+                             delta)
+                    continue
+                if len(delta.features) != dim:
+                    conflict(f"update_features {delta.node} features have "
+                             f"{len(delta.features)} dims, graph has {dim}",
+                             delta)
+                    continue
+                feature_writes[delta.node] = delta.features
+                applied += 1
+            else:
+                u, v = delta.u, delta.v
+                if not (0 <= u < n_after and 0 <= v < n_after):
+                    conflict(f"{delta.op} ({u}, {v}) references an unknown "
+                             f"node (have {n_after})", delta)
+                    continue
+                key = (min(u, v), max(u, v))
+                if key not in origin:
+                    present = (key[1] < n_before and self.has_edge(*key))
+                    origin[key] = present
+                    desired.setdefault(key, present)
+                want = delta.op == "add_edge"
+                if desired[key] == want:
+                    state = "already exists" if want else "does not exist"
+                    conflict(f"{delta.op} ({u}, {v}): edge {state}", delta)
+                    continue
+                desired[key] = want
+                applied += 1
+
+        adds = sorted(k for k, want in desired.items()
+                      if want and not origin[k])
+        removes = sorted(k for k, want in desired.items()
+                         if not want and origin[k])
+
+        if new_rows:
+            self._indptr = np.concatenate([
+                self._indptr,
+                np.full(len(new_rows), self._indptr[-1], dtype=np.int64),
+            ])
+            self._features = np.vstack(
+                [self._features, np.asarray(new_rows, dtype=np.float64)])
+            if self._labels is not None:
+                self._labels = np.concatenate(
+                    [self._labels,
+                     np.asarray(new_labels, dtype=self._labels.dtype)])
+        if removes:
+            self._remove_edges(removes, n_after)
+        if adds:
+            self._insert_edges(adds, n_after)
+        if feature_writes:
+            if not new_rows:
+                # Copy-on-write: snapshots handed out earlier keep their rows.
+                self._features = self._features.copy()
+            for node, row in feature_writes.items():
+                self._features[node] = row
+
+        touched = np.unique(np.concatenate([
+            np.asarray([e for pair in adds for e in pair], dtype=np.int64),
+            np.asarray([e for pair in removes for e in pair], dtype=np.int64),
+            np.fromiter(feature_writes, dtype=np.int64,
+                        count=len(feature_writes)),
+            np.arange(n_before, n_after, dtype=np.int64),
+        ]))
+        return ApplyResult(
+            touched=touched,
+            added_nodes=np.arange(n_before, n_after, dtype=np.int64),
+            feature_updates=np.asarray(sorted(feature_writes),
+                                       dtype=np.int64),
+            edges_added=len(adds),
+            edges_removed=len(removes),
+            conflicts=len(conflicts),
+            applied=applied,
+            num_nodes=n_after,
+            conflict_reasons=conflicts,
+        )
+
+    # ------------------------------------------------------------------
+    # CSR surgery (each undirected edge touches two sorted row segments)
+    # ------------------------------------------------------------------
+    def _directed(self, pairs: Sequence[Tuple[int, int]]) -> Tuple[np.ndarray, np.ndarray]:
+        """Both directions of each pair, lexsorted by (row, col)."""
+        arr = np.asarray(pairs, dtype=np.int64)
+        rows = np.concatenate([arr[:, 0], arr[:, 1]])
+        cols = np.concatenate([arr[:, 1], arr[:, 0]])
+        order = np.lexsort((cols, rows))
+        return rows[order], cols[order]
+
+    def _entry_positions(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Position of (or insertion point for) each (row, col) entry."""
+        indptr, indices = self._indptr, self._indices
+        pos = np.empty(rows.shape[0], dtype=np.int64)
+        for i in range(rows.shape[0]):
+            lo, hi = indptr[rows[i]], indptr[rows[i] + 1]
+            pos[i] = lo + np.searchsorted(indices[lo:hi], cols[i])
+        return pos
+
+    def _remove_edges(self, pairs: Sequence[Tuple[int, int]], n: int) -> None:
+        rows, cols = self._directed(pairs)
+        pos = self._entry_positions(rows, cols)
+        keep = np.ones(self._indices.shape[0], dtype=bool)
+        keep[pos] = False
+        self._indices = self._indices[keep]
+        shift = np.bincount(rows, minlength=n)
+        self._indptr = self._indptr - np.concatenate(
+            ([0], np.cumsum(shift, dtype=np.int64)))
+
+    def _insert_edges(self, pairs: Sequence[Tuple[int, int]], n: int) -> None:
+        rows, cols = self._directed(pairs)
+        # Positions are computed against the pre-insert array; np.insert
+        # applies them simultaneously, and the (row, col) lexsort makes
+        # same-segment insertions land in ascending column order, so every
+        # row segment stays strictly sorted.
+        pos = self._entry_positions(rows, cols)
+        self._indices = np.insert(self._indices, pos, cols)
+        shift = np.bincount(rows, minlength=n)
+        self._indptr = self._indptr + np.concatenate(
+            ([0], np.cumsum(shift, dtype=np.int64)))

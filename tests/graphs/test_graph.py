@@ -6,7 +6,7 @@ import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graphs import Graph
+from repro.graphs import Graph, GraphConstructionError
 
 
 class TestConstruction:
@@ -51,10 +51,28 @@ class TestConstruction:
         assert g.num_edges == 0
         assert g.num_nodes == 4
 
-    def test_duplicate_edges_collapse(self):
-        g = Graph.from_edge_list(3, [(0, 1), (1, 0), (0, 1)])
-        assert g.num_edges == 1
-        g.validate()
+    def test_from_edge_list_rejects_duplicates(self):
+        with pytest.raises(GraphConstructionError, match="duplicate") as exc:
+            Graph.from_edge_list(3, [(0, 1), (0, 1), (1, 2)])
+        assert exc.value.duplicates == [(0, 1)]
+        assert exc.value.self_loops == []
+
+    def test_from_edge_list_rejects_reversed_restatement(self):
+        """(1, 0) restates (0, 1) — silently collapsed before, now an error."""
+        with pytest.raises(GraphConstructionError, match="duplicate") as exc:
+            Graph.from_edge_list(3, [(0, 1), (1, 0)])
+        assert exc.value.duplicates == [(0, 1)]
+
+    def test_from_edge_list_rejects_self_loops(self):
+        with pytest.raises(GraphConstructionError, match="self-loop") as exc:
+            Graph.from_edge_list(3, [(0, 1), (2, 2)])
+        assert exc.value.self_loops == [(2, 2)]
+        assert exc.value.duplicates == []
+
+    def test_construction_error_is_a_value_error(self):
+        # Callers that predate the structured error still catch it.
+        with pytest.raises(ValueError):
+            Graph.from_edge_list(2, [(0, 1), (1, 0)])
 
     def test_rejects_nonfinite_features(self):
         features = np.zeros((3, 2))
@@ -86,6 +104,35 @@ class TestConstruction:
         with pytest.raises(ValueError, match="negative"):
             Graph(sp.csr_matrix((2, 2)), np.zeros((2, 1)),
                   labels=np.array([0, -3]))
+
+
+class TestFromCanonicalCSR:
+    def test_roundtrips_canonical_arrays_bit_identically(self):
+        base = Graph.from_edge_list(5, [(0, 1), (1, 2), (2, 3), (0, 4)],
+                                    features=np.arange(10.0).reshape(5, 2))
+        adj = base.adjacency
+        g = Graph.from_canonical_csr(adj.indptr, adj.indices, base.features,
+                                     validate=True)
+        assert np.array_equal(g.adjacency.indptr, adj.indptr)
+        assert np.array_equal(g.adjacency.indices, adj.indices)
+        assert np.array_equal(g.features, base.features)
+        assert g.num_edges == base.num_edges
+
+    def test_rejects_feature_row_mismatch(self):
+        base = Graph.from_edge_list(3, [(0, 1)])
+        adj = base.adjacency
+        with pytest.raises(ValueError, match="features"):
+            Graph.from_canonical_csr(adj.indptr, adj.indices,
+                                     np.zeros((2, 4)))
+
+    def test_validate_flag_catches_broken_invariants(self):
+        # An asymmetric structure smuggled in as "canonical" must not pass
+        # the opt-in check — this is the oracle-equivalence safety net.
+        indptr = np.array([0, 1, 1], dtype=np.int64)
+        indices = np.array([1], dtype=np.int64)
+        with pytest.raises(AssertionError):
+            Graph.from_canonical_csr(indptr, indices, np.zeros((2, 1)),
+                                     validate=True)
 
 
 class TestProperties:
@@ -183,8 +230,8 @@ class TestInterop:
 def test_property_construction_invariants(n, num_edges, seed):
     """Any random edge list yields a valid symmetric, loop-free, binary graph."""
     rng = np.random.default_rng(seed)
-    edges = [(int(rng.integers(n)), int(rng.integers(n))) for _ in range(num_edges)]
-    edges = [(u, v) for u, v in edges if u != v]
+    edges = {(int(rng.integers(n)), int(rng.integers(n))) for _ in range(num_edges)}
+    edges = sorted(set((min(u, v), max(u, v)) for u, v in edges if u != v))
     g = Graph.from_edge_list(n, edges, features=rng.normal(size=(n, 3)))
     g.validate()
     # degree sum equals twice the edge count
@@ -196,8 +243,8 @@ def test_property_construction_invariants(n, num_edges, seed):
 def test_property_ego_subgraph_is_contained(n, num_edges, seed, hops):
     """Ego nodes grow monotonically with hops and contain the center."""
     rng = np.random.default_rng(seed)
-    edges = [(int(rng.integers(n)), int(rng.integers(n))) for _ in range(num_edges)]
-    edges = [(u, v) for u, v in edges if u != v]
+    edges = {(int(rng.integers(n)), int(rng.integers(n))) for _ in range(num_edges)}
+    edges = sorted(set((min(u, v), max(u, v)) for u, v in edges if u != v))
     g = Graph.from_edge_list(n, edges)
     center = int(rng.integers(n))
     smaller = set(g.ego_nodes(center, hops).tolist())

@@ -28,9 +28,9 @@ pytestmark = pytest.mark.scale
 
 def random_edge_graph(n, num_edges, seed, num_features=3):
     rng = np.random.default_rng(seed)
-    edges = [(int(rng.integers(n)), int(rng.integers(n)))
-             for _ in range(num_edges)]
-    edges = [(u, v) for u, v in edges if u != v]
+    edges = {(int(rng.integers(n)), int(rng.integers(n)))
+             for _ in range(num_edges)}
+    edges = sorted(set((min(u, v), max(u, v)) for u, v in edges if u != v))
     return Graph.from_edge_list(
         n, edges, features=rng.normal(size=(n, num_features)))
 

@@ -176,3 +176,90 @@ class TestConcurrentCorruptReads:
         with pytest.raises(SnapshotError, match="cannot materialize"):
             store.snapshot()
         assert store.metrics.snapshot_failures == 1
+
+
+class TestInvalidation:
+    """The repro.stream-facing surface: ``invalidate`` marks rows stale and
+    reports exact counts; reads heal lazily through the same
+    single-materializer path every other read uses."""
+
+    def test_counts_and_stale_listing(self, store, registry):
+        version_id = registry.get().version_id
+        store.snapshot()
+        counts = store.invalidate(version_id, [3, 1, 3, 7])
+        assert counts == {"invalidated": 3, "preserved":
+                          store.graph.num_nodes - 3, "stale": 3}
+        assert store.stale_rows(version_id) == [1, 3, 7]
+
+    def test_out_of_range_nodes_clipped(self, store, registry, tiny_cora):
+        version_id = registry.get().version_id
+        counts = store.invalidate(version_id,
+                                  [-5, 0, tiny_cora.num_nodes + 9])
+        assert counts["invalidated"] == 1
+        assert store.stale_rows(version_id) == [0]
+
+    def test_invalidate_is_idempotent(self, store, registry):
+        version_id = registry.get().version_id
+        store.invalidate(version_id, [2, 4])
+        counts = store.invalidate(version_id, [4, 6])
+        assert counts["stale"] == 3  # union, not double-count
+        assert store.stale_rows(version_id) == [2, 4, 6]
+
+    def test_invalidated_lru_entries_are_dropped(self, store, registry):
+        version_id = registry.get().version_id
+        store.embedding(5)
+        hits_before = store.metrics.cache_hits
+        store.invalidate(version_id, [5])
+        store.embedding(5)  # must recompute, not serve the dead cache row
+        assert store.metrics.cache_hits == hits_before
+
+    def test_metrics_expose_invalidated_vs_preserved(self, registry,
+                                                     tiny_cora):
+        metrics = ServeMetrics()
+        store = EmbeddingStore(registry, tiny_cora, metrics=metrics)
+        store.snapshot()
+        store.invalidate(registry.get().version_id, [0, 1, 2])
+        stats = metrics.snapshot()["streaming"]
+        assert stats["invalidations"] == 1
+        assert stats["invalidated_rows"] == 3
+        assert stats["preserved_rows"] == tiny_cora.num_nodes - 3
+
+    def test_stale_reads_heal_without_row_computer(self, store, registry,
+                                                   offline_embeddings):
+        """Without a registered row computer the fallback is a full
+        rematerialization — still bit-identical to offline."""
+        version_id = registry.get().version_id
+        store.snapshot()
+        store.invalidate(version_id, [4])
+        assert np.array_equal(store.embedding(4), offline_embeddings[4])
+        assert store.stale_rows(version_id) == []
+
+    def test_concurrent_reads_race_single_materializer(
+            self, registry, tiny_cora, offline_embeddings):
+        """Readers racing invalidation all funnel through the per-version
+        compute lock: every row comes back offline-identical and the stale
+        set drains to empty — no torn or half-healed matrix."""
+        metrics = ServeMetrics()
+        store = EmbeddingStore(registry, tiny_cora, cache_size=8,
+                               metrics=metrics)
+        version_id = registry.get().version_id
+        store.snapshot()
+
+        def read(node):
+            return node, store.embedding(node)
+
+        def invalidate(chunk):
+            return store.invalidate(version_id, chunk)
+
+        nodes = list(range(tiny_cora.num_nodes)) * 3
+        chunks = [[n, n + 1] for n in range(0, 10, 2)]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [pool.submit(invalidate, c) for c in chunks]
+            reads = list(pool.map(read, nodes))
+            for future in futures:
+                assert future.result()["invalidated"] == 2
+        for node, row in reads:
+            assert np.array_equal(row, offline_embeddings[node])
+        healed = store.snapshot()
+        assert store.stale_rows(version_id) == []
+        assert np.array_equal(healed, offline_embeddings)

@@ -1,0 +1,51 @@
+"""Shared fixtures for the streaming suite.
+
+One small homophilous DC-SBM graph and one fitted GRACE checkpoint are
+built once per session; each test gets a fresh server (mutation state is
+per-server, the underlying graph object is never mutated in place).
+"""
+
+import pytest
+
+from repro.baselines import get_method
+from repro.engine import save_checkpoint
+from repro.graphs.generators import attributed_graph
+from repro.serve import EmbeddingServer, ModelRegistry
+from repro.stream import DeltaGenerator
+
+
+@pytest.fixture(scope="session")
+def stream_graph():
+    return attributed_graph(num_nodes=90, num_classes=3, num_features=12,
+                            avg_degree=5.0, homophily=0.8, seed=0,
+                            name="stream-sbm")
+
+
+@pytest.fixture(scope="session")
+def stream_checkpoint(stream_graph, tmp_path_factory):
+    method = get_method("grace", epochs=2, embedding_dim=8, hidden_dim=16)
+    method.fit(stream_graph)
+    path = tmp_path_factory.mktemp("stream-ckpt") / "grace.npz"
+    save_checkpoint(method.last_loop, path)
+    return path
+
+
+@pytest.fixture
+def stream_registry(stream_checkpoint):
+    registry = ModelRegistry()
+    registry.load(stream_checkpoint)
+    return registry
+
+
+@pytest.fixture
+def stream_server(stream_graph, stream_registry):
+    server = EmbeddingServer(stream_registry, stream_graph,
+                             use_batching=False)
+    yield server
+    server.close()
+
+
+@pytest.fixture
+def delta_batch(stream_graph):
+    """A conflict-free 60-delta batch exercising all four ops."""
+    return DeltaGenerator(stream_graph, seed=7).generate(60)

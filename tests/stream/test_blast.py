@@ -1,0 +1,84 @@
+"""The blast radius is exact: everything outside it embeds bit-identically
+before and after a delta batch (full offline forward on both graphs), and
+the union-of-old-and-new-egos covers removed edges too."""
+
+import numpy as np
+import pytest
+
+from repro.stream import Delta, DeltaGenerator, MutableGraph, blast_radius
+
+
+class TestBlastRadiusGeometry:
+    def test_empty_seeds_empty_radius(self, stream_graph):
+        adj = stream_graph.adjacency
+        radius = blast_radius(adj, adj, np.array([], dtype=np.int64), 2)
+        assert radius.size == 0
+
+    def test_zero_hops_is_the_seeds(self, stream_graph):
+        adj = stream_graph.adjacency
+        radius = blast_radius(adj, adj, np.array([3, 7, 3]), 0)
+        assert radius.tolist() == [3, 7]
+
+    def test_negative_hops_rejected(self, stream_graph):
+        adj = stream_graph.adjacency
+        with pytest.raises(ValueError, match="hops"):
+            blast_radius(adj, adj, np.array([0]), -1)
+
+    def test_removed_edge_covered_through_old_structure(self, stream_graph):
+        """A neighborhood reachable only via a *removed* edge must still be
+        in the radius — the union over the old structure guarantees it."""
+        mutable = MutableGraph(stream_graph)
+        old = mutable.as_graph()
+        u = 0
+        v = int(stream_graph.adjacency.indices[0])
+        mutable.apply([Delta(op="remove_edge", u=u, v=v, seq=0)])
+        new = mutable.as_graph()
+        radius = blast_radius(old.adjacency, new.adjacency,
+                              np.array([u, v]), 2)
+        # Every old neighbor of both endpoints sits within 2 hops of a seed
+        # in the old structure, even if the removal disconnected it.
+        for node in old.neighbors(u):
+            assert int(node) in radius
+        for node in old.neighbors(v):
+            assert int(node) in radius
+
+    def test_added_node_seeds_are_tolerated_by_old_graph(self, stream_graph):
+        mutable = MutableGraph(stream_graph)
+        old = mutable.as_graph()
+        n = stream_graph.num_nodes
+        dim = stream_graph.num_features
+        mutable.apply([
+            Delta(op="add_node", node=n, features=[0.1] * dim, seq=0),
+            Delta(op="add_edge", u=0, v=n, seq=1),
+        ])
+        new = mutable.as_graph()
+        radius = blast_radius(old.adjacency, new.adjacency,
+                              np.array([0, n]), 1)
+        assert n in radius and 0 in radius
+
+
+class TestEmbeddingEquivalence:
+    def test_outside_radius_is_bit_identical(self, stream_graph,
+                                             stream_registry):
+        """Full offline embeds of the old and new graph agree *bit for bit*
+        on every node outside the blast radius — the theorem the serve
+        layer's warm-row preservation rests on."""
+        artifact = stream_registry.get().artifact
+        hops = int(artifact.num_layers)
+        mutable = MutableGraph(stream_graph)
+        old = mutable.as_graph()
+        result = mutable.apply(DeltaGenerator(stream_graph, seed=4,
+                                              p_add_node=0.05).generate(12))
+        assert result.conflicts == 0
+        new = mutable.as_graph()
+        radius = blast_radius(old.adjacency, new.adjacency, result.touched,
+                              hops)
+        before = artifact.embed(old)
+        after = artifact.embed(new)
+        outside = np.setdiff1d(np.arange(old.num_nodes), radius)
+        assert outside.size > 0, "batch blasted the whole graph; shrink it"
+        assert np.array_equal(before[outside], after[outside])
+        # And the radius is not trivially everything that changed + slack:
+        # at least one inside row actually moved.
+        inside = radius[radius < old.num_nodes]
+        assert not np.array_equal(before[inside], after[inside])

@@ -1,0 +1,133 @@
+"""Chaos tier for streaming: a replay killed mid-log resumes bit-identically
+via ``seq``, a torn final record never corrupts the prefix, and corrupt
+records degrade to structured skip-and-warn — never a crash."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.stream import (
+    Delta,
+    DeltaGenerator,
+    DeltaLog,
+    MutableGraph,
+    read_delta_log,
+)
+
+
+def csr_state(mutable):
+    graph = mutable.as_graph()
+    return (np.array(graph.adjacency.indptr),
+            np.array(graph.adjacency.indices),
+            np.array(graph.features))
+
+
+def assert_same_state(a, b):
+    for left, right in zip(a, b):
+        assert np.array_equal(left, right)
+
+
+@pytest.fixture
+def written_log(tmp_path, stream_graph):
+    path = tmp_path / "deltas.jsonl"
+    with DeltaLog(path) as log:
+        log.extend(DeltaGenerator(stream_graph, seed=13).generate(150))
+    return path
+
+
+class TestKillMidReplay:
+    def test_resume_via_start_seq_is_bit_identical(self, stream_graph,
+                                                   written_log):
+        """Apply half, 'die', resume from the first unapplied seq — the
+        final CSR equals an uninterrupted replay bit for bit."""
+        deltas = read_delta_log(written_log).deltas
+
+        uninterrupted = MutableGraph(stream_graph)
+        uninterrupted.apply(deltas)
+
+        interrupted = MutableGraph(stream_graph)
+        interrupted.apply(deltas[:70])  # process killed here
+        resumed = read_delta_log(written_log, start_seq=deltas[70].seq)
+        interrupted.apply(resumed.deltas)
+
+        assert_same_state(csr_state(uninterrupted), csr_state(interrupted))
+
+    def test_restart_from_scratch_is_bit_identical(self, stream_graph,
+                                                   written_log):
+        """A replacement process that replays the whole durable log from
+        the base graph reconstructs the exact same arrays."""
+        first = MutableGraph(stream_graph)
+        for lo in range(0, 150, 30):  # batched, as the coordinator applies
+            first.apply(read_delta_log(written_log).deltas[lo:lo + 30])
+
+        second = MutableGraph(stream_graph)
+        second.apply(read_delta_log(written_log).deltas)
+
+        assert_same_state(csr_state(first), csr_state(second))
+
+    def test_torn_final_record_leaves_prefix_readable(self, stream_graph,
+                                                      written_log):
+        """A kill mid-write tears the last line; the fsynced prefix replays
+        and the torn tail is a structured skip."""
+        intact = read_delta_log(written_log).deltas
+        raw = written_log.read_bytes()
+        torn = written_log.with_name("torn.jsonl")
+        torn.write_bytes(raw[:-17])  # chop into the final record
+        with pytest.warns(RuntimeWarning, match="corrupt delta record"):
+            result = read_delta_log(torn)
+        assert result.skipped == 1
+        assert [d.seq for d in result.deltas] == \
+            [d.seq for d in intact[:-1]]
+        replayed = MutableGraph(stream_graph)
+        replayed.apply(result.deltas)
+        replayed.as_graph().validate()
+
+
+class TestCorruptRecords:
+    def test_bitrot_mid_log_skips_and_warns(self, stream_graph, tmp_path,
+                                            written_log):
+        lines = written_log.read_text().splitlines()
+        lines[40] = lines[40][:10] + "\x00garbage" + lines[40][10:]
+        lines[90] = '{"op": "add_edge", "u": 1, "v": 1, "seq": 90}'  # invalid
+        rotted = tmp_path / "rotted.jsonl"
+        rotted.write_text("\n".join(lines) + "\n")
+        with pytest.warns(RuntimeWarning, match="corrupt delta record"):
+            result = read_delta_log(rotted)
+        assert result.skipped == 2
+        assert all("rotted.jsonl" in err for err in result.errors)
+        # The surviving records still replay into a valid graph — corrupt
+        # records may orphan later ones into conflicts, never crashes.
+        import warnings
+
+        mutable = MutableGraph(stream_graph)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            mutable.apply(result.deltas)
+        mutable.as_graph().validate()
+
+    def test_append_after_kill_continues_the_log(self, stream_graph,
+                                                 written_log):
+        """Reopening a log appends; seq ordering across the boundary is
+        preserved for resume."""
+        generator = DeltaGenerator(stream_graph, seed=13)
+        generator.generate(150)  # fast-forward the generator state
+        with DeltaLog(written_log) as log:
+            log.extend(generator.generate(20))
+        result = read_delta_log(written_log)
+        assert len(result) == 170
+        assert [d.seq for d in result.deltas] == list(range(170))
+
+    def test_fsync_means_bytes_on_disk(self, tmp_path):
+        path = tmp_path / "durable.jsonl"
+        log = DeltaLog(path)
+        log.append(Delta(op="add_edge", u=0, v=1, seq=0))
+        # Before close: the record is already on disk (flush + fsync).
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            data = os.read(fd, 4096)
+        finally:
+            os.close(fd)
+        log.close()
+        assert json.loads(data.decode())["op"] == "add_edge"

@@ -1,0 +1,133 @@
+"""Delta wire format, durable JSONL log, and the seeded dynamic-SBM
+generator: validation on write, forgiveness on read, determinism per seed."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.stream import (
+    DELTA_OPS,
+    Delta,
+    DeltaError,
+    DeltaGenerator,
+    DeltaLog,
+    read_delta_log,
+)
+
+
+class TestDeltaValidation:
+    def test_edge_delta_roundtrip(self):
+        delta = Delta(op="add_edge", u=3, v=7, ts=1.5, seq=4)
+        again = Delta.from_json(delta.to_json())
+        assert again == delta
+        assert "node" not in delta.to_json()
+
+    def test_node_delta_roundtrip(self):
+        delta = Delta(op="add_node", node=12, features=[0.5, -1.0], label=2,
+                      seq=9)
+        wire = json.loads(json.dumps(delta.to_json()))
+        assert Delta.from_json(wire) == delta
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(DeltaError, match="unknown delta op"):
+            Delta(op="drop_node", node=1, features=[0.0])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(DeltaError, match="self-loop"):
+            Delta(op="add_edge", u=4, v=4)
+
+    def test_edge_needs_endpoints(self):
+        with pytest.raises(DeltaError, match="endpoints"):
+            Delta(op="remove_edge", u=1)
+
+    def test_node_op_needs_finite_features(self):
+        with pytest.raises(DeltaError, match="finite 1-D"):
+            Delta(op="update_features", node=0, features=[float("nan")])
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(DeltaError, match="JSON object"):
+            Delta.from_json([1, 2, 3])
+
+    def test_from_json_ignores_unknown_keys(self):
+        delta = Delta.from_json({"op": "add_edge", "u": 0, "v": 1,
+                                 "color": "red"})
+        assert (delta.u, delta.v) == (0, 1)
+
+
+class TestDeltaLog:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        deltas = [Delta(op="add_edge", u=0, v=1, seq=0),
+                  Delta(op="add_node", node=5, features=[1.0], seq=1)]
+        with DeltaLog(path) as log:
+            log.append(deltas[0])
+            log.extend(deltas[1:])
+            assert log.written == 2
+        result = read_delta_log(path)
+        assert result.deltas == deltas
+        assert result.skipped == 0 and len(result) == 2
+
+    def test_corrupt_record_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        good = Delta(op="add_edge", u=0, v=1, seq=0)
+        path.write_text(json.dumps(good.to_json()) + "\n"
+                        + "{not json at all\n"
+                        + '{"op": "add_edge", "u": 2, "v": 2, "seq": 2}\n'
+                        + json.dumps(Delta(op="remove_edge", u=0, v=1,
+                                           seq=3).to_json()) + "\n")
+        with pytest.warns(RuntimeWarning, match="corrupt delta record"):
+            result = read_delta_log(path)
+        assert result.skipped == 2
+        assert len(result.errors) == 2
+        assert [d.seq for d in result.deltas] == [0, 3]
+
+    def test_start_seq_resumes_past_applied_prefix(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with DeltaLog(path) as log:
+            log.extend(Delta(op="add_edge", u=i, v=i + 1, seq=i)
+                       for i in range(6))
+        result = read_delta_log(path, start_seq=4)
+        assert [d.seq for d in result.deltas] == [4, 5]
+
+
+class TestDeltaGenerator:
+    def test_deterministic_per_seed(self, stream_graph):
+        a = DeltaGenerator(stream_graph, seed=11).generate(80)
+        b = DeltaGenerator(stream_graph, seed=11).generate(80)
+        assert [d.to_json() for d in a] == [d.to_json() for d in b]
+        c = DeltaGenerator(stream_graph, seed=12).generate(80)
+        assert [d.to_json() for d in a] != [d.to_json() for d in c]
+
+    def test_stream_is_sequential_and_covers_all_ops(self, stream_graph):
+        deltas = DeltaGenerator(stream_graph, seed=5).generate(300)
+        assert [d.seq for d in deltas] == list(range(300))
+        assert {d.op for d in deltas} == set(DELTA_OPS)
+        assert all(d.ts == float(d.seq) for d in deltas)
+
+    def test_node_ids_assigned_densely(self, stream_graph):
+        deltas = DeltaGenerator(stream_graph, seed=5).generate(300)
+        added = [d.node for d in deltas if d.op == "add_node"]
+        start = stream_graph.num_nodes
+        assert added == list(range(start, start + len(added)))
+
+    def test_homophilous_adds(self, stream_graph):
+        labels = list(stream_graph.labels)
+        deltas = DeltaGenerator(stream_graph, seed=5, homophily=1.0,
+                                p_add_edge=1.0, p_remove_edge=0.0,
+                                p_add_node=0.0,
+                                p_update_features=0.0).generate(50)
+        for d in deltas:
+            if d.op == "add_edge":
+                assert labels[d.u] == labels[d.v]
+
+    def test_bad_probabilities_rejected(self, stream_graph):
+        with pytest.raises(ValueError, match="probabilities"):
+            DeltaGenerator(stream_graph, p_add_edge=-1.0)
+
+    def test_feature_updates_match_dim(self, stream_graph):
+        deltas = DeltaGenerator(stream_graph, seed=5).generate(200)
+        for d in deltas:
+            if d.features is not None:
+                assert len(d.features) == stream_graph.num_features
+                assert np.all(np.isfinite(d.features))

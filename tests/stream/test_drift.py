@@ -1,0 +1,73 @@
+"""Drift detector semantics: window-mean cosine, minimum-sample gating,
+refresh reset, and obs metric emission."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Tracer
+from repro.stream import DriftDetector
+
+
+def vec(angle: float) -> np.ndarray:
+    return np.array([np.cos(angle), np.sin(angle)])
+
+
+class TestDriftDetector:
+    def test_identical_rows_never_drift(self):
+        detector = DriftDetector(threshold=0.99, min_samples=2)
+        for node in range(10):
+            assert detector.observe(node, vec(0.3), vec(0.3)) == pytest.approx(1.0)
+        assert not detector.drifted
+        assert detector.mean_cosine == pytest.approx(1.0)
+
+    def test_min_samples_gates_the_flip(self):
+        detector = DriftDetector(threshold=0.9, min_samples=4)
+        for node in range(3):
+            detector.observe(node, vec(0.0), vec(2.0))
+        assert not detector.drifted  # rotated hard, but only 3 samples
+        detector.observe(3, vec(0.0), vec(2.0))
+        assert detector.drifted
+
+    def test_window_ages_out_old_drift(self):
+        detector = DriftDetector(threshold=0.9, window=4, min_samples=2)
+        for node in range(4):
+            detector.observe(node, vec(0.0), vec(3.0))
+        assert detector.drifted
+        for node in range(4):  # four healthy samples push the bad ones out
+            detector.observe(node, vec(0.5), vec(0.5))
+        assert not detector.drifted
+
+    def test_mark_refreshed_resets_window(self):
+        detector = DriftDetector(threshold=0.9, min_samples=2)
+        detector.observe(0, vec(0.0), vec(3.0))
+        detector.observe(1, vec(0.0), vec(3.0))
+        assert detector.drifted
+        detector.mark_refreshed()
+        assert detector.samples == 0 and not detector.drifted
+        assert detector.triggers == 1
+
+    def test_zero_vectors_well_defined(self):
+        detector = DriftDetector()
+        zero = np.zeros(3)
+        assert detector.observe(0, zero, zero) == 1.0
+        assert detector.observe(1, zero, np.ones(3)) == 0.0
+
+    def test_snapshot_is_json_ready(self):
+        detector = DriftDetector(threshold=0.8)
+        detector.observe(0, vec(0.1), vec(0.2))
+        snap = detector.snapshot()
+        assert snap["observed"] == 1 and snap["samples"] == 1
+        assert snap["threshold"] == 0.8
+        assert isinstance(snap["drifted"], bool)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DriftDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            DriftDetector(window=0)
+
+    def test_observations_emit_metrics(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path):
+            DriftDetector().observe(5, vec(0.0), vec(1.0))
+        assert "stream.drift_cosine" in path.read_text()

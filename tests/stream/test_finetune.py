@@ -1,0 +1,71 @@
+"""Online fine-tuning: architecture reconstruction from the checkpoint
+itself, resumed training on a mutated graph, and a servable result."""
+
+import numpy as np
+import pytest
+
+from repro.engine import read_checkpoint
+from repro.serve import ModelRegistry
+from repro.stream import (
+    DeltaGenerator,
+    FineTuneSession,
+    MutableGraph,
+    method_from_checkpoint,
+)
+
+
+class TestMethodFromCheckpoint:
+    def test_reconstructs_matching_architecture(self, stream_checkpoint):
+        method, meta = method_from_checkpoint(stream_checkpoint)
+        assert type(method).__name__.lower().startswith("grace")
+        assert method.embedding_dim == 8
+        assert method.hidden_dim == 16
+        assert method.num_layers == 2
+        assert meta["epochs"] == 2
+
+    def test_overrides_pass_through(self, stream_checkpoint):
+        method, _ = method_from_checkpoint(stream_checkpoint, lr=0.001)
+        assert method.lr == 0.001
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(Exception):
+            method_from_checkpoint(tmp_path / "nope.npz")
+
+
+class TestFineTuneSession:
+    def test_resumes_and_extends_on_mutated_graph(self, stream_graph,
+                                                  stream_checkpoint,
+                                                  tmp_path):
+        mutable = MutableGraph(stream_graph)
+        mutable.apply(DeltaGenerator(stream_graph, seed=6).generate(40))
+        mutated = mutable.as_graph()
+
+        session = FineTuneSession(stream_checkpoint, tmp_path / "ft",
+                                  extra_epochs=2)
+        out, info = session.run(mutated)
+        assert out.is_file()
+        assert info["start_epoch"] == 2
+        assert info["end_epoch"] == 4
+        assert len(info["losses"]) == 2
+        assert all(np.isfinite(info["losses"]))
+        meta, _ = read_checkpoint(out)
+        assert meta["epoch_next"] == 4
+        # The fine-tuned checkpoint is a first-class serving candidate.
+        registry = ModelRegistry()
+        version = registry.load(out)
+        assert version.inductive
+        embedded = version.artifact.embed(mutated)
+        assert embedded.shape == (mutated.num_nodes, 8)
+
+    def test_extra_epochs_must_be_positive(self, stream_checkpoint,
+                                           tmp_path):
+        with pytest.raises(ValueError, match="extra_epochs"):
+            FineTuneSession(stream_checkpoint, tmp_path, extra_epochs=0)
+
+    def test_runs_under_recovery_hooks(self, stream_graph,
+                                       stream_checkpoint, tmp_path):
+        session = FineTuneSession(stream_checkpoint, tmp_path / "ft",
+                                  extra_epochs=1, guard_policy="recover")
+        _, info = session.run(stream_graph)
+        assert info["recoveries"] == 0  # healthy run, hooks armed but idle
+        assert (tmp_path / "ft" / "recovery").exists()

@@ -1,0 +1,135 @@
+"""Oracle equivalence for incremental CSR mutation: after every apply, the
+mutated arrays must be ``np.array_equal`` to a from-scratch rebuild — the
+same discipline the scale tier uses against the full-batch oracle."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import Graph
+from repro.stream import Delta, DeltaGenerator, MutableGraph
+
+
+def rebuild_from_scratch(graph: Graph) -> Graph:
+    """The from-scratch oracle: re-canonicalize through ``from_edge_list``."""
+    upper = sp.triu(graph.adjacency, k=1).tocoo()
+    edges = np.stack([upper.row, upper.col], axis=1)
+    return Graph.from_edge_list(graph.num_nodes, edges,
+                                features=np.array(graph.features),
+                                labels=graph.labels)
+
+
+def assert_csr_equal(actual: Graph, oracle: Graph) -> None:
+    assert np.array_equal(
+        np.asarray(actual.adjacency.indptr, dtype=np.int64),
+        np.asarray(oracle.adjacency.indptr, dtype=np.int64))
+    assert np.array_equal(
+        np.asarray(actual.adjacency.indices, dtype=np.int64),
+        np.asarray(oracle.adjacency.indices, dtype=np.int64))
+    assert np.array_equal(actual.features, oracle.features)
+
+
+class TestOracleEquivalence:
+    def test_generated_stream_matches_rebuild(self, stream_graph):
+        mutable = MutableGraph(stream_graph)
+        generator = DeltaGenerator(stream_graph, seed=2)
+        for _ in range(4):
+            result = mutable.apply(generator.generate(50))
+            assert result.conflicts == 0
+            snapshot = mutable.as_graph()
+            snapshot.validate()
+            assert_csr_equal(snapshot, rebuild_from_scratch(snapshot))
+
+    def test_single_ops_match_rebuild(self, stream_graph):
+        mutable = MutableGraph(stream_graph)
+        u = int(stream_graph.adjacency.indices[0])
+        v = int(stream_graph.num_nodes - 1)
+        dim = stream_graph.num_features
+        deltas = [
+            Delta(op="remove_edge", u=0, v=u, seq=0),
+            Delta(op="add_node", node=stream_graph.num_nodes,
+                  features=[0.5] * dim, label=1, seq=1),
+            Delta(op="add_edge", u=v, v=stream_graph.num_nodes, seq=2),
+            Delta(op="update_features", node=3, features=[1.0] * dim, seq=3),
+        ]
+        result = mutable.apply(deltas)
+        assert result.conflicts == 0
+        assert result.edges_added == 1 and result.edges_removed == 1
+        assert result.added_nodes.tolist() == [stream_graph.num_nodes]
+        assert result.feature_updates.tolist() == [3]
+        snapshot = mutable.as_graph()
+        snapshot.validate()
+        assert_csr_equal(snapshot, rebuild_from_scratch(snapshot))
+        assert snapshot.labels[-1] == 1
+
+    def test_add_then_remove_nets_out(self, stream_graph):
+        mutable = MutableGraph(stream_graph)
+        before = mutable.as_graph()
+        pair = None
+        n = stream_graph.num_nodes
+        for u in range(n):
+            for v in range(u + 1, n):
+                if not mutable.has_edge(u, v):
+                    pair = (u, v)
+                    break
+            if pair:
+                break
+        result = mutable.apply([
+            Delta(op="add_edge", u=pair[0], v=pair[1], seq=0),
+            Delta(op="remove_edge", u=pair[0], v=pair[1], seq=1),
+        ])
+        assert result.conflicts == 0 and result.applied == 2
+        assert result.edges_added == 0 and result.edges_removed == 0
+        after = mutable.as_graph()
+        assert np.array_equal(before.adjacency.indices,
+                              after.adjacency.indices)
+
+
+class TestSnapshotFreezing:
+    def test_earlier_snapshots_survive_later_applies(self, stream_graph):
+        mutable = MutableGraph(stream_graph)
+        snap0 = mutable.as_graph()
+        indices0 = np.array(snap0.adjacency.indices)
+        features0 = np.array(snap0.features)
+        generator = DeltaGenerator(stream_graph, seed=9)
+        mutable.apply(generator.generate(120))
+        assert np.array_equal(snap0.adjacency.indices, indices0)
+        assert np.array_equal(snap0.features, features0)
+        assert snap0.num_nodes == stream_graph.num_nodes
+
+
+class TestConflicts:
+    def test_conflicting_deltas_skip_and_warn(self, stream_graph):
+        mutable = MutableGraph(stream_graph)
+        u = int(stream_graph.adjacency.indices[0])  # (0, u) exists
+        dim = stream_graph.num_features
+        before = mutable.as_graph()
+        with pytest.warns(RuntimeWarning, match="semantic conflict"):
+            result = mutable.apply([
+                Delta(op="add_edge", u=0, v=u, seq=0),       # already exists
+                Delta(op="remove_edge", u=0, v=u + 10 ** 6, seq=1),  # no node
+                Delta(op="update_features", node=10 ** 6,
+                      features=[0.0] * dim, seq=2),           # unknown node
+                Delta(op="add_node", node=5, features=[0.0] * dim,
+                      seq=3),                                 # wrong dense id
+                Delta(op="add_node", node=stream_graph.num_nodes,
+                      features=[0.0] * (dim + 1), seq=4),     # wrong dim
+            ])
+        assert result.applied == 0
+        assert result.conflicts == 5
+        assert len(result.conflict_reasons) == 5
+        after = mutable.as_graph()
+        assert np.array_equal(before.adjacency.indices,
+                              after.adjacency.indices)
+        assert after.num_nodes == before.num_nodes
+
+    def test_remove_missing_edge_is_conflict_not_crash(self, stream_graph):
+        mutable = MutableGraph(stream_graph)
+        found = next((u, v) for u in range(stream_graph.num_nodes)
+                     for v in range(u + 1, stream_graph.num_nodes)
+                     if not mutable.has_edge(u, v))
+        with pytest.warns(RuntimeWarning):
+            result = mutable.apply([Delta(op="remove_edge", u=found[0],
+                                          v=found[1], seq=0)])
+        assert result.conflicts == 1
+        mutable.as_graph().validate()

@@ -1,0 +1,199 @@
+"""Delta-aware serving end-to-end: exact invalidation, warm-row
+bit-identity, lazy in-radius refresh against the offline oracle, drift →
+fine-tune → blue/green refresh, and the replay driver."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.serve.rollout import SHADOWING
+from repro.stream import (
+    DeltaGenerator,
+    DriftDetector,
+    MutableGraph,
+    StreamCoordinator,
+    blast_radius,
+    replay_log,
+)
+
+
+@pytest.fixture
+def warmed(stream_server):
+    stream_server.warmup()
+    return stream_server
+
+
+def apply_one_batch(server, seed=4, count=12):
+    # drift_sample=0: drift observation lazily refreshes rows, which would
+    # blur the exact stale-set accounting these tests pin down.
+    coordinator = StreamCoordinator(server, drift_sample=0, seed=0)
+    base = coordinator.mutable.as_graph()
+    deltas = DeltaGenerator(base, seed=seed, p_add_node=0.05).generate(count)
+    pre = np.array(server.store.snapshot())  # frozen pre-delta copy
+    summary = coordinator.apply(deltas)
+    return coordinator, pre, summary
+
+
+class TestInvalidation:
+    def test_radius_rows_stale_warm_rows_bit_identical(self, warmed):
+        coordinator, pre, summary = apply_one_batch(warmed)
+        vid = warmed.registry.get().version_id
+        resident = warmed.store.resident_snapshot(vid)
+        stale = warmed.store.stale_rows(vid)
+        assert summary["blast_radius"] == len(stale)
+        outside = np.setdiff1d(np.arange(pre.shape[0]), np.asarray(stale))
+        assert outside.size > 0
+        # Warm rows were not even copied, let alone recomputed.
+        assert np.array_equal(resident[outside], pre[outside])
+
+    def test_invalidation_metrics_and_counts(self, warmed):
+        _, pre, summary = apply_one_batch(warmed)
+        vid = warmed.registry.get().version_id
+        counts = summary["invalidation"][vid]
+        assert counts["invalidated"] == summary["blast_radius"]
+        assert counts["invalidated"] + counts["preserved"] == \
+            summary["num_nodes"]
+        stats = warmed.metrics.snapshot()["streaming"]
+        assert stats["invalidations"] == 1
+        assert stats["invalidated_rows"] == counts["invalidated"]
+        assert stats["preserved_rows"] == counts["preserved"]
+        assert stats["graph_rebinds"] == 1
+
+    def test_stale_rows_refresh_to_offline_oracle(self, warmed):
+        """Lazily recomputed in-radius rows equal a full offline embed of
+        the mutated graph (1e-6); refreshes are counted."""
+        coordinator, _, _ = apply_one_batch(warmed)
+        mutated = coordinator.mutable.as_graph()
+        oracle = warmed.registry.get().artifact.embed(mutated)
+        vid = warmed.registry.get().version_id
+        stale = warmed.store.stale_rows(vid)
+        assert stale
+        for node in stale[:6]:
+            served = warmed.store.embedding(node)
+            np.testing.assert_allclose(served, oracle[node], atol=1e-6)
+        assert warmed.store.stale_rows(vid) == stale[6:]
+        assert warmed.metrics.snapshot()["streaming"]["stale_refreshes"] >= 6
+
+    def test_full_snapshot_read_repairs_all_stale_rows(self, warmed):
+        coordinator, pre, _ = apply_one_batch(warmed)
+        mutated = coordinator.mutable.as_graph()
+        vid = warmed.registry.get().version_id
+        stale = list(warmed.store.stale_rows(vid))
+        healed = warmed.store.snapshot(vid)
+        assert warmed.store.stale_rows(vid) == []
+        oracle = warmed.registry.get().artifact.embed(mutated)
+        np.testing.assert_allclose(healed[stale], oracle[stale], atol=1e-6)
+        outside = np.setdiff1d(np.arange(pre.shape[0]), np.asarray(stale))
+        assert np.array_equal(healed[outside], pre[outside])
+
+    def test_lru_entries_inside_radius_dropped_outside_kept(self, warmed):
+        coordinator = StreamCoordinator(warmed, drift_sample=0, seed=0)
+        base = coordinator.mutable.as_graph()
+        deltas = DeltaGenerator(base, seed=4, p_add_node=0.05).generate(12)
+        # Prime the LRU for every node, then mutate.
+        rows = {n: warmed.store.embedding(n) for n in range(base.num_nodes)}
+        hits_before = warmed.metrics.cache_hits
+        coordinator.apply(deltas)
+        vid = warmed.registry.get().version_id
+        stale = set(warmed.store.stale_rows(vid))
+        warm = [n for n in range(base.num_nodes) if n not in stale]
+        for n in warm[:8]:
+            again = warmed.store.embedding(n)
+            assert np.array_equal(again, rows[n])
+        assert warmed.metrics.cache_hits == hits_before + len(warm[:8])
+
+    def test_served_requests_work_after_rebind(self, warmed):
+        coordinator, _, summary = apply_one_batch(warmed)
+        new_node = summary["num_nodes"] - 1
+        response = warmed.handle({"op": "embed", "node": new_node})
+        assert response["ok"], response
+        assert len(response["embedding"]) == 8
+
+
+class TestDriftRefresh:
+    def test_drift_triggers_finetune_and_rollout(self, warmed,
+                                                 stream_checkpoint,
+                                                 tmp_path):
+        detector = DriftDetector(threshold=0.9999, min_samples=2)
+        coordinator = StreamCoordinator(warmed, drift=detector, seed=0)
+        warmed.store.snapshot()  # materialize so drift sampling has rows
+        base = coordinator.mutable.as_graph()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            coordinator.apply(
+                DeltaGenerator(base, seed=5).generate(80))
+        assert detector.drifted
+        refresh = coordinator.maybe_refresh(stream_checkpoint,
+                                            tmp_path / "ft",
+                                            extra_epochs=1)
+        assert refresh is not None
+        assert detector.triggers == 1 and not detector.drifted
+        rollout = warmed.rollout
+        assert rollout is not None and rollout.state == SHADOWING
+        assert rollout.cosine_threshold == 0.5  # relaxed gate for refreshes
+        assert refresh["finetune"]["end_epoch"] == 3
+
+    def test_no_refresh_without_drift(self, warmed, stream_checkpoint,
+                                      tmp_path):
+        coordinator = StreamCoordinator(warmed, seed=0)
+        assert coordinator.maybe_refresh(stream_checkpoint, tmp_path) is None
+        assert warmed.rollout is None
+
+
+class TestReplayDriver:
+    def test_replay_log_summary(self, warmed, tmp_path, stream_graph):
+        from repro.stream import DeltaLog
+
+        path = tmp_path / "log.jsonl"
+        with DeltaLog(path) as log:
+            log.extend(DeltaGenerator(stream_graph, seed=8).generate(60))
+        warmed.warmup()
+        summary = replay_log(warmed, path, batch_size=20,
+                             probes_per_batch=3, seed=0)
+        assert summary["num_batches"] == 3
+        assert summary["deltas_applied"] == 60
+        assert summary["probe_failures"] == 0
+        assert summary["deltas_per_s"] > 0
+        assert summary["final_nodes"] >= stream_graph.num_nodes
+
+    def test_radius_hops_tracks_deepest_encoder(self, warmed):
+        coordinator = StreamCoordinator(warmed, seed=0)
+        artifact = warmed.registry.get().artifact
+        assert coordinator.radius_hops == artifact.num_layers
+
+
+class TestStoreConcurrencyWithInvalidation:
+    def test_concurrent_reads_during_invalidate(self, warmed):
+        """Readers racing invalidation never crash and always land on
+        either the old-consistent or refreshed-consistent row."""
+        import threading
+
+        coordinator = StreamCoordinator(warmed, seed=0)
+        base = coordinator.mutable.as_graph()
+        warmed.store.snapshot()
+        deltas = DeltaGenerator(base, seed=4, p_add_node=0.0).generate(10)
+        errors = []
+
+        def reader():
+            rng = np.random.default_rng(0)
+            try:
+                for _ in range(50):
+                    node = int(rng.integers(base.num_nodes))
+                    row = warmed.store.embedding(node)
+                    assert np.all(np.isfinite(row))
+            except Exception as exc:  # pragma: no cover - failure capture
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        coordinator.apply(deltas)
+        for t in threads:
+            t.join()
+        assert errors == []
+        # After the dust settles every row matches the oracle.
+        mutated = coordinator.mutable.as_graph()
+        oracle = warmed.registry.get().artifact.embed(mutated)
+        healed = warmed.store.snapshot()
+        np.testing.assert_allclose(healed, oracle, atol=1e-6)

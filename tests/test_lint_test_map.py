@@ -50,6 +50,22 @@ def test_scale_package_has_no_exemptions():
         assert check_test_map.expected_test_path(module).is_file()
 
 
+def test_stream_package_has_no_exemptions():
+    """Every repro.stream module maps to its conventional tests/stream file —
+    the streaming tier carries the oracle-equivalence and chaos guarantees,
+    so it is never routed through COVERED_BY or the allowlist."""
+    exempt = set(check_test_map.COVERED_BY) | check_test_map.ALLOWLIST
+    stream_modules = sorted(
+        (check_test_map.SRC / "stream").glob("*.py"))
+    assert stream_modules, "repro.stream has gone missing"
+    for module in stream_modules:
+        if module.name == "__init__.py":
+            continue
+        rel = module.relative_to(ROOT).as_posix()
+        assert rel not in exempt, f"{rel} must use the default convention"
+        assert check_test_map.expected_test_path(module).is_file()
+
+
 def test_allowlist_is_short_and_real():
     assert len(check_test_map.ALLOWLIST) <= 3, "keep the allowlist short"
     for rel in check_test_map.ALLOWLIST:
